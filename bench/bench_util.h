@@ -1,0 +1,89 @@
+// Shared helpers for the figure/table benchmark binaries: aligned table
+// printing and temp-file management. Each bench prints the same rows/series
+// the paper reports for its figure.
+#ifndef SCANRAW_BENCH_BENCH_UTIL_H_
+#define SCANRAW_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scanraw {
+namespace bench {
+
+inline std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  std::string base = env != nullptr ? env : "/tmp";
+  return base + "/scanraw_bench";
+}
+
+inline std::string TempPath(const std::string& name) {
+  const std::string dir = TempDir();
+  std::string cmd = "mkdir -p " + dir;
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "failed to create %s\n", dir.c_str());
+  }
+  return dir + "/" + name;
+}
+
+// Aborts the bench with a message on error — benches have no caller to
+// propagate to.
+inline void CheckOk(const Status& status, const char* context) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string sep;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace scanraw
+
+#endif  // SCANRAW_BENCH_BENCH_UTIL_H_

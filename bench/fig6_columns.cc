@@ -1,0 +1,79 @@
+// Figure 6 — effect of the number of projected columns and of the starting
+// position of the first column on execution time (selective tokenizing and
+// parsing). Real pipeline, external tables, 8 workers, 64-column file, as
+// in the paper (scaled row count).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "datagen/csv_generator.h"
+#include "scanraw/scanraw_manager.h"
+
+namespace scanraw {
+namespace {
+
+constexpr uint64_t kRows = 1 << 16;
+constexpr size_t kColumns = 64;
+constexpr size_t kCounts[] = {1, 8, 16, 32};
+constexpr size_t kPositions[] = {0, 8, 16, 32};
+
+double MeasureQuery(const std::string& csv, const CsvSpec& spec,
+                    size_t first_column, size_t count) {
+  ScanRawManager::Config config;
+  config.db_path = csv + ".db";
+  config.disk_bandwidth = 436ull << 20;
+  auto manager = ScanRawManager::Create(config);
+  bench::CheckOk(manager.status(), "create manager");
+  ScanRawOptions options;
+  options.policy = LoadPolicy::kExternalTables;
+  options.num_workers = 8;
+  options.chunk_rows = 1 << 13;
+  bench::CheckOk(
+      (*manager)->RegisterRawFile("t", csv, CsvSchema(spec), options),
+      "register");
+  QuerySpec query;
+  for (size_t c = first_column; c < first_column + count && c < kColumns;
+       ++c) {
+    query.sum_columns.push_back(c);
+  }
+  RealClock clock;
+  const int64_t t0 = clock.NowNanos();
+  auto result = (*manager)->Query("t", query);
+  bench::CheckOk(result.status(), "query");
+  return static_cast<double>(clock.NowNanos() - t0) * 1e-9;
+}
+
+}  // namespace
+}  // namespace scanraw
+
+int main() {
+  using scanraw::bench::Fmt;
+  const std::string csv = scanraw::bench::TempPath("fig6.csv");
+  scanraw::CsvSpec spec;
+  spec.num_rows = scanraw::kRows;
+  spec.num_columns = scanraw::kColumns;
+  auto info = scanraw::GenerateCsvFile(csv, spec);
+  scanraw::bench::CheckOk(info.status(), "generate csv");
+
+  std::printf("Figure 6 — projected column count x start position "
+              "(real pipeline, external tables,\n8 workers, %llu x 64 "
+              "file)\n\n",
+              static_cast<unsigned long long>(scanraw::kRows));
+  scanraw::bench::TablePrinter table(
+      {"position", "1 col (s)", "8 cols (s)", "16 cols (s)", "32 cols (s)"});
+  for (size_t pos : scanraw::kPositions) {
+    std::vector<std::string> row{"pos " + std::to_string(pos)};
+    for (size_t count : scanraw::kCounts) {
+      row.push_back(Fmt("%.3f", scanraw::MeasureQuery(csv, spec, pos, count)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): more projected columns cost slightly more "
+      "(<~5%% growth in\nconversion); the starting position has no visible "
+      "effect because the extra\ntokenizing is hidden by parallel "
+      "execution.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 — effect of the chunk size (rows per chunk) on execution time
+// for 2, 8 and 16 worker threads. Simulated at testbed scale (2^26 x 64
+// file, paper-anchored cost model): the total work is constant, but small
+// chunks multiply the dynamic task-allocation overhead while very large
+// chunks limit pipeline overlap.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/calibrate.h"
+#include "sim/pipeline_sim.h"
+
+namespace scanraw {
+namespace {
+
+constexpr uint64_t kTotalRows = 1ull << 26;
+constexpr uint64_t kChunkSizes[] = {1 << 14, 1 << 16, 1 << 18, 1 << 20};
+constexpr size_t kWorkers[] = {2, 8, 16};
+
+double Measure(uint64_t chunk_rows, size_t workers) {
+  CostModelInput input;
+  input.rows_per_chunk = chunk_rows;
+  SimConfig config;
+  config.num_chunks = static_cast<size_t>(kTotalRows / chunk_rows);
+  config.workers = workers;
+  config.policy = LoadPolicy::kExternalTables;
+  config.costs = PaperChunkCosts(input);
+  return SimulatePipeline(config).exec_seconds;
+}
+
+}  // namespace
+}  // namespace scanraw
+
+int main() {
+  using scanraw::bench::Fmt;
+  std::printf("Figure 7 — chunk size vs execution time (simulated 16-core "
+              "testbed, 2^26 x 64 file)\n\n");
+  scanraw::bench::TablePrinter table(
+      {"chunk rows", "2 workers (s)", "8 workers (s)", "16 workers (s)"});
+  for (uint64_t chunk : scanraw::kChunkSizes) {
+    std::vector<std::string> row{std::to_string(chunk)};
+    for (size_t workers : scanraw::kWorkers) {
+      row.push_back(Fmt("%.1f", scanraw::Measure(chunk, workers)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): small chunks (2^14) pay the per-task "
+      "scheduling overhead —\nworst with few workers; 2^17-2^19 rows per "
+      "chunk is the sweet spot; very large\nchunks lose some overlap while "
+      "filling/draining the pipeline.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 8 — execution time for a sequence of 6 identical queries under
+// speculative loading, buffered loading, load+db processing, and external
+// tables: (a) per-query time, (b) cumulative time. Measured on the REAL
+// pipeline at host scale with an emulated fixed-bandwidth disk; the binary
+// cache holds 1/4 of the file's chunks, as in the paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "datagen/csv_generator.h"
+#include "scanraw/scanraw_manager.h"
+
+namespace scanraw {
+namespace {
+
+constexpr uint64_t kRows = 1 << 17;
+constexpr size_t kColumns = 16;
+constexpr uint64_t kChunkRows = 1 << 13;  // 16 chunks
+constexpr size_t kCacheChunks = 4;        // 1/4 of the chunks
+constexpr int kQueries = 6;
+
+std::vector<double> RunSequence(const std::string& csv, const CsvSpec& spec,
+                                LoadPolicy policy, uint64_t expected_sum) {
+  ScanRawManager::Config config;
+  config.db_path = csv + "." + std::string(LoadPolicyName(policy)) + ".db";
+  config.disk_bandwidth = 30ull << 20;  // make I/O visible on a cached host
+  auto manager = ScanRawManager::Create(config);
+  bench::CheckOk(manager.status(), "create manager");
+  ScanRawOptions options;
+  options.policy = policy;
+  options.num_workers = 4;
+  options.chunk_rows = kChunkRows;
+  options.cache_capacity_chunks = kCacheChunks;
+  bench::CheckOk(
+      (*manager)->RegisterRawFile("t", csv, CsvSchema(spec), options),
+      "register");
+  QuerySpec query;
+  for (size_t c = 0; c < kColumns; ++c) query.sum_columns.push_back(c);
+
+  std::vector<double> times;
+  RealClock clock;
+  for (int q = 0; q < kQueries; ++q) {
+    const int64_t t0 = clock.NowNanos();
+    auto result = (*manager)->Query("t", query);
+    times.push_back(static_cast<double>(clock.NowNanos() - t0) * 1e-9);
+    bench::CheckOk(result.status(), "query");
+    if (result->total_sum != expected_sum) {
+      std::fprintf(stderr, "result mismatch on query %d\n", q + 1);
+      std::exit(1);
+    }
+  }
+  return times;
+}
+
+}  // namespace
+}  // namespace scanraw
+
+int main() {
+  using scanraw::bench::Fmt;
+  const std::string csv = scanraw::bench::TempPath("fig8.csv");
+  scanraw::CsvSpec spec;
+  spec.num_rows = scanraw::kRows;
+  spec.num_columns = scanraw::kColumns;
+  auto info = scanraw::GenerateCsvFile(csv, spec);
+  scanraw::bench::CheckOk(info.status(), "generate csv");
+
+  std::printf("Figure 8 — 6-query sequence (real pipeline, %llu x %zu file, "
+              "16 chunks, cache = 4\nchunks, 30 MB/s emulated disk)\n\n",
+              static_cast<unsigned long long>(scanraw::kRows),
+              scanraw::kColumns);
+
+  struct Series {
+    const char* name;
+    scanraw::LoadPolicy policy;
+    std::vector<double> times;
+  };
+  std::vector<Series> series{
+      {"spec. loading", scanraw::LoadPolicy::kSpeculativeLoading, {}},
+      {"buffer loading", scanraw::LoadPolicy::kBufferedLoading, {}},
+      {"load+db", scanraw::LoadPolicy::kFullLoad, {}},
+      {"external tables", scanraw::LoadPolicy::kExternalTables, {}},
+  };
+  for (auto& s : series) {
+    s.times = scanraw::RunSequence(csv, spec, s.policy, info->total_sum);
+  }
+
+  std::printf("(a) execution time for query i (seconds)\n");
+  scanraw::bench::TablePrinter per_query(
+      {"query", series[0].name, series[1].name, series[2].name,
+       series[3].name});
+  for (int q = 0; q < scanraw::kQueries; ++q) {
+    per_query.AddRow({std::to_string(q + 1), Fmt("%.2f", series[0].times[q]),
+                      Fmt("%.2f", series[1].times[q]),
+                      Fmt("%.2f", series[2].times[q]),
+                      Fmt("%.2f", series[3].times[q])});
+  }
+  per_query.Print();
+
+  std::printf("\n(b) cumulative execution time up to query i (seconds)\n");
+  scanraw::bench::TablePrinter cumulative(
+      {"query", series[0].name, series[1].name, series[2].name,
+       series[3].name});
+  std::vector<double> sums(series.size(), 0.0);
+  for (int q = 0; q < scanraw::kQueries; ++q) {
+    std::vector<std::string> row{std::to_string(q + 1)};
+    for (size_t s = 0; s < series.size(); ++s) {
+      sums[s] += series[s].times[q];
+      row.push_back(Fmt("%.2f", sums[s]));
+    }
+    cumulative.AddRow(std::move(row));
+  }
+  cumulative.Print();
+
+  std::printf(
+      "\nExpected shape (paper): external tables is flat; load+db pays "
+      "everything on query 1\nthen is fastest; buffered loading spreads the "
+      "cost over the first queries;\nspeculative matches external tables on "
+      "query 1, then converges to database speed\nwithin a few queries and "
+      "has the best cumulative time throughout.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 9 — CPU and I/O utilization over processing progress for a
+// 256-column raw file under speculative loading with 8 workers (CPU-bound:
+// CPU utilization reaches 800%). Regenerated from the simulator's event
+// trace: the scheduler alternates READ and WRITE on the exclusive disk,
+// so I/O utilization dips while single chunks are written and returns to
+// 100% when sequential reading resumes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/calibrate.h"
+#include "sim/pipeline_sim.h"
+
+namespace scanraw {
+namespace {
+
+constexpr int kBuckets = 20;
+
+}  // namespace
+}  // namespace scanraw
+
+int main() {
+  using scanraw::bench::Fmt;
+  scanraw::CostModelInput input;
+  input.num_columns = 256;
+  scanraw::SimConfig config;
+  config.num_chunks = 128;
+  config.workers = 8;
+  config.policy = scanraw::LoadPolicy::kSpeculativeLoading;
+  config.costs = scanraw::PaperChunkCosts(input);
+  config.record_trace = true;
+  scanraw::SimResult result = scanraw::SimulatePipeline(config);
+
+  std::printf("Figure 9 — resource utilization, speculative loading, "
+              "256-column file, 8 workers\n(simulated testbed; CPU%% is "
+              "busy workers x 100, max 800)\n\n");
+
+  const double horizon = result.writes_drained_seconds;
+  std::vector<double> cpu(scanraw::kBuckets, 0.0);
+  std::vector<double> io_read(scanraw::kBuckets, 0.0);
+  std::vector<double> io_write(scanraw::kBuckets, 0.0);
+  std::vector<double> weight(scanraw::kBuckets, 0.0);
+  const double bucket_width = horizon / scanraw::kBuckets;
+  for (const auto& s : result.trace) {
+    // Distribute each homogeneous interval over the buckets it overlaps.
+    const int b0 = std::max(
+        0, std::min(scanraw::kBuckets - 1,
+                    static_cast<int>(s.t0 / bucket_width)));
+    const int b1 = std::max(
+        0, std::min(scanraw::kBuckets - 1,
+                    static_cast<int>(s.t1 / bucket_width)));
+    for (int b = b0; b <= b1; ++b) {
+      const double lo = std::max(s.t0, b * bucket_width);
+      const double hi = std::min(s.t1, (b + 1) * bucket_width);
+      const double dt = hi - lo;
+      if (dt <= 0) continue;
+      cpu[b] += dt * s.busy_workers * 100.0;
+      if (s.disk == 1) io_read[b] += dt * 100.0;
+      if (s.disk == 2) io_write[b] += dt * 100.0;
+      weight[b] += dt;
+    }
+  }
+
+  scanraw::bench::TablePrinter table(
+      {"progress %", "CPU %", "I/O %", "read %", "write %"});
+  for (int b = 0; b < scanraw::kBuckets; ++b) {
+    if (weight[b] <= 0) continue;
+    const double c = cpu[b] / weight[b];
+    const double r = io_read[b] / weight[b];
+    const double w = io_write[b] / weight[b];
+    table.AddRow({std::to_string((b + 1) * 100 / scanraw::kBuckets),
+                  Fmt("%.0f", c), Fmt("%.0f", r + w), Fmt("%.0f", r),
+                  Fmt("%.0f", w)});
+  }
+  table.Print();
+  std::printf("\nchunks loaded speculatively by query end: %zu / %zu\n",
+              result.chunks_written_at_exec, config.num_chunks);
+  std::printf(
+      "\nExpected shape (paper): CPU pegged near 800%% (CPU-bound); the "
+      "disk alternates\nbetween reading bursts at 100%% and lower-"
+      "utilization stretches where single chunks\nare written whenever "
+      "READ blocks.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the conversion stages: TOKENIZE and
+// PARSE throughput by column count, chunk serialization, and the BAM-like
+// sequential decoder — the raw numbers behind the Figure 5 cost model.
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/chunk_serde.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "format/parser.h"
+#include "format/tokenizer.h"
+#include "genomics/bam_like.h"
+
+namespace scanraw {
+namespace {
+
+TextChunk MakeCsvChunk(size_t columns, size_t rows) {
+  Random rng(42);
+  std::string data;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (c > 0) data.push_back(',');
+      AppendUint64(&data, rng.NextUint32() & 0x7FFFFFFFu);
+    }
+    data.push_back('\n');
+  }
+  return MakeTextChunk(std::move(data));
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const size_t rows = 4096;
+  TextChunk chunk = MakeCsvChunk(columns, rows);
+  TokenizeOptions opts;
+  opts.schema_fields = columns;
+  for (auto _ : state) {
+    auto map = TokenizeChunk(chunk, opts);
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk.data.size()));
+}
+BENCHMARK(BM_Tokenize)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Parse(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const size_t rows = 4096;
+  TextChunk chunk = MakeCsvChunk(columns, rows);
+  const Schema schema = Schema::AllUint32(columns);
+  TokenizeOptions topts;
+  topts.schema_fields = columns;
+  auto map = TokenizeChunk(chunk, topts);
+  for (auto _ : state) {
+    auto parsed = ParseChunk(chunk, *map, schema, ParseOptions{});
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * columns));
+}
+BENCHMARK(BM_Parse)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SelectiveParse(benchmark::State& state) {
+  const size_t columns = 64;
+  const size_t projected = static_cast<size_t>(state.range(0));
+  TextChunk chunk = MakeCsvChunk(columns, 4096);
+  const Schema schema = Schema::AllUint32(columns);
+  TokenizeOptions topts;
+  topts.schema_fields = columns;
+  auto map = TokenizeChunk(chunk, topts);
+  ParseOptions popts;
+  for (size_t c = 0; c < projected; ++c) popts.projected_columns.push_back(c);
+  for (auto _ : state) {
+    auto parsed = ParseChunk(chunk, *map, schema, popts);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_SelectiveParse)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ChunkSerde(benchmark::State& state) {
+  TextChunk text = MakeCsvChunk(16, 4096);
+  const Schema schema = Schema::AllUint32(16);
+  TokenizeOptions topts;
+  topts.schema_fields = 16;
+  auto map = TokenizeChunk(text, topts);
+  auto chunk = ParseChunk(text, *map, schema, ParseOptions{});
+  for (auto _ : state) {
+    std::string blob;
+    (void)SerializeChunk(*chunk, &blob);
+    auto back = DeserializeChunk(blob);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_ChunkSerde);
+
+void BM_BamDecode(benchmark::State& state) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                     "/scanraw_micro.bam";
+  SamGenSpec spec;
+  spec.num_reads = 4096;
+  (void)GenerateBamFile(path, spec);
+  for (auto _ : state) {
+    auto reader = BamReader::Open(path);
+    SamRecord record;
+    uint64_t count = 0;
+    while (true) {
+      auto more = (*reader)->NextRecord(&record);
+      if (!more.ok() || !*more) break;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_BamDecode);
+
+}  // namespace
+}  // namespace scanraw
+
+BENCHMARK_MAIN();

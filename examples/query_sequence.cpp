@@ -1,0 +1,104 @@
+// Loading-policy comparison over a query sequence — a miniature of the
+// paper's Figure 8. Runs the same aggregate query six times under each
+// WRITE scheduling policy and prints per-query times, cumulative times, and
+// how much of the file each policy loaded.
+//
+//   ./query_sequence [rows]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "datagen/csv_generator.h"
+#include "scanraw/scanraw_manager.h"
+
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scanraw;
+
+  CsvSpec spec;
+  spec.num_rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 131072;
+  spec.num_columns = 16;
+  const std::string csv = TempPath("sequence.csv");
+  auto info = GenerateCsvFile(csv, spec);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kQueries = 6;
+  const LoadPolicy policies[] = {
+      LoadPolicy::kSpeculativeLoading, LoadPolicy::kBufferedLoading,
+      LoadPolicy::kInvisibleLoading, LoadPolicy::kFullLoad,
+      LoadPolicy::kExternalTables};
+
+  std::printf("%llu x %zu CSV, 16 chunks, cache = 4 chunks, 30 MB/s "
+              "emulated disk, %d queries\n\n",
+              static_cast<unsigned long long>(spec.num_rows),
+              spec.num_columns, kQueries);
+  std::printf("%-22s", "policy");
+  for (int q = 1; q <= kQueries; ++q) std::printf("   q%d", q);
+  std::printf("   total  loaded\n");
+
+  for (LoadPolicy policy : policies) {
+    ScanRawManager::Config config;
+    config.db_path =
+        TempPath("sequence_" + std::string(LoadPolicyName(policy)) + ".db");
+    config.disk_bandwidth = 30ull << 20;
+    auto manager = ScanRawManager::Create(config);
+    if (!manager.ok()) {
+      std::fprintf(stderr, "%s\n", manager.status().ToString().c_str());
+      return 1;
+    }
+    ScanRawOptions options;
+    options.policy = policy;
+    options.num_workers = 4;
+    options.chunk_rows = spec.num_rows / 16 + 1;
+    options.cache_capacity_chunks = 4;
+    Status s =
+        (*manager)->RegisterRawFile("t", csv, CsvSchema(spec), options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    QuerySpec query;
+    for (size_t c = 0; c < spec.num_columns; ++c) {
+      query.sum_columns.push_back(c);
+    }
+
+    RealClock clock;
+    double total = 0;
+    std::printf("%-22s", std::string(LoadPolicyName(policy)).c_str());
+    for (int q = 0; q < kQueries; ++q) {
+      const int64_t t0 = clock.NowNanos();
+      auto result = (*manager)->Query("t", query);
+      const double elapsed =
+          static_cast<double>(clock.NowNanos() - t0) * 1e-9;
+      if (!result.ok() || result->total_sum != info->total_sum) {
+        std::fprintf(stderr, "query failed or wrong result\n");
+        return 1;
+      }
+      total += elapsed;
+      std::printf("%5.2f", elapsed);
+    }
+    ScanRaw* op = (*manager)->GetOperator("t");
+    if (op != nullptr) op->WaitForWrites();
+    std::printf("%8.2f%7.0f%%\n", total,
+                100.0 * (*manager)->catalog()->GetTable("t")->LoadedFraction());
+  }
+  std::printf(
+      "\nSpeculative loading starts as fast as external tables and "
+      "converges to database\nspeed; the synchronous policies pay for "
+      "loading inside query time.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Quickstart: query a raw CSV file through ScanRaw with zero load time.
+//
+// The first query runs straight off the raw file (instant access, like an
+// external table); speculative loading stores converted chunks in the
+// database whenever the disk is idle, so repeated queries get faster until
+// they run at database speed — without ever paying an explicit load step.
+//
+//   ./quickstart [rows] [columns]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/clock.h"
+#include "datagen/csv_generator.h"
+#include "scanraw/scanraw_manager.h"
+
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scanraw;
+
+  // 1. Create (or point at) a raw file. Here: a synthetic CSV.
+  CsvSpec data_spec;
+  data_spec.num_rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  data_spec.num_columns = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+  const std::string csv_path = TempPath("quickstart.csv");
+  auto file_info = GenerateCsvFile(csv_path, data_spec);
+  if (!file_info.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 file_info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("raw file: %s (%llu rows x %zu columns, %.1f MB)\n",
+              csv_path.c_str(),
+              static_cast<unsigned long long>(file_info->num_rows),
+              file_info->num_columns, file_info->file_bytes / 1048576.0);
+
+  // 2. Bring up the engine: one database file, one emulated 100 MB/s disk
+  //    shared by raw reads and database I/O.
+  ScanRawManager::Config config;
+  config.db_path = TempPath("quickstart.db");
+  config.disk_bandwidth = 100ull << 20;
+  auto manager = ScanRawManager::Create(config);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "create: %s\n", manager.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Register the raw file as a table. Nothing is read yet.
+  ScanRawOptions options;  // speculative loading is the default policy
+  options.num_workers = 4;
+  options.chunk_rows = data_spec.num_rows / 16 + 1;
+  options.cache_capacity_chunks = 4;
+  Status s = (*manager)->RegisterRawFile("events", csv_path,
+                                         CsvSchema(data_spec), options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Query it — SELECT SUM(C0 + C1 + ... ) FROM events.
+  QuerySpec query;
+  for (size_t c = 0; c < data_spec.num_columns; ++c) {
+    query.sum_columns.push_back(c);
+  }
+
+  RealClock clock;
+  std::printf("\n%-8s%-12s%-18s%s\n", "query", "time (s)", "result",
+              "fraction loaded");
+  for (int q = 1; q <= 5; ++q) {
+    const int64_t t0 = clock.NowNanos();
+    auto result = (*manager)->Query("events", query);
+    const double elapsed = static_cast<double>(clock.NowNanos() - t0) * 1e-9;
+    if (!result.ok()) {
+      std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (result->total_sum != file_info->total_sum) {
+      std::fprintf(stderr, "wrong answer!\n");
+      return 1;
+    }
+    // Loading progress so far (background writes may still be draining).
+    ScanRaw* op = (*manager)->GetOperator("events");
+    if (op != nullptr) op->WaitForWrites();
+    auto meta = (*manager)->catalog()->GetTable("events");
+    std::printf("%-8d%-12.3f%-18llu%.0f%%%s\n", q, elapsed,
+                static_cast<unsigned long long>(result->total_sum),
+                100.0 * meta->LoadedFraction(),
+                (*manager)->IsRetired("events")
+                    ? "  (operator retired: pure database scan)"
+                    : "");
+  }
+  std::printf(
+      "\nEvery query returned the same answer; the raw file was loaded "
+      "incrementally on\nidle disk time, and once fully loaded the ScanRaw "
+      "operator retired itself.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Serialization of BinaryChunks to and from the database storage format:
+// each column is written as a contiguous page image that can be memory-mapped
+// back into the in-memory array representation (§3.1: "each column is
+// assigned an independent set of pages which can be directly mapped into the
+// in-memory array representation").
+#ifndef SCANRAW_COLUMNAR_CHUNK_SERDE_H_
+#define SCANRAW_COLUMNAR_CHUNK_SERDE_H_
+
+#include <string>
+
+#include "columnar/binary_chunk.h"
+#include "common/result.h"
+
+namespace scanraw {
+
+// Per-column storage encodings. kVarintDelta applies zigzag-varint delta
+// coding to integer columns — close to free on random data, and several
+// times smaller on clustered data (pairs with the §3.3 sorted-write
+// option). Doubles and strings always use kRawBytes.
+enum class ColumnEncoding : uint8_t {
+  kRawBytes = 0,
+  kVarintDelta = 1,
+};
+
+// Serializes the whole chunk (header + one page image per column) into
+// `out`. The encoding is self-describing and checksummed. With `compress`
+// set, integer columns use kVarintDelta.
+Status SerializeChunk(const BinaryChunk& chunk, std::string* out,
+                      bool compress = false);
+
+// Inverse of SerializeChunk. Returns Corruption on checksum or framing
+// mismatch. `data` must contain exactly one serialized chunk.
+Result<BinaryChunk> DeserializeChunk(std::string_view data);
+
+// FNV-1a 64-bit, used for page checksums.
+uint64_t Fnv1aHash(std::string_view data);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COLUMNAR_CHUNK_SERDE_H_

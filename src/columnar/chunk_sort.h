@@ -1,0 +1,33 @@
+// Chunk reordering: WRITE can sort the rows of each chunk on a clustering
+// column before loading (§3.3: "WRITE can sort data in each chunk prior to
+// loading"), so that values inside the stored pages are clustered for
+// future range scans.
+#ifndef SCANRAW_COLUMNAR_CHUNK_SORT_H_
+#define SCANRAW_COLUMNAR_CHUNK_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/binary_chunk.h"
+#include "common/result.h"
+
+namespace scanraw {
+
+// Reorders a column by `permutation` (new_row i takes old row
+// permutation[i]). The permutation must be a bijection over [0, size).
+ColumnVector GatherColumn(const ColumnVector& column,
+                          const std::vector<uint32_t>& permutation);
+
+// Returns the row permutation that sorts `chunk` ascending by `column`
+// (numeric: by value; string: lexicographic). Stable.
+Result<std::vector<uint32_t>> SortPermutation(const BinaryChunk& chunk,
+                                              size_t column);
+
+// Returns a copy of `chunk` with every column reordered so that `column`
+// is ascending.
+Result<BinaryChunk> SortChunkByColumn(const BinaryChunk& chunk,
+                                      size_t column);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COLUMNAR_CHUNK_SORT_H_

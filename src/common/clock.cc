@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace scanraw {
+
+RealClock* RealClock::Instance() {
+  static RealClock* const kInstance = new RealClock();
+  return kInstance;
+}
+
+}  // namespace scanraw

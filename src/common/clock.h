@@ -1,0 +1,48 @@
+// Clock abstraction: the real pipeline uses the monotonic clock; the
+// discrete-event simulator and the deterministic tests drive a virtual clock.
+#ifndef SCANRAW_COMMON_CLOCK_H_
+#define SCANRAW_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace scanraw {
+
+// Clock interface reporting time in nanoseconds since an arbitrary origin.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+  double NowSeconds() const { return static_cast<double>(NowNanos()) * 1e-9; }
+};
+
+// Monotonic wall clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Process-wide instance; clocks are stateless so sharing is safe.
+  static RealClock* Instance();
+};
+
+// Manually advanced clock for simulation and tests.
+class VirtualClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_nanos_; }
+  void AdvanceNanos(int64_t delta) { now_nanos_ += delta; }
+  void AdvanceSeconds(double s) {
+    now_nanos_ += static_cast<int64_t>(s * 1e9);
+  }
+  void SetNanos(int64_t t) { now_nanos_ = t; }
+
+ private:
+  int64_t now_nanos_ = 0;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COMMON_CLOCK_H_

@@ -1,0 +1,58 @@
+// Fast, seedable PRNG (xoshiro256**) used by the data generators and the
+// property tests. Deterministic for a given seed on all platforms, unlike
+// std::default_random_engine.
+#ifndef SCANRAW_COMMON_RANDOM_H_
+#define SCANRAW_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace scanraw {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to spread low-entropy seeds over the full state.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+      w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+      s = w ^ (w >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t NextUint32() { return static_cast<uint32_t>(NextUint64() >> 32); }
+
+  // Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return NextUint64() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COMMON_RANDOM_H_

@@ -1,0 +1,63 @@
+// Result<T>: a value-or-Status holder, the library's exception-free analogue
+// of absl::StatusOr<T>.
+#ifndef SCANRAW_COMMON_RESULT_H_
+#define SCANRAW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace scanraw {
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` directly, matching StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+    if (status_.ok()) status_ = Status::Internal("OK Result without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+// Propagates the error of a Result-returning expression, otherwise assigns
+// the unwrapped value to `lhs` (which must already be declared).
+#define SCANRAW_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                               \
+    auto _res = (expr);                              \
+    if (!_res.ok()) return _res.status();            \
+    lhs = std::move(_res).value();                   \
+  } while (0)
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COMMON_RESULT_H_

@@ -1,0 +1,117 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// LevelDB/RocksDB. Every fallible operation in the library returns a Status
+// (or a Result<T>, see result.h) instead of throwing.
+#ifndef SCANRAW_COMMON_STATUS_H_
+#define SCANRAW_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scanraw {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kCorruption = 4,
+  kAlreadyExists = 5,
+  kOutOfRange = 6,
+  kResourceExhausted = 7,
+  kAborted = 8,
+  kUnimplemented = 9,
+  kInternal = 10,
+};
+
+// Returns a stable human-readable name, e.g. "IoError".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Creates an OK status. The common case allocates nothing.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  // "OK" or "IoError: <message>".
+  std::string ToString() const;
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null means OK
+};
+
+// Propagates a non-OK status to the caller.
+#define SCANRAW_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::scanraw::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+// Synthetic CSV suite generator (§5.1): N rows of K uint32 columns, values
+// uniform below 2^31, modeled on the NoDB / invisible-loading datasets.
+#ifndef SCANRAW_DATAGEN_CSV_GENERATOR_H_
+#define SCANRAW_DATAGEN_CSV_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "format/schema.h"
+
+namespace scanraw {
+
+struct CsvSpec {
+  uint64_t num_rows = 0;
+  size_t num_columns = 0;
+  char delimiter = ',';
+  uint64_t seed = 1;
+  // Values are uniform in [0, max_value).
+  uint32_t max_value = 1u << 31;
+};
+
+struct CsvFileInfo {
+  uint64_t num_rows = 0;
+  size_t num_columns = 0;
+  uint64_t file_bytes = 0;
+  // Sum over every value in the file (mod 2^64) — ground truth for the
+  // micro-benchmark query.
+  uint64_t total_sum = 0;
+  // Per-column sums, same ground-truth role for projections.
+  std::vector<uint64_t> column_sums;
+};
+
+// Writes the file and returns ground-truth aggregates for validation.
+Result<CsvFileInfo> GenerateCsvFile(const std::string& path,
+                                    const CsvSpec& spec);
+
+// Schema matching a generated file.
+Schema CsvSchema(const CsvSpec& spec);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DATAGEN_CSV_GENERATOR_H_

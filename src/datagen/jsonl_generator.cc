@@ -1,0 +1,56 @@
+#include "datagen/jsonl_generator.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "io/file.h"
+
+namespace scanraw {
+
+Result<CsvFileInfo> GenerateJsonlFile(const std::string& path,
+                                      const CsvSpec& spec) {
+  if (spec.num_columns == 0) {
+    return Status::InvalidArgument("num_columns must be > 0");
+  }
+  if (spec.max_value == 0) {
+    return Status::InvalidArgument("max_value must be > 0");
+  }
+  auto file = WritableFile::Create(path);
+  if (!file.ok()) return file.status();
+
+  const Schema schema = CsvSchema(spec);
+  Random rng(spec.seed);
+  CsvFileInfo info;
+  info.num_rows = spec.num_rows;
+  info.num_columns = spec.num_columns;
+  info.column_sums.assign(spec.num_columns, 0);
+
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  for (uint64_t r = 0; r < spec.num_rows; ++r) {
+    buffer.push_back('{');
+    for (size_t c = 0; c < spec.num_columns; ++c) {
+      if (c > 0) buffer.push_back(',');
+      buffer.push_back('"');
+      buffer += schema.column(c).name;
+      buffer += "\":";
+      const uint32_t v =
+          static_cast<uint32_t>(rng.NextUint32() % spec.max_value);
+      info.total_sum += v;
+      info.column_sums[c] += v;
+      AppendUint64(&buffer, v);
+    }
+    buffer += "}\n";
+    if (buffer.size() >= (1 << 20) - 8192) {
+      SCANRAW_RETURN_IF_ERROR((*file)->Append(buffer));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    SCANRAW_RETURN_IF_ERROR((*file)->Append(buffer));
+  }
+  info.file_bytes = (*file)->bytes_written();
+  SCANRAW_RETURN_IF_ERROR((*file)->Close());
+  return info;
+}
+
+}  // namespace scanraw

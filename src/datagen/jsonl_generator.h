@@ -1,0 +1,20 @@
+// JSON-lines twin of the CSV generator: same value stream and ground-truth
+// aggregates for a given CsvSpec, encoded as one flat JSON object per line
+// ({"C0":123,"C1":456,...}). Used to exercise the JSON TOKENIZE worker.
+#ifndef SCANRAW_DATAGEN_JSONL_GENERATOR_H_
+#define SCANRAW_DATAGEN_JSONL_GENERATOR_H_
+
+#include <string>
+
+#include "datagen/csv_generator.h"
+
+namespace scanraw {
+
+// Writes the JSONL file and returns the same ground truth GenerateCsvFile
+// would for this spec (values depend only on spec.seed).
+Result<CsvFileInfo> GenerateJsonlFile(const std::string& path,
+                                      const CsvSpec& spec);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DATAGEN_JSONL_GENERATOR_H_

@@ -1,0 +1,122 @@
+// Catalog: metadata the database keeps about raw files and their (partially)
+// loaded chunks — raw offsets, row counts, per-column min/max statistics,
+// and the storage location of every loaded column set (§3.3: "statistics
+// include the position in the raw file where each chunk starts and the
+// minimum/maximum value corresponding to each attribute in every chunk").
+#ifndef SCANRAW_DB_CATALOG_H_
+#define SCANRAW_DB_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/schema.h"
+
+namespace scanraw {
+
+// Location of a serialized page blob inside the database file.
+struct PageRef {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+// Min/max statistic for one numeric column of one chunk.
+struct ColumnStats {
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+};
+
+// One blob written by WRITE: a column subset of a chunk.
+struct StoredSegment {
+  PageRef page;
+  std::vector<size_t> columns;
+};
+
+struct ChunkMetadata {
+  uint64_t chunk_index = 0;
+  uint64_t raw_offset = 0;   // byte offset of the chunk in the raw file
+  uint64_t raw_size = 0;     // byte length of the chunk in the raw file
+  uint64_t num_rows = 0;
+  std::map<size_t, ColumnStats> stats;   // numeric columns only
+  std::vector<StoredSegment> segments;   // loaded column sets, in load order
+  std::set<size_t> loaded_columns;       // union of segment columns
+
+  bool HasColumnsLoaded(const std::vector<size_t>& cols) const {
+    for (size_t c : cols) {
+      if (!loaded_columns.count(c)) return false;
+    }
+    return true;
+  }
+
+  // True when min/max statistics prove no row of this chunk can satisfy
+  // value-in-[lo,hi] on `column`. Unknown stats => cannot skip.
+  bool CanSkipForRange(size_t column, int64_t lo, int64_t hi) const {
+    auto it = stats.find(column);
+    if (it == stats.end()) return false;
+    return it->second.max_value < lo || it->second.min_value > hi;
+  }
+};
+
+struct TableMetadata {
+  std::string name;
+  std::string raw_path;
+  Schema schema;
+  uint64_t target_chunk_rows = 0;
+  // True once an initial full scan established the chunk layout below.
+  bool layout_known = false;
+  std::vector<ChunkMetadata> chunks;
+
+  uint64_t num_chunks() const { return chunks.size(); }
+
+  // True when every column of every chunk is loaded (the raw file is no
+  // longer needed and the ScanRaw operator can be retired, §3.3).
+  bool FullyLoaded() const;
+
+  // Fraction of (chunk, column) pairs loaded, in [0, 1].
+  double LoadedFraction() const;
+};
+
+// Thread-safe registry of tables. All accessors copy out metadata so callers
+// never hold references into the locked structures.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name, const std::string& raw_path,
+                     const Schema& schema, uint64_t target_chunk_rows);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  Result<TableMetadata> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // Records the chunk layout discovered by the first raw-file scan.
+  Status SetChunkLayout(const std::string& name,
+                        std::vector<ChunkMetadata> chunks);
+
+  // Incremental layout discovery: appends one chunk (its index must equal
+  // the current chunk count) while the first sequential scan is running,
+  // then MarkLayoutComplete seals the layout. Lets WRITE record segments
+  // for early chunks before the scan has reached the end of the file.
+  Status AppendChunk(const std::string& name, const ChunkMetadata& chunk);
+  Status MarkLayoutComplete(const std::string& name);
+
+  // Adds one stored segment (and merges statistics) for a chunk.
+  Status RecordSegment(const std::string& name, uint64_t chunk_index,
+                       const StoredSegment& segment,
+                       const std::map<size_t, ColumnStats>& stats);
+
+  // Persistence (simple line-oriented text format).
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TableMetadata> tables_;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DB_CATALOG_H_

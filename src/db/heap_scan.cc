@@ -1,0 +1,32 @@
+#include "db/heap_scan.h"
+
+namespace scanraw {
+
+HeapScan::HeapScan(const TableMetadata& table, const StorageManager* storage,
+                   std::vector<size_t> columns)
+    : table_(table), storage_(storage), columns_(std::move(columns)) {}
+
+void HeapScan::SetRangeFilter(size_t column, int64_t lo, int64_t hi) {
+  has_filter_ = true;
+  filter_column_ = column;
+  filter_lo_ = lo;
+  filter_hi_ = hi;
+}
+
+Result<std::optional<BinaryChunk>> HeapScan::Next() {
+  while (next_chunk_ < table_.chunks.size()) {
+    const ChunkMetadata& meta = table_.chunks[next_chunk_++];
+    if (!meta.HasColumnsLoaded(columns_)) continue;
+    if (has_filter_ &&
+        meta.CanSkipForRange(filter_column_, filter_lo_, filter_hi_)) {
+      ++chunks_skipped_;
+      continue;
+    }
+    auto chunk = storage_->ReadChunkColumns(meta, columns_);
+    if (!chunk.ok()) return chunk.status();
+    return std::optional<BinaryChunk>(std::move(*chunk));
+  }
+  return std::optional<BinaryChunk>();
+}
+
+}  // namespace scanraw

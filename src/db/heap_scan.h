@@ -1,0 +1,49 @@
+// HeapScan: the standard database scan over loaded binary chunks (§3.3:
+// "SCANRAW morphs into heap scan as data are loaded in the database").
+// ScanRaw delegates to this for chunks whose required columns are loaded;
+// once the whole table is loaded, queries run purely through HeapScan.
+#ifndef SCANRAW_DB_HEAP_SCAN_H_
+#define SCANRAW_DB_HEAP_SCAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "columnar/binary_chunk.h"
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/storage_manager.h"
+
+namespace scanraw {
+
+class HeapScan {
+ public:
+  // Scans the chunks of `table` whose `columns` are loaded. An optional
+  // range filter enables statistics-based chunk skipping.
+  HeapScan(const TableMetadata& table, const StorageManager* storage,
+           std::vector<size_t> columns);
+
+  // Skip chunks whose min/max statistics prove `column` has no value in
+  // [lo, hi].
+  void SetRangeFilter(size_t column, int64_t lo, int64_t hi);
+
+  // Returns the next chunk, or std::nullopt when exhausted.
+  Result<std::optional<BinaryChunk>> Next();
+
+  // Chunks skipped thanks to statistics (for tests and EXPLAIN-style output).
+  uint64_t chunks_skipped() const { return chunks_skipped_; }
+
+ private:
+  TableMetadata table_;
+  const StorageManager* storage_;
+  std::vector<size_t> columns_;
+  size_t next_chunk_ = 0;
+  uint64_t chunks_skipped_ = 0;
+  bool has_filter_ = false;
+  size_t filter_column_ = 0;
+  int64_t filter_lo_ = 0;
+  int64_t filter_hi_ = 0;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DB_HEAP_SCAN_H_

@@ -1,0 +1,59 @@
+#include "db/statistics.h"
+
+#include <algorithm>
+
+namespace scanraw {
+
+std::map<size_t, ColumnStats> ComputeChunkStats(const BinaryChunk& chunk) {
+  std::map<size_t, ColumnStats> stats;
+  if (chunk.num_rows() == 0) return stats;
+  for (size_t col : chunk.ColumnIds()) {
+    const ColumnVector& vec = chunk.column(col);
+    ColumnStats st;
+    switch (vec.type()) {
+      case FieldType::kUint32: {
+        auto values = vec.AsUint32();
+        const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+        st.min_value = *lo;
+        st.max_value = *hi;
+        break;
+      }
+      case FieldType::kInt64: {
+        auto values = vec.AsInt64();
+        const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+        st.min_value = *lo;
+        st.max_value = *hi;
+        break;
+      }
+      case FieldType::kDouble: {
+        auto values = vec.AsDouble();
+        const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+        st.min_value = static_cast<int64_t>(*lo);
+        st.max_value = static_cast<int64_t>(*hi);
+        break;
+      }
+      case FieldType::kString:
+        continue;
+    }
+    stats[col] = st;
+  }
+  return stats;
+}
+
+uint64_t EstimateRangeCardinality(const ChunkMetadata& chunk, size_t column,
+                                  int64_t lo, int64_t hi) {
+  auto it = chunk.stats.find(column);
+  if (it == chunk.stats.end()) return chunk.num_rows;
+  const ColumnStats& st = it->second;
+  if (hi < st.min_value || lo > st.max_value) return 0;
+  const double width =
+      static_cast<double>(st.max_value - st.min_value) + 1.0;
+  const double overlap =
+      static_cast<double>(std::min(hi, st.max_value) -
+                          std::max(lo, st.min_value)) +
+      1.0;
+  return static_cast<uint64_t>(static_cast<double>(chunk.num_rows) *
+                               (overlap / width));
+}
+
+}  // namespace scanraw

@@ -1,0 +1,26 @@
+// Statistics collection performed "while data are converted in the database
+// representation" (§3.3). Min/max per numeric column feed chunk skipping and
+// cardinality estimation.
+#ifndef SCANRAW_DB_STATISTICS_H_
+#define SCANRAW_DB_STATISTICS_H_
+
+#include <map>
+
+#include "columnar/binary_chunk.h"
+#include "db/catalog.h"
+
+namespace scanraw {
+
+// Computes min/max for every numeric column present in the chunk. String
+// columns are skipped. Zero-row chunks produce no entries.
+std::map<size_t, ColumnStats> ComputeChunkStats(const BinaryChunk& chunk);
+
+// Simple equi-width cardinality estimate for `value in [lo, hi]` on one
+// chunk, assuming a uniform distribution between the recorded min and max.
+// Returns num_rows when no statistic is available (conservative).
+uint64_t EstimateRangeCardinality(const ChunkMetadata& chunk, size_t column,
+                                  int64_t lo, int64_t hi);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DB_STATISTICS_H_

@@ -1,0 +1,118 @@
+#include "db/storage_manager.h"
+
+#include "columnar/chunk_serde.h"
+#include "common/string_util.h"
+
+namespace scanraw {
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Create(
+    const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  auto writer = WritableFile::Create(path, limiter, stats);
+  if (!writer.ok()) return writer.status();
+  return std::unique_ptr<StorageManager>(
+      new StorageManager(path, std::move(*writer), limiter, stats));
+}
+
+Result<std::unique_ptr<StorageManager>> StorageManager::OpenExisting(
+    const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  auto writer = WritableFile::OpenForAppend(path, limiter, stats);
+  if (!writer.ok()) return writer.status();
+  auto manager = std::unique_ptr<StorageManager>(
+      new StorageManager(path, std::move(*writer), limiter, stats));
+  manager->next_offset_ = manager->writer_->bytes_written();
+  return manager;
+}
+
+StorageManager::StorageManager(std::string path,
+                               std::unique_ptr<WritableFile> writer,
+                               RateLimiter* limiter, IoStats* stats)
+    : path_(std::move(path)),
+      limiter_(limiter),
+      stats_(stats),
+      writer_(std::move(writer)) {}
+
+Result<StoredSegment> StorageManager::WriteSegment(
+    const BinaryChunk& chunk, const std::vector<size_t>& columns) {
+  BinaryChunk subset(chunk.chunk_index());
+  subset.set_num_rows(chunk.num_rows());
+  for (size_t col : columns) {
+    if (!chunk.HasColumn(col)) {
+      return Status::InvalidArgument(
+          StringPrintf("chunk lacks column %zu", col));
+    }
+    SCANRAW_RETURN_IF_ERROR(subset.AddColumn(col, chunk.column(col)));
+  }
+  std::string blob;
+  SCANRAW_RETURN_IF_ERROR(
+      SerializeChunk(subset, &blob, compress_.load(std::memory_order_relaxed)));
+
+  std::lock_guard<std::mutex> lock(write_mu_);
+  StoredSegment segment;
+  segment.page.offset = next_offset_;
+  segment.page.size = blob.size();
+  segment.columns = columns;
+  SCANRAW_RETURN_IF_ERROR(writer_->Append(blob));
+  next_offset_ += blob.size();
+  return segment;
+}
+
+Result<StoredSegment> StorageManager::WriteChunk(const BinaryChunk& chunk) {
+  return WriteSegment(chunk, chunk.ColumnIds());
+}
+
+Result<BinaryChunk> StorageManager::ReadSegment(const PageRef& page) const {
+  {
+    std::lock_guard<std::mutex> lock(reader_mu_);
+    if (reader_ == nullptr) {
+      auto reader = RandomAccessFile::Open(path_, limiter_, stats_);
+      if (!reader.ok()) return reader.status();
+      reader_ = std::move(*reader);
+    }
+  }
+  std::string blob(page.size, '\0');
+  auto n = reader_->ReadAt(page.offset, page.size, blob.data());
+  if (!n.ok()) return n.status();
+  if (*n != page.size) {
+    return Status::Corruption(StringPrintf(
+        "short read of segment at %llu: got %zu of %llu bytes",
+        static_cast<unsigned long long>(page.offset), *n,
+        static_cast<unsigned long long>(page.size)));
+  }
+  return DeserializeChunk(blob);
+}
+
+Result<BinaryChunk> StorageManager::ReadChunkColumns(
+    const ChunkMetadata& chunk_meta, const std::vector<size_t>& columns) const {
+  if (!chunk_meta.HasColumnsLoaded(columns)) {
+    return Status::NotFound(StringPrintf(
+        "chunk %llu does not have all requested columns loaded",
+        static_cast<unsigned long long>(chunk_meta.chunk_index)));
+  }
+  BinaryChunk merged(chunk_meta.chunk_index);
+  std::set<size_t> needed(columns.begin(), columns.end());
+  for (const StoredSegment& seg : chunk_meta.segments) {
+    if (needed.empty()) break;
+    bool relevant = false;
+    for (size_t c : seg.columns) {
+      if (needed.count(c)) {
+        relevant = true;
+        break;
+      }
+    }
+    if (!relevant) continue;
+    auto part = ReadSegment(seg.page);
+    if (!part.ok()) return part.status();
+    SCANRAW_RETURN_IF_ERROR(merged.MergeColumnsFrom(*part));
+    for (size_t c : seg.columns) needed.erase(c);
+  }
+  // Segments may carry extra columns beyond the requested set; they are kept
+  // since callers address columns by id.
+  return merged;
+}
+
+uint64_t StorageManager::bytes_written() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return next_offset_;
+}
+
+}  // namespace scanraw

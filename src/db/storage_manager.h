@@ -1,0 +1,83 @@
+// StorageManager: the database's binary storage. WRITE appends serialized
+// column pages here; heap scan and ScanRaw read loaded chunks back without
+// tokenizing or parsing. Appends are serialized internally; reads use pread
+// and may run concurrently with appends.
+#ifndef SCANRAW_DB_STORAGE_MANAGER_H_
+#define SCANRAW_DB_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "columnar/binary_chunk.h"
+#include "common/result.h"
+#include "db/catalog.h"
+#include "io/file.h"
+
+namespace scanraw {
+
+class RateLimiter;
+
+class StorageManager {
+ public:
+  // Creates (or truncates) the database file at `path`. The optional rate
+  // limiter emulates a fixed-bandwidth device shared with the raw file.
+  static Result<std::unique_ptr<StorageManager>> Create(
+      const std::string& path, RateLimiter* limiter = nullptr,
+      IoStats* stats = nullptr);
+
+  // Reopens an existing database file for appending; previously written
+  // segments stay readable at their recorded PageRefs (restart recovery —
+  // pair with Catalog::LoadFromFile).
+  static Result<std::unique_ptr<StorageManager>> OpenExisting(
+      const std::string& path, RateLimiter* limiter = nullptr,
+      IoStats* stats = nullptr);
+
+  // Appends the given columns of `chunk` as one segment; returns its
+  // location for the catalog. Thread-safe.
+  Result<StoredSegment> WriteSegment(const BinaryChunk& chunk,
+                                     const std::vector<size_t>& columns);
+
+  // Appends every column present in the chunk.
+  Result<StoredSegment> WriteChunk(const BinaryChunk& chunk);
+
+  // Delta-compress integer columns of future segments (reading handles
+  // both encodings transparently). Pairs well with sorted writes.
+  void SetCompression(bool enabled) { compress_ = enabled; }
+  bool compression() const { return compress_; }
+
+  // Reads one segment back. Thread-safe; may run concurrently with writes.
+  Result<BinaryChunk> ReadSegment(const PageRef& page) const;
+
+  // Reads and merges as many stored segments of `chunk_meta` as needed to
+  // cover `columns` (earliest segments first). Fails with NotFound if some
+  // column is not loaded.
+  Result<BinaryChunk> ReadChunkColumns(const ChunkMetadata& chunk_meta,
+                                       const std::vector<size_t>& columns) const;
+
+  uint64_t bytes_written() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  StorageManager(std::string path, std::unique_ptr<WritableFile> writer,
+                 RateLimiter* limiter, IoStats* stats);
+
+  const std::string path_;
+  RateLimiter* limiter_;
+  IoStats* stats_;
+
+  std::atomic<bool> compress_{false};
+
+  mutable std::mutex write_mu_;
+  std::unique_ptr<WritableFile> writer_;
+  uint64_t next_offset_ = 0;
+
+  mutable std::mutex reader_mu_;
+  mutable std::unique_ptr<RandomAccessFile> reader_;  // lazily opened
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DB_STORAGE_MANAGER_H_

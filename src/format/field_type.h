@@ -1,0 +1,39 @@
+// Field types supported by the extraction pipeline and the mini database.
+#ifndef SCANRAW_FORMAT_FIELD_TYPE_H_
+#define SCANRAW_FORMAT_FIELD_TYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace scanraw {
+
+enum class FieldType : uint8_t {
+  kUint32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+// Width of the fixed-size binary representation; 0 for variable-length.
+constexpr size_t FixedWidth(FieldType type) {
+  switch (type) {
+    case FieldType::kUint32:
+      return 4;
+    case FieldType::kInt64:
+      return 8;
+    case FieldType::kDouble:
+      return 8;
+    case FieldType::kString:
+      return 0;
+  }
+  return 0;
+}
+
+constexpr bool IsFixedWidth(FieldType type) { return FixedWidth(type) != 0; }
+
+std::string_view FieldTypeName(FieldType type);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_FORMAT_FIELD_TYPE_H_

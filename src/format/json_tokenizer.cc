@@ -1,0 +1,149 @@
+#include "format/json_tokenizer.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace scanraw {
+
+namespace {
+
+// Cursor over one JSON line.
+struct Cursor {
+  const char* data;
+  uint32_t pos;
+  uint32_t end;
+
+  bool AtEnd() const { return pos >= end; }
+  char Peek() const { return data[pos]; }
+  void SkipSpace() {
+    while (pos < end && (data[pos] == ' ' || data[pos] == '\t')) ++pos;
+  }
+};
+
+Status RowError(const TextChunk& chunk, size_t row, const char* what) {
+  return Status::Corruption(StringPrintf(
+      "chunk %llu row %zu: %s",
+      static_cast<unsigned long long>(chunk.chunk_index), row, what));
+}
+
+}  // namespace
+
+Result<PositionalMap> TokenizeJsonChunk(const TextChunk& chunk,
+                                        const Schema& schema) {
+  const size_t fields = schema.num_columns();
+  if (fields == 0) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  std::map<std::string_view, size_t> columns_by_name;
+  for (size_t c = 0; c < fields; ++c) {
+    columns_by_name.emplace(schema.column(c).name, c);
+  }
+
+  PositionalMap map(chunk.num_rows(), fields, /*explicit_ends=*/true);
+  std::vector<uint8_t> seen(fields);
+  const std::string_view data(chunk.data);
+
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    std::fill(seen.begin(), seen.end(), 0);
+    const std::string_view line = chunk.line(r);
+    Cursor cur{chunk.data.data(),
+               static_cast<uint32_t>(line.data() - chunk.data.data()),
+               static_cast<uint32_t>(line.data() - chunk.data.data() +
+                                     line.size())};
+    cur.SkipSpace();
+    if (cur.AtEnd() || cur.Peek() != '{') {
+      return RowError(chunk, r, "expected '{'");
+    }
+    ++cur.pos;
+    cur.SkipSpace();
+    bool first_member = true;
+    while (true) {
+      cur.SkipSpace();
+      if (cur.AtEnd()) return RowError(chunk, r, "unterminated object");
+      if (cur.Peek() == '}') {
+        ++cur.pos;
+        break;
+      }
+      if (!first_member) {
+        if (cur.Peek() != ',') return RowError(chunk, r, "expected ','");
+        ++cur.pos;
+        cur.SkipSpace();
+      }
+      first_member = false;
+      // Member key.
+      if (cur.AtEnd() || cur.Peek() != '"') {
+        return RowError(chunk, r, "expected member key");
+      }
+      ++cur.pos;
+      const uint32_t key_start = cur.pos;
+      while (!cur.AtEnd() && cur.Peek() != '"') {
+        if (cur.Peek() == '\\') {
+          return Status::Unimplemented("escaped JSON keys are not supported");
+        }
+        ++cur.pos;
+      }
+      if (cur.AtEnd()) return RowError(chunk, r, "unterminated key");
+      const std::string_view key = data.substr(key_start, cur.pos - key_start);
+      ++cur.pos;  // closing quote
+      cur.SkipSpace();
+      if (cur.AtEnd() || cur.Peek() != ':') {
+        return RowError(chunk, r, "expected ':'");
+      }
+      ++cur.pos;
+      cur.SkipSpace();
+      if (cur.AtEnd()) return RowError(chunk, r, "missing value");
+
+      // Member value: string or number.
+      uint32_t value_start = 0, value_end = 0;
+      if (cur.Peek() == '"') {
+        ++cur.pos;
+        value_start = cur.pos;
+        while (!cur.AtEnd() && cur.Peek() != '"') {
+          if (cur.Peek() == '\\') {
+            return Status::Unimplemented(
+                "escaped JSON strings are not supported");
+          }
+          ++cur.pos;
+        }
+        if (cur.AtEnd()) return RowError(chunk, r, "unterminated string");
+        value_end = cur.pos;
+        ++cur.pos;  // closing quote
+      } else if (cur.Peek() == '{' || cur.Peek() == '[') {
+        return Status::Unimplemented(
+            "nested JSON objects/arrays are not supported");
+      } else {
+        value_start = cur.pos;
+        while (!cur.AtEnd() && cur.Peek() != ',' && cur.Peek() != '}' &&
+               cur.Peek() != ' ' && cur.Peek() != '\t') {
+          ++cur.pos;
+        }
+        value_end = cur.pos;
+        if (value_end == value_start) {
+          return RowError(chunk, r, "empty value");
+        }
+      }
+
+      auto it = columns_by_name.find(key);
+      if (it != columns_by_name.end()) {
+        // Last occurrence wins, like most JSON parsers.
+        map.SetSpan(r, it->second, value_start, value_end);
+        seen[it->second] = 1;
+      }
+      // Unknown members are skipped.
+    }
+    cur.SkipSpace();
+    if (!cur.AtEnd()) return RowError(chunk, r, "trailing data after '}'");
+    for (size_t c = 0; c < fields; ++c) {
+      if (!seen[c]) {
+        return Status::Corruption(StringPrintf(
+            "chunk %llu row %zu: missing member \"%s\"",
+            static_cast<unsigned long long>(chunk.chunk_index), r,
+            schema.column(c).name.c_str()));
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace scanraw

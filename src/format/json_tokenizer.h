@@ -1,0 +1,30 @@
+// TOKENIZE for JSON-lines raw files: one flat JSON object per line, one
+// member per schema column. Demonstrates the paper's extensibility claim —
+// "adding support for other file formats requires only the implementation
+// of specific TOKENIZE and PARSE workers without changing the basic
+// architecture" (§5). The produced map uses explicit (start, end) spans;
+// PARSE is shared with the delimited-text path.
+//
+// Supported member values: integers, floating point numbers, and plain
+// strings (no escape sequences); members may appear in any order, extra
+// members are ignored, and whitespace is tolerated. Nested objects/arrays
+// and escaped strings are rejected as Corruption/Unimplemented.
+#ifndef SCANRAW_FORMAT_JSON_TOKENIZER_H_
+#define SCANRAW_FORMAT_JSON_TOKENIZER_H_
+
+#include "common/result.h"
+#include "format/positional_map.h"
+#include "format/schema.h"
+#include "format/text_chunk.h"
+
+namespace scanraw {
+
+// Maps every schema column's value span for every row of the chunk.
+// String-typed column spans exclude the surrounding quotes, so the shared
+// ParseChunk consumes them directly. A missing member is Corruption.
+Result<PositionalMap> TokenizeJsonChunk(const TextChunk& chunk,
+                                        const Schema& schema);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_FORMAT_JSON_TOKENIZER_H_

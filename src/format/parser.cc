@@ -1,0 +1,203 @@
+#include "format/parser.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace scanraw {
+
+Result<uint32_t> ParseUint32(std::string_view text) {
+  if (text.empty()) return Status::Corruption("empty uint32 field");
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption("invalid uint32: '" + std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > UINT32_MAX) {
+      return Status::Corruption("uint32 overflow: '" + std::string(text) +
+                                "'");
+    }
+  }
+  return static_cast<uint32_t>(value);
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return Status::Corruption("empty int64 field");
+  size_t i = 0;
+  bool negative = false;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+    if (text.size() == 1) return Status::Corruption("lone sign in int64");
+  }
+  uint64_t magnitude = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::Corruption("invalid int64: '" + std::string(text) + "'");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (UINT64_MAX - digit) / 10) {
+      return Status::Corruption("int64 overflow: '" + std::string(text) + "'");
+    }
+    magnitude = magnitude * 10 + digit;
+  }
+  const uint64_t limit =
+      negative ? (1ull << 63) : (1ull << 63) - 1;
+  if (magnitude > limit) {
+    return Status::Corruption("int64 overflow: '" + std::string(text) + "'");
+  }
+  return negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::Corruption("empty double field");
+  // strtod needs NUL termination; fields are short so a stack copy is fine.
+  char buf[64];
+  if (text.size() >= sizeof(buf)) {
+    return Status::Corruption("double field too long");
+  }
+  std::copy(text.begin(), text.end(), buf);
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + text.size()) {
+    return Status::Corruption("invalid double: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+namespace {
+
+// Parses one field into `out`; returns a Status on malformed input.
+Status AppendField(std::string_view text, FieldType type, ColumnVector* out) {
+  switch (type) {
+    case FieldType::kUint32: {
+      auto v = ParseUint32(text);
+      if (!v.ok()) return v.status();
+      out->AppendUint32(*v);
+      return Status::OK();
+    }
+    case FieldType::kInt64: {
+      auto v = ParseInt64(text);
+      if (!v.ok()) return v.status();
+      out->AppendInt64(*v);
+      return Status::OK();
+    }
+    case FieldType::kDouble: {
+      auto v = ParseDouble(text);
+      if (!v.ok()) return v.status();
+      out->AppendDouble(*v);
+      return Status::OK();
+    }
+    case FieldType::kString:
+      out->AppendString(text);
+      return Status::OK();
+  }
+  return Status::Internal("unknown field type");
+}
+
+Result<int64_t> ParseNumeric(std::string_view text, FieldType type) {
+  switch (type) {
+    case FieldType::kUint32: {
+      auto v = ParseUint32(text);
+      if (!v.ok()) return v.status();
+      return static_cast<int64_t>(*v);
+    }
+    case FieldType::kInt64:
+      return ParseInt64(text);
+    case FieldType::kDouble: {
+      auto v = ParseDouble(text);
+      if (!v.ok()) return v.status();
+      return static_cast<int64_t>(*v);
+    }
+    case FieldType::kString:
+      break;
+  }
+  return Status::InvalidArgument("push-down filter on non-numeric column");
+}
+
+}  // namespace
+
+Result<BinaryChunk> ParseChunk(const TextChunk& chunk,
+                               const PositionalMap& map, const Schema& schema,
+                               const ParseOptions& options) {
+  std::vector<size_t> cols = options.projected_columns;
+  if (cols.empty()) {
+    cols.resize(schema.num_columns());
+    for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  }
+  for (size_t c : cols) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringPrintf("projected column %zu out of range", c));
+    }
+    if (c >= map.fields_per_row()) {
+      return Status::InvalidArgument(StringPrintf(
+          "column %zu not covered by positional map (%zu fields)", c,
+          map.fields_per_row()));
+    }
+  }
+  if (options.pushdown.has_value()) {
+    const size_t pc = options.pushdown->column;
+    if (pc >= map.fields_per_row()) {
+      return Status::InvalidArgument("push-down column not tokenized");
+    }
+    if (schema.column(pc).type == FieldType::kString) {
+      return Status::InvalidArgument("push-down filter on string column");
+    }
+  }
+  if (map.num_rows() != chunk.num_rows()) {
+    return Status::InvalidArgument("positional map / chunk row mismatch");
+  }
+
+  const std::string_view data(chunk.data);
+  BinaryChunk out(chunk.chunk_index);
+  std::vector<ColumnVector> vectors;
+  vectors.reserve(cols.size());
+  for (size_t c : cols) {
+    vectors.emplace_back(schema.column(c).type);
+    vectors.back().Reserve(chunk.num_rows());
+  }
+
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    if (options.pushdown.has_value()) {
+      const auto& pd = *options.pushdown;
+      const std::string_view field = data.substr(
+          map.FieldStart(r, pd.column),
+          map.FieldEnd(r, pd.column) - map.FieldStart(r, pd.column));
+      auto v = ParseNumeric(field, schema.column(pd.column).type);
+      if (!v.ok()) return v.status();
+      if (*v < pd.min_value || *v > pd.max_value) continue;
+    }
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const size_t c = cols[i];
+      const std::string_view field =
+          data.substr(map.FieldStart(r, c),
+                      map.FieldEnd(r, c) - map.FieldStart(r, c));
+      Status s = AppendField(field, schema.column(c).type, &vectors[i]);
+      if (!s.ok()) {
+        return Status(s.code(),
+                      StringPrintf("chunk %llu row %zu col %zu: ",
+                                   static_cast<unsigned long long>(
+                                       chunk.chunk_index),
+                                   r, c) +
+                          std::string(s.message()));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < cols.size(); ++i) {
+    SCANRAW_RETURN_IF_ERROR(out.AddColumn(cols[i], std::move(vectors[i])));
+  }
+  if (out.num_columns() > 0 && out.num_rows() == 0) {
+    // All rows filtered out: keep an explicit zero-row chunk.
+    out.set_num_rows(0);
+  }
+  return out;
+}
+
+}  // namespace scanraw

@@ -1,0 +1,51 @@
+// PARSE stage: converts attribute text into typed binary columns using the
+// offsets computed by TOKENIZE (§2). Supports selective parsing (only the
+// projected columns are converted) and optional push-down selection (parse
+// the predicate column first and skip failing rows — §2 discusses why this
+// is off by default: it breaks exactly-once loading bookkeeping).
+#ifndef SCANRAW_FORMAT_PARSER_H_
+#define SCANRAW_FORMAT_PARSER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "columnar/binary_chunk.h"
+#include "common/result.h"
+#include "format/positional_map.h"
+#include "format/schema.h"
+#include "format/text_chunk.h"
+
+namespace scanraw {
+
+// Range predicate evaluated during parsing when push-down selection is on.
+struct PushdownFilter {
+  size_t column = 0;        // must be numeric
+  int64_t min_value = 0;    // inclusive
+  int64_t max_value = 0;    // inclusive
+};
+
+struct ParseOptions {
+  // Column indexes to convert; empty means every schema column. Must all be
+  // covered by the positional map.
+  std::vector<size_t> projected_columns;
+  std::optional<PushdownFilter> pushdown;
+};
+
+// Parses the projected columns of `chunk` into a BinaryChunk. When a
+// push-down filter is set, rows failing it are dropped (the result's row
+// count can be smaller than the chunk's).
+Result<BinaryChunk> ParseChunk(const TextChunk& chunk,
+                               const PositionalMap& map, const Schema& schema,
+                               const ParseOptions& options);
+
+// -- scalar conversions (exposed for tests and the genomics plugin) --
+
+// Fast unsigned decimal parse; rejects empty/overflow/non-digit input.
+Result<uint32_t> ParseUint32(std::string_view text);
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_FORMAT_PARSER_H_

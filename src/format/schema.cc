@@ -1,0 +1,57 @@
+#include "format/schema.h"
+
+#include "common/string_util.h"
+
+namespace scanraw {
+
+std::string_view FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kUint32:
+      return "uint32";
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Schema Schema::AllUint32(size_t count, char delimiter) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string name = "C";
+    AppendUint64(&name, i);
+    cols.push_back(ColumnDef{std::move(name), FieldType::kUint32});
+  }
+  return Schema(std::move(cols), delimiter);
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+size_t Schema::FixedRowWidth() const {
+  size_t width = 0;
+  for (const auto& col : columns_) width += FixedWidth(col.type);
+  return width;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (delimiter_ != other.delimiter_) return false;
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scanraw

@@ -1,0 +1,51 @@
+// Relational schema given to SCANRAW together with the raw file (§2: "The
+// input to the process is a raw file, a schema, and a procedure to extract
+// tuples with the given schema").
+#ifndef SCANRAW_FORMAT_SCHEMA_H_
+#define SCANRAW_FORMAT_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/field_type.h"
+
+namespace scanraw {
+
+struct ColumnDef {
+  std::string name;
+  FieldType type = FieldType::kUint32;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns, char delimiter = ',')
+      : columns_(std::move(columns)), delimiter_(delimiter) {}
+
+  // Convenience: `count` uint32 columns named C0..C{count-1} (the shape of
+  // the paper's synthetic micro-benchmark files).
+  static Schema AllUint32(size_t count, char delimiter = ',');
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  char delimiter() const { return delimiter_; }
+
+  // Returns the index of the named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  // Row width of the fixed part of the binary representation (strings
+  // excluded), used for sizing estimates.
+  size_t FixedRowWidth() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  char delimiter_ = ',';
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_FORMAT_SCHEMA_H_

@@ -1,0 +1,63 @@
+// TextChunk: the READ stage's unit of work — a horizontal slice of the raw
+// file holding complete lines (§3.1: "The file is logically split into
+// horizontal portions containing a sequence of lines, i.e., chunks").
+#ifndef SCANRAW_FORMAT_TEXT_CHUNK_H_
+#define SCANRAW_FORMAT_TEXT_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scanraw {
+
+struct TextChunk {
+  // Position of the chunk within the raw file (0-based, stable across
+  // queries — the catalog keys chunk metadata by this index).
+  uint64_t chunk_index = 0;
+  // Byte offset of the chunk's first line in the raw file.
+  uint64_t file_offset = 0;
+  // Raw bytes: complete lines, each terminated by '\n' (except possibly the
+  // last line of the file).
+  std::string data;
+  // Start offset of each line within `data`.
+  std::vector<uint32_t> line_starts;
+
+  size_t num_rows() const { return line_starts.size(); }
+
+  // Line `i` without its trailing newline.
+  std::string_view line(size_t i) const {
+    const uint32_t start = line_starts[i];
+    uint32_t end = (i + 1 < line_starts.size())
+                       ? line_starts[i + 1]
+                       : static_cast<uint32_t>(data.size());
+    while (end > start && (data[end - 1] == '\n' || data[end - 1] == '\r')) {
+      --end;
+    }
+    return std::string_view(data).substr(start, end - start);
+  }
+};
+
+// Builds a TextChunk from raw bytes by locating line starts. Used by READ
+// and by tests; `data` should end at a line boundary (a trailing newline is
+// optional on the final line).
+inline TextChunk MakeTextChunk(std::string data, uint64_t chunk_index = 0,
+                               uint64_t file_offset = 0) {
+  TextChunk chunk;
+  chunk.chunk_index = chunk_index;
+  chunk.file_offset = file_offset;
+  chunk.data = std::move(data);
+  const std::string& d = chunk.data;
+  size_t pos = 0;
+  while (pos < d.size()) {
+    chunk.line_starts.push_back(static_cast<uint32_t>(pos));
+    const size_t nl = d.find('\n', pos);
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  return chunk;
+}
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_FORMAT_TEXT_CHUNK_H_

@@ -1,0 +1,124 @@
+#include "format/tokenizer.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace scanraw {
+
+namespace {
+
+// End offset (within chunk.data) of line `r`, excluding newline characters.
+uint32_t LineEnd(const TextChunk& chunk, size_t r) {
+  uint32_t end = (r + 1 < chunk.line_starts.size())
+                     ? chunk.line_starts[r + 1]
+                     : static_cast<uint32_t>(chunk.data.size());
+  const std::string& d = chunk.data;
+  while (end > chunk.line_starts[r] &&
+         (d[end - 1] == '\n' || d[end - 1] == '\r')) {
+    --end;
+  }
+  return end;
+}
+
+}  // namespace
+
+Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
+                                    const TokenizeOptions& options) {
+  if (options.schema_fields == 0) {
+    return Status::InvalidArgument("schema_fields must be > 0");
+  }
+  const size_t fields = options.EffectiveFields();
+  const char delim = options.delimiter;
+  const char* data = chunk.data.data();
+  PositionalMap map(chunk.num_rows(), fields);
+
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    uint32_t pos = chunk.line_starts[r];
+    const uint32_t end = LineEnd(chunk, r);
+    map.Set(r, 0, pos);
+    for (size_t f = 1; f < fields; ++f) {
+      // memchr beats a hand-rolled loop for long fields and matches it for
+      // short ones.
+      const char* hit = static_cast<const char*>(
+          std::memchr(data + pos, delim, end - pos));
+      if (hit == nullptr) {
+        return Status::Corruption(StringPrintf(
+            "chunk %llu row %zu: expected %zu fields, found %zu",
+            static_cast<unsigned long long>(chunk.chunk_index), r, fields, f));
+      }
+      pos = static_cast<uint32_t>(hit - data) + 1;
+      map.Set(r, f, pos);
+    }
+    // End of the last tokenized field: next delimiter or end of line.
+    const char* hit =
+        static_cast<const char*>(std::memchr(data + pos, delim, end - pos));
+    uint32_t last_end = (hit != nullptr && fields < options.schema_fields)
+                            ? static_cast<uint32_t>(hit - data)
+                            : end;
+    if (hit != nullptr && fields == options.schema_fields) {
+      return Status::Corruption(StringPrintf(
+          "chunk %llu row %zu: more fields than the %zu in the schema",
+          static_cast<unsigned long long>(chunk.chunk_index), r, fields));
+    }
+    map.Set(r, fields, last_end);
+  }
+  return map;
+}
+
+Result<PositionalMap> ExtendTokenizeMap(const TextChunk& chunk,
+                                        const PositionalMap& base,
+                                        const TokenizeOptions& options) {
+  if (options.schema_fields == 0) {
+    return Status::InvalidArgument("schema_fields must be > 0");
+  }
+  if (base.num_rows() != chunk.num_rows()) {
+    return Status::InvalidArgument("base map / chunk row mismatch");
+  }
+  const size_t fields = options.EffectiveFields();
+  const size_t base_fields = base.fields_per_row();
+  if (base_fields == 0) return TokenizeChunk(chunk, options);
+  const char delim = options.delimiter;
+  const char* data = chunk.data.data();
+  PositionalMap map(chunk.num_rows(), fields);
+
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    const size_t copied = std::min(fields, base_fields);
+    for (size_t f = 0; f < copied; ++f) map.Set(r, f, base.FieldStart(r, f));
+    if (fields <= base_fields) {
+      // Fully covered: the end slot is either base's recorded end or the
+      // byte before the next mapped field's start (the delimiter).
+      map.Set(r, fields,
+              fields == base_fields ? base.FieldEnd(r, base_fields - 1)
+                                    : base.FieldStart(r, fields) - 1);
+      continue;
+    }
+    // Resume the scan right after the last mapped field. `field_end` tracks
+    // the end offset of the most recent field (a delimiter position, or the
+    // line end for the final field of the row).
+    const uint32_t end = LineEnd(chunk, r);
+    uint32_t field_end = base.FieldEnd(r, base_fields - 1);
+    for (size_t f = base_fields; f < fields; ++f) {
+      if (field_end >= end) {
+        return Status::Corruption(StringPrintf(
+            "chunk %llu row %zu: expected %zu fields, found %zu",
+            static_cast<unsigned long long>(chunk.chunk_index), r, fields,
+            f));
+      }
+      const uint32_t start = field_end + 1;  // skip the delimiter
+      map.Set(r, f, start);
+      const char* hit = static_cast<const char*>(
+          std::memchr(data + start, delim, end - start));
+      field_end = hit == nullptr ? end : static_cast<uint32_t>(hit - data);
+    }
+    if (fields == options.schema_fields && field_end != end) {
+      return Status::Corruption(StringPrintf(
+          "chunk %llu row %zu: more fields than the %zu in the schema",
+          static_cast<unsigned long long>(chunk.chunk_index), r, fields));
+    }
+    map.Set(r, fields, field_end);
+  }
+  return map;
+}
+
+}  // namespace scanraw

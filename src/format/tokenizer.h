@@ -1,0 +1,48 @@
+// TOKENIZE stage: identifies attribute boundaries within each line of a text
+// chunk (§2). Supports full tokenizing and selective tokenizing — stopping
+// the linear scan after the last attribute the query needs ([5]'s selective
+// tokenizing, reproduced for the Figure 6 experiment).
+#ifndef SCANRAW_FORMAT_TOKENIZER_H_
+#define SCANRAW_FORMAT_TOKENIZER_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "format/positional_map.h"
+#include "format/text_chunk.h"
+
+namespace scanraw {
+
+struct TokenizeOptions {
+  char delimiter = ',';
+  // Total attributes per row according to the schema.
+  size_t schema_fields = 0;
+  // Tokenize only the first `max_fields` attributes of each row (selective
+  // tokenizing). Clamped to schema_fields; 0 means "all".
+  size_t max_fields = 0;
+
+  size_t EffectiveFields() const {
+    if (max_fields == 0 || max_fields > schema_fields) return schema_fields;
+    return max_fields;
+  }
+};
+
+// Scans `chunk` and fills a positional map with the start offset of each of
+// the first EffectiveFields() attributes per row (plus the end-of-row slot).
+// Returns Corruption if a row has fewer delimiters than requested.
+Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
+                                    const TokenizeOptions& options);
+
+// Incremental tokenizing with a cached partial map (§2: "a partial map can
+// provide significant reductions even for the attributes whose positions
+// are not stored ... find the position of the closest attribute already in
+// the map and scan forward from there"). Reuses the offsets `base` already
+// holds for this chunk and scans forward only past its last mapped field.
+// If `base` already covers the requested fields this is a copy.
+Result<PositionalMap> ExtendTokenizeMap(const TextChunk& chunk,
+                                        const PositionalMap& base,
+                                        const TokenizeOptions& options);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_FORMAT_TOKENIZER_H_

@@ -1,0 +1,189 @@
+#include "genomics/sam.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "io/file.h"
+
+namespace scanraw {
+
+Schema SamSchema() {
+  return Schema(
+      std::vector<ColumnDef>{
+          {"QNAME", FieldType::kString},
+          {"FLAG", FieldType::kUint32},
+          {"RNAME", FieldType::kString},
+          {"POS", FieldType::kUint32},
+          {"MAPQ", FieldType::kUint32},
+          {"CIGAR", FieldType::kString},
+          {"RNEXT", FieldType::kString},
+          {"PNEXT", FieldType::kUint32},
+          {"TLEN", FieldType::kInt64},
+          {"SEQ", FieldType::kString},
+          {"QUAL", FieldType::kString},
+      },
+      '\t');
+}
+
+namespace {
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+// Weighted CIGAR population loosely following what aligners emit: mostly
+// perfect matches, some indels and soft clips.
+struct CigarChoice {
+  const char* text;
+  int weight;
+};
+constexpr CigarChoice kCigars[] = {
+    {"100M", 55},   {"99M1I", 10},  {"99M1D", 10}, {"50M2D48M", 8},
+    {"90M10S", 7},  {"10S90M", 5},  {"100M0S", 3}, {"48M4I48M", 2},
+};
+
+const char* PickCigar(Random* rng) {
+  int total = 0;
+  for (const auto& c : kCigars) total += c.weight;
+  int pick = static_cast<int>(rng->Uniform(total));
+  for (const auto& c : kCigars) {
+    pick -= c.weight;
+    if (pick < 0) return c.text;
+  }
+  return kCigars[0].text;
+}
+
+}  // namespace
+
+std::vector<SamRecord> GenerateSamRecords(const SamGenSpec& spec) {
+  Random rng(spec.seed);
+  std::vector<SamRecord> records;
+  records.reserve(spec.num_reads);
+  for (uint64_t i = 0; i < spec.num_reads; ++i) {
+    SamRecord r;
+    r.qname = "read.";
+    AppendUint64(&r.qname, i);
+    r.flag = static_cast<uint32_t>(rng.Uniform(4096));
+    r.rname = "chr" + std::to_string(1 + rng.Uniform(22));
+    r.pos = static_cast<uint32_t>(rng.Uniform(250000000));
+    r.mapq = static_cast<uint32_t>(rng.Uniform(61));
+    r.cigar = PickCigar(&rng);
+    r.rnext = rng.OneIn(4) ? "=" : "*";
+    r.pnext = static_cast<uint32_t>(rng.Uniform(250000000));
+    r.tlen = static_cast<int64_t>(rng.Uniform(1200)) - 600;
+    r.seq.reserve(spec.read_length);
+    for (size_t b = 0; b < spec.read_length; ++b) {
+      r.seq.push_back(kBases[rng.Uniform(4)]);
+    }
+    if (!spec.pattern.empty() &&
+        rng.NextDouble() < spec.pattern_probability &&
+        spec.pattern.size() <= r.seq.size()) {
+      const size_t at = rng.Uniform(r.seq.size() - spec.pattern.size() + 1);
+      r.seq.replace(at, spec.pattern.size(), spec.pattern);
+    }
+    // Quality scores are strongly correlated along a read in real data;
+    // model them as runs so binary formats can compress them (BAM gzips
+    // real quality strings to a fraction of their text size).
+    r.qual.reserve(spec.read_length);
+    char q = static_cast<char>('!' + 10 + rng.Uniform(30));
+    for (size_t b = 0; b < spec.read_length; ++b) {
+      if (rng.OneIn(8)) q = static_cast<char>('!' + 10 + rng.Uniform(30));
+      r.qual.push_back(q);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::string FormatSamLine(const SamRecord& r) {
+  std::string line;
+  line.reserve(64 + r.seq.size() + r.qual.size());
+  line += r.qname;
+  line.push_back('\t');
+  AppendUint64(&line, r.flag);
+  line.push_back('\t');
+  line += r.rname;
+  line.push_back('\t');
+  AppendUint64(&line, r.pos);
+  line.push_back('\t');
+  AppendUint64(&line, r.mapq);
+  line.push_back('\t');
+  line += r.cigar;
+  line.push_back('\t');
+  line += r.rnext;
+  line.push_back('\t');
+  AppendUint64(&line, r.pnext);
+  line.push_back('\t');
+  if (r.tlen < 0) {
+    line.push_back('-');
+    AppendUint64(&line, static_cast<uint64_t>(-r.tlen));
+  } else {
+    AppendUint64(&line, static_cast<uint64_t>(r.tlen));
+  }
+  line.push_back('\t');
+  line += r.seq;
+  line.push_back('\t');
+  line += r.qual;
+  return line;
+}
+
+Status ForEachGeneratedRecord(
+    const SamGenSpec& spec,
+    const std::function<Status(const SamRecord&)>& fn) {
+  // Generate in batches to bound memory for large files.
+  constexpr uint64_t kBatch = 1 << 14;
+  SamGenSpec batch_spec = spec;
+  Random seed_stream(spec.seed);
+  uint64_t remaining = spec.num_reads;
+  uint64_t base = 0;
+  while (remaining > 0) {
+    batch_spec.num_reads = std::min(remaining, kBatch);
+    batch_spec.seed = seed_stream.NextUint64();
+    auto records = GenerateSamRecords(batch_spec);
+    for (auto& r : records) {
+      // Re-number across batches so QNAMEs stay unique.
+      r.qname = "read.";
+      AppendUint64(&r.qname, base++);
+      SCANRAW_RETURN_IF_ERROR(fn(r));
+    }
+    remaining -= batch_spec.num_reads;
+  }
+  return Status::OK();
+}
+
+Result<SamFileInfo> GenerateSamFile(const std::string& path,
+                                    const SamGenSpec& spec) {
+  auto file = WritableFile::Create(path);
+  if (!file.ok()) return file.status();
+  SamFileInfo info;
+  info.num_reads = spec.num_reads;
+  std::string buffer;
+  Status s = ForEachGeneratedRecord(spec, [&](const SamRecord& r) -> Status {
+    if (r.seq.find(spec.pattern) != std::string::npos) {
+      ++info.matching_reads;
+      ++info.cigar_distribution[r.cigar];
+    }
+    buffer += FormatSamLine(r);
+    buffer.push_back('\n');
+    if (buffer.size() >= (1 << 20)) {
+      SCANRAW_RETURN_IF_ERROR((*file)->Append(buffer));
+      buffer.clear();
+    }
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  if (!buffer.empty()) {
+    SCANRAW_RETURN_IF_ERROR((*file)->Append(buffer));
+  }
+  info.file_bytes = (*file)->bytes_written();
+  SCANRAW_RETURN_IF_ERROR((*file)->Close());
+  return info;
+}
+
+QuerySpec CigarDistributionQuery(const std::string& pattern) {
+  QuerySpec spec;
+  spec.group_by_column = kSamCigar;
+  spec.predicate.pattern = PatternPredicate{kSamSeq, pattern};
+  return spec;
+}
+
+}  // namespace scanraw

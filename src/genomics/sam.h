@@ -1,0 +1,97 @@
+// SAM-like genomics substrate (§5.2). The paper evaluates ScanRaw on 1000
+// Genomes alignment files; those are not redistributable, so this module
+// generates synthetic files with the same structure: tab-delimited reads
+// with the 11 mandatory SAM fields, CIGAR strings drawn from a realistic
+// set, and DNA sequences that embed a query pattern with known probability —
+// enough to reproduce the CIGAR-distribution variant query of Table 1.
+#ifndef SCANRAW_GENOMICS_SAM_H_
+#define SCANRAW_GENOMICS_SAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/query.h"
+#include "format/schema.h"
+
+namespace scanraw {
+
+// One aligned read: the 11 mandatory SAM fields.
+struct SamRecord {
+  std::string qname;
+  uint32_t flag = 0;
+  std::string rname;
+  uint32_t pos = 0;
+  uint32_t mapq = 0;
+  std::string cigar;
+  std::string rnext;
+  uint32_t pnext = 0;
+  int64_t tlen = 0;
+  std::string seq;
+  std::string qual;
+};
+
+// Column indexes of the mandatory fields.
+enum SamColumn : size_t {
+  kSamQname = 0,
+  kSamFlag = 1,
+  kSamRname = 2,
+  kSamPos = 3,
+  kSamMapq = 4,
+  kSamCigar = 5,
+  kSamRnext = 6,
+  kSamPnext = 7,
+  kSamTlen = 8,
+  kSamSeq = 9,
+  kSamQual = 10,
+};
+
+// Tab-delimited schema of the 11 mandatory fields.
+Schema SamSchema();
+
+struct SamGenSpec {
+  uint64_t num_reads = 0;
+  uint64_t seed = 1;
+  size_t read_length = 100;
+  // Pattern embedded in SEQ with this probability (the variant query's
+  // predicate looks for it).
+  std::string pattern = "ACGTACGTAC";
+  double pattern_probability = 0.1;
+};
+
+struct SamFileInfo {
+  uint64_t num_reads = 0;
+  uint64_t file_bytes = 0;
+  // Ground truth for the variant query: CIGAR distribution over reads whose
+  // SEQ contains the pattern.
+  std::map<std::string, uint64_t> cigar_distribution;
+  uint64_t matching_reads = 0;
+};
+
+// Deterministically generates `spec.num_reads` records.
+std::vector<SamRecord> GenerateSamRecords(const SamGenSpec& spec);
+
+// Serializes one record as a tab-delimited SAM line (no trailing newline).
+std::string FormatSamLine(const SamRecord& record);
+
+// Writes a SAM-like text file and returns the ground-truth query answer.
+Result<SamFileInfo> GenerateSamFile(const std::string& path,
+                                    const SamGenSpec& spec);
+
+// Streams the same deterministic record sequence GenerateSamFile writes
+// (bounded memory). The BAM-like writer uses this so both formats hold
+// identical data for a given spec.
+Status ForEachGeneratedRecord(const SamGenSpec& spec,
+                              const std::function<Status(const SamRecord&)>& fn);
+
+// The paper's representative analysis (§1): distribution of the CIGAR field
+// over reads whose sequence exhibits `pattern` — a group-by aggregate with a
+// pattern-matching predicate.
+QuerySpec CigarDistributionQuery(const std::string& pattern);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_GENOMICS_SAM_H_

@@ -1,0 +1,48 @@
+#include "io/disk_arbiter.h"
+
+namespace scanraw {
+
+void DiskArbiter::Acquire(DiskUser user) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return user_ == DiskUser::kNone; });
+  user_ = user;
+  acquired_at_nanos_ = clock_->NowNanos();
+}
+
+bool DiskArbiter::TryAcquire(DiskUser user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (user_ != DiskUser::kNone) return false;
+  user_ = user;
+  acquired_at_nanos_ = clock_->NowNanos();
+  return true;
+}
+
+void DiskArbiter::Release(DiskUser user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (user_ != user) return;  // defensive: double release is a no-op
+  const int64_t held = clock_->NowNanos() - acquired_at_nanos_;
+  if (user == DiskUser::kReader) {
+    reader_busy_nanos_ += held;
+  } else if (user == DiskUser::kWriter) {
+    writer_busy_nanos_ += held;
+  }
+  user_ = DiskUser::kNone;
+  cv_.notify_all();
+}
+
+DiskUser DiskArbiter::current_user() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return user_;
+}
+
+int64_t DiskArbiter::reader_busy_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reader_busy_nanos_;
+}
+
+int64_t DiskArbiter::writer_busy_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_busy_nanos_;
+}
+
+}  // namespace scanraw

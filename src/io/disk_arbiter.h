@@ -1,0 +1,71 @@
+// DiskArbiter: enforces the SCANRAW rule that only one of READ or WRITE
+// touches the disk at any instant (§3.2, "SCANRAW has to enforce that only
+// one of READ or WRITE accesses the disk at any particular instant in time").
+//
+// The scheduler thread owns the policy: READ holds the disk by default; when
+// READ is blocked on a full text-chunk buffer the scheduler grants the disk
+// to WRITE for one chunk, then `resume`s READ (Figure 3's control messages).
+#ifndef SCANRAW_IO_DISK_ARBITER_H_
+#define SCANRAW_IO_DISK_ARBITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace scanraw {
+
+enum class DiskUser : int { kNone = 0, kReader = 1, kWriter = 2 };
+
+class DiskArbiter {
+ public:
+  explicit DiskArbiter(const Clock* clock = RealClock::Instance())
+      : clock_(clock) {}
+
+  // Blocks until the disk is free or already held by `user`, then takes it.
+  void Acquire(DiskUser user);
+
+  // Non-blocking variant; returns true if the disk was taken.
+  bool TryAcquire(DiskUser user);
+
+  void Release(DiskUser user);
+
+  DiskUser current_user() const;
+
+  // Cumulative nanoseconds the disk was held by readers / writers; the
+  // resource-utilization benchmark (Figure 9) samples these.
+  int64_t reader_busy_nanos() const;
+  int64_t writer_busy_nanos() const;
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  DiskUser user_ = DiskUser::kNone;
+  int64_t acquired_at_nanos_ = 0;
+  int64_t reader_busy_nanos_ = 0;
+  int64_t writer_busy_nanos_ = 0;
+};
+
+// RAII holder.
+class ScopedDiskAccess {
+ public:
+  ScopedDiskAccess(DiskArbiter* arbiter, DiskUser user)
+      : arbiter_(arbiter), user_(user) {
+    if (arbiter_ != nullptr) arbiter_->Acquire(user_);
+  }
+  ~ScopedDiskAccess() {
+    if (arbiter_ != nullptr) arbiter_->Release(user_);
+  }
+  ScopedDiskAccess(const ScopedDiskAccess&) = delete;
+  ScopedDiskAccess& operator=(const ScopedDiskAccess&) = delete;
+
+ private:
+  DiskArbiter* arbiter_;
+  DiskUser user_;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_IO_DISK_ARBITER_H_

@@ -1,0 +1,176 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/rate_limiter.h"
+
+namespace scanraw {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- reader --
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoStatus("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(
+      path, fd, static_cast<uint64_t>(st.st_size), limiter, stats));
+}
+
+RandomAccessFile::RandomAccessFile(std::string path, int fd, uint64_t size,
+                                   RateLimiter* limiter, IoStats* stats)
+    : path_(std::move(path)),
+      fd_(fd),
+      size_(size),
+      limiter_(limiter),
+      stats_(stats) {}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<size_t> RandomAccessFile::ReadAt(uint64_t offset, size_t length,
+                                        char* scratch) const {
+  size_t done = 0;
+  while (done < length) {
+    ssize_t n = ::pread(fd_, scratch + done, length - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread " + path_);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<size_t>(n);
+  }
+  if (limiter_ != nullptr) limiter_->Acquire(done);
+  if (stats_ != nullptr) {
+    stats_->bytes_read.fetch_add(done, std::memory_order_relaxed);
+    stats_->read_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  return done;
+}
+
+// ---------------------------------------------------------------- writer --
+
+Result<std::unique_ptr<WritableFile>> WritableFile::Create(
+    const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  return std::unique_ptr<WritableFile>(
+      new WritableFile(path, fd, limiter, stats));
+}
+
+Result<std::unique_ptr<WritableFile>> WritableFile::OpenForAppend(
+    const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoStatus("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  auto file = std::unique_ptr<WritableFile>(
+      new WritableFile(path, fd, limiter, stats));
+  file->bytes_written_ = static_cast<uint64_t>(st.st_size);
+  return file;
+}
+
+WritableFile::WritableFile(std::string path, int fd, RateLimiter* limiter,
+                           IoStats* stats)
+    : path_(std::move(path)), fd_(fd), limiter_(limiter), stats_(stats) {}
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WritableFile::Append(const char* data, size_t length) {
+  if (fd_ < 0) return Status::IoError("write to closed file " + path_);
+  size_t done = 0;
+  while (done < length) {
+    ssize_t n = ::write(fd_, data + done, length - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  bytes_written_ += length;
+  if (limiter_ != nullptr) limiter_->Acquire(length);
+  if (stats_ != nullptr) {
+    stats_->bytes_written.fetch_add(length, std::memory_order_relaxed);
+    stats_->write_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status WritableFile::Flush() {
+  if (fd_ < 0) return Status::IoError("flush of closed file " + path_);
+  return Status::OK();  // no user-space buffering
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return ErrnoStatus("close " + path_);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- helpers --
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  auto file = WritableFile::Create(path);
+  if (!file.ok()) return file.status();
+  SCANRAW_RETURN_IF_ERROR((*file)->Append(contents.data(), contents.size()));
+  return (*file)->Close();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  std::string out;
+  out.resize((*file)->size());
+  auto n = (*file)->ReadAt(0, out.size(), out.data());
+  if (!n.ok()) return n.status();
+  out.resize(*n);
+  return out;
+}
+
+Result<uint64_t> GetFileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace scanraw

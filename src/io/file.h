@@ -1,0 +1,111 @@
+// POSIX file wrappers used by the READ and WRITE stages and by the storage
+// manager. All I/O goes through these so byte counters and the optional
+// bandwidth limiter see every access.
+#ifndef SCANRAW_IO_FILE_H_
+#define SCANRAW_IO_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace scanraw {
+
+class RateLimiter;
+
+// Aggregate I/O counters. Thread-safe.
+struct IoStats {
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> read_calls{0};
+  std::atomic<uint64_t> write_calls{0};
+
+  void Reset() {
+    bytes_read = 0;
+    bytes_written = 0;
+    read_calls = 0;
+    write_calls = 0;
+  }
+};
+
+// Sequential reader with positional Read support (pread). Thread-compatible:
+// concurrent ReadAt calls are safe, Read/Skip are not.
+class RandomAccessFile {
+ public:
+  // Opens an existing file for reading.
+  static Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path, RateLimiter* limiter = nullptr,
+      IoStats* stats = nullptr);
+
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  // Reads up to `length` bytes at `offset` into `scratch`; returns the number
+  // of bytes read (0 at EOF).
+  Result<size_t> ReadAt(uint64_t offset, size_t length, char* scratch) const;
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RandomAccessFile(std::string path, int fd, uint64_t size,
+                   RateLimiter* limiter, IoStats* stats);
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+  RateLimiter* limiter_;
+  IoStats* stats_;
+};
+
+// Append-only writer (creates or truncates). Not thread-safe.
+class WritableFile {
+ public:
+  static Result<std::unique_ptr<WritableFile>> Create(
+      const std::string& path, RateLimiter* limiter = nullptr,
+      IoStats* stats = nullptr);
+
+  // Opens an existing file (or creates an empty one) and appends to its
+  // end; bytes_written() starts at the existing size.
+  static Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path, RateLimiter* limiter = nullptr,
+      IoStats* stats = nullptr);
+
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  Status Append(const char* data, size_t length);
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  Status Flush();
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WritableFile(std::string path, int fd, RateLimiter* limiter, IoStats* stats);
+
+  std::string path_;
+  int fd_;
+  uint64_t bytes_written_ = 0;
+  RateLimiter* limiter_;
+  IoStats* stats_;
+};
+
+// Convenience helpers (tests, generators).
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+Result<std::string> ReadFileToString(const std::string& path);
+Result<uint64_t> GetFileSize(const std::string& path);
+bool FileExists(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_IO_FILE_H_

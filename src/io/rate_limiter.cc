@@ -1,0 +1,56 @@
+#include "io/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace scanraw {
+
+namespace {
+// Burst capacity: one bucket's worth of traffic may pass unthrottled so that
+// chunk-sized requests do not stutter.
+constexpr double kBurstSeconds = 0.05;
+}  // namespace
+
+RateLimiter::RateLimiter(uint64_t bytes_per_second, const Clock* clock)
+    : bytes_per_second_(bytes_per_second), clock_(clock) {
+  last_refill_nanos_ = clock_->NowNanos();
+  available_bytes_ = static_cast<double>(bytes_per_second_) * kBurstSeconds;
+}
+
+void RateLimiter::Acquire(uint64_t bytes) {
+  if (bytes_per_second_ == 0 || bytes == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_admitted_ += bytes;
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    const int64_t now = clock_->NowNanos();
+    const double elapsed = static_cast<double>(now - last_refill_nanos_) * 1e-9;
+    last_refill_nanos_ = now;
+    const double cap = static_cast<double>(bytes_per_second_) * kBurstSeconds;
+    available_bytes_ = std::min(
+        cap, available_bytes_ +
+                 elapsed * static_cast<double>(bytes_per_second_));
+    // Requests larger than the burst capacity are admitted once the bucket
+    // is full, taking the balance negative; the debt throttles later calls.
+    const double need = std::min(static_cast<double>(bytes), cap);
+    if (available_bytes_ >= need) {
+      available_bytes_ -= static_cast<double>(bytes);
+      total_admitted_ += bytes;
+      return;
+    }
+    const double deficit = need - available_bytes_;
+    const double wait_s = deficit / static_cast<double>(bytes_per_second_);
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    lock.lock();
+  }
+}
+
+uint64_t RateLimiter::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_admitted_;
+}
+
+}  // namespace scanraw

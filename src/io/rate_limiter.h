@@ -1,0 +1,42 @@
+// Token-bucket bandwidth limiter. The paper's testbed has a fixed-throughput
+// RAID array (~436 MB/s sustained); on development machines the page cache
+// makes raw-file reads essentially free, which would hide the I/O- vs
+// CPU-bound crossover SCANRAW exploits. Wiring a RateLimiter into the READ
+// and WRITE paths restores a disk with a known, configurable bandwidth.
+#ifndef SCANRAW_IO_RATE_LIMITER_H_
+#define SCANRAW_IO_RATE_LIMITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace scanraw {
+
+class RateLimiter {
+ public:
+  // bytes_per_second == 0 disables limiting entirely.
+  explicit RateLimiter(uint64_t bytes_per_second,
+                       const Clock* clock = RealClock::Instance());
+
+  // Blocks until `bytes` can be admitted at the configured rate.
+  void Acquire(uint64_t bytes);
+
+  uint64_t bytes_per_second() const { return bytes_per_second_; }
+
+  // Total bytes admitted so far.
+  uint64_t total_admitted() const;
+
+ private:
+  const uint64_t bytes_per_second_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  double available_bytes_ = 0;   // tokens in the bucket
+  int64_t last_refill_nanos_ = 0;
+  uint64_t total_admitted_ = 0;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_IO_RATE_LIMITER_H_

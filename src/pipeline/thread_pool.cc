@@ -1,0 +1,78 @@
+#include "pipeline/thread_pool.h"
+
+namespace scanraw {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    work_available_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // Sequential mode: the caller is the worker.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [&] { return queue_.empty() && busy_ == 0; });
+}
+
+size_t ThreadPool::busy_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_;
+}
+
+size_t ThreadPool::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::SetIdleCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_callback_ = std::move(callback);
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    task();
+    std::function<void()> idle_cb;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+      if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+      if (queue_.size() < threads_.size()) idle_cb = idle_callback_;
+    }
+    if (idle_cb) idle_cb();
+  }
+}
+
+}  // namespace scanraw

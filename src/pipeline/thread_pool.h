@@ -1,0 +1,58 @@
+// Worker thread pool with the scheduling semantics of §3.2: stand-alone
+// consumer threads request workers for chunk-sized tasks; the pool tracks
+// idle workers so the SCANRAW scheduler can detect CPU saturation and
+// "worker threads become available" events (the speculative-loading
+// triggers). A pool of size 0 runs tasks inline, which is the paper's
+// sequential configuration (Figure 4's "0 worker threads").
+#ifndef SCANRAW_PIPELINE_THREAD_POOL_H_
+#define SCANRAW_PIPELINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scanraw {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. With zero workers the task runs on the calling thread
+  // before Submit returns.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  size_t num_workers() const { return threads_.size(); }
+  // Workers currently executing a task.
+  size_t busy_workers() const;
+  size_t queued_tasks() const;
+
+  // Registers a callback fired each time a worker finishes a task and the
+  // pool has spare capacity again ("resume" hook for the scheduler). Must be
+  // set before tasks are submitted; pass nullptr to clear.
+  void SetIdleCallback(std::function<void()> callback);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::function<void()> idle_callback_;
+  size_t busy_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_PIPELINE_THREAD_POOL_H_

@@ -1,0 +1,137 @@
+#include "scanraw/chunk_cache.h"
+
+#include <algorithm>
+
+namespace scanraw {
+
+std::vector<EvictedChunk> ChunkCache::Insert(uint64_t chunk_index,
+                                             BinaryChunkPtr chunk,
+                                             bool loaded) {
+  std::vector<EvictedChunk> evicted;
+  if (capacity_ == 0) return evicted;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(chunk_index);
+  if (it != entries_.end()) {
+    // Refresh: replace payload (it may now carry more columns), keep the
+    // loaded flag sticky, move to MRU.
+    it->second.chunk = std::move(chunk);
+    it->second.loaded = it->second.loaded || loaded;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(chunk_index);
+    it->second.lru_pos = lru_.begin();
+    return evicted;
+  }
+  while (entries_.size() >= capacity_) EvictOne(&evicted);
+  Entry entry;
+  entry.chunk = std::move(chunk);
+  entry.loaded = loaded;
+  entry.insert_seq = next_seq_++;
+  lru_.push_front(chunk_index);
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(chunk_index, std::move(entry));
+  return evicted;
+}
+
+void ChunkCache::EvictOne(std::vector<EvictedChunk>* evicted) {
+  // Called with mu_ held and entries_ non-empty. Prefer the LRU loaded
+  // chunk; fall back to the global LRU victim.
+  uint64_t victim = lru_.back();
+  if (bias_evict_loaded_) {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (entries_.at(*it).loaded) {
+        victim = *it;
+        break;
+      }
+    }
+  }
+  auto it = entries_.find(victim);
+  evicted->push_back(
+      EvictedChunk{victim, std::move(it->second.chunk), it->second.loaded});
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+BinaryChunkPtr ChunkCache::Lookup(uint64_t chunk_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(chunk_index);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(chunk_index);
+  it->second.lru_pos = lru_.begin();
+  return it->second.chunk;
+}
+
+bool ChunkCache::Contains(uint64_t chunk_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(chunk_index) > 0;
+}
+
+void ChunkCache::MarkLoaded(uint64_t chunk_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(chunk_index);
+  if (it != entries_.end()) it->second.loaded = true;
+}
+
+std::optional<std::pair<uint64_t, BinaryChunkPtr>> ChunkCache::OldestUnloaded()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* best = nullptr;
+  uint64_t best_index = 0;
+  for (const auto& [index, entry] : entries_) {
+    if (entry.loaded) continue;
+    if (best == nullptr || entry.insert_seq < best->insert_seq) {
+      best = &entry;
+      best_index = index;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return std::make_pair(best_index, best->chunk);
+}
+
+std::vector<std::pair<uint64_t, BinaryChunkPtr>> ChunkCache::UnloadedChunks()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, const Entry*>> unloaded;
+  for (const auto& [index, entry] : entries_) {
+    if (!entry.loaded) unloaded.emplace_back(index, &entry);
+  }
+  std::sort(unloaded.begin(), unloaded.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->insert_seq < b.second->insert_seq;
+            });
+  std::vector<std::pair<uint64_t, BinaryChunkPtr>> out;
+  out.reserve(unloaded.size());
+  for (const auto& [index, entry] : unloaded) {
+    out.emplace_back(index, entry->chunk);
+  }
+  return out;
+}
+
+std::vector<uint64_t> ChunkCache::ResidentChunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [index, _] : entries_) out.push_back(index);
+  return out;
+}
+
+size_t ChunkCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t ChunkCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ChunkCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace scanraw

@@ -1,0 +1,89 @@
+// Binary chunk cache (§3.1 "Caching"): converted chunks stay resident so
+// subsequent queries skip READ/TOKENIZE/PARSE entirely. Eviction is LRU,
+// biased toward chunks already loaded inside the database ("chunks stored in
+// binary format are more likely to be replaced"). The speculative-loading
+// WRITE policy asks for the oldest unloaded resident chunk.
+#ifndef SCANRAW_SCANRAW_CHUNK_CACHE_H_
+#define SCANRAW_SCANRAW_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "columnar/binary_chunk.h"
+
+namespace scanraw {
+
+// A chunk evicted by an insert; buffered loading writes unloaded victims to
+// the database.
+struct EvictedChunk {
+  uint64_t chunk_index = 0;
+  BinaryChunkPtr chunk;
+  bool was_loaded = false;
+};
+
+class ChunkCache {
+ public:
+  // `capacity_chunks` == 0 disables caching entirely.
+  explicit ChunkCache(size_t capacity_chunks, bool bias_evict_loaded = true)
+      : capacity_(capacity_chunks), bias_evict_loaded_(bias_evict_loaded) {}
+
+  // Inserts (or refreshes) a chunk; returns any evicted entries. `loaded`
+  // marks the chunk as already stored in the database.
+  std::vector<EvictedChunk> Insert(uint64_t chunk_index, BinaryChunkPtr chunk,
+                                   bool loaded);
+
+  // Returns the cached chunk and refreshes its recency, or nullptr.
+  BinaryChunkPtr Lookup(uint64_t chunk_index);
+
+  // True when the cached entry for `chunk_index` exists (does not touch
+  // recency).
+  bool Contains(uint64_t chunk_index) const;
+
+  // Marks a resident chunk as loaded into the database.
+  void MarkLoaded(uint64_t chunk_index);
+
+  // Oldest (by insertion sequence) resident chunk not yet loaded, if any —
+  // the speculative WRITE candidate (§4: "only the 'oldest' chunk in the
+  // binary cache that was not previously loaded ... is written at a time").
+  std::optional<std::pair<uint64_t, BinaryChunkPtr>> OldestUnloaded() const;
+
+  // All resident unloaded chunks in insertion order — the safeguard flush
+  // set (§4).
+  std::vector<std::pair<uint64_t, BinaryChunkPtr>> UnloadedChunks() const;
+
+  // Indexes of all resident chunks (unordered snapshot).
+  std::vector<uint64_t> ResidentChunks() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    BinaryChunkPtr chunk;
+    bool loaded = false;
+    uint64_t insert_seq = 0;
+    std::list<uint64_t>::iterator lru_pos;  // into lru_, MRU at front
+  };
+
+  void EvictOne(std::vector<EvictedChunk>* evicted);
+
+  const size_t capacity_;
+  const bool bias_evict_loaded_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  uint64_t next_seq_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_CHUNK_CACHE_H_

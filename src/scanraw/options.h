@@ -1,0 +1,111 @@
+// Configuration for the ScanRaw operator, including the WRITE scheduling
+// policy that selects between the paper's operating regimes (§3, §4).
+#ifndef SCANRAW_SCANRAW_OPTIONS_H_
+#define SCANRAW_SCANRAW_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace scanraw {
+
+// WRITE scheduling policy (§3.1: "The scheduling policy for WRITE dictates
+// the SCANRAW behavior").
+enum class LoadPolicy : int {
+  // Never write: ScanRaw is a parallel external-table operator.
+  kExternalTables = 0,
+  // Write every converted chunk: ScanRaw degenerates into a parallel ETL
+  // operator ("load & process" in the evaluation).
+  kFullLoad = 1,
+  // Write only when the disk is idle (READ blocked on a full text buffer),
+  // plus the end-of-scan safeguard flush. The paper's contribution (§4).
+  kSpeculativeLoading = 2,
+  // Write a fixed number of chunks per query regardless of resource
+  // utilization — the invisible-loading baseline [4].
+  kInvisibleLoading = 3,
+  // Write chunks only when they are evicted from a full binary cache — the
+  // buffered-loading baseline (NoDB + flush-on-full, [10]).
+  kBufferedLoading = 4,
+};
+
+std::string_view LoadPolicyName(LoadPolicy policy);
+
+// Physical encoding of the raw file. Each format supplies its own TOKENIZE
+// worker; PARSE and everything downstream are shared (§5: "adding support
+// for other file formats requires only the implementation of specific
+// TOKENIZE and PARSE workers without changing the basic architecture").
+enum class RawFormat : int {
+  // Delimiter-separated text (CSV, TSV, SAM, ...), delimiter from the
+  // schema.
+  kDelimitedText = 0,
+  // One flat JSON object per line, one member per schema column.
+  kJsonLines = 1,
+};
+
+struct ScanRawOptions {
+  LoadPolicy policy = LoadPolicy::kSpeculativeLoading;
+
+  RawFormat raw_format = RawFormat::kDelimitedText;
+
+  // Worker threads in the pool shared by TOKENIZE and PARSE tasks. 0 means
+  // fully sequential conversion (Figure 4's leftmost configuration).
+  size_t num_workers = 8;
+
+  // Pipeline buffer capacities, in chunks.
+  size_t text_buffer_capacity = 8;
+  size_t position_buffer_capacity = 8;
+  size_t output_buffer_capacity = 8;
+
+  // Binary chunk cache capacity, in chunks (0 disables caching).
+  size_t cache_capacity_chunks = 32;
+  // Evict already-loaded chunks first (the paper's biased LRU). Exposed so
+  // the ablation bench can turn it off.
+  bool bias_evict_loaded = true;
+
+  // Lines per chunk for the first (layout-discovery) scan.
+  uint64_t chunk_rows = 1 << 16;
+
+  // kInvisibleLoading: chunks written per query.
+  size_t invisible_chunks_per_query = 2;
+
+  // End-of-scan safeguard flush (§4). On by default for speculative
+  // loading; exposed for the ablation bench.
+  bool safeguard_enabled = true;
+
+  // Collect per-column min/max statistics while loading (§3.3).
+  bool collect_stats = true;
+
+  // Cache positional maps across queries so re-scans of raw chunks skip or
+  // shorten TOKENIZE (§2's positional map; off by default per the §3.1
+  // argument that binary-chunk caching dominates it).
+  bool cache_positional_maps = false;
+  size_t positional_map_cache_chunks = 64;
+
+  // Push-down selection (§2): evaluate the query's range predicate during
+  // PARSE and drop failing rows before they reach the engine. Only honored
+  // in external-tables mode: filtered chunks are incomplete, so they are
+  // never cached or loaded (§2 explains why the bookkeeping otherwise
+  // "is too high to consider push-down selection a viable optimization").
+  bool pushdown_selection = false;
+
+  // WRITE sorts each chunk's rows on this column before loading it (§3.3
+  // "WRITE can sort data in each chunk prior to loading"), clustering
+  // stored pages for future range scans. Disabled when unset.
+  std::optional<size_t> sort_column_before_load;
+
+  // Delay admitting a new query until the previous query's background
+  // writes (speculative / safeguard) have drained — the alternative
+  // admission rule §4 describes for when flushing interferes with the next
+  // query's reads.
+  bool delay_admission_for_writes = false;
+
+  // Maintain distinct-count and sample sketches per column during
+  // conversion (§3.3 "more advanced statistics such as the number of
+  // distinct elements ... or even samples").
+  bool collect_sketches = false;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_OPTIONS_H_

@@ -1,0 +1,75 @@
+// Cache for per-chunk positional maps (§2: "when the vector is passed to
+// PARSE, it is also cached in memory"). The paper argues this cache is
+// less valuable than the binary chunk cache (§3.1) — it cannot avoid
+// reading or parsing — so it is off by default and bounded separately;
+// when enabled it lets a re-scan of a raw chunk skip TOKENIZE entirely, or
+// extend a partial map instead of rescanning the line prefix.
+#ifndef SCANRAW_SCANRAW_POSITIONAL_MAP_CACHE_H_
+#define SCANRAW_SCANRAW_POSITIONAL_MAP_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "format/positional_map.h"
+
+namespace scanraw {
+
+class PositionalMapCache {
+ public:
+  explicit PositionalMapCache(size_t capacity_chunks)
+      : capacity_(capacity_chunks) {}
+
+  // Returns the cached map for `chunk_index`, or nullptr. The map may be
+  // partial — the caller checks fields_per_row().
+  std::shared_ptr<const PositionalMap> Lookup(uint64_t chunk_index) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(chunk_index);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  // Stores (or widens) the map for a chunk. A narrower map never replaces
+  // a wider one.
+  void Insert(uint64_t chunk_index,
+              std::shared_ptr<const PositionalMap> map) {
+    if (capacity_ == 0 || map == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(chunk_index);
+    if (it != entries_.end()) {
+      if (map->fields_per_row() > it->second->fields_per_row()) {
+        it->second = std::move(map);
+      }
+      return;
+    }
+    while (entries_.size() >= capacity_ && !fifo_.empty()) {
+      entries_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    fifo_.push_back(chunk_index);
+    entries_.emplace(chunk_index, std::move(map));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  size_t MemoryBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& [_, map] : entries_) total += map->MemoryBytes();
+    return total;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<const PositionalMap>> entries_;
+  std::deque<uint64_t> fifo_;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_POSITIONAL_MAP_CACHE_H_

@@ -1,0 +1,102 @@
+#include "scanraw/raw_reader.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace scanraw {
+
+namespace {
+constexpr size_t kReadBlockBytes = 1 << 20;  // 1 MB sequential read unit
+}  // namespace
+
+Result<std::unique_ptr<SequentialChunker>> SequentialChunker::Open(
+    const std::string& path, uint64_t chunk_rows, RateLimiter* limiter,
+    IoStats* stats) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be > 0");
+  }
+  auto file = RandomAccessFile::Open(path, limiter, stats);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<SequentialChunker>(
+      new SequentialChunker(std::move(*file), chunk_rows));
+}
+
+SequentialChunker::SequentialChunker(std::unique_ptr<RandomAccessFile> file,
+                                     uint64_t chunk_rows)
+    : file_(std::move(file)), chunk_rows_(chunk_rows) {}
+
+Result<std::optional<TextChunk>> SequentialChunker::Next() {
+  std::string data = std::move(carry_);
+  carry_.clear();
+  uint64_t lines = 0;
+  size_t scan_from = 0;
+  // Count complete lines already in `data` (carry can hold several when
+  // chunk_rows is tiny).
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == '\n') {
+      ++lines;
+      scan_from = i + 1;
+      if (lines >= chunk_rows_) break;
+    }
+  }
+  while (lines < chunk_rows_ && !eof_) {
+    const size_t old = data.size();
+    data.resize(old + kReadBlockBytes);
+    auto n = file_->ReadAt(file_pos_, kReadBlockBytes, data.data() + old);
+    if (!n.ok()) return n.status();
+    data.resize(old + *n);
+    file_pos_ += *n;
+    if (*n == 0) {
+      eof_ = true;
+      break;
+    }
+    for (size_t i = old; i < data.size(); ++i) {
+      if (data[i] == '\n') {
+        ++lines;
+        scan_from = i + 1;
+        if (lines >= chunk_rows_) break;
+      }
+    }
+  }
+
+  size_t cut = data.size();
+  if (lines >= chunk_rows_) {
+    cut = scan_from;
+  } else if (eof_ && !data.empty() && data.back() != '\n') {
+    ++lines;  // final unterminated line
+  }
+  carry_ = data.substr(cut);
+  data.resize(cut);
+  if (data.empty()) return std::optional<TextChunk>();
+
+  const uint64_t offset =
+      file_pos_ - carry_.size() - data.size();
+  TextChunk chunk = MakeTextChunk(std::move(data), next_chunk_index_, offset);
+  ++next_chunk_index_;
+  return std::optional<TextChunk>(std::move(chunk));
+}
+
+Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
+                              const ChunkMetadata& meta) {
+  std::string data(meta.raw_size, '\0');
+  auto n = file.ReadAt(meta.raw_offset, meta.raw_size, data.data());
+  if (!n.ok()) return n.status();
+  if (*n != meta.raw_size) {
+    return Status::Corruption(StringPrintf(
+        "short read of chunk %llu: got %zu of %llu bytes",
+        static_cast<unsigned long long>(meta.chunk_index), *n,
+        static_cast<unsigned long long>(meta.raw_size)));
+  }
+  TextChunk chunk =
+      MakeTextChunk(std::move(data), meta.chunk_index, meta.raw_offset);
+  if (chunk.num_rows() != meta.num_rows) {
+    return Status::Corruption(StringPrintf(
+        "chunk %llu: expected %llu rows, found %zu",
+        static_cast<unsigned long long>(meta.chunk_index),
+        static_cast<unsigned long long>(meta.num_rows), chunk.num_rows()));
+  }
+  return chunk;
+}
+
+}  // namespace scanraw

@@ -1,0 +1,51 @@
+// READ-stage helpers: sequential chunking of a never-before-seen raw file
+// (layout discovery) and positional re-reads of known chunks.
+#ifndef SCANRAW_SCANRAW_RAW_READER_H_
+#define SCANRAW_SCANRAW_RAW_READER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "format/text_chunk.h"
+#include "io/file.h"
+
+namespace scanraw {
+
+class RateLimiter;
+
+// Splits a raw file sequentially into chunks of `chunk_rows` complete lines,
+// recording each chunk's byte extent for the catalog. Single-threaded (used
+// only by the READ thread).
+class SequentialChunker {
+ public:
+  static Result<std::unique_ptr<SequentialChunker>> Open(
+      const std::string& path, uint64_t chunk_rows,
+      RateLimiter* limiter = nullptr, IoStats* stats = nullptr);
+
+  // Returns the next chunk, or nullopt at end of file.
+  Result<std::optional<TextChunk>> Next();
+
+  uint64_t chunks_produced() const { return next_chunk_index_; }
+
+ private:
+  SequentialChunker(std::unique_ptr<RandomAccessFile> file,
+                    uint64_t chunk_rows);
+
+  std::unique_ptr<RandomAccessFile> file_;
+  const uint64_t chunk_rows_;
+  uint64_t file_pos_ = 0;        // next byte to read from the file
+  uint64_t next_chunk_index_ = 0;
+  std::string carry_;            // bytes after the last complete line
+  bool eof_ = false;
+};
+
+// Re-reads one chunk of a file whose layout is already in the catalog.
+Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
+                              const ChunkMetadata& meta);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_RAW_READER_H_

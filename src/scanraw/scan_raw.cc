@@ -1,0 +1,753 @@
+#include "scanraw/scan_raw.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "columnar/chunk_sort.h"
+#include "db/statistics.h"
+#include "format/parser.h"
+#include "format/json_tokenizer.h"
+#include "format/tokenizer.h"
+#include "pipeline/thread_pool.h"
+#include "scanraw/raw_reader.h"
+
+namespace scanraw {
+
+std::string_view LoadPolicyName(LoadPolicy policy) {
+  switch (policy) {
+    case LoadPolicy::kExternalTables:
+      return "external-tables";
+    case LoadPolicy::kFullLoad:
+      return "full-load";
+    case LoadPolicy::kSpeculativeLoading:
+      return "speculative-loading";
+    case LoadPolicy::kInvisibleLoading:
+      return "invisible-loading";
+    case LoadPolicy::kBufferedLoading:
+      return "buffered-loading";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ChunkHasColumns(const BinaryChunk& chunk,
+                     const std::vector<size_t>& columns) {
+  for (size_t c : columns) {
+    if (!chunk.HasColumn(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ QueryRun ----
+
+// The per-query pipeline: a READ thread, TOKENIZE/PARSE consumer threads
+// backed by a shared worker pool, and the bounded buffers between them.
+// Queue members are declared before the pool and the stand-alone threads so
+// they outlive every worker during destruction.
+struct ScanRaw::QueryRun::Impl {
+  struct Tokenized {
+    std::shared_ptr<TextChunk> text;
+    std::shared_ptr<const PositionalMap> map;
+  };
+
+  Impl(ScanRaw* parent_op, std::vector<size_t> columns,
+       std::optional<RangePredicate> filter, TableMetadata snapshot)
+      : parent(parent_op),
+        required_columns(std::move(columns)),
+        skip_filter(std::move(filter)),
+        meta(std::move(snapshot)),
+        text_q(std::max<size_t>(1, parent_op->options_.text_buffer_capacity)),
+        pos_q(std::max<size_t>(1,
+                               parent_op->options_.position_buffer_capacity)),
+        out_q(std::max<size_t>(1, parent_op->options_.output_buffer_capacity)),
+        pool(parent_op->options_.num_workers),
+        invisible_budget(static_cast<int64_t>(
+            parent_op->options_.invisible_chunks_per_query)) {}
+
+  void Start() {
+    read_thread = std::thread([this] { ReadLoop(); });
+    tokenize_thread = std::thread([this] { TokenizeLoop(); });
+    parse_thread = std::thread([this] { ParseLoop(); });
+  }
+
+  void ReportError(const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(status_mu);
+      if (first_error.ok()) first_error = status;
+    }
+    // Unblock the whole pipeline; Pop drains what is already buffered.
+    text_q.Close();
+    pos_q.Close();
+    out_q.Close();
+  }
+
+  Status GetStatus() const {
+    std::lock_guard<std::mutex> lock(status_mu);
+    return first_error;
+  }
+
+  // Pushes a raw text chunk, signalling the speculative trigger when READ
+  // blocks on a full buffer (§4). Returns false if the pipeline is aborting.
+  bool PushText(TextChunk chunk) {
+    if (text_q.TryPush(std::move(chunk))) return true;
+    parent->profile_.read_blocked_events.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    parent->MaybeTriggerSpeculativeWrite();
+    return text_q.Push(std::move(chunk));
+  }
+
+  void ReadLoop() {
+    if (!meta.layout_known) {
+      DiscoveryScan();
+    } else {
+      KnownLayoutScan();
+    }
+    text_q.Close();
+  }
+
+  // First access to the file: sequential scan, chunk layout recorded into
+  // the catalog as chunks are produced.
+  void DiscoveryScan() {
+    auto chunker =
+        SequentialChunker::Open(meta.raw_path, parent->options_.chunk_rows,
+                                parent->raw_limiter_, &parent->raw_io_stats_);
+    if (!chunker.ok()) {
+      ReportError(chunker.status());
+      return;
+    }
+    while (true) {
+      std::optional<TextChunk> chunk;
+      {
+        ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        ScopedTimer timer(&parent->profile_.read_time);
+        auto next = (*chunker)->Next();
+        if (!next.ok()) {
+          ReportError(next.status());
+          return;
+        }
+        chunk = std::move(*next);
+      }
+      if (!chunk.has_value()) break;
+      ChunkMetadata cm;
+      cm.chunk_index = chunk->chunk_index;
+      cm.raw_offset = chunk->file_offset;
+      cm.raw_size = chunk->data.size();
+      cm.num_rows = chunk->num_rows();
+      Status s = parent->catalog_->AppendChunk(parent->table_, cm);
+      if (!s.ok()) {
+        ReportError(s);
+        return;
+      }
+      parent->profile_.chunks_from_raw.fetch_add(1, std::memory_order_relaxed);
+      if (!PushText(std::move(*chunk))) return;
+    }
+    Status s = parent->catalog_->MarkLayoutComplete(parent->table_);
+    if (!s.ok()) ReportError(s);
+  }
+
+  // Later accesses: deliver cached chunks first, then database-resident
+  // chunks, then re-read the remaining raw chunks (§3.2.1).
+  void KnownLayoutScan() {
+    std::vector<std::pair<uint64_t, BinaryChunkPtr>> cached;
+    std::vector<const ChunkMetadata*> from_db;
+    std::vector<const ChunkMetadata*> from_raw;
+    for (const ChunkMetadata& cm : meta.chunks) {
+      if (skip_filter.has_value() &&
+          cm.CanSkipForRange(skip_filter->column, skip_filter->lo,
+                             skip_filter->hi)) {
+        continue;  // statistics prove no row matches (§3.3)
+      }
+      BinaryChunkPtr hit = parent->cache_.Lookup(cm.chunk_index);
+      if (hit != nullptr && ChunkHasColumns(*hit, required_columns)) {
+        cached.emplace_back(cm.chunk_index, std::move(hit));
+      } else if (cm.HasColumnsLoaded(required_columns)) {
+        from_db.push_back(&cm);
+      } else {
+        from_raw.push_back(&cm);
+      }
+    }
+
+    for (auto& [index, chunk] : cached) {
+      parent->profile_.chunks_from_cache.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      // Invisible loading charges its per-query quota against any unloaded
+      // chunk that passes through, cached or freshly converted.
+      if (parent->options_.policy == LoadPolicy::kInvisibleLoading) {
+        MaybeInvisibleWrite(index, chunk);
+      }
+      if (!out_q.Push(std::move(chunk))) return;
+    }
+
+    for (const ChunkMetadata* cm : from_db) {
+      BinaryChunkPtr ptr;
+      {
+        ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        ScopedTimer timer(&parent->profile_.read_time);
+        auto chunk =
+            parent->storage_->ReadChunkColumns(*cm, required_columns);
+        if (!chunk.ok()) {
+          ReportError(chunk.status());
+          return;
+        }
+        ptr = std::make_shared<const BinaryChunk>(std::move(*chunk));
+      }
+      parent->profile_.chunks_from_db.fetch_add(1, std::memory_order_relaxed);
+      // Database chunks are cached too (pre-fetching works for both sources,
+      // §3.1) and arrive already loaded.
+      HandleEvictions(
+          parent->cache_.Insert(cm->chunk_index, ptr, /*loaded=*/true));
+      if (!out_q.Push(std::move(ptr))) return;
+    }
+
+    if (from_raw.empty()) return;
+    auto file = RandomAccessFile::Open(meta.raw_path, parent->raw_limiter_,
+                                       &parent->raw_io_stats_);
+    if (!file.ok()) {
+      ReportError(file.status());
+      return;
+    }
+    for (const ChunkMetadata* cm : from_raw) {
+      TextChunk chunk;
+      {
+        ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        ScopedTimer timer(&parent->profile_.read_time);
+        auto read = ReadChunkAt(**file, *cm);
+        if (!read.ok()) {
+          ReportError(read.status());
+          return;
+        }
+        chunk = std::move(*read);
+      }
+      parent->profile_.chunks_from_raw.fetch_add(1, std::memory_order_relaxed);
+      if (!PushText(std::move(chunk))) return;
+    }
+  }
+
+  void TokenizeLoop() {
+    TokenizeOptions topts;
+    topts.delimiter = meta.schema.delimiter();
+    topts.schema_fields = meta.schema.num_columns();
+    // Selective tokenizing: stop the scan after the last needed attribute.
+    // (JSON members are unordered, so its tokenizer always maps the full
+    // schema and selective tokenizing does not apply.)
+    const bool json = parent->options_.raw_format == RawFormat::kJsonLines;
+    size_t max_needed = 0;
+    for (size_t c : required_columns) max_needed = std::max(max_needed, c + 1);
+    topts.max_fields = json ? 0 : max_needed;
+
+    const bool use_map_cache = parent->options_.cache_positional_maps;
+    while (auto item = text_q.Pop()) {
+      auto text = std::make_shared<TextChunk>(std::move(*item));
+      // Positional map cache (§2): a cached map that already covers the
+      // needed fields skips TOKENIZE outright; a partial one is extended
+      // from its last mapped attribute.
+      std::shared_ptr<const PositionalMap> cached;
+      if (use_map_cache) {
+        cached = parent->positional_maps_.Lookup(text->chunk_index);
+        if (cached != nullptr &&
+            cached->fields_per_row() >= topts.EffectiveFields()) {
+          pos_q.Push(Tokenized{text, cached});
+          continue;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        ++tokenize_inflight;
+      }
+      pool.Submit([this, text, topts, cached, use_map_cache, json] {
+        auto map = [&]() -> Result<PositionalMap> {
+          ScopedTimer timer(&parent->profile_.tokenize_time);
+          if (json) return TokenizeJsonChunk(*text, meta.schema);
+          // Delimited text: extend a cached partial map when available.
+          return cached != nullptr && !cached->explicit_ends()
+                     ? ExtendTokenizeMap(*text, *cached, topts)
+                     : TokenizeChunk(*text, topts);
+        }();
+        if (map.ok()) {
+          auto shared = std::make_shared<PositionalMap>(std::move(*map));
+          if (use_map_cache) {
+            parent->positional_maps_.Insert(text->chunk_index, shared);
+          }
+          pos_q.Push(Tokenized{text, std::move(shared)});
+        } else {
+          ReportError(map.status());
+        }
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        --tokenize_inflight;
+        inflight_cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu);
+      inflight_cv.wait(lock, [&] { return tokenize_inflight == 0; });
+    }
+    pos_q.Close();
+  }
+
+  // Push-down selection applies only when nothing downstream keeps chunk
+  // contents (external tables): a filtered chunk must never be cached or
+  // loaded (§2).
+  bool PushdownActive() const {
+    return parent->options_.pushdown_selection &&
+           parent->options_.policy == LoadPolicy::kExternalTables &&
+           skip_filter.has_value();
+  }
+
+  void ParseLoop() {
+    ParseOptions popts;
+    popts.projected_columns = required_columns;
+    if (PushdownActive()) {
+      popts.pushdown = PushdownFilter{skip_filter->column, skip_filter->lo,
+                                      skip_filter->hi};
+    }
+
+    while (auto item = pos_q.Pop()) {
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        ++parse_inflight;
+      }
+      Tokenized tokenized = std::move(*item);
+      pool.Submit([this, tokenized, popts] {
+        auto parsed = [&] {
+          ScopedTimer timer(&parent->profile_.parse_time);
+          return ParseChunk(*tokenized.text, *tokenized.map, meta.schema,
+                            popts);
+        }();
+        if (parsed.ok()) {
+          DeliverConverted(std::make_shared<const BinaryChunk>(
+              std::move(*parsed)));
+        } else {
+          ReportError(parsed.status());
+        }
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        --parse_inflight;
+        inflight_cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu);
+      inflight_cv.wait(lock, [&] { return parse_inflight == 0; });
+    }
+    // End of scan: every raw chunk is converted and resident (or already
+    // delivered). The safeguard flushes the unloaded cache tail (§4).
+    if (parent->options_.policy == LoadPolicy::kSpeculativeLoading &&
+        parent->options_.safeguard_enabled && GetStatus().ok()) {
+      parent->SafeguardFlush();
+    }
+    out_q.Close();
+  }
+
+  // Caches a freshly converted chunk, applies the WRITE policy, and hands
+  // the chunk to the execution engine.
+  void DeliverConverted(BinaryChunkPtr chunk) {
+    const uint64_t index = chunk->chunk_index();
+    if (PushdownActive()) {
+      // Filtered chunks are incomplete: deliver to the engine only.
+      out_q.Push(std::move(chunk));
+      return;
+    }
+    if (parent->options_.collect_sketches) {
+      parent->MaybeUpdateSketches(*chunk);
+    }
+    HandleEvictions(parent->cache_.Insert(index, chunk, /*loaded=*/false));
+    switch (parent->options_.policy) {
+      case LoadPolicy::kFullLoad:
+        parent->EnqueueWrite(index, chunk);
+        break;
+      case LoadPolicy::kInvisibleLoading:
+        MaybeInvisibleWrite(index, chunk);
+        break;
+      case LoadPolicy::kExternalTables:
+      case LoadPolicy::kSpeculativeLoading:
+      case LoadPolicy::kBufferedLoading:
+        break;  // nothing on the conversion path
+    }
+    out_q.Push(std::move(chunk));
+  }
+
+  // Invisible loading: spend one unit of the per-query quota on this chunk
+  // if any remains and the chunk is not already loaded or pending.
+  void MaybeInvisibleWrite(uint64_t index, const BinaryChunkPtr& chunk) {
+    if (invisible_budget.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      if (!parent->EnqueueWrite(index, chunk)) {
+        invisible_budget.fetch_add(1, std::memory_order_acq_rel);
+      }
+    } else {
+      invisible_budget.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  // Buffered loading: a chunk expelled from a full cache is written to the
+  // database ([10]'s flush-on-full behavior).
+  void HandleEvictions(std::vector<EvictedChunk> evicted) {
+    if (parent->options_.policy != LoadPolicy::kBufferedLoading) return;
+    for (EvictedChunk& ev : evicted) {
+      if (!ev.was_loaded) {
+        parent->EnqueueWrite(ev.chunk_index, std::move(ev.chunk));
+      }
+    }
+  }
+
+  void JoinAll() {
+    if (joined) return;
+    joined = true;
+    if (read_thread.joinable()) read_thread.join();
+    if (tokenize_thread.joinable()) tokenize_thread.join();
+    if (parse_thread.joinable()) parse_thread.join();
+    pool.WaitIdle();
+  }
+
+  void Abandon() {
+    // Unblock producers so JoinAll terminates even with a full pipeline.
+    text_q.Close();
+    pos_q.Close();
+    out_q.Close();
+    JoinAll();
+  }
+
+  ScanRaw* parent;
+  std::vector<size_t> required_columns;
+  std::optional<RangePredicate> skip_filter;
+  TableMetadata meta;
+
+  BoundedQueue<TextChunk> text_q;
+  BoundedQueue<Tokenized> pos_q;
+  BoundedQueue<BinaryChunkPtr> out_q;
+  ThreadPool pool;
+
+  std::thread read_thread;
+  std::thread tokenize_thread;
+  std::thread parse_thread;
+  bool joined = false;
+
+  std::mutex inflight_mu;
+  std::condition_variable inflight_cv;
+  size_t tokenize_inflight = 0;
+  size_t parse_inflight = 0;
+
+  std::atomic<int64_t> invisible_budget;
+
+  mutable std::mutex status_mu;
+  Status first_error;
+};
+
+ScanRaw::QueryRun::QueryRun(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ScanRaw::QueryRun::~QueryRun() {
+  if (impl_ != nullptr) impl_->Abandon();
+}
+
+Result<std::optional<BinaryChunkPtr>> ScanRaw::QueryRun::Next() {
+  auto item = impl_->out_q.Pop();
+  if (item.has_value()) {
+    return std::optional<BinaryChunkPtr>(std::move(*item));
+  }
+  Status s = impl_->GetStatus();
+  if (!s.ok()) return s;
+  return std::optional<BinaryChunkPtr>();
+}
+
+void ScanRaw::QueryRun::Finish() { impl_->JoinAll(); }
+
+Status ScanRaw::QueryRun::status() const { return impl_->GetStatus(); }
+
+ResourceSnapshot ScanRaw::QueryRun::Resources() const {
+  ResourceSnapshot snapshot;
+  snapshot.text_buffer_size = impl_->text_q.size();
+  snapshot.text_buffer_capacity = impl_->text_q.capacity();
+  snapshot.position_buffer_size = impl_->pos_q.size();
+  snapshot.position_buffer_capacity = impl_->pos_q.capacity();
+  snapshot.output_buffer_size = impl_->out_q.size();
+  snapshot.output_buffer_capacity = impl_->out_q.capacity();
+  snapshot.busy_workers = impl_->pool.busy_workers();
+  snapshot.num_workers = impl_->pool.num_workers();
+  snapshot.cache_size = impl_->parent->cache_.size();
+  snapshot.cache_capacity = impl_->parent->cache_.capacity();
+
+  using Advice = ResourceSnapshot::Advice;
+  if (snapshot.num_workers > 0 &&
+      snapshot.busy_workers == snapshot.num_workers &&
+      snapshot.text_buffer_size >= snapshot.text_buffer_capacity) {
+    snapshot.advice = Advice::kNeedMoreCpu;
+  } else if (snapshot.output_buffer_size >= snapshot.output_buffer_capacity) {
+    snapshot.advice = Advice::kEngineBound;
+  } else if (snapshot.busy_workers == 0 && snapshot.text_buffer_size == 0 &&
+             snapshot.position_buffer_size == 0) {
+    snapshot.advice = Advice::kIoBound;
+  }
+  return snapshot;
+}
+
+// -------------------------------------------------------------- ScanRaw ---
+
+ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
+                 DiskArbiter* arbiter, RateLimiter* raw_limiter,
+                 ScanRawOptions options)
+    : table_(std::move(table)),
+      catalog_(catalog),
+      storage_(storage),
+      arbiter_(arbiter),
+      raw_limiter_(raw_limiter),
+      options_(options),
+      cache_(options.cache_capacity_chunks, options.bias_evict_loaded),
+      positional_maps_(options.cache_positional_maps
+                           ? options.positional_map_cache_chunks
+                           : 0),
+      write_queue_(1 << 20) {
+  write_thread_ = std::thread([this] { WriteLoop(); });
+}
+
+ScanRaw::~ScanRaw() {
+  write_queue_.Close();
+  if (write_thread_.joinable()) write_thread_.join();
+}
+
+Result<std::unique_ptr<ScanRaw::QueryRun>> ScanRaw::StartQuery(
+    std::vector<size_t> required_columns,
+    std::optional<RangePredicate> skip_filter) {
+  if (options_.delay_admission_for_writes) {
+    // §4's alternative admission rule: do not start until the previous
+    // query's background flush has drained.
+    WaitForWrites();
+  }
+  auto meta = catalog_->GetTable(table_);
+  if (!meta.ok()) return meta.status();
+  if (required_columns.empty()) {
+    required_columns.resize(meta->schema.num_columns());
+    for (size_t i = 0; i < required_columns.size(); ++i) {
+      required_columns[i] = i;
+    }
+  }
+  std::sort(required_columns.begin(), required_columns.end());
+  required_columns.erase(
+      std::unique(required_columns.begin(), required_columns.end()),
+      required_columns.end());
+  for (size_t c : required_columns) {
+    if (c >= meta->schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringPrintf("column %zu out of range for table %s", c,
+                       table_.c_str()));
+    }
+  }
+  auto impl = std::make_unique<QueryRun::Impl>(
+      this, std::move(required_columns), std::move(skip_filter),
+      std::move(*meta));
+  impl->Start();
+  return std::unique_ptr<QueryRun>(new QueryRun(std::move(impl)));
+}
+
+Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec) {
+  std::optional<RangePredicate> skip_filter = spec.predicate.range;
+  auto run = StartQuery(spec.RequiredColumns(), skip_filter);
+  if (!run.ok()) return run.status();
+  auto result = RunQuery(spec, run->get());
+  (*run)->Finish();
+  Status s = (*run)->status();
+  if (!s.ok()) return s;
+  if (!result.ok()) return result.status();
+  if (options_.policy == LoadPolicy::kFullLoad ||
+      options_.policy == LoadPolicy::kInvisibleLoading) {
+    // Synchronous-loading regimes: loading is part of the query.
+    WaitForWrites();
+    Status ws = write_status();
+    if (!ws.ok()) return ws;
+  }
+  return result;
+}
+
+Result<std::vector<QueryResult>> ScanRaw::ExecuteQueries(
+    const std::vector<QuerySpec>& specs) {
+  if (specs.empty()) return std::vector<QueryResult>();
+  // One pass over the union of every query's columns. Chunk skipping is
+  // only safe when a chunk is irrelevant to every query, so it is applied
+  // only if all queries share the same range predicate.
+  std::set<size_t> column_union;
+  for (const QuerySpec& spec : specs) {
+    for (size_t c : spec.RequiredColumns()) column_union.insert(c);
+  }
+  std::optional<RangePredicate> shared_filter = specs[0].predicate.range;
+  for (const QuerySpec& spec : specs) {
+    const auto& r = spec.predicate.range;
+    const bool same =
+        r.has_value() == shared_filter.has_value() &&
+        (!r.has_value() || (r->column == shared_filter->column &&
+                            r->lo == shared_filter->lo &&
+                            r->hi == shared_filter->hi));
+    if (!same) {
+      shared_filter.reset();
+      break;
+    }
+  }
+
+  auto run = StartQuery(
+      std::vector<size_t>(column_union.begin(), column_union.end()),
+      shared_filter);
+  if (!run.ok()) return run.status();
+  std::vector<QueryExecutor> executors;
+  executors.reserve(specs.size());
+  for (const QuerySpec& spec : specs) executors.emplace_back(spec);
+  while (true) {
+    auto next = (*run)->Next();
+    if (!next.ok()) return next.status();
+    if (!next->has_value()) break;
+    for (QueryExecutor& executor : executors) {
+      SCANRAW_RETURN_IF_ERROR(executor.Consume(***next));
+    }
+  }
+  (*run)->Finish();
+  SCANRAW_RETURN_IF_ERROR((*run)->status());
+  if (options_.policy == LoadPolicy::kFullLoad ||
+      options_.policy == LoadPolicy::kInvisibleLoading) {
+    WaitForWrites();
+    SCANRAW_RETURN_IF_ERROR(write_status());
+  }
+  std::vector<QueryResult> results;
+  results.reserve(executors.size());
+  for (QueryExecutor& executor : executors) {
+    results.push_back(executor.Finish());
+  }
+  return results;
+}
+
+bool ScanRaw::EnqueueWrite(uint64_t chunk_index, BinaryChunkPtr chunk) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_writes_.count(chunk_index)) return false;
+    auto meta = catalog_->GetTable(table_);
+    if (meta.ok() && chunk_index < meta->chunks.size()) {
+      const ChunkMetadata& cm = meta->chunks[chunk_index];
+      bool all_loaded = true;
+      for (size_t c : chunk->ColumnIds()) {
+        if (!cm.loaded_columns.count(c)) {
+          all_loaded = false;
+          break;
+        }
+      }
+      if (all_loaded) {
+        // Already in the database (possibly loaded by an earlier query);
+        // repair the cache flag so the chunk is not offered again.
+        cache_.MarkLoaded(chunk_index);
+        return false;
+      }
+    }
+    pending_writes_.insert(chunk_index);
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    ++writes_outstanding_;
+  }
+  if (!write_queue_.Push(WriteRequest{chunk_index, std::move(chunk)})) {
+    // Operator shutting down.
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_writes_.erase(chunk_index);
+    }
+    std::lock_guard<std::mutex> lock(write_mu_);
+    --writes_outstanding_;
+    write_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void ScanRaw::MaybeTriggerSpeculativeWrite() {
+  if (options_.policy != LoadPolicy::kSpeculativeLoading) return;
+  {
+    // One chunk at a time (§4): do not stack writes while one is queued or
+    // in flight.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (writes_outstanding_ > 0) return;
+  }
+  auto victim = cache_.OldestUnloaded();
+  if (!victim.has_value()) return;
+  if (EnqueueWrite(victim->first, std::move(victim->second))) {
+    profile_.speculative_triggers.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ScanRaw::SafeguardFlush() {
+  for (auto& [index, chunk] : cache_.UnloadedChunks()) {
+    EnqueueWrite(index, std::move(chunk));
+  }
+}
+
+void ScanRaw::WriteLoop() {
+  while (auto req = write_queue_.Pop()) {
+    Status status;
+    // Optional pre-load clustering (§3.3): sort the chunk's rows on the
+    // configured column before it is stored.
+    BinaryChunkPtr to_store = req->chunk;
+    if (options_.sort_column_before_load.has_value() &&
+        to_store->HasColumn(*options_.sort_column_before_load)) {
+      auto sorted =
+          SortChunkByColumn(*to_store, *options_.sort_column_before_load);
+      if (sorted.ok()) {
+        to_store = std::make_shared<const BinaryChunk>(std::move(*sorted));
+      }
+    }
+    {
+      ScopedDiskAccess disk(arbiter_, DiskUser::kWriter);
+      ScopedTimer timer(&profile_.write_time);
+      auto segment =
+          storage_->WriteSegment(*to_store, to_store->ColumnIds());
+      if (!segment.ok()) {
+        status = segment.status();
+      } else {
+        std::map<size_t, ColumnStats> stats;
+        if (options_.collect_stats) stats = ComputeChunkStats(*to_store);
+        status = catalog_->RecordSegment(table_, req->chunk_index, *segment,
+                                         stats);
+      }
+    }
+    if (status.ok()) {
+      cache_.MarkLoaded(req->chunk_index);
+      profile_.chunks_written.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      if (write_status_.ok()) write_status_ = status;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_writes_.erase(req->chunk_index);
+    }
+    std::lock_guard<std::mutex> lock(write_mu_);
+    --writes_outstanding_;
+    write_cv_.notify_all();
+  }
+}
+
+void ScanRaw::MaybeUpdateSketches(const BinaryChunk& chunk) {
+  {
+    std::lock_guard<std::mutex> lock(sketched_mu_);
+    if (!sketched_chunks_.insert(chunk.chunk_index()).second) return;
+  }
+  sketches_.AddChunk(chunk);
+}
+
+void ScanRaw::WaitForWrites() {
+  std::unique_lock<std::mutex> lock(write_mu_);
+  write_cv_.wait(lock, [&] { return writes_outstanding_ == 0; });
+}
+
+Status ScanRaw::write_status() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return write_status_;
+}
+
+double ScanRaw::LoadedFraction() const {
+  auto meta = catalog_->GetTable(table_);
+  if (!meta.ok()) return 0.0;
+  return meta->LoadedFraction();
+}
+
+bool ScanRaw::FullyLoaded() const {
+  auto meta = catalog_->GetTable(table_);
+  if (!meta.ok()) return false;
+  return meta->FullyLoaded();
+}
+
+}  // namespace scanraw

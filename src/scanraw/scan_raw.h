@@ -1,0 +1,235 @@
+// ScanRaw: the paper's physical operator for in-situ processing over raw
+// files (§3). A super-scalar pipeline — READ -> TOKENIZE* -> PARSE* ->
+// binary chunk cache -> execution engine — with WRITE speculatively storing
+// converted chunks in the database whenever the disk would otherwise idle
+// (§4). The operator is attached to a raw file, not to a query: its cache
+// and catalog state persist across queries, and it morphs into a heap scan
+// as the file gets loaded.
+#ifndef SCANRAW_SCANRAW_SCAN_RAW_H_
+#define SCANRAW_SCANRAW_SCAN_RAW_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "db/catalog.h"
+#include "db/storage_manager.h"
+#include "exec/query.h"
+#include "io/disk_arbiter.h"
+#include "io/file.h"
+#include "io/rate_limiter.h"
+#include "db/sketches.h"
+#include "pipeline/bounded_queue.h"
+#include "scanraw/chunk_cache.h"
+#include "scanraw/options.h"
+#include "scanraw/positional_map_cache.h"
+
+namespace scanraw {
+
+// Per-stage profiling counters ("special function calls to harness detailed
+// profiling data", §5). Stopwatch intervals count processed chunks, so
+// TotalSeconds()/intervals() is the per-chunk stage time of Figure 5.
+struct PipelineProfile {
+  Stopwatch read_time;
+  Stopwatch tokenize_time;
+  Stopwatch parse_time;
+  Stopwatch write_time;
+  std::atomic<uint64_t> chunks_from_cache{0};
+  std::atomic<uint64_t> chunks_from_db{0};
+  std::atomic<uint64_t> chunks_from_raw{0};
+  std::atomic<uint64_t> chunks_written{0};
+  std::atomic<uint64_t> read_blocked_events{0};
+  std::atomic<uint64_t> speculative_triggers{0};
+
+  void Reset() {
+    read_time.Reset();
+    tokenize_time.Reset();
+    parse_time.Reset();
+    write_time.Reset();
+    chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
+    read_blocked_events = speculative_triggers = 0;
+  }
+};
+
+// Live pipeline utilization, relayed to the database resource manager
+// (§3.3: "the scheduler is in the best position to monitor resource
+// utilization since it manages the allocation of worker threads ... These
+// data are relayed to the database resource manager as requests for
+// additional resources").
+struct ResourceSnapshot {
+  size_t text_buffer_size = 0;
+  size_t text_buffer_capacity = 0;
+  size_t position_buffer_size = 0;
+  size_t position_buffer_capacity = 0;
+  size_t output_buffer_size = 0;
+  size_t output_buffer_capacity = 0;
+  size_t busy_workers = 0;
+  size_t num_workers = 0;
+  size_t cache_size = 0;
+  size_t cache_capacity = 0;
+
+  enum class Advice {
+    // Every worker busy and the text buffer full: "additional CPUs are
+    // needed in order to cope with the I/O throughput".
+    kNeedMoreCpu,
+    // Workers starved and buffers empty: the disk is the bottleneck.
+    kIoBound,
+    // The engine is not draining the output buffer.
+    kEngineBound,
+    kBalanced,
+  };
+  Advice advice = Advice::kBalanced;
+};
+
+class ScanRaw {
+ public:
+  // The table must already exist in `catalog` (see ScanRawManager, which
+  // creates both). `arbiter` serializes READ/WRITE disk access; pass
+  // nullptr to disable arbitration. `raw_limiter` throttles raw-file reads
+  // to emulate a fixed-bandwidth device (the StorageManager can carry its
+  // own limiter for the database side).
+  ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
+          DiskArbiter* arbiter, RateLimiter* raw_limiter,
+          ScanRawOptions options);
+  ~ScanRaw();
+  ScanRaw(const ScanRaw&) = delete;
+  ScanRaw& operator=(const ScanRaw&) = delete;
+
+  // A single query's pass over the file. Delivers every chunk exactly once,
+  // cached chunks first, then database-resident chunks, then raw chunks
+  // (§3.2.1). Obtain via StartQuery; drain with Next() until nullopt; the
+  // destructor joins the pipeline (abandoning early is safe).
+  class QueryRun : public ChunkStream {
+   public:
+    ~QueryRun() override;
+    QueryRun(const QueryRun&) = delete;
+    QueryRun& operator=(const QueryRun&) = delete;
+
+    Result<std::optional<BinaryChunkPtr>> Next() override;
+
+    // Joins this query's pipeline threads (idempotent; the destructor calls
+    // it). Background loading keeps draining on the operator's WRITE thread
+    // so the safeguard flush overlaps with the next query (§4).
+    void Finish();
+
+    // First error raised by any pipeline thread (OK if none).
+    Status status() const;
+
+    // Point-in-time utilization of the live pipeline (§3.3 resource
+    // management).
+    ResourceSnapshot Resources() const;
+
+   private:
+    friend class ScanRaw;
+    struct Impl;
+    explicit QueryRun(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+  };
+
+  // Starts the pipeline for one query needing `required_columns` (empty =
+  // all schema columns). An optional range filter enables statistics-based
+  // chunk skipping for database-resident chunks.
+  Result<std::unique_ptr<QueryRun>> StartQuery(
+      std::vector<size_t> required_columns,
+      std::optional<RangePredicate> skip_filter = std::nullopt);
+
+  // Convenience: run a full query through the execution engine. For the
+  // synchronous-loading policies (kFullLoad, kInvisibleLoading) this waits
+  // for queued writes to drain before returning — loading is part of the
+  // query there. Speculative/buffered writes keep draining in the
+  // background; the next query's READ contends with them via the arbiter,
+  // exactly the §4 admission rule.
+  Result<QueryResult> ExecuteQuery(const QuerySpec& spec);
+
+  // Multi-query processing over raw files (the paper's §7 future work):
+  // executes several queries in ONE shared pass. The pipeline converts the
+  // union of the queries' required columns once; every delivered chunk is
+  // fanned out to all query executors. Results are returned in input
+  // order. Loading policies apply to the single shared scan.
+  Result<std::vector<QueryResult>> ExecuteQueries(
+      const std::vector<QuerySpec>& specs);
+
+  // Blocks until the WRITE queue is empty and no write is in flight.
+  void WaitForWrites();
+  // First error raised by the WRITE thread, sticky (OK if none).
+  Status write_status() const;
+
+  const std::string& table() const { return table_; }
+  const ScanRawOptions& options() const { return options_; }
+  PipelineProfile& profile() { return profile_; }
+  ChunkCache& cache() { return cache_; }
+  PositionalMapCache& positional_maps() { return positional_maps_; }
+  // Distinct/sample sketches collected during conversion; only populated
+  // when options.collect_sketches is set.
+  const TableSketches& sketches() const { return sketches_; }
+
+  // Loading progress, from the catalog.
+  double LoadedFraction() const;
+  // True once every chunk/column is in the database — the operator can be
+  // retired (§3.3: "Whenever it loaded the entire raw file").
+  bool FullyLoaded() const;
+
+ private:
+  struct WriteRequest {
+    uint64_t chunk_index = 0;
+    BinaryChunkPtr chunk;
+  };
+
+  // Queues `chunk` for loading unless it is already loaded, pending, or the
+  // operator is shutting down. Returns true if the write was queued.
+  bool EnqueueWrite(uint64_t chunk_index, BinaryChunkPtr chunk);
+
+  // Speculative trigger: called when READ blocks on a full text buffer.
+  // Writes the oldest unloaded cached chunk, one at a time (§4).
+  void MaybeTriggerSpeculativeWrite();
+
+  // End-of-scan safeguard (§4): queue every unloaded cached chunk.
+  void SafeguardFlush();
+
+  // Stand-alone WRITE thread body (runs for the operator's lifetime).
+  void WriteLoop();
+
+  // Folds a freshly converted chunk into the sketches exactly once.
+  void MaybeUpdateSketches(const BinaryChunk& chunk);
+
+  const std::string table_;
+  Catalog* const catalog_;
+  StorageManager* const storage_;
+  DiskArbiter* const arbiter_;
+  RateLimiter* const raw_limiter_;
+  const ScanRawOptions options_;
+
+  ChunkCache cache_;
+  PositionalMapCache positional_maps_;
+  TableSketches sketches_;
+  // Chunks already folded into the sketches, so re-scans do not bias the
+  // reservoir sample (the KMV sketch is naturally idempotent).
+  std::mutex sketched_mu_;
+  std::set<uint64_t> sketched_chunks_;
+  PipelineProfile profile_;
+  IoStats raw_io_stats_;
+
+  // Chunks with a write queued or in flight, to keep loading exactly-once.
+  std::mutex pending_mu_;
+  std::set<uint64_t> pending_writes_;
+
+  // WRITE thread state.
+  BoundedQueue<WriteRequest> write_queue_;
+  std::thread write_thread_;
+  mutable std::mutex write_mu_;
+  std::condition_variable write_cv_;
+  size_t writes_outstanding_ = 0;  // queued + in flight
+  Status write_status_;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_SCAN_RAW_H_

@@ -1,0 +1,134 @@
+#include "scanraw/scanraw_manager.h"
+
+namespace scanraw {
+
+HeapScanStream::HeapScanStream(const TableMetadata& table,
+                               const StorageManager* storage,
+                               std::vector<size_t> columns,
+                               std::optional<RangePredicate> filter)
+    : scan_(table, storage, std::move(columns)) {
+  if (filter.has_value()) {
+    scan_.SetRangeFilter(filter->column, filter->lo, filter->hi);
+  }
+}
+
+Result<std::optional<BinaryChunkPtr>> HeapScanStream::Next() {
+  auto chunk = scan_.Next();
+  if (!chunk.ok()) return chunk.status();
+  if (!chunk->has_value()) return std::optional<BinaryChunkPtr>();
+  return std::optional<BinaryChunkPtr>(
+      std::make_shared<const BinaryChunk>(std::move(**chunk)));
+}
+
+Result<std::unique_ptr<ScanRawManager>> ScanRawManager::Create(
+    const Config& config) {
+  std::unique_ptr<ScanRawManager> manager(new ScanRawManager(config));
+  auto storage =
+      config.reuse_existing_db
+          ? StorageManager::OpenExisting(config.db_path,
+                                         manager->limiter_.get(),
+                                         &manager->io_stats_)
+          : StorageManager::Create(config.db_path, manager->limiter_.get(),
+                                   &manager->io_stats_);
+  if (!storage.ok()) return storage.status();
+  manager->storage_ = std::move(*storage);
+  manager->storage_->SetCompression(config.compress_segments);
+  return manager;
+}
+
+ScanRawManager::ScanRawManager(const Config& config)
+    : config_(config),
+      limiter_(config.disk_bandwidth > 0
+                   ? std::make_unique<RateLimiter>(config.disk_bandwidth)
+                   : nullptr) {}
+
+Status ScanRawManager::RegisterRawFile(const std::string& table,
+                                       const std::string& path,
+                                       const Schema& schema,
+                                       const ScanRawOptions& options) {
+  SCANRAW_RETURN_IF_ERROR(
+      catalog_.CreateTable(table, path, schema, options.chunk_rows));
+  std::lock_guard<std::mutex> lock(mu_);
+  options_[table] = options;
+  return Status::OK();
+}
+
+Status ScanRawManager::SaveCatalog(const std::string& path) const {
+  return catalog_.SaveToFile(path);
+}
+
+Status ScanRawManager::LoadCatalog(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!operators_.empty()) {
+      return Status::InvalidArgument(
+          "cannot load a catalog while operators are live");
+    }
+  }
+  return catalog_.LoadFromFile(path);
+}
+
+Status ScanRawManager::AttachOptions(const std::string& table,
+                                     const ScanRawOptions& options) {
+  if (!catalog_.HasTable(table)) {
+    return Status::NotFound("table " + table + " not in catalog");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  options_[table] = options;
+  return Status::OK();
+}
+
+ScanRaw* ScanRawManager::GetOperator(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = operators_.find(table);
+  return it == operators_.end() ? nullptr : it->second.get();
+}
+
+bool ScanRawManager::IsRetired(const std::string& table) {
+  auto meta = catalog_.GetTable(table);
+  if (!meta.ok() || !meta->FullyLoaded()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return operators_.find(table) == operators_.end();
+}
+
+Result<QueryResult> ScanRawManager::Query(const std::string& table,
+                                          const QuerySpec& spec) {
+  auto meta = catalog_.GetTable(table);
+  if (!meta.ok()) return meta.status();
+
+  ScanRaw* op = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = operators_.find(table);
+    if (it != operators_.end()) {
+      // Retire the operator once the whole raw file is in the database and
+      // its background writes have drained (§3.3: "Whenever it loaded the
+      // entire raw file").
+      if (meta->FullyLoaded()) {
+        it->second->WaitForWrites();
+        operators_.erase(it);
+      } else {
+        op = it->second.get();
+      }
+    } else if (!meta->FullyLoaded()) {
+      auto opt_it = options_.find(table);
+      if (opt_it == options_.end()) {
+        return Status::Internal("no ScanRaw options for table " + table);
+      }
+      auto created = std::make_unique<ScanRaw>(
+          table, &catalog_, storage_.get(), &arbiter_, limiter_.get(),
+          opt_it->second);
+      op = created.get();
+      operators_.emplace(table, std::move(created));
+    }
+  }
+
+  if (op != nullptr) return op->ExecuteQuery(spec);
+
+  // Fully loaded: plain database processing through the heap scan.
+  HeapScanStream stream(*meta, storage_.get(), spec.RequiredColumns(),
+                        spec.predicate.range);
+  return RunQuery(spec, &stream);
+}
+
+}  // namespace scanraw

@@ -1,0 +1,105 @@
+// ScanRawManager: the database-integration layer of §3.3. ScanRaw operators
+// are keyed by raw file and persist across queries ("SCANRAW is not attached
+// to a query but rather to the raw file"); when a file is fully loaded the
+// operator is retired and queries run through the plain heap scan. The
+// manager owns the substrate every operator shares: catalog, storage
+// manager, disk arbiter and the bandwidth limiter emulating one disk.
+#ifndef SCANRAW_SCANRAW_SCANRAW_MANAGER_H_
+#define SCANRAW_SCANRAW_SCANRAW_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "db/catalog.h"
+#include "db/heap_scan.h"
+#include "db/storage_manager.h"
+#include "exec/query.h"
+#include "io/disk_arbiter.h"
+#include "io/rate_limiter.h"
+#include "scanraw/scan_raw.h"
+
+namespace scanraw {
+
+// Adapts HeapScan to the engine's pull interface.
+class HeapScanStream : public ChunkStream {
+ public:
+  HeapScanStream(const TableMetadata& table, const StorageManager* storage,
+                 std::vector<size_t> columns,
+                 std::optional<RangePredicate> filter = std::nullopt);
+  Result<std::optional<BinaryChunkPtr>> Next() override;
+
+ private:
+  HeapScan scan_;
+};
+
+class ScanRawManager {
+ public:
+  struct Config {
+    // Database storage file.
+    std::string db_path;
+    // Shared disk bandwidth in bytes/second (0 = unlimited). Raw-file reads
+    // and database I/O draw from the same budget, like the paper's single
+    // RAID array.
+    uint64_t disk_bandwidth = 0;
+    // Reopen an existing database file instead of truncating (restart
+    // recovery; pair with LoadCatalog).
+    bool reuse_existing_db = false;
+    // Delta-compress integer columns in stored segments.
+    bool compress_segments = false;
+  };
+
+  static Result<std::unique_ptr<ScanRawManager>> Create(const Config& config);
+
+  // Registers a raw file as a queryable table. No data is read yet — zero
+  // time-to-query.
+  Status RegisterRawFile(const std::string& table, const std::string& path,
+                         const Schema& schema, const ScanRawOptions& options);
+
+  // Runs a query, creating the table's ScanRaw operator on first use and
+  // retiring it once the raw file is fully loaded (§3.3).
+  Result<QueryResult> Query(const std::string& table, const QuerySpec& spec);
+
+  // The live operator for `table`, or nullptr if none exists (not yet
+  // queried, or retired).
+  ScanRaw* GetOperator(const std::string& table);
+
+  // True when queries on `table` run purely from the database.
+  bool IsRetired(const std::string& table);
+
+  // Restart recovery: persist / restore catalog metadata (tables, chunk
+  // layouts, loaded segments, statistics). Register the same raw files
+  // with RegisterRawFileOptions after LoadCatalog to re-attach operators.
+  Status SaveCatalog(const std::string& path) const;
+  Status LoadCatalog(const std::string& path);
+
+  // Like RegisterRawFile but for a table restored by LoadCatalog: only the
+  // ScanRaw options are (re)attached; the catalog entry must already exist.
+  Status AttachOptions(const std::string& table,
+                       const ScanRawOptions& options);
+
+  Catalog* catalog() { return &catalog_; }
+  StorageManager* storage() { return storage_.get(); }
+  DiskArbiter* arbiter() { return &arbiter_; }
+  RateLimiter* limiter() { return limiter_.get(); }
+  IoStats* io_stats() { return &io_stats_; }
+
+ private:
+  explicit ScanRawManager(const Config& config);
+
+  Config config_;
+  Catalog catalog_;
+  std::unique_ptr<RateLimiter> limiter_;
+  DiskArbiter arbiter_;
+  IoStats io_stats_;
+  std::unique_ptr<StorageManager> storage_;
+
+  std::mutex mu_;
+  std::map<std::string, ScanRawOptions> options_;
+  std::map<std::string, std::unique_ptr<ScanRaw>> operators_;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_SCANRAW_MANAGER_H_

@@ -1,0 +1,94 @@
+#include "sim/calibrate.h"
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "format/parser.h"
+#include "format/tokenizer.h"
+
+namespace scanraw {
+
+uint64_t EstimateTextBytesPerRow(size_t num_columns) {
+  // Uniform uint32 below 2^31: ~9.3 decimal digits on average, plus a
+  // delimiter (or newline) per column.
+  return static_cast<uint64_t>(num_columns) * 10 +
+         static_cast<uint64_t>(num_columns) / 3;
+}
+
+ChunkCosts PaperChunkCosts(const CostModelInput& input) {
+  constexpr double kTokenizeNsPerByte = 4.4;
+  constexpr double kParseNsPerCell = 90.0;
+  constexpr double kEngineNsPerBinaryByte = 1.0;
+  // Per-cell parse cost grows with the column count (appending into
+  // hundreds of column vectors thrashes the cache); this reproduces Figure
+  // 5b's falling I/O share — ~45% at 2 columns down to ~20% at 256 — and
+  // makes the 256-column Figure 9 run CPU-bound at 8 workers, as measured.
+  const double parse_ns_per_cell =
+      kParseNsPerCell * (1.0 + static_cast<double>(input.num_columns) / 256.0);
+
+  const double text_bytes = static_cast<double>(
+      EstimateTextBytesPerRow(input.num_columns) * input.rows_per_chunk);
+  const double cells = static_cast<double>(input.num_columns) *
+                       static_cast<double>(input.rows_per_chunk);
+  const double binary_bytes = cells * 4.0;
+  const double bw = static_cast<double>(input.disk_bandwidth);
+
+  ChunkCosts costs;
+  costs.read_s = text_bytes / bw;
+  costs.write_s = binary_bytes / bw;
+  costs.tokenize_s = text_bytes * kTokenizeNsPerByte * 1e-9;
+  costs.parse_s = cells * parse_ns_per_cell * 1e-9;
+  costs.engine_s = binary_bytes * kEngineNsPerBinaryByte * 1e-9;
+  return costs;
+}
+
+Result<ChunkCosts> CalibrateChunkCosts(const CostModelInput& input,
+                                       uint64_t sample_rows) {
+  if (sample_rows == 0) {
+    return Status::InvalidArgument("sample_rows must be > 0");
+  }
+  // Build a representative text chunk in memory.
+  Random rng(7);
+  std::string data;
+  data.reserve(sample_rows * EstimateTextBytesPerRow(input.num_columns));
+  for (uint64_t r = 0; r < sample_rows; ++r) {
+    for (size_t c = 0; c < input.num_columns; ++c) {
+      if (c > 0) data.push_back(',');
+      AppendUint64(&data, rng.NextUint32() & 0x7FFFFFFFu);
+    }
+    data.push_back('\n');
+  }
+  const double sample_bytes = static_cast<double>(data.size());
+  TextChunk chunk = MakeTextChunk(std::move(data));
+  const Schema schema = Schema::AllUint32(input.num_columns);
+
+  TokenizeOptions topts;
+  topts.delimiter = ',';
+  topts.schema_fields = input.num_columns;
+
+  RealClock clock;
+  const int64_t t0 = clock.NowNanos();
+  auto map = TokenizeChunk(chunk, topts);
+  if (!map.ok()) return map.status();
+  const int64_t t1 = clock.NowNanos();
+  auto parsed = ParseChunk(chunk, *map, schema, ParseOptions{});
+  if (!parsed.ok()) return parsed.status();
+  const int64_t t2 = clock.NowNanos();
+
+  const double scale = static_cast<double>(input.rows_per_chunk) /
+                       static_cast<double>(sample_rows);
+  const double text_bytes = sample_bytes * scale;
+  const double binary_bytes = static_cast<double>(input.num_columns) *
+                              static_cast<double>(input.rows_per_chunk) * 4.0;
+  const double bw = static_cast<double>(input.disk_bandwidth);
+
+  ChunkCosts costs;
+  costs.read_s = text_bytes / bw;
+  costs.write_s = binary_bytes / bw;
+  costs.tokenize_s = static_cast<double>(t1 - t0) * 1e-9 * scale;
+  costs.parse_s = static_cast<double>(t2 - t1) * 1e-9 * scale;
+  costs.engine_s = binary_bytes * 1e-9;  // ~1 ns/byte, as in the paper model
+  return costs;
+}
+
+}  // namespace scanraw

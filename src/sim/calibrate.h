@@ -1,0 +1,43 @@
+// Cost models feeding the pipeline simulator.
+//
+// Two sources are provided: PaperChunkCosts is an analytical model anchored
+// to the per-stage numbers the paper reports for its testbed (Figure 5a on
+// 2x AMD Opteron 6128, 436 MB/s RAID-0) — this is what the figure benches
+// use so the simulated crossovers land where the paper's did. Host
+// calibration (CalibrateChunkCosts) times the real tokenizer/parser on this
+// machine instead, for comparing the model against live hardware.
+#ifndef SCANRAW_SIM_CALIBRATE_H_
+#define SCANRAW_SIM_CALIBRATE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "sim/pipeline_sim.h"
+
+namespace scanraw {
+
+struct CostModelInput {
+  size_t num_columns = 64;
+  uint64_t rows_per_chunk = 1 << 19;
+  // Disk bandwidth in bytes/second; the paper's array averages 436 MB/s.
+  uint64_t disk_bandwidth = 436ull << 20;
+};
+
+// Bytes of one text row: uint32 values below 2^31 average ~9.3 digits plus
+// one delimiter per column.
+uint64_t EstimateTextBytesPerRow(size_t num_columns);
+
+// Analytical testbed model. Anchors (from Figure 5a at 64 columns,
+// 2^19-row chunks): TOKENIZE ~4.4 ns/byte, PARSE ~90 ns/cell,
+// engine ~1 ns/binary byte; READ/WRITE at the disk bandwidth.
+ChunkCosts PaperChunkCosts(const CostModelInput& input);
+
+// Measures the real TOKENIZE/PARSE implementations on generated in-memory
+// data (sample_rows rows, scaled to rows_per_chunk) and combines them with
+// the configured disk bandwidth.
+Result<ChunkCosts> CalibrateChunkCosts(const CostModelInput& input,
+                                       uint64_t sample_rows = 16384);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SIM_CALIBRATE_H_

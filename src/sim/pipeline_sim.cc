@@ -1,0 +1,413 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "scanraw/chunk_cache.h"
+
+namespace scanraw {
+
+namespace {
+
+enum class TaskKind { kEngine, kDiskRead, kDiskWrite, kTokenize, kParse };
+
+struct Task {
+  double done_at = 0;
+  TaskKind kind;
+  size_t chunk = 0;
+  bool db_read = false;
+};
+
+struct ReadOp {
+  size_t chunk = 0;
+  bool is_db = false;
+};
+
+// A resident-set stand-in: the simulator reuses the real ChunkCache policy
+// object with one shared empty payload.
+BinaryChunkPtr DummyChunk() {
+  static const BinaryChunkPtr kChunk = std::make_shared<const BinaryChunk>(0);
+  return kChunk;
+}
+
+// Fully sequential execution (workers == 0): READ, TOKENIZE, PARSE and
+// WRITE are not separated into threads — chunks go through the stages one
+// at a time (§5.1, "zero worker threads correspond to sequential
+// execution"). Speculative loading degenerates to full loading: with no
+// asynchronous threads there is no overlap to exploit, and every converted
+// chunk is written in line.
+SimResult SimulateSequential(const SimConfig& config,
+                             const std::vector<ReadOp>& reads,
+                             size_t cached_count) {
+  SimResult result;
+  result.loaded_after.assign(config.num_chunks, 0);
+  result.cached_after.assign(config.num_chunks, 0);
+  for (size_t i = 0; i < config.num_chunks; ++i) {
+    if (!config.initially_loaded.empty()) {
+      result.loaded_after[i] = config.initially_loaded[i];
+    }
+  }
+  ChunkCache cache(config.cache_chunks, config.bias_evict_loaded);
+  for (size_t i = 0; i < config.num_chunks; ++i) {
+    if (!config.initially_cached.empty() && config.initially_cached[i]) {
+      cache.Insert(i, DummyChunk(),
+                   !config.initially_loaded.empty() &&
+                       config.initially_loaded[i]);
+    }
+  }
+
+  double t = 0;
+  size_t invisible_left = config.invisible_chunks_per_query;
+  result.chunks_from_cache = cached_count;
+  auto write_chunk = [&](size_t chunk) {
+    t += config.costs.write_s;
+    result.loaded_after[chunk] = 1;
+    cache.MarkLoaded(chunk);
+    ++result.chunks_written_at_exec;
+    ++result.chunks_written_total;
+  };
+  for (const ReadOp& op : reads) {
+    if (op.is_db) {
+      t += config.costs.write_s;  // binary read costs what the write did
+      ++result.chunks_from_db;
+      continue;
+    }
+    t += config.costs.read_s + config.costs.tokenize_s +
+         config.costs.parse_s + 2 * config.dispatch_overhead_s;
+    ++result.chunks_from_raw;
+    auto evicted = cache.Insert(op.chunk, DummyChunk(), false);
+    switch (config.policy) {
+      case LoadPolicy::kFullLoad:
+      case LoadPolicy::kSpeculativeLoading:
+        if (!result.loaded_after[op.chunk]) write_chunk(op.chunk);
+        break;
+      case LoadPolicy::kInvisibleLoading:
+        if (invisible_left > 0 && !result.loaded_after[op.chunk]) {
+          --invisible_left;
+          write_chunk(op.chunk);
+        }
+        break;
+      case LoadPolicy::kBufferedLoading:
+        for (const auto& ev : evicted) {
+          if (!ev.was_loaded && !result.loaded_after[ev.chunk_index]) {
+            write_chunk(ev.chunk_index);
+          }
+        }
+        break;
+      case LoadPolicy::kExternalTables:
+        break;
+    }
+  }
+  // Safeguard: flush cached chunks left unloaded (e.g. carried over from a
+  // previous query in a sequence).
+  if ((config.policy == LoadPolicy::kSpeculativeLoading && config.safeguard) ||
+      config.policy == LoadPolicy::kFullLoad) {
+    while (auto victim = cache.OldestUnloaded()) {
+      write_chunk(victim->first);
+    }
+  }
+  // The engine overlaps with conversion; it only adds its last service time.
+  result.exec_seconds = t + config.costs.engine_s;
+  result.writes_drained_seconds = result.exec_seconds;
+  for (uint64_t idx : cache.ResidentChunks()) result.cached_after[idx] = 1;
+  return result;
+}
+
+}  // namespace
+
+SimResult SimulatePipeline(const SimConfig& config) {
+  // ---- classification: cached -> db -> raw (§3.2.1 delivery order) ----
+  std::vector<size_t> cached_chunks;
+  std::vector<ReadOp> reads;
+  for (size_t i = 0; i < config.num_chunks; ++i) {
+    const bool loaded =
+        !config.initially_loaded.empty() && config.initially_loaded[i];
+    const bool resident =
+        !config.initially_cached.empty() && config.initially_cached[i];
+    if (resident) {
+      cached_chunks.push_back(i);
+    } else if (loaded) {
+      reads.push_back(ReadOp{i, true});
+    }
+  }
+  for (size_t i = 0; i < config.num_chunks; ++i) {
+    const bool loaded =
+        !config.initially_loaded.empty() && config.initially_loaded[i];
+    const bool resident =
+        !config.initially_cached.empty() && config.initially_cached[i];
+    if (!resident && !loaded) reads.push_back(ReadOp{i, false});
+  }
+
+  if (config.workers == 0) {
+    return SimulateSequential(config, reads, cached_chunks.size());
+  }
+
+  SimResult result;
+  result.loaded_after.assign(config.num_chunks, 0);
+  result.cached_after.assign(config.num_chunks, 0);
+  std::vector<uint8_t> pending_write(config.num_chunks, 0);
+  for (size_t i = 0; i < config.num_chunks; ++i) {
+    if (!config.initially_loaded.empty()) {
+      result.loaded_after[i] = config.initially_loaded[i];
+    }
+  }
+
+  ChunkCache cache(config.cache_chunks, config.bias_evict_loaded);
+  for (size_t i : cached_chunks) {
+    cache.Insert(i, DummyChunk(), result.loaded_after[i] != 0);
+  }
+
+  const size_t to_deliver = config.num_chunks;
+  double t = 0;
+  std::vector<Task> active;
+  std::deque<size_t> text_q;   // chunk ids awaiting tokenize
+  std::deque<size_t> pos_q;    // chunk ids awaiting parse
+  std::deque<size_t> write_q;  // explicit write requests (non-speculative)
+  size_t next_read = 0;
+  size_t busy_workers = 0;
+  size_t tokenize_inflight = 0;
+  bool engine_busy = false;
+  bool disk_busy = false;
+  int disk_mode = 0;  // 1 read, 2 write
+  size_t engine_pending = 0;
+  size_t engine_processed = 0;
+  size_t invisible_left = config.invisible_chunks_per_query;
+  bool exec_recorded = false;
+
+  // Initial deliveries from the cache.
+  result.chunks_from_cache = cached_chunks.size();
+  for (size_t chunk : cached_chunks) {
+    ++engine_pending;
+    if (config.policy == LoadPolicy::kInvisibleLoading &&
+        invisible_left > 0 && !result.loaded_after[chunk] &&
+        !pending_write[chunk]) {
+      --invisible_left;
+      pending_write[chunk] = 1;
+      write_q.push_back(chunk);
+    }
+  }
+
+  auto handle_evictions = [&](const std::vector<EvictedChunk>& evicted) {
+    if (config.policy != LoadPolicy::kBufferedLoading) return;
+    for (const auto& ev : evicted) {
+      if (!ev.was_loaded && !result.loaded_after[ev.chunk_index] &&
+          !pending_write[ev.chunk_index]) {
+        pending_write[ev.chunk_index] = 1;
+        write_q.push_back(ev.chunk_index);
+      }
+    }
+  };
+
+  auto reads_done = [&] { return next_read >= reads.size(); };
+
+  // Returns true if a disk write was started.
+  auto try_start_write = [&]() -> bool {
+    size_t victim = 0;
+    bool have = false;
+    if (config.policy == LoadPolicy::kSpeculativeLoading) {
+      auto oldest = cache.OldestUnloaded();
+      if (oldest.has_value()) {
+        victim = oldest->first;
+        have = true;
+      }
+    } else if (!write_q.empty()) {
+      victim = write_q.front();
+      write_q.pop_front();
+      have = true;
+    }
+    if (!have) return false;
+    // Reserve the chunk so the next trigger does not pick it again.
+    cache.MarkLoaded(victim);
+    disk_busy = true;
+    disk_mode = 2;
+    active.push_back(Task{t + config.costs.write_s, TaskKind::kDiskWrite,
+                          victim, false});
+    return true;
+  };
+
+  auto try_start = [&] {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // Execution engine (single consumer).
+      if (!engine_busy && engine_pending > 0) {
+        engine_busy = true;
+        --engine_pending;
+        active.push_back(
+            Task{t + config.costs.engine_s, TaskKind::kEngine, 0, false});
+        progress = true;
+      }
+      // Worker assignment: PARSE drains first (keeps the pipeline moving),
+      // TOKENIZE only when the position buffer has room (§3.2.1: a worker
+      // is allocated only if there is empty space in the destination).
+      while (busy_workers < config.workers) {
+        if (!pos_q.empty()) {
+          const size_t chunk = pos_q.front();
+          pos_q.pop_front();
+          ++busy_workers;
+          active.push_back(Task{
+              t + config.costs.parse_s + config.dispatch_overhead_s,
+              TaskKind::kParse, chunk, false});
+          progress = true;
+        } else if (!text_q.empty() &&
+                   pos_q.size() + tokenize_inflight <
+                       config.position_buffer) {
+          const size_t chunk = text_q.front();
+          text_q.pop_front();
+          ++busy_workers;
+          ++tokenize_inflight;
+          active.push_back(Task{
+              t + config.costs.tokenize_s + config.dispatch_overhead_s,
+              TaskKind::kTokenize, chunk, false});
+          progress = true;
+        } else {
+          break;
+        }
+      }
+      // Disk: READ has priority; WRITE runs when READ is blocked or done.
+      if (!disk_busy) {
+        bool read_blocked = false;
+        if (!reads_done()) {
+          const ReadOp& op = reads[next_read];
+          if (op.is_db || text_q.size() < config.text_buffer) {
+            ++next_read;
+            disk_busy = true;
+            disk_mode = 1;
+            const double duration =
+                op.is_db ? config.costs.write_s : config.costs.read_s;
+            active.push_back(
+                Task{t + duration, TaskKind::kDiskRead, op.chunk, op.is_db});
+            progress = true;
+          } else {
+            read_blocked = true;
+          }
+        }
+        if (!disk_busy) {
+          bool want_write = false;
+          if (config.policy == LoadPolicy::kSpeculativeLoading) {
+            // Trigger on a blocked READ (§4); after end-of-scan the
+            // safeguard keeps flushing the unloaded cache tail.
+            want_write = read_blocked || (reads_done() && config.safeguard);
+          } else {
+            want_write = !write_q.empty() && (read_blocked || reads_done());
+          }
+          if (want_write && try_start_write()) progress = true;
+        }
+      }
+    }
+  };
+
+  auto all_writes_drained = [&] {
+    return write_q.empty() &&
+           !(disk_busy && disk_mode == 2) &&
+           (config.policy != LoadPolicy::kSpeculativeLoading ||
+            !config.safeguard || !cache.OldestUnloaded().has_value());
+  };
+
+  while (true) {
+    try_start();
+    if (active.empty()) break;
+    // Pop the earliest completion.
+    size_t best = 0;
+    for (size_t i = 1; i < active.size(); ++i) {
+      if (active[i].done_at < active[best].done_at) best = i;
+    }
+    Task task = active[best];
+    active.erase(active.begin() + best);
+    if (config.record_trace && task.done_at > t) {
+      result.trace.push_back(UtilSample{
+          t, task.done_at, static_cast<int>(busy_workers), disk_mode});
+    }
+    t = task.done_at;
+    switch (task.kind) {
+      case TaskKind::kEngine:
+        engine_busy = false;
+        ++engine_processed;
+        break;
+      case TaskKind::kDiskRead:
+        disk_busy = false;
+        disk_mode = 0;
+        if (task.db_read) {
+          ++result.chunks_from_db;
+          handle_evictions(cache.Insert(task.chunk, DummyChunk(), true));
+          ++engine_pending;
+        } else {
+          ++result.chunks_from_raw;
+          text_q.push_back(task.chunk);
+        }
+        break;
+      case TaskKind::kTokenize:
+        --busy_workers;
+        --tokenize_inflight;
+        pos_q.push_back(task.chunk);
+        break;
+      case TaskKind::kParse: {
+        --busy_workers;
+        handle_evictions(cache.Insert(task.chunk, DummyChunk(), false));
+        switch (config.policy) {
+          case LoadPolicy::kFullLoad:
+            if (!result.loaded_after[task.chunk] &&
+                !pending_write[task.chunk]) {
+              pending_write[task.chunk] = 1;
+              write_q.push_back(task.chunk);
+            }
+            break;
+          case LoadPolicy::kInvisibleLoading:
+            if (invisible_left > 0 && !result.loaded_after[task.chunk] &&
+                !pending_write[task.chunk]) {
+              --invisible_left;
+              pending_write[task.chunk] = 1;
+              write_q.push_back(task.chunk);
+            }
+            break;
+          default:
+            break;
+        }
+        ++engine_pending;
+        break;
+      }
+      case TaskKind::kDiskWrite:
+        disk_busy = false;
+        disk_mode = 0;
+        result.loaded_after[task.chunk] = 1;
+        ++result.chunks_written_total;
+        if (!exec_recorded) ++result.chunks_written_at_exec;
+        break;
+    }
+    // Query completion check.
+    if (!exec_recorded && engine_processed == to_deliver && !engine_busy) {
+      const bool sync_loading =
+          config.policy == LoadPolicy::kFullLoad ||
+          config.policy == LoadPolicy::kInvisibleLoading;
+      if (!sync_loading || all_writes_drained()) {
+        result.exec_seconds = t;
+        exec_recorded = true;
+      }
+    }
+    if (exec_recorded && all_writes_drained()) {
+      result.writes_drained_seconds = t;
+      break;
+    }
+  }
+  if (!exec_recorded) result.exec_seconds = t;
+  if (result.writes_drained_seconds < result.exec_seconds) {
+    result.writes_drained_seconds = result.exec_seconds;
+  }
+  for (uint64_t idx : cache.ResidentChunks()) result.cached_after[idx] = 1;
+  return result;
+}
+
+std::vector<SimResult> SimulateQuerySequence(SimConfig config,
+                                             size_t num_queries) {
+  std::vector<SimResult> results;
+  results.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    SimResult r = SimulatePipeline(config);
+    config.initially_loaded = r.loaded_after;
+    config.initially_cached = r.cached_after;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace scanraw

@@ -1,0 +1,89 @@
+// Discrete-event simulation of the SCANRAW pipeline at testbed scale.
+//
+// The paper's crossovers (I/O- vs CPU-bound at ~6 workers, Figure 4; chunk
+// size sweet spot, Figure 7; READ/WRITE alternation, Figure 9) are functions
+// of (per-chunk stage cost) x (cores) / (disk bandwidth), not of absolute
+// speed. This simulator reproduces exactly the scheduling rules of the real
+// operator — exclusive disk, bounded buffers, dynamic worker assignment,
+// speculative WRITE triggered when READ blocks, safeguard flush — over a
+// cost model calibrated from the real tokenizer/parser (see calibrate.h),
+// so the figure *shapes* can be regenerated with 16 virtual cores and the
+// paper's 436 MB/s disk on any host.
+#ifndef SCANRAW_SIM_PIPELINE_SIM_H_
+#define SCANRAW_SIM_PIPELINE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "scanraw/options.h"
+
+namespace scanraw {
+
+// Per-chunk stage durations in seconds (single core / exclusive disk).
+struct ChunkCosts {
+  double read_s = 0;      // raw text read
+  double tokenize_s = 0;  // one worker
+  double parse_s = 0;     // one worker
+  double engine_s = 0;    // execution engine service time
+  double write_s = 0;     // binary write (== binary re-read cost)
+};
+
+struct SimConfig {
+  size_t num_chunks = 0;
+  size_t workers = 8;            // 0 = fully sequential (paper's leftmost x)
+  size_t text_buffer = 8;
+  size_t position_buffer = 8;
+  size_t cache_chunks = 32;
+  bool bias_evict_loaded = true;
+  LoadPolicy policy = LoadPolicy::kSpeculativeLoading;
+  bool safeguard = true;
+  size_t invisible_chunks_per_query = 2;
+  ChunkCosts costs;
+  // Fixed scheduling overhead charged to every worker task — the dynamic
+  // worker-allocation cost the paper says the chunk size must hide
+  // (Figure 7: "large enough to hide the overhead introduced by the
+  // dynamic allocation of tasks"). The default is fitted so the optimal
+  // chunk size lands in the paper's reported 2^17–2^19 row range.
+  double dispatch_overhead_s = 30e-3;
+  // Chunk state carried across queries in a sequence: loaded[i] — in the
+  // database; cached[i] — resident in the binary cache. Empty = cold start.
+  std::vector<uint8_t> initially_loaded;
+  std::vector<uint8_t> initially_cached;
+  bool record_trace = false;
+};
+
+// One homogeneous interval of the execution.
+struct UtilSample {
+  double t0 = 0;
+  double t1 = 0;
+  int busy_workers = 0;
+  int disk = 0;  // 0 idle, 1 reading, 2 writing
+};
+
+struct SimResult {
+  // Query completion: engine consumed every chunk (plus write drain for the
+  // synchronous-loading policies, as in the real operator).
+  double exec_seconds = 0;
+  // When the last background write finished (>= exec_seconds).
+  double writes_drained_seconds = 0;
+  // Chunks whose write completed by exec_seconds / in total.
+  size_t chunks_written_at_exec = 0;
+  size_t chunks_written_total = 0;
+  size_t chunks_from_cache = 0;
+  size_t chunks_from_db = 0;
+  size_t chunks_from_raw = 0;
+  std::vector<uint8_t> loaded_after;  // after write drain
+  std::vector<uint8_t> cached_after;
+  std::vector<UtilSample> trace;      // only when record_trace
+};
+
+SimResult SimulatePipeline(const SimConfig& config);
+
+// Runs a sequence of identical queries, carrying loaded/cached chunk state
+// between them (the Figure 8 experiment). Returns one SimResult per query.
+std::vector<SimResult> SimulateQuerySequence(SimConfig config,
+                                             size_t num_queries);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SIM_PIPELINE_SIM_H_

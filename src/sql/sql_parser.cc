@@ -1,0 +1,370 @@
+#include "sql/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+#include "format/parser.h"
+
+namespace scanraw {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,   // 'single quoted'
+  kSymbol,   // ( ) , + * = < > <= >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // upper-cased for idents; raw for strings/numbers
+  std::string raw;   // original spelling (for error messages / idents)
+};
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '_')) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.raw = std::string(sql.substr(i, j - i));
+      t.text = t.raw;
+      std::transform(t.text.begin(), t.text.end(), t.text.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[j]))) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = t.raw = std::string(sql.substr(i, j - i));
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      const size_t close = sql.find('\'', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = t.raw = std::string(sql.substr(i + 1, close - i - 1));
+      tokens.push_back(std::move(t));
+      i = close + 1;
+      continue;
+    }
+    if (c == '<' || c == '>') {
+      Token t;
+      t.kind = TokenKind::kSymbol;
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        t.text = t.raw = std::string(sql.substr(i, 2));
+        i += 2;
+      } else {
+        t.text = t.raw = std::string(1, c);
+        ++i;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::string_view("(),+*=;").find(c) != std::string_view::npos) {
+      Token t;
+      t.kind = TokenKind::kSymbol;
+      t.text = t.raw = std::string(1, c);
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StringPrintf("unexpected character '%c' in SQL", c));
+  }
+  tokens.push_back(Token{});  // kEnd sentinel
+  return tokens;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Schema* schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Result<ParsedSelect> Parse() {
+    SCANRAW_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    ParsedSelect out;
+    SCANRAW_RETURN_IF_ERROR(ParseSelectList(&out.spec, &out.has_avg));
+    SCANRAW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected table name after FROM");
+    }
+    out.table = Next().raw;
+    if (PeekKeyword("WHERE")) {
+      Next();
+      SCANRAW_RETURN_IF_ERROR(ParseWhere(&out.spec));
+    }
+    if (PeekKeyword("GROUP")) {
+      Next();
+      SCANRAW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      size_t col = 0;
+      SCANRAW_RETURN_IF_ERROR(ParseColumn(&col));
+      out.spec.group_by_column = col;
+    }
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") Next();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing input: '" +
+                                     Peek().raw + "'");
+    }
+    // Validate: bare select columns must be the group-by key.
+    for (size_t col : bare_columns_) {
+      if (!out.spec.group_by_column.has_value() ||
+          *out.spec.group_by_column != col) {
+        return Status::InvalidArgument(
+            "selected column must appear in GROUP BY");
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == kw;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument("expected " + std::string(kw) +
+                                     ", got '" + Peek().raw + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
+      return Status::InvalidArgument("expected '" + std::string(symbol) +
+                                     "', got '" + Peek().raw + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ParseColumn(size_t* out) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected column name, got '" +
+                                     Peek().raw + "'");
+    }
+    const std::string name = Next().raw;
+    auto index = schema_->ColumnIndex(name);
+    if (!index.ok()) {
+      return Status::InvalidArgument("unknown column '" + name + "'");
+    }
+    *out = *index;
+    return Status::OK();
+  }
+
+  Status ParseSelectList(QuerySpec* spec, bool* has_avg) {
+    while (true) {
+      if (PeekKeyword("SUM") || PeekKeyword("AVG")) {
+        const bool is_avg = Peek().text == "AVG";
+        Next();
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          size_t col = 0;
+          SCANRAW_RETURN_IF_ERROR(ParseColumn(&col));
+          if (schema_->column(col).type == FieldType::kString) {
+            return Status::InvalidArgument(
+                "cannot aggregate a string column");
+          }
+          spec->sum_columns.push_back(col);
+          if (Peek().kind == TokenKind::kSymbol && Peek().text == "+") {
+            Next();
+            continue;
+          }
+          break;
+        }
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (is_avg) *has_avg = true;
+      } else if (PeekKeyword("MIN") || PeekKeyword("MAX")) {
+        Next();
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol("("));
+        size_t col = 0;
+        SCANRAW_RETURN_IF_ERROR(ParseColumn(&col));
+        if (schema_->column(col).type == FieldType::kString) {
+          return Status::InvalidArgument("cannot MIN/MAX a string column");
+        }
+        spec->minmax_columns.push_back(col);
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else if (PeekKeyword("COUNT")) {
+        Next();
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol("("));
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol("*"));
+        SCANRAW_RETURN_IF_ERROR(ExpectSymbol(")"));
+        // COUNT(*) is always reported (rows_matched / group counts).
+      } else if (Peek().kind == TokenKind::kIdent) {
+        size_t col = 0;
+        SCANRAW_RETURN_IF_ERROR(ParseColumn(&col));
+        bare_columns_.push_back(col);
+      } else {
+        return Status::InvalidArgument("expected select item, got '" +
+                                       Peek().raw + "'");
+      }
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<int64_t> ParseNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::InvalidArgument("expected number, got '" + Peek().raw +
+                                     "'");
+    }
+    return ParseInt64(Next().text);
+  }
+
+  Status ParseWhere(QuerySpec* spec) {
+    // Range predicates on one numeric column accumulate into [lo, hi];
+    // at most one LIKE predicate on a string column.
+    std::optional<size_t> range_column;
+    int64_t lo = INT64_MIN;
+    int64_t hi = INT64_MAX;
+    while (true) {
+      size_t col = 0;
+      SCANRAW_RETURN_IF_ERROR(ParseColumn(&col));
+      const bool is_string = schema_->column(col).type == FieldType::kString;
+      if (PeekKeyword("LIKE")) {
+        Next();
+        if (!is_string) {
+          return Status::InvalidArgument("LIKE requires a string column");
+        }
+        if (Peek().kind != TokenKind::kString) {
+          return Status::InvalidArgument("LIKE requires a string literal");
+        }
+        std::string pattern = Next().text;
+        // Only '%substring%' patterns are supported.
+        if (pattern.size() >= 1 && pattern.front() == '%') {
+          pattern.erase(pattern.begin());
+        }
+        if (!pattern.empty() && pattern.back() == '%') pattern.pop_back();
+        if (pattern.find('%') != std::string::npos ||
+            pattern.find('_') != std::string::npos) {
+          return Status::Unimplemented(
+              "only '%substring%' LIKE patterns are supported");
+        }
+        if (spec->predicate.pattern.has_value()) {
+          return Status::Unimplemented("only one LIKE predicate supported");
+        }
+        spec->predicate.pattern = PatternPredicate{col, std::move(pattern)};
+      } else {
+        if (is_string) {
+          return Status::InvalidArgument(
+              "range predicates require a numeric column");
+        }
+        if (range_column.has_value() && *range_column != col) {
+          return Status::Unimplemented(
+              "range predicates on multiple columns are not supported");
+        }
+        range_column = col;
+        if (PeekKeyword("BETWEEN")) {
+          Next();
+          int64_t a = 0;
+          SCANRAW_ASSIGN_OR_RETURN(a, ParseNumber());
+          SCANRAW_RETURN_IF_ERROR(ExpectKeyword("AND"));
+          int64_t b = 0;
+          SCANRAW_ASSIGN_OR_RETURN(b, ParseNumber());
+          lo = std::max(lo, a);
+          hi = std::min(hi, b);
+        } else if (Peek().kind == TokenKind::kSymbol) {
+          const std::string op = Next().text;
+          int64_t v = 0;
+          SCANRAW_ASSIGN_OR_RETURN(v, ParseNumber());
+          if (op == "=") {
+            lo = std::max(lo, v);
+            hi = std::min(hi, v);
+          } else if (op == "<=") {
+            hi = std::min(hi, v);
+          } else if (op == ">=") {
+            lo = std::max(lo, v);
+          } else if (op == "<") {
+            hi = std::min(hi, v - 1);
+          } else if (op == ">") {
+            lo = std::max(lo, v + 1);
+          } else {
+            return Status::InvalidArgument("unsupported operator '" + op +
+                                           "'");
+          }
+        } else {
+          return Status::InvalidArgument("expected predicate after column");
+        }
+      }
+      if (PeekKeyword("AND")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (range_column.has_value()) {
+      spec->predicate.range = RangePredicate{*range_column, lo, hi};
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  const Schema* schema_;
+  size_t pos_ = 0;
+  std::vector<size_t> bare_columns_;
+};
+
+}  // namespace
+
+Result<ParsedSelect> ParseSelect(std::string_view sql, const Schema& schema) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens), &schema);
+  return parser.Parse();
+}
+
+Result<std::string> ParseSelectTable(std::string_view sql) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  const auto& ts = *tokens;
+  for (size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind == TokenKind::kIdent && ts[i].text == "FROM") {
+      if (ts[i + 1].kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("expected table name after FROM");
+      }
+      return ts[i + 1].raw;
+    }
+  }
+  return Status::InvalidArgument("no FROM clause found");
+}
+
+}  // namespace scanraw

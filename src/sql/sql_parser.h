@@ -1,0 +1,41 @@
+// Minimal SQL SELECT parser covering the query shapes the engine executes
+// (the paper's workloads): sums of columns, COUNT(*), group-by on one
+// column, range predicates, and LIKE '%pattern%' matching.
+//
+//   SELECT SUM(C0 + C1), COUNT(*) FROM t
+//   WHERE C2 BETWEEN 10 AND 99 AND SEQ LIKE '%ACGT%'
+//   GROUP BY CIGAR;
+//
+// Column names resolve against the table schema. Produces a QuerySpec for
+// the execution engine.
+#ifndef SCANRAW_SQL_SQL_PARSER_H_
+#define SCANRAW_SQL_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "exec/query.h"
+#include "format/schema.h"
+
+namespace scanraw {
+
+struct ParsedSelect {
+  std::string table;
+  QuerySpec spec;
+  // True when the select list used AVG(...): the caller reports
+  // QueryResult::Average() instead of the raw sum.
+  bool has_avg = false;
+};
+
+// Parses a single SELECT statement (optional trailing ';'). The schema is
+// used to resolve column names and validate predicate types.
+Result<ParsedSelect> ParseSelect(std::string_view sql, const Schema& schema);
+
+// Extracts just the table name of a SELECT without resolving columns, so a
+// caller can look up the schema first.
+Result<std::string> ParseSelectTable(std::string_view sql);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SQL_SQL_PARSER_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "scanraw/chunk_cache.h"
+
+namespace scanraw {
+namespace {
+
+BinaryChunkPtr MakeChunk(uint64_t index) {
+  auto chunk = std::make_shared<BinaryChunk>(index);
+  ColumnVector vec(FieldType::kUint32);
+  vec.AppendUint32(static_cast<uint32_t>(index));
+  EXPECT_TRUE(chunk->AddColumn(0, std::move(vec)).ok());
+  return chunk;
+}
+
+TEST(ChunkCacheTest, InsertAndLookup) {
+  ChunkCache cache(4);
+  EXPECT_TRUE(cache.Insert(1, MakeChunk(1), false).empty());
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->chunk_index(), 1u);
+  EXPECT_EQ(cache.Lookup(99), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ChunkCacheTest, ZeroCapacityDisablesCaching) {
+  ChunkCache cache(0);
+  EXPECT_TRUE(cache.Insert(1, MakeChunk(1), false).empty());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(ChunkCacheTest, LruEviction) {
+  ChunkCache cache(2, /*bias_evict_loaded=*/false);
+  cache.Insert(1, MakeChunk(1), false);
+  cache.Insert(2, MakeChunk(2), false);
+  cache.Lookup(1);  // 2 becomes LRU
+  auto evicted = cache.Insert(3, MakeChunk(3), false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].chunk_index, 2u);
+  EXPECT_FALSE(evicted[0].was_loaded);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(ChunkCacheTest, BiasEvictsLoadedFirst) {
+  ChunkCache cache(2, /*bias_evict_loaded=*/true);
+  cache.Insert(1, MakeChunk(1), /*loaded=*/false);
+  cache.Insert(2, MakeChunk(2), /*loaded=*/true);
+  cache.Lookup(2);  // chunk 1 is LRU, but chunk 2 is loaded
+  auto evicted = cache.Insert(3, MakeChunk(3), false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].chunk_index, 2u);  // loaded chunk evicted despite MRU
+  EXPECT_TRUE(evicted[0].was_loaded);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ChunkCacheTest, BiasFallsBackToLruWhenNoneLoaded) {
+  ChunkCache cache(2, /*bias_evict_loaded=*/true);
+  cache.Insert(1, MakeChunk(1), false);
+  cache.Insert(2, MakeChunk(2), false);
+  auto evicted = cache.Insert(3, MakeChunk(3), false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].chunk_index, 1u);
+}
+
+TEST(ChunkCacheTest, ReinsertRefreshesAndKeepsLoadedSticky) {
+  ChunkCache cache(4);
+  cache.Insert(1, MakeChunk(1), true);
+  cache.Insert(1, MakeChunk(1), false);  // refresh must not clear loaded
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.OldestUnloaded().has_value());
+}
+
+TEST(ChunkCacheTest, OldestUnloadedByInsertionOrder) {
+  ChunkCache cache(4);
+  cache.Insert(5, MakeChunk(5), false);
+  cache.Insert(3, MakeChunk(3), false);
+  cache.Insert(9, MakeChunk(9), true);
+  auto victim = cache.OldestUnloaded();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->first, 5u);  // insertion order, not index order
+  cache.MarkLoaded(5);
+  victim = cache.OldestUnloaded();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->first, 3u);
+  cache.MarkLoaded(3);
+  EXPECT_FALSE(cache.OldestUnloaded().has_value());
+}
+
+TEST(ChunkCacheTest, UnloadedChunksInInsertionOrder) {
+  ChunkCache cache(4);
+  cache.Insert(7, MakeChunk(7), false);
+  cache.Insert(2, MakeChunk(2), true);
+  cache.Insert(4, MakeChunk(4), false);
+  auto unloaded = cache.UnloadedChunks();
+  ASSERT_EQ(unloaded.size(), 2u);
+  EXPECT_EQ(unloaded[0].first, 7u);
+  EXPECT_EQ(unloaded[1].first, 4u);
+}
+
+TEST(ChunkCacheTest, ResidentChunksSnapshot) {
+  ChunkCache cache(4);
+  cache.Insert(1, MakeChunk(1), false);
+  cache.Insert(2, MakeChunk(2), false);
+  auto resident = cache.ResidentChunks();
+  EXPECT_EQ(resident.size(), 2u);
+}
+
+TEST(ChunkCacheTest, MarkLoadedOnMissingChunkIsNoOp) {
+  ChunkCache cache(2);
+  cache.MarkLoaded(42);  // must not crash
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ChunkCacheTest, EvictedChunkStillUsableViaSharedPtr) {
+  ChunkCache cache(1);
+  BinaryChunkPtr held = MakeChunk(1);
+  cache.Insert(1, held, false);
+  auto evicted = cache.Insert(2, MakeChunk(2), false);
+  ASSERT_EQ(evicted.size(), 1u);
+  // The shared_ptr keeps the chunk alive for in-flight consumers.
+  EXPECT_EQ(held->column(0).AsUint32()[0], 1u);
+  EXPECT_EQ(evicted[0].chunk->chunk_index(), 1u);
+}
+
+}  // namespace
+}  // namespace scanraw

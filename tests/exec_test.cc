@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "exec/query.h"
+
+namespace scanraw {
+namespace {
+
+BinaryChunk MakeNumericChunk(uint64_t index,
+                             std::vector<std::vector<uint32_t>> columns) {
+  BinaryChunk chunk(index);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    ColumnVector vec(FieldType::kUint32);
+    for (uint32_t v : columns[c]) vec.AppendUint32(v);
+    EXPECT_TRUE(chunk.AddColumn(c, std::move(vec)).ok());
+  }
+  return chunk;
+}
+
+TEST(QuerySpecTest, RequiredColumnsUnion) {
+  QuerySpec spec;
+  spec.sum_columns = {3, 1, 3};
+  spec.group_by_column = 5;
+  spec.predicate.range = RangePredicate{2, 0, 10};
+  spec.predicate.pattern = PatternPredicate{7, "x"};
+  EXPECT_EQ(spec.RequiredColumns(), (std::vector<size_t>{1, 2, 3, 5, 7}));
+}
+
+TEST(QuerySpecTest, EmptySpec) {
+  QuerySpec spec;
+  EXPECT_TRUE(spec.RequiredColumns().empty());
+  EXPECT_TRUE(spec.predicate.empty());
+}
+
+TEST(QueryExecutorTest, SumAllColumns) {
+  QuerySpec spec;
+  spec.sum_columns = {0, 1};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(0, {{1, 2, 3}, {10, 20, 30}})).ok());
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(1, {{4}, {40}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.rows_scanned, 4u);
+  EXPECT_EQ(r.rows_matched, 4u);
+  EXPECT_EQ(r.total_sum, 1u + 2 + 3 + 10 + 20 + 30 + 4 + 40);
+}
+
+TEST(QueryExecutorTest, CountOnly) {
+  QuerySpec spec;  // no sum columns
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(0, {{1, 2, 3}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.rows_matched, 3u);
+  EXPECT_EQ(r.total_sum, 0u);
+}
+
+TEST(QueryExecutorTest, RangePredicate) {
+  QuerySpec spec;
+  spec.sum_columns = {1};
+  spec.predicate.range = RangePredicate{0, 2, 3};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(
+      exec.Consume(MakeNumericChunk(0, {{1, 2, 3, 4}, {10, 20, 30, 40}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.rows_scanned, 4u);
+  EXPECT_EQ(r.rows_matched, 2u);
+  EXPECT_EQ(r.total_sum, 50u);
+}
+
+TEST(QueryExecutorTest, PatternPredicateAndGroupBy) {
+  BinaryChunk chunk(0);
+  ColumnVector cigar(FieldType::kString), seq(FieldType::kString),
+      qual(FieldType::kUint32);
+  const std::vector<std::string> cigars = {"100M", "50M2D48M", "100M", "99M1I"};
+  const std::vector<std::string> seqs = {"ACGTACGT", "TTTT", "ACGGGGT", "CCCC"};
+  for (size_t i = 0; i < 4; ++i) {
+    cigar.AppendString(cigars[i]);
+    seq.AppendString(seqs[i]);
+    qual.AppendUint32(static_cast<uint32_t>(i + 1));
+  }
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(cigar)).ok());
+  ASSERT_TRUE(chunk.AddColumn(1, std::move(seq)).ok());
+  ASSERT_TRUE(chunk.AddColumn(2, std::move(qual)).ok());
+
+  QuerySpec spec;
+  spec.group_by_column = 0;
+  spec.sum_columns = {2};
+  spec.predicate.pattern = PatternPredicate{1, "ACG"};  // rows 0 and 2 match
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(chunk).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.rows_matched, 2u);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups.at("100M").count, 2u);
+  EXPECT_EQ(r.groups.at("100M").sum, 1u + 3u);
+}
+
+TEST(QueryExecutorTest, GroupByNumericColumn) {
+  QuerySpec spec;
+  spec.group_by_column = 0;
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(0, {{7, 7, 9}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.groups.at("7").count, 2u);
+  EXPECT_EQ(r.groups.at("9").count, 1u);
+}
+
+TEST(QueryExecutorTest, MissingColumnRejected) {
+  QuerySpec spec;
+  spec.sum_columns = {5};
+  QueryExecutor exec(spec);
+  EXPECT_TRUE(
+      exec.Consume(MakeNumericChunk(0, {{1}})).IsInvalidArgument());
+}
+
+TEST(QueryExecutorTest, CombinedPredicates) {
+  BinaryChunk chunk(0);
+  ColumnVector num(FieldType::kUint32), str(FieldType::kString);
+  num.AppendUint32(5);
+  num.AppendUint32(15);
+  num.AppendUint32(25);
+  str.AppendString("hit");
+  str.AppendString("hit");
+  str.AppendString("miss");
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(num)).ok());
+  ASSERT_TRUE(chunk.AddColumn(1, std::move(str)).ok());
+  QuerySpec spec;
+  spec.predicate.range = RangePredicate{0, 10, 30};
+  spec.predicate.pattern = PatternPredicate{1, "hit"};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(chunk).ok());
+  EXPECT_EQ(exec.Finish().rows_matched, 1u);  // only row 1 passes both
+}
+
+class VectorChunkStream : public ChunkStream {
+ public:
+  explicit VectorChunkStream(std::vector<BinaryChunkPtr> chunks)
+      : chunks_(std::move(chunks)) {}
+  Result<std::optional<BinaryChunkPtr>> Next() override {
+    if (pos_ >= chunks_.size()) return std::optional<BinaryChunkPtr>();
+    return std::optional<BinaryChunkPtr>(chunks_[pos_++]);
+  }
+
+ private:
+  std::vector<BinaryChunkPtr> chunks_;
+  size_t pos_ = 0;
+};
+
+TEST(RunQueryTest, DrainsStream) {
+  std::vector<BinaryChunkPtr> chunks;
+  chunks.push_back(std::make_shared<const BinaryChunk>(
+      MakeNumericChunk(0, {{1, 2}})));
+  chunks.push_back(std::make_shared<const BinaryChunk>(
+      MakeNumericChunk(1, {{3}})));
+  VectorChunkStream stream(std::move(chunks));
+  QuerySpec spec;
+  spec.sum_columns = {0};
+  auto result = RunQuery(spec, &stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_sum, 6u);
+  EXPECT_EQ(result->rows_scanned, 3u);
+}
+
+class FailingStream : public ChunkStream {
+ public:
+  Result<std::optional<BinaryChunkPtr>> Next() override {
+    return Status::IoError("stream broke");
+  }
+};
+
+TEST(RunQueryTest, PropagatesStreamError) {
+  FailingStream stream;
+  QuerySpec spec;
+  auto result = RunQuery(spec, &stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST(QueryExecutorTest, MinMaxColumns) {
+  QuerySpec spec;
+  spec.minmax_columns = {0, 1};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(
+      exec.Consume(MakeNumericChunk(0, {{5, 1, 9}, {100, 300, 200}})).ok());
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(1, {{7}, {50}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.column_ranges.at(0).min_value, 1);
+  EXPECT_EQ(r.column_ranges.at(0).max_value, 9);
+  EXPECT_EQ(r.column_ranges.at(1).min_value, 50);
+  EXPECT_EQ(r.column_ranges.at(1).max_value, 300);
+}
+
+TEST(QueryExecutorTest, MinMaxRespectsPredicate) {
+  QuerySpec spec;
+  spec.minmax_columns = {1};
+  spec.predicate.range = RangePredicate{0, 2, 3};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(
+      exec.Consume(MakeNumericChunk(0, {{1, 2, 3, 4}, {10, 20, 30, 40}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.column_ranges.at(1).min_value, 20);
+  EXPECT_EQ(r.column_ranges.at(1).max_value, 30);
+}
+
+TEST(QueryExecutorTest, MinMaxAbsentWhenNoMatch) {
+  QuerySpec spec;
+  spec.minmax_columns = {0};
+  spec.predicate.range = RangePredicate{0, 1000, 2000};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(0, {{1, 2}})).ok());
+  EXPECT_TRUE(exec.Finish().column_ranges.empty());
+}
+
+TEST(QueryExecutorTest, AverageFromSumAndCount) {
+  QuerySpec spec;
+  spec.sum_columns = {0};
+  QueryExecutor exec(spec);
+  ASSERT_TRUE(exec.Consume(MakeNumericChunk(0, {{10, 20, 30}})).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_DOUBLE_EQ(r.Average(), 20.0);
+  QueryResult empty;
+  EXPECT_DOUBLE_EQ(empty.Average(), 0.0);
+}
+
+TEST(QuerySpecTest, MinMaxColumnsAreRequired) {
+  QuerySpec spec;
+  spec.minmax_columns = {6, 2};
+  EXPECT_EQ(spec.RequiredColumns(), (std::vector<size_t>{2, 6}));
+}
+
+// Overflow behavior: sums wrap modulo 2^64 deterministically.
+TEST(QueryExecutorTest, SumWrapsModulo64) {
+  QuerySpec spec;
+  spec.sum_columns = {0};
+  QueryExecutor exec(spec);
+  BinaryChunk chunk(0);
+  ColumnVector vec(FieldType::kUint32);
+  for (int i = 0; i < 8; ++i) vec.AppendUint32(4294967295u);
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(vec)).ok());
+  ASSERT_TRUE(exec.Consume(chunk).ok());
+  EXPECT_EQ(exec.Finish().total_sum, 8ull * 4294967295ull);
+}
+
+}  // namespace
+}  // namespace scanraw

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pipeline/bounded_queue.h"
+#include "pipeline/thread_pool.h"
+
+namespace scanraw {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.Full());
+  int v = 3;
+  EXPECT_FALSE(q.TryPush(std::move(v)));
+  EXPECT_EQ(q.size(), 2u);
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, TryPushFailureLeavesItemIntact) {
+  BoundedQueue<std::string> q(1);
+  EXPECT_TRUE(q.TryPush(std::string("a")));
+  std::string item = "precious";
+  EXPECT_FALSE(q.TryPush(std::move(item)));
+  EXPECT_EQ(item, "precious");  // untouched on failure
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.Push(7);
+  q.Push(8);
+  q.Close();
+  EXPECT_FALSE(q.Push(9));
+  EXPECT_EQ(*q.Pop(), 7);
+  EXPECT_EQ(*q.Pop(), 8);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaiters) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(2));  // blocked until Close, then fails
+    push_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(push_returned.load());
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<long> total{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.Push(i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) total += *v;
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(total.load(),
+            static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::thread::id task_thread;
+  pool.Submit([&] { task_thread = std::this_thread::get_id(); });
+  EXPECT_EQ(task_thread, std::this_thread::get_id());
+  EXPECT_EQ(pool.num_workers(), 0u);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::atomic<bool> different{false};
+  const auto caller = std::this_thread::get_id();
+  pool.Submit([&] {
+    if (std::this_thread::get_id() != caller) different = true;
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(different.load());
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(pool.busy_workers(), 0u);
+  EXPECT_EQ(pool.queued_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, IdleCallbackFires) {
+  ThreadPool pool(2);
+  std::atomic<int> idle_events{0};
+  pool.SetIdleCallback([&idle_events] { idle_events.fetch_add(1); });
+  for (int i = 0; i < 10; ++i) pool.Submit([] {});
+  pool.WaitIdle();
+  EXPECT_GT(idle_events.load(), 0);
+}
+
+}  // namespace
+}  // namespace scanraw

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/calibrate.h"
+#include "sim/pipeline_sim.h"
+
+namespace scanraw {
+namespace {
+
+SimConfig BaseConfig(LoadPolicy policy, size_t workers) {
+  SimConfig config;
+  config.num_chunks = 64;
+  config.workers = workers;
+  config.policy = policy;
+  CostModelInput input;
+  config.costs = PaperChunkCosts(input);
+  return config;
+}
+
+size_t LoadedCount(const SimResult& r) {
+  return std::accumulate(r.loaded_after.begin(), r.loaded_after.end(),
+                         size_t{0});
+}
+
+TEST(CalibrateTest, PaperCostsScaleWithColumns) {
+  CostModelInput narrow, wide;
+  narrow.num_columns = 2;
+  wide.num_columns = 256;
+  ChunkCosts a = PaperChunkCosts(narrow);
+  ChunkCosts b = PaperChunkCosts(wide);
+  // 128x the cells, plus the cache-pressure growth in per-cell cost.
+  EXPECT_GT(b.parse_s / a.parse_s, 128.0);
+  EXPECT_LT(b.parse_s / a.parse_s, 300.0);
+  EXPECT_GT(b.tokenize_s, a.tokenize_s);
+  EXPECT_GT(b.read_s, a.read_s);
+  // At 64 columns the testbed is CPU-bound: conversion >> read.
+  CostModelInput mid;
+  ChunkCosts c = PaperChunkCosts(mid);
+  EXPECT_GT(c.tokenize_s + c.parse_s, 3 * c.read_s);
+}
+
+TEST(CalibrateTest, HostCalibrationProducesPositiveCosts) {
+  CostModelInput input;
+  input.num_columns = 8;
+  input.rows_per_chunk = 1 << 16;
+  auto costs = CalibrateChunkCosts(input, 2048);
+  ASSERT_TRUE(costs.ok()) << costs.status().ToString();
+  EXPECT_GT(costs->tokenize_s, 0.0);
+  EXPECT_GT(costs->parse_s, 0.0);
+  EXPECT_GT(costs->read_s, 0.0);
+  EXPECT_GT(costs->write_s, 0.0);
+  EXPECT_TRUE(CalibrateChunkCosts(input, 0).status().IsInvalidArgument());
+}
+
+TEST(SimTest, MoreWorkersNeverSlower) {
+  double last = 1e18;
+  for (size_t w : {1, 2, 4, 8, 16}) {
+    SimResult r = SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, w));
+    EXPECT_LE(r.exec_seconds, last * 1.001) << w << " workers";
+    last = r.exec_seconds;
+  }
+}
+
+TEST(SimTest, ExecTimeLevelsOffWhenIoBound) {
+  // Figure 4a: beyond the crossover, more workers do not help because the
+  // disk is the bottleneck.
+  SimResult w8 = SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 8));
+  SimResult w16 =
+      SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 16));
+  EXPECT_NEAR(w8.exec_seconds, w16.exec_seconds, 0.05 * w8.exec_seconds);
+  // And the I/O-bound floor is the total read time.
+  SimConfig config = BaseConfig(LoadPolicy::kExternalTables, 16);
+  const double read_total =
+      config.costs.read_s * static_cast<double>(config.num_chunks);
+  EXPECT_GE(w16.exec_seconds, read_total * 0.99);
+  EXPECT_LE(w16.exec_seconds, read_total * 1.3);
+}
+
+TEST(SimTest, SequentialSlowerThanOneWorker) {
+  SimResult seq = SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 0));
+  SimResult one = SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 1));
+  EXPECT_GT(seq.exec_seconds, one.exec_seconds);
+}
+
+TEST(SimTest, SpeculativeMatchesExternalTablesWithWorkers) {
+  // Figure 4a: the speculative and external-tables curves overlap for >= 1
+  // worker — loading runs only on otherwise-idle disk time.
+  for (size_t w : {1, 2, 4, 8, 16}) {
+    SimResult ext =
+        SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, w));
+    SimResult spec =
+        SimulatePipeline(BaseConfig(LoadPolicy::kSpeculativeLoading, w));
+    EXPECT_NEAR(spec.exec_seconds, ext.exec_seconds,
+                0.05 * ext.exec_seconds)
+        << w << " workers";
+  }
+}
+
+TEST(SimTest, SpeculativeLoadsAlmostAllWhenCpuBound) {
+  // Figure 4b: CPU-bound (few workers) -> nearly full loading.
+  SimResult r =
+      SimulatePipeline(BaseConfig(LoadPolicy::kSpeculativeLoading, 2));
+  EXPECT_GT(static_cast<double>(r.chunks_written_at_exec), 0.8 * 64);
+}
+
+TEST(SimTest, SpeculativeLoadsLittleWhenIoBound) {
+  // Figure 4b: I/O-bound (many workers) -> READ never blocks -> (almost) no
+  // speculative loading during execution.
+  SimConfig config = BaseConfig(LoadPolicy::kSpeculativeLoading, 16);
+  config.safeguard = false;  // isolate the during-execution behavior
+  SimResult r = SimulatePipeline(config);
+  EXPECT_LT(static_cast<double>(r.chunks_written_at_exec), 0.1 * 64);
+}
+
+TEST(SimTest, FullLoadSlowerWhenIoBound) {
+  // Figure 4a: load & process costs extra only once the disk is the
+  // bottleneck; with few workers loading comes for free.
+  SimResult ext2 =
+      SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 2));
+  SimResult full2 = SimulatePipeline(BaseConfig(LoadPolicy::kFullLoad, 2));
+  EXPECT_NEAR(full2.exec_seconds, ext2.exec_seconds,
+              0.05 * ext2.exec_seconds);
+  SimResult ext16 =
+      SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 16));
+  SimResult full16 = SimulatePipeline(BaseConfig(LoadPolicy::kFullLoad, 16));
+  EXPECT_GT(full16.exec_seconds, 1.2 * ext16.exec_seconds);
+}
+
+TEST(SimTest, FullLoadLoadsEverything) {
+  SimResult r = SimulatePipeline(BaseConfig(LoadPolicy::kFullLoad, 8));
+  EXPECT_EQ(LoadedCount(r), 64u);
+  EXPECT_EQ(r.chunks_written_total, 64u);
+}
+
+TEST(SimTest, InvisibleLoadsFixedCount) {
+  SimConfig config = BaseConfig(LoadPolicy::kInvisibleLoading, 8);
+  config.invisible_chunks_per_query = 5;
+  SimResult r = SimulatePipeline(config);
+  EXPECT_EQ(r.chunks_written_total, 5u);
+}
+
+TEST(SimTest, SafeguardGuaranteesProgressWhenIoBound) {
+  SimConfig config = BaseConfig(LoadPolicy::kSpeculativeLoading, 16);
+  config.safeguard = true;
+  SimResult r = SimulatePipeline(config);
+  // Trailing writes load (at least) the cache-resident tail.
+  EXPECT_GE(r.chunks_written_total, std::min<size_t>(config.cache_chunks, 64));
+  EXPECT_GE(r.writes_drained_seconds, r.exec_seconds);
+}
+
+TEST(SimTest, QuerySequenceConvergesToDatabase) {
+  // Figure 8: speculative loading converges to database performance; each
+  // query is no slower than its predecessor (modulo noise-free sim).
+  SimConfig config = BaseConfig(LoadPolicy::kSpeculativeLoading, 16);
+  auto results = SimulateQuerySequence(config, 8);
+  for (size_t q = 1; q < results.size(); ++q) {
+    EXPECT_LE(results[q].exec_seconds, results[q - 1].exec_seconds * 1.001)
+        << "query " << q;
+  }
+  // Eventually everything is loaded and queries run from cache+database.
+  EXPECT_EQ(LoadedCount(results.back()), 64u);
+  EXPECT_EQ(results.back().chunks_from_raw, 0u);
+  // Database processing (binary) beats external tables (text) because the
+  // binary representation is smaller.
+  SimResult ext =
+      SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 16));
+  EXPECT_LT(results.back().exec_seconds, ext.exec_seconds);
+}
+
+TEST(SimTest, ExternalTablesSequenceNeverImproves) {
+  SimConfig config = BaseConfig(LoadPolicy::kExternalTables, 16);
+  config.cache_chunks = 8;  // cache much smaller than the 64 chunks
+  auto results = SimulateQuerySequence(config, 3);
+  // With a small cache the bulk of every query re-reads the raw file.
+  EXPECT_GT(results[2].exec_seconds, 0.8 * results[0].exec_seconds);
+  EXPECT_EQ(LoadedCount(results[2]), 0u);
+}
+
+TEST(SimTest, TraceCoversExecutionAndAlternatesDisk) {
+  SimConfig config = BaseConfig(LoadPolicy::kSpeculativeLoading, 4);
+  config.record_trace = true;
+  SimResult r = SimulatePipeline(config);
+  ASSERT_FALSE(r.trace.empty());
+  bool saw_read = false, saw_write = false;
+  double covered = 0;
+  for (const auto& s : r.trace) {
+    EXPECT_LE(s.t0, s.t1);
+    if (s.disk == 1) saw_read = true;
+    if (s.disk == 2) saw_write = true;
+    covered += s.t1 - s.t0;
+  }
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_write);  // CPU-bound at 4 workers -> speculative writes
+  EXPECT_NEAR(covered, r.writes_drained_seconds,
+              0.01 * r.writes_drained_seconds);
+}
+
+TEST(SimTest, DispatchOverheadPenalizesTinyChunks) {
+  // Figure 7: same total work split into many tiny chunks is slower when
+  // conversion is the bottleneck (2 workers), because every chunk pays the
+  // dynamic task-allocation overhead.
+  CostModelInput input;
+  input.rows_per_chunk = 1 << 14;
+  SimConfig tiny = BaseConfig(LoadPolicy::kExternalTables, 2);
+  tiny.num_chunks = 64 * 32;
+  tiny.costs = PaperChunkCosts(input);
+  SimResult r_tiny = SimulatePipeline(tiny);
+  SimResult r_big =
+      SimulatePipeline(BaseConfig(LoadPolicy::kExternalTables, 2));
+  EXPECT_GT(r_tiny.exec_seconds, 1.2 * r_big.exec_seconds);
+}
+
+TEST(SimTest, WorkConservation) {
+  // The pipeline cannot finish faster than its critical resource: max of
+  // total disk read time and total conversion time / workers.
+  for (size_t w : {1, 2, 4, 8, 16}) {
+    SimConfig config = BaseConfig(LoadPolicy::kExternalTables, w);
+    SimResult r = SimulatePipeline(config);
+    const double n = static_cast<double>(config.num_chunks);
+    const double io_floor = n * config.costs.read_s;
+    const double cpu_floor =
+        n * (config.costs.tokenize_s + config.costs.parse_s) /
+        static_cast<double>(w);
+    EXPECT_GE(r.exec_seconds * 1.0001, std::max(io_floor, cpu_floor))
+        << w << " workers";
+  }
+}
+
+TEST(SimTest, CachedChunksSkipConversionNextQuery) {
+  SimConfig config = BaseConfig(LoadPolicy::kExternalTables, 16);
+  config.cache_chunks = 64;  // whole file fits
+  auto results = SimulateQuerySequence(config, 2);
+  EXPECT_EQ(results[1].chunks_from_cache, 64u);
+  EXPECT_EQ(results[1].chunks_from_raw, 0u);
+  EXPECT_LT(results[1].exec_seconds, 0.2 * results[0].exec_seconds);
+}
+
+}  // namespace
+}  // namespace scanraw

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "genomics/sam.h"
+#include "sql/sql_parser.h"
+
+namespace scanraw {
+namespace {
+
+Schema TestSchema() { return Schema::AllUint32(8); }
+
+TEST(SqlParserTest, SimpleSum) {
+  auto parsed = ParseSelect("SELECT SUM(C0 + C1) FROM t", TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->table, "t");
+  EXPECT_EQ(parsed->spec.sum_columns, (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(parsed->spec.predicate.empty());
+  EXPECT_FALSE(parsed->spec.group_by_column.has_value());
+}
+
+TEST(SqlParserTest, CountStar) {
+  auto parsed = ParseSelect("SELECT COUNT(*) FROM events;", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->table, "events");
+  EXPECT_TRUE(parsed->spec.sum_columns.empty());
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  auto parsed =
+      ParseSelect("select sum(C2) from t where C3 between 1 and 9",
+                  TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->spec.predicate.range.has_value());
+  EXPECT_EQ(parsed->spec.predicate.range->column, 3u);
+  EXPECT_EQ(parsed->spec.predicate.range->lo, 1);
+  EXPECT_EQ(parsed->spec.predicate.range->hi, 9);
+}
+
+TEST(SqlParserTest, ComparisonOperatorsCombine) {
+  auto parsed = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE C0 >= 10 AND C0 < 20", TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->spec.predicate.range.has_value());
+  EXPECT_EQ(parsed->spec.predicate.range->lo, 10);
+  EXPECT_EQ(parsed->spec.predicate.range->hi, 19);
+}
+
+TEST(SqlParserTest, EqualityIsPointRange) {
+  auto parsed =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE C5 = 42", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.predicate.range->lo, 42);
+  EXPECT_EQ(parsed->spec.predicate.range->hi, 42);
+}
+
+TEST(SqlParserTest, GreaterAndLessAreExclusive) {
+  auto parsed = ParseSelect("SELECT COUNT(*) FROM t WHERE C1 > 5 AND C1 < 8",
+                            TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->spec.predicate.range->lo, 6);
+  EXPECT_EQ(parsed->spec.predicate.range->hi, 7);
+}
+
+TEST(SqlParserTest, LikeOnStringColumn) {
+  auto parsed = ParseSelect(
+      "SELECT CIGAR, COUNT(*) FROM reads WHERE SEQ LIKE '%ACGT%' "
+      "GROUP BY CIGAR",
+      SamSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->table, "reads");
+  ASSERT_TRUE(parsed->spec.predicate.pattern.has_value());
+  EXPECT_EQ(parsed->spec.predicate.pattern->column,
+            static_cast<size_t>(kSamSeq));
+  EXPECT_EQ(parsed->spec.predicate.pattern->pattern, "ACGT");
+  ASSERT_TRUE(parsed->spec.group_by_column.has_value());
+  EXPECT_EQ(*parsed->spec.group_by_column, static_cast<size_t>(kSamCigar));
+}
+
+TEST(SqlParserTest, CombinedRangeAndLike) {
+  auto parsed = ParseSelect(
+      "SELECT COUNT(*) FROM reads WHERE MAPQ BETWEEN 30 AND 60 AND "
+      "SEQ LIKE '%TTT%'",
+      SamSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->spec.predicate.range.has_value());
+  EXPECT_TRUE(parsed->spec.predicate.pattern.has_value());
+}
+
+TEST(SqlParserTest, NegativeNumbers) {
+  Schema schema(std::vector<ColumnDef>{{"delta", FieldType::kInt64}});
+  auto parsed = ParseSelect(
+      "SELECT SUM(delta) FROM t WHERE delta BETWEEN -100 AND -1", schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->spec.predicate.range->lo, -100);
+  EXPECT_EQ(parsed->spec.predicate.range->hi, -1);
+}
+
+TEST(SqlParserTest, BareColumnRequiresGroupBy) {
+  EXPECT_TRUE(ParseSelect("SELECT C0 FROM t", TestSchema())
+                  .status()
+                  .IsInvalidArgument());
+  auto ok = ParseSelect("SELECT C0, COUNT(*) FROM t GROUP BY C0",
+                        TestSchema());
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(SqlParserTest, Errors) {
+  const Schema schema = TestSchema();
+  // Unknown column.
+  EXPECT_FALSE(ParseSelect("SELECT SUM(NOPE) FROM t", schema).ok());
+  // Missing FROM.
+  EXPECT_FALSE(ParseSelect("SELECT SUM(C0) t", schema).ok());
+  // SUM over string column.
+  EXPECT_FALSE(ParseSelect("SELECT SUM(SEQ) FROM r", SamSchema()).ok());
+  // LIKE on numeric column.
+  EXPECT_FALSE(
+      ParseSelect("SELECT COUNT(*) FROM t WHERE C0 LIKE '%x%'", schema).ok());
+  // Range on string column.
+  EXPECT_FALSE(
+      ParseSelect("SELECT COUNT(*) FROM r WHERE SEQ > 5", SamSchema()).ok());
+  // Unterminated string.
+  EXPECT_FALSE(
+      ParseSelect("SELECT COUNT(*) FROM r WHERE SEQ LIKE '%x", SamSchema())
+          .ok());
+  // Ranges on two different columns (unsupported).
+  EXPECT_EQ(ParseSelect("SELECT COUNT(*) FROM t WHERE C0 > 1 AND C1 < 5",
+                        schema)
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+  // Garbage after statement.
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t banana", schema).ok());
+  // Unsupported LIKE shape.
+  EXPECT_EQ(ParseSelect("SELECT COUNT(*) FROM r WHERE SEQ LIKE 'a%b'",
+                        SamSchema())
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(SqlParserTest, MinMaxAvg) {
+  auto parsed = ParseSelect(
+      "SELECT MIN(C0), MAX(C1), AVG(C2) FROM t", TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->spec.minmax_columns, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(parsed->spec.sum_columns, (std::vector<size_t>{2}));
+  EXPECT_TRUE(parsed->has_avg);
+  // MIN over a string column is rejected.
+  EXPECT_FALSE(ParseSelect("SELECT MIN(SEQ) FROM r", SamSchema()).ok());
+}
+
+TEST(SqlParserTest, ParseSelectTableOnly) {
+  auto table = ParseSelectTable("SELECT SUM(whatever) FROM my_table WHERE x");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*table, "my_table");
+  EXPECT_FALSE(ParseSelectTable("SELECT 1").ok());
+}
+
+// The parsed spec actually runs: end-to-end with the executor.
+TEST(SqlParserTest, ParsedSpecExecutes) {
+  auto parsed = ParseSelect(
+      "SELECT SUM(C0) FROM t WHERE C1 BETWEEN 10 AND 20", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  BinaryChunk chunk(0);
+  ColumnVector c0(FieldType::kUint32), c1(FieldType::kUint32);
+  for (uint32_t i = 0; i < 30; ++i) {
+    c0.AppendUint32(i);
+    c1.AppendUint32(i);
+  }
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(c0)).ok());
+  ASSERT_TRUE(chunk.AddColumn(1, std::move(c1)).ok());
+  QueryExecutor exec(parsed->spec);
+  ASSERT_TRUE(exec.Consume(chunk).ok());
+  QueryResult r = exec.Finish();
+  EXPECT_EQ(r.rows_matched, 11u);             // 10..20 inclusive
+  EXPECT_EQ(r.total_sum, (10u + 20u) * 11 / 2);
+}
+
+}  // namespace
+}  // namespace scanraw

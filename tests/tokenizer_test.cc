@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "format/tokenizer.h"
+
+namespace scanraw {
+namespace {
+
+TokenizeOptions Opts(size_t schema_fields, size_t max_fields = 0,
+                     char delim = ',') {
+  TokenizeOptions o;
+  o.delimiter = delim;
+  o.schema_fields = schema_fields;
+  o.max_fields = max_fields;
+  return o;
+}
+
+// Extracts field (r, f) text using the positional map.
+std::string Field(const TextChunk& chunk, const PositionalMap& map, size_t r,
+                  size_t f) {
+  return std::string(chunk.data.substr(map.FieldStart(r, f),
+                                       map.FieldEnd(r, f) -
+                                           map.FieldStart(r, f)));
+}
+
+TEST(TokenizerTest, SingleRowAllFields) {
+  TextChunk chunk = MakeTextChunk("10,200,3000\n");
+  ASSERT_EQ(chunk.num_rows(), 1u);
+  auto map = TokenizeChunk(chunk, Opts(3));
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(Field(chunk, *map, 0, 0), "10");
+  EXPECT_EQ(Field(chunk, *map, 0, 1), "200");
+  EXPECT_EQ(Field(chunk, *map, 0, 2), "3000");
+}
+
+TEST(TokenizerTest, MultipleRows) {
+  TextChunk chunk = MakeTextChunk("1,2\n3,4\n5,6\n");
+  auto map = TokenizeChunk(chunk, Opts(2));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->num_rows(), 3u);
+  EXPECT_EQ(Field(chunk, *map, 2, 0), "5");
+  EXPECT_EQ(Field(chunk, *map, 2, 1), "6");
+}
+
+TEST(TokenizerTest, NoTrailingNewline) {
+  TextChunk chunk = MakeTextChunk("7,8\n9,10");
+  auto map = TokenizeChunk(chunk, Opts(2));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(Field(chunk, *map, 1, 1), "10");
+}
+
+TEST(TokenizerTest, CarriageReturnStripped) {
+  TextChunk chunk = MakeTextChunk("1,2\r\n3,4\r\n");
+  auto map = TokenizeChunk(chunk, Opts(2));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(Field(chunk, *map, 0, 1), "2");
+  EXPECT_EQ(Field(chunk, *map, 1, 1), "4");
+}
+
+TEST(TokenizerTest, EmptyFields) {
+  TextChunk chunk = MakeTextChunk(",,\n");
+  auto map = TokenizeChunk(chunk, Opts(3));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(Field(chunk, *map, 0, 0), "");
+  EXPECT_EQ(Field(chunk, *map, 0, 1), "");
+  EXPECT_EQ(Field(chunk, *map, 0, 2), "");
+}
+
+TEST(TokenizerTest, TabDelimiter) {
+  TextChunk chunk = MakeTextChunk("a\tb\tc\n");
+  auto map = TokenizeChunk(chunk, Opts(3, 0, '\t'));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(Field(chunk, *map, 0, 1), "b");
+}
+
+TEST(TokenizerTest, SelectiveTokenizingStopsEarly) {
+  TextChunk chunk = MakeTextChunk("1,2,3,4,5,6,7,8\n");
+  auto map = TokenizeChunk(chunk, Opts(8, 3));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->fields_per_row(), 3u);
+  EXPECT_FALSE(map->IsCompleteFor(8));
+  EXPECT_TRUE(map->IsCompleteFor(3));
+  EXPECT_EQ(Field(chunk, *map, 0, 0), "1");
+  EXPECT_EQ(Field(chunk, *map, 0, 1), "2");
+  EXPECT_EQ(Field(chunk, *map, 0, 2), "3");
+}
+
+TEST(TokenizerTest, SelectiveBeyondSchemaClamps) {
+  TextChunk chunk = MakeTextChunk("1,2\n");
+  auto map = TokenizeChunk(chunk, Opts(2, 10));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->fields_per_row(), 2u);
+}
+
+TEST(TokenizerTest, MissingFieldIsCorruption) {
+  TextChunk chunk = MakeTextChunk("1,2,3\n1,2\n");
+  auto map = TokenizeChunk(chunk, Opts(3));
+  ASSERT_FALSE(map.ok());
+  EXPECT_TRUE(map.status().IsCorruption());
+}
+
+TEST(TokenizerTest, ExtraFieldIsCorruption) {
+  TextChunk chunk = MakeTextChunk("1,2,3,4\n");
+  auto map = TokenizeChunk(chunk, Opts(3));
+  ASSERT_FALSE(map.ok());
+  EXPECT_TRUE(map.status().IsCorruption());
+}
+
+TEST(TokenizerTest, ZeroSchemaFieldsRejected) {
+  TextChunk chunk = MakeTextChunk("1\n");
+  auto map = TokenizeChunk(chunk, Opts(0));
+  ASSERT_FALSE(map.ok());
+  EXPECT_TRUE(map.status().IsInvalidArgument());
+}
+
+TEST(TokenizerTest, EmptyChunk) {
+  TextChunk chunk = MakeTextChunk("");
+  auto map = TokenizeChunk(chunk, Opts(3));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->num_rows(), 0u);
+}
+
+TEST(MakeTextChunkTest, LineStartsComputed) {
+  TextChunk chunk = MakeTextChunk("ab\ncd\nef\n", 4, 100);
+  EXPECT_EQ(chunk.chunk_index, 4u);
+  EXPECT_EQ(chunk.file_offset, 100u);
+  ASSERT_EQ(chunk.num_rows(), 3u);
+  EXPECT_EQ(chunk.line(0), "ab");
+  EXPECT_EQ(chunk.line(1), "cd");
+  EXPECT_EQ(chunk.line(2), "ef");
+}
+
+// Property sweep: tokenizing a generated W-field chunk recovers every field
+// for all selective widths.
+class TokenizerSweepTest
+    : public testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(TokenizerSweepTest, FieldsRecovered) {
+  const auto [width, max_fields] = GetParam();
+  std::string data;
+  const size_t rows = 13;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t f = 0; f < width; ++f) {
+      if (f > 0) data.push_back(',');
+      data += std::to_string(r * 1000 + f);
+    }
+    data.push_back('\n');
+  }
+  TextChunk chunk = MakeTextChunk(std::move(data));
+  auto map = TokenizeChunk(chunk, Opts(width, max_fields));
+  ASSERT_TRUE(map.ok());
+  const size_t effective =
+      (max_fields == 0 || max_fields > width) ? width : max_fields;
+  ASSERT_EQ(map->fields_per_row(), effective);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t f = 0; f < effective; ++f) {
+      EXPECT_EQ(Field(chunk, *map, r, f), std::to_string(r * 1000 + f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSelective, TokenizerSweepTest,
+    testing::Combine(testing::Values(1, 2, 5, 16, 64),
+                     testing::Values(0, 1, 3, 64)));
+
+TEST(ExtendTokenizeMapTest, ExtendsPartialMap) {
+  TextChunk chunk = MakeTextChunk("10,20,30,40,50\n60,70,80,90,11\n");
+  auto base = TokenizeChunk(chunk, Opts(5, 2));
+  ASSERT_TRUE(base.ok());
+  auto extended = ExtendTokenizeMap(chunk, *base, Opts(5, 4));
+  ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+  EXPECT_EQ(extended->fields_per_row(), 4u);
+  EXPECT_EQ(Field(chunk, *extended, 0, 0), "10");
+  EXPECT_EQ(Field(chunk, *extended, 0, 2), "30");
+  EXPECT_EQ(Field(chunk, *extended, 0, 3), "40");
+  EXPECT_EQ(Field(chunk, *extended, 1, 3), "90");
+}
+
+TEST(ExtendTokenizeMapTest, ExtendToFullSchema) {
+  TextChunk chunk = MakeTextChunk("1,2,3\n4,5,6\n");
+  auto base = TokenizeChunk(chunk, Opts(3, 1));
+  ASSERT_TRUE(base.ok());
+  auto full = ExtendTokenizeMap(chunk, *base, Opts(3));
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t f = 0; f < 3; ++f) {
+      EXPECT_EQ(Field(chunk, *full, r, f),
+                std::to_string(r * 3 + f + 1));
+    }
+  }
+}
+
+TEST(ExtendTokenizeMapTest, NarrowerRequestCopies) {
+  TextChunk chunk = MakeTextChunk("1,2,3,4\n");
+  auto base = TokenizeChunk(chunk, Opts(4));
+  ASSERT_TRUE(base.ok());
+  auto narrow = ExtendTokenizeMap(chunk, *base, Opts(4, 2));
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->fields_per_row(), 2u);
+  EXPECT_EQ(Field(chunk, *narrow, 0, 0), "1");
+  EXPECT_EQ(Field(chunk, *narrow, 0, 1), "2");
+}
+
+TEST(ExtendTokenizeMapTest, MatchesDirectTokenizeOnSweep) {
+  std::string data;
+  for (int r = 0; r < 9; ++r) {
+    for (int f = 0; f < 10; ++f) {
+      if (f > 0) data.push_back(',');
+      data += std::to_string(r * 100 + f);
+    }
+    data.push_back('\n');
+  }
+  TextChunk chunk = MakeTextChunk(std::move(data));
+  for (size_t base_fields : {1, 3, 7, 9}) {
+    for (size_t target : {4, 8, 10}) {
+      auto base = TokenizeChunk(chunk, Opts(10, base_fields));
+      ASSERT_TRUE(base.ok());
+      auto extended = ExtendTokenizeMap(chunk, *base, Opts(10, target));
+      ASSERT_TRUE(extended.ok())
+          << base_fields << "->" << target << ": "
+          << extended.status().ToString();
+      auto direct = TokenizeChunk(chunk, Opts(10, target));
+      ASSERT_TRUE(direct.ok());
+      ASSERT_EQ(extended->fields_per_row(), direct->fields_per_row());
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        for (size_t f = 0; f < extended->fields_per_row(); ++f) {
+          EXPECT_EQ(Field(chunk, *extended, r, f), Field(chunk, *direct, r, f))
+              << base_fields << "->" << target << " row " << r << " field "
+              << f;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExtendTokenizeMapTest, DetectsMissingFields) {
+  TextChunk chunk = MakeTextChunk("1,2\n");
+  auto base = TokenizeChunk(chunk, Opts(5, 2));
+  ASSERT_TRUE(base.ok());
+  auto extended = ExtendTokenizeMap(chunk, *base, Opts(5, 4));
+  ASSERT_FALSE(extended.ok());
+  EXPECT_TRUE(extended.status().IsCorruption());
+}
+
+TEST(ExtendTokenizeMapTest, DetectsExtraFields) {
+  TextChunk chunk = MakeTextChunk("1,2,3,4,5\n");
+  auto base = TokenizeChunk(chunk, Opts(4, 2));
+  ASSERT_TRUE(base.ok());
+  auto extended = ExtendTokenizeMap(chunk, *base, Opts(4));
+  ASSERT_FALSE(extended.ok());
+  EXPECT_TRUE(extended.status().IsCorruption());
+}
+
+TEST(ExtendTokenizeMapTest, RowMismatchRejected) {
+  TextChunk a = MakeTextChunk("1,2\n3,4\n");
+  TextChunk b = MakeTextChunk("1,2\n");
+  auto base = TokenizeChunk(a, Opts(2, 1));
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(
+      ExtendTokenizeMap(b, *base, Opts(2)).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scanraw

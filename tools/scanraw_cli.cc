@@ -1,0 +1,308 @@
+// scanraw_cli — run SQL queries directly over raw files from the shell.
+//
+//   scanraw_cli --db /tmp/demo.db ...
+//               --table events=/data/events.csv=csv16 ...
+//               "SELECT SUM(C0+C1) FROM events WHERE C2 BETWEEN 0 AND 9"
+//
+// Options:
+//   --db PATH             database storage file (required)
+//   --table NAME=PATH=FMT attach a raw file; FMT is csv<K> (K uint32
+//                         columns) or sam (11-field SAM-like, tab text)
+//   --catalog PATH        load catalog if it exists; save on exit
+//   --bandwidth-mb N      emulate an N MB/s disk (default unlimited)
+//   --policy P            speculative|external|full|invisible|buffered
+//   --workers N           conversion worker threads (default 4)
+//   --chunk-rows N        rows per chunk (default 65536)
+//
+// Remaining arguments are SQL statements, executed in order; with none,
+// statements are read from stdin (one per line).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "format/parser.h"
+#include "genomics/sam.h"
+#include "io/file.h"
+#include "scanraw/scanraw_manager.h"
+#include "sql/sql_parser.h"
+
+namespace scanraw {
+namespace {
+
+struct CliOptions {
+  std::string db_path;
+  std::string catalog_path;
+  uint64_t bandwidth_mb = 0;
+  ScanRawOptions scan_options;
+  struct TableArg {
+    std::string name;
+    std::string path;
+    std::string format;
+  };
+  std::vector<TableArg> tables;
+  std::vector<std::string> statements;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: scanraw_cli --db PATH [--table NAME=PATH=FMT]... "
+               "[--catalog PATH]\n"
+               "                   [--bandwidth-mb N] [--policy P] "
+               "[--workers N] [--chunk-rows N]\n"
+               "                   [SQL]...\n");
+}
+
+Result<LoadPolicy> ParsePolicy(const std::string& name) {
+  if (name == "speculative") return LoadPolicy::kSpeculativeLoading;
+  if (name == "external") return LoadPolicy::kExternalTables;
+  if (name == "full") return LoadPolicy::kFullLoad;
+  if (name == "invisible") return LoadPolicy::kInvisibleLoading;
+  if (name == "buffered") return LoadPolicy::kBufferedLoading;
+  return Status::InvalidArgument("unknown policy: " + name);
+}
+
+struct TableFormat {
+  Schema schema;
+  RawFormat raw_format = RawFormat::kDelimitedText;
+};
+
+Result<TableFormat> SchemaForFormat(const std::string& format) {
+  if (format == "sam") return TableFormat{SamSchema()};
+  if (format.rfind("csv", 0) == 0) {
+    auto cols = ParseUint32(std::string_view(format).substr(3));
+    if (cols.ok() && *cols > 0) {
+      return TableFormat{Schema::AllUint32(*cols)};
+    }
+  }
+  if (format.rfind("jsonl", 0) == 0) {
+    auto cols = ParseUint32(std::string_view(format).substr(5));
+    if (cols.ok() && *cols > 0) {
+      return TableFormat{Schema::AllUint32(*cols), RawFormat::kJsonLines};
+    }
+  }
+  return Status::InvalidArgument("unknown table format: " + format +
+                                 " (use csv<K>, jsonl<K> or sam)");
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  options.scan_options.num_workers = 4;
+  options.scan_options.chunk_rows = 1 << 16;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(arg + " requires a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--db") {
+      SCANRAW_ASSIGN_OR_RETURN(options.db_path, next_value());
+    } else if (arg == "--catalog") {
+      SCANRAW_ASSIGN_OR_RETURN(options.catalog_path, next_value());
+    } else if (arg == "--bandwidth-mb") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto mb = ParseUint32(v);
+      if (!mb.ok()) return mb.status();
+      options.bandwidth_mb = *mb;
+    } else if (arg == "--policy") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      SCANRAW_ASSIGN_OR_RETURN(options.scan_options.policy, ParsePolicy(v));
+    } else if (arg == "--workers") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok()) return n.status();
+      options.scan_options.num_workers = *n;
+    } else if (arg == "--chunk-rows") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok() || *n == 0) {
+        return Status::InvalidArgument("bad --chunk-rows");
+      }
+      options.scan_options.chunk_rows = *n;
+    } else if (arg == "--table") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto parts = SplitString(v, '=');
+      if (parts.size() != 3) {
+        return Status::InvalidArgument(
+            "--table expects NAME=PATH=FORMAT, got " + v);
+      }
+      options.tables.push_back(CliOptions::TableArg{
+          std::string(parts[0]), std::string(parts[1]),
+          std::string(parts[2])});
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    } else {
+      options.statements.push_back(arg);
+    }
+  }
+  if (options.db_path.empty()) {
+    return Status::InvalidArgument("--db is required");
+  }
+  return options;
+}
+
+void PrintResult(const QueryResult& result, double seconds, bool has_avg) {
+  if (!result.groups.empty()) {
+    std::printf("%-20s%-12s%s\n", "group", "count", "sum");
+    for (const auto& [key, agg] : result.groups) {
+      std::printf("%-20s%-12llu%llu\n", key.c_str(),
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<unsigned long long>(agg.sum));
+    }
+  } else if (has_avg) {
+    std::printf("avg = %.4f\n", result.Average());
+  } else {
+    std::printf("sum = %llu\n",
+                static_cast<unsigned long long>(result.total_sum));
+  }
+  for (const auto& [col, range] : result.column_ranges) {
+    std::printf("col %zu: min = %lld, max = %lld\n", col,
+                static_cast<long long>(range.min_value),
+                static_cast<long long>(range.max_value));
+  }
+  std::printf("-- %llu rows matched of %llu scanned (%.3f s)\n",
+              static_cast<unsigned long long>(result.rows_matched),
+              static_cast<unsigned long long>(result.rows_scanned), seconds);
+}
+
+int Run(int argc, char** argv) {
+  auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 options.status().ToString().c_str());
+    Usage();
+    return 2;
+  }
+
+  ScanRawManager::Config config;
+  config.db_path = options->db_path;
+  config.disk_bandwidth = options->bandwidth_mb << 20;
+  const bool recovering = !options->catalog_path.empty() &&
+                          FileExists(options->catalog_path) &&
+                          FileExists(options->db_path);
+  config.reuse_existing_db = recovering;
+  auto manager = ScanRawManager::Create(config);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 manager.status().ToString().c_str());
+    return 1;
+  }
+  if (recovering) {
+    Status s = (*manager)->LoadCatalog(options->catalog_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "catalog: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered catalog from %s\n",
+                options->catalog_path.c_str());
+  }
+
+  for (const auto& table : options->tables) {
+    auto format = SchemaForFormat(table.format);
+    if (!format.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   format.status().ToString().c_str());
+      return 1;
+    }
+    ScanRawOptions table_options = options->scan_options;
+    table_options.raw_format = format->raw_format;
+    Status s = (*manager)->catalog()->HasTable(table.name)
+                   ? (*manager)->AttachOptions(table.name, table_options)
+                   : (*manager)->RegisterRawFile(table.name, table.path,
+                                                 format->schema,
+                                                 table_options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto execute = [&](const std::string& sql) -> bool {
+    auto table = ParseSelectTable(sql);
+    if (!table.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   table.status().ToString().c_str());
+      return false;
+    }
+    auto meta = (*manager)->catalog()->GetTable(*table);
+    if (!meta.ok()) {
+      std::fprintf(stderr, "error: %s\n", meta.status().ToString().c_str());
+      return false;
+    }
+    auto parsed = ParseSelect(sql, meta->schema);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      return false;
+    }
+    RealClock clock;
+    const int64_t t0 = clock.NowNanos();
+    auto result = (*manager)->Query(parsed->table, parsed->spec);
+    const double seconds =
+        static_cast<double>(clock.NowNanos() - t0) * 1e-9;
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return false;
+    }
+    PrintResult(*result, seconds, parsed->has_avg);
+    auto after = (*manager)->catalog()->GetTable(parsed->table);
+    if (after.ok()) {
+      std::printf("-- %.0f%% of %s loaded into the database\n\n",
+                  100 * after->LoadedFraction(), parsed->table.c_str());
+    }
+    return true;
+  };
+
+  int failures = 0;
+  if (!options->statements.empty()) {
+    for (const auto& sql : options->statements) {
+      std::printf("> %s\n", sql.c_str());
+      if (!execute(sql)) ++failures;
+    }
+  } else {
+    std::string line;
+    std::printf("scanraw> ");
+    std::fflush(stdout);
+    while (std::getline(std::cin, line)) {
+      if (!line.empty() && line != "quit" && line != "exit") {
+        if (!execute(line)) ++failures;
+      } else if (line == "quit" || line == "exit") {
+        break;
+      }
+      std::printf("scanraw> ");
+      std::fflush(stdout);
+    }
+  }
+
+  if (!options->catalog_path.empty()) {
+    Status s = (*manager)->SaveCatalog(options->catalog_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "catalog save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("catalog saved to %s\n", options->catalog_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace scanraw
+
+int main(int argc, char** argv) { return scanraw::Run(argc, argv); }
