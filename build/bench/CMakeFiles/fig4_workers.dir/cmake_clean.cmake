@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_workers.dir/fig4_workers.cc.o"
+  "CMakeFiles/fig4_workers.dir/fig4_workers.cc.o.d"
+  "fig4_workers"
+  "fig4_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

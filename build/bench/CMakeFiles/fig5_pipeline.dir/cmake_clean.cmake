@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pipeline.dir/fig5_pipeline.cc.o"
+  "CMakeFiles/fig5_pipeline.dir/fig5_pipeline.cc.o.d"
+  "fig5_pipeline"
+  "fig5_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_columns.dir/fig6_columns.cc.o"
+  "CMakeFiles/fig6_columns.dir/fig6_columns.cc.o.d"
+  "fig6_columns"
+  "fig6_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

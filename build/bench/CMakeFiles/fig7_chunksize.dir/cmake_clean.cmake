@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_chunksize.dir/fig7_chunksize.cc.o"
+  "CMakeFiles/fig7_chunksize.dir/fig7_chunksize.cc.o.d"
+  "fig7_chunksize"
+  "fig7_chunksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sequence.dir/fig8_sequence.cc.o"
+  "CMakeFiles/fig8_sequence.dir/fig8_sequence.cc.o.d"
+  "fig8_sequence"
+  "fig8_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

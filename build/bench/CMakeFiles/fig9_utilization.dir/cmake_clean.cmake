@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_utilization.dir/fig9_utilization.cc.o"
+  "CMakeFiles/fig9_utilization.dir/fig9_utilization.cc.o.d"
+  "fig9_utilization"
+  "fig9_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stages.dir/micro_stages.cc.o"
+  "CMakeFiles/micro_stages.dir/micro_stages.cc.o.d"
+  "micro_stages"
+  "micro_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_genomics.dir/table1_genomics.cc.o"
+  "CMakeFiles/table1_genomics.dir/table1_genomics.cc.o.d"
+  "table1_genomics"
+  "table1_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

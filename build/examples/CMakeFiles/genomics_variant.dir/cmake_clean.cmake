@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_variant.dir/genomics_variant.cpp.o"
+  "CMakeFiles/genomics_variant.dir/genomics_variant.cpp.o.d"
+  "genomics_variant"
+  "genomics_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_sequence.dir/query_sequence.cpp.o"
+  "CMakeFiles/query_sequence.dir/query_sequence.cpp.o.d"
+  "query_sequence"
+  "query_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_scan.dir/selective_scan.cpp.o"
+  "CMakeFiles/selective_scan.dir/selective_scan.cpp.o.d"
+  "selective_scan"
+  "selective_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

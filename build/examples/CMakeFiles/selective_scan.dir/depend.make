@@ -1,0 +1,2 @@
+# Empty dependencies file for selective_scan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_jsonl.dir/telemetry_jsonl.cpp.o"
+  "CMakeFiles/telemetry_jsonl.dir/telemetry_jsonl.cpp.o.d"
+  "telemetry_jsonl"
+  "telemetry_jsonl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_jsonl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

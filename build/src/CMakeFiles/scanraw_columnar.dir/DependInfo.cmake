@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/binary_chunk.cc" "src/CMakeFiles/scanraw_columnar.dir/columnar/binary_chunk.cc.o" "gcc" "src/CMakeFiles/scanraw_columnar.dir/columnar/binary_chunk.cc.o.d"
+  "/root/repo/src/columnar/chunk_serde.cc" "src/CMakeFiles/scanraw_columnar.dir/columnar/chunk_serde.cc.o" "gcc" "src/CMakeFiles/scanraw_columnar.dir/columnar/chunk_serde.cc.o.d"
+  "/root/repo/src/columnar/chunk_sort.cc" "src/CMakeFiles/scanraw_columnar.dir/columnar/chunk_sort.cc.o" "gcc" "src/CMakeFiles/scanraw_columnar.dir/columnar/chunk_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scanraw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

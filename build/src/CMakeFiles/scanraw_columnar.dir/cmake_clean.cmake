@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_columnar.dir/columnar/binary_chunk.cc.o"
+  "CMakeFiles/scanraw_columnar.dir/columnar/binary_chunk.cc.o.d"
+  "CMakeFiles/scanraw_columnar.dir/columnar/chunk_serde.cc.o"
+  "CMakeFiles/scanraw_columnar.dir/columnar/chunk_serde.cc.o.d"
+  "CMakeFiles/scanraw_columnar.dir/columnar/chunk_sort.cc.o"
+  "CMakeFiles/scanraw_columnar.dir/columnar/chunk_sort.cc.o.d"
+  "libscanraw_columnar.a"
+  "libscanraw_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scanraw_columnar.
+# This may be replaced when dependencies are built.

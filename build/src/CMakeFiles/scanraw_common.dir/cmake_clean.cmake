@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_common.dir/common/clock.cc.o"
+  "CMakeFiles/scanraw_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/scanraw_common.dir/common/status.cc.o"
+  "CMakeFiles/scanraw_common.dir/common/status.cc.o.d"
+  "CMakeFiles/scanraw_common.dir/common/string_util.cc.o"
+  "CMakeFiles/scanraw_common.dir/common/string_util.cc.o.d"
+  "libscanraw_common.a"
+  "libscanraw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanraw/chunk_cache.cc" "src/CMakeFiles/scanraw_core.dir/scanraw/chunk_cache.cc.o" "gcc" "src/CMakeFiles/scanraw_core.dir/scanraw/chunk_cache.cc.o.d"
+  "/root/repo/src/scanraw/raw_reader.cc" "src/CMakeFiles/scanraw_core.dir/scanraw/raw_reader.cc.o" "gcc" "src/CMakeFiles/scanraw_core.dir/scanraw/raw_reader.cc.o.d"
+  "/root/repo/src/scanraw/scan_raw.cc" "src/CMakeFiles/scanraw_core.dir/scanraw/scan_raw.cc.o" "gcc" "src/CMakeFiles/scanraw_core.dir/scanraw/scan_raw.cc.o.d"
+  "/root/repo/src/scanraw/scanraw_manager.cc" "src/CMakeFiles/scanraw_core.dir/scanraw/scanraw_manager.cc.o" "gcc" "src/CMakeFiles/scanraw_core.dir/scanraw/scanraw_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scanraw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

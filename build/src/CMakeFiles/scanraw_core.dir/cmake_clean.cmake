@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_core.dir/scanraw/chunk_cache.cc.o"
+  "CMakeFiles/scanraw_core.dir/scanraw/chunk_cache.cc.o.d"
+  "CMakeFiles/scanraw_core.dir/scanraw/raw_reader.cc.o"
+  "CMakeFiles/scanraw_core.dir/scanraw/raw_reader.cc.o.d"
+  "CMakeFiles/scanraw_core.dir/scanraw/scan_raw.cc.o"
+  "CMakeFiles/scanraw_core.dir/scanraw/scan_raw.cc.o.d"
+  "CMakeFiles/scanraw_core.dir/scanraw/scanraw_manager.cc.o"
+  "CMakeFiles/scanraw_core.dir/scanraw/scanraw_manager.cc.o.d"
+  "libscanraw_core.a"
+  "libscanraw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

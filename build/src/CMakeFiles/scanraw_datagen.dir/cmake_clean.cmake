@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_datagen.dir/datagen/csv_generator.cc.o"
+  "CMakeFiles/scanraw_datagen.dir/datagen/csv_generator.cc.o.d"
+  "CMakeFiles/scanraw_datagen.dir/datagen/jsonl_generator.cc.o"
+  "CMakeFiles/scanraw_datagen.dir/datagen/jsonl_generator.cc.o.d"
+  "libscanraw_datagen.a"
+  "libscanraw_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

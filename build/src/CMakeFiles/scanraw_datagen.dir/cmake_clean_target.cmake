@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscanraw_datagen.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/scanraw_db.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/scanraw_db.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/heap_scan.cc" "src/CMakeFiles/scanraw_db.dir/db/heap_scan.cc.o" "gcc" "src/CMakeFiles/scanraw_db.dir/db/heap_scan.cc.o.d"
+  "/root/repo/src/db/sketches.cc" "src/CMakeFiles/scanraw_db.dir/db/sketches.cc.o" "gcc" "src/CMakeFiles/scanraw_db.dir/db/sketches.cc.o.d"
+  "/root/repo/src/db/statistics.cc" "src/CMakeFiles/scanraw_db.dir/db/statistics.cc.o" "gcc" "src/CMakeFiles/scanraw_db.dir/db/statistics.cc.o.d"
+  "/root/repo/src/db/storage_manager.cc" "src/CMakeFiles/scanraw_db.dir/db/storage_manager.cc.o" "gcc" "src/CMakeFiles/scanraw_db.dir/db/storage_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scanraw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_db.dir/db/catalog.cc.o"
+  "CMakeFiles/scanraw_db.dir/db/catalog.cc.o.d"
+  "CMakeFiles/scanraw_db.dir/db/heap_scan.cc.o"
+  "CMakeFiles/scanraw_db.dir/db/heap_scan.cc.o.d"
+  "CMakeFiles/scanraw_db.dir/db/sketches.cc.o"
+  "CMakeFiles/scanraw_db.dir/db/sketches.cc.o.d"
+  "CMakeFiles/scanraw_db.dir/db/statistics.cc.o"
+  "CMakeFiles/scanraw_db.dir/db/statistics.cc.o.d"
+  "CMakeFiles/scanraw_db.dir/db/storage_manager.cc.o"
+  "CMakeFiles/scanraw_db.dir/db/storage_manager.cc.o.d"
+  "libscanraw_db.a"
+  "libscanraw_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_exec.dir/exec/query.cc.o"
+  "CMakeFiles/scanraw_exec.dir/exec/query.cc.o.d"
+  "libscanraw_exec.a"
+  "libscanraw_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/json_tokenizer.cc" "src/CMakeFiles/scanraw_format.dir/format/json_tokenizer.cc.o" "gcc" "src/CMakeFiles/scanraw_format.dir/format/json_tokenizer.cc.o.d"
+  "/root/repo/src/format/parser.cc" "src/CMakeFiles/scanraw_format.dir/format/parser.cc.o" "gcc" "src/CMakeFiles/scanraw_format.dir/format/parser.cc.o.d"
+  "/root/repo/src/format/schema.cc" "src/CMakeFiles/scanraw_format.dir/format/schema.cc.o" "gcc" "src/CMakeFiles/scanraw_format.dir/format/schema.cc.o.d"
+  "/root/repo/src/format/tokenizer.cc" "src/CMakeFiles/scanraw_format.dir/format/tokenizer.cc.o" "gcc" "src/CMakeFiles/scanraw_format.dir/format/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scanraw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scanraw_columnar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_format.dir/format/json_tokenizer.cc.o"
+  "CMakeFiles/scanraw_format.dir/format/json_tokenizer.cc.o.d"
+  "CMakeFiles/scanraw_format.dir/format/parser.cc.o"
+  "CMakeFiles/scanraw_format.dir/format/parser.cc.o.d"
+  "CMakeFiles/scanraw_format.dir/format/schema.cc.o"
+  "CMakeFiles/scanraw_format.dir/format/schema.cc.o.d"
+  "CMakeFiles/scanraw_format.dir/format/tokenizer.cc.o"
+  "CMakeFiles/scanraw_format.dir/format/tokenizer.cc.o.d"
+  "libscanraw_format.a"
+  "libscanraw_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_genomics.dir/genomics/bam_like.cc.o"
+  "CMakeFiles/scanraw_genomics.dir/genomics/bam_like.cc.o.d"
+  "CMakeFiles/scanraw_genomics.dir/genomics/sam.cc.o"
+  "CMakeFiles/scanraw_genomics.dir/genomics/sam.cc.o.d"
+  "libscanraw_genomics.a"
+  "libscanraw_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

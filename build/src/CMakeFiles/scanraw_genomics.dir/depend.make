@@ -1,0 +1,2 @@
+# Empty dependencies file for scanraw_genomics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/disk_arbiter.cc" "src/CMakeFiles/scanraw_io.dir/io/disk_arbiter.cc.o" "gcc" "src/CMakeFiles/scanraw_io.dir/io/disk_arbiter.cc.o.d"
+  "/root/repo/src/io/file.cc" "src/CMakeFiles/scanraw_io.dir/io/file.cc.o" "gcc" "src/CMakeFiles/scanraw_io.dir/io/file.cc.o.d"
+  "/root/repo/src/io/rate_limiter.cc" "src/CMakeFiles/scanraw_io.dir/io/rate_limiter.cc.o" "gcc" "src/CMakeFiles/scanraw_io.dir/io/rate_limiter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scanraw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

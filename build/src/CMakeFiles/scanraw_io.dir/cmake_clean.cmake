@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_io.dir/io/disk_arbiter.cc.o"
+  "CMakeFiles/scanraw_io.dir/io/disk_arbiter.cc.o.d"
+  "CMakeFiles/scanraw_io.dir/io/file.cc.o"
+  "CMakeFiles/scanraw_io.dir/io/file.cc.o.d"
+  "CMakeFiles/scanraw_io.dir/io/rate_limiter.cc.o"
+  "CMakeFiles/scanraw_io.dir/io/rate_limiter.cc.o.d"
+  "libscanraw_io.a"
+  "libscanraw_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

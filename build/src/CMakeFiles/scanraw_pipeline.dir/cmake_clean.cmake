@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_pipeline.dir/pipeline/thread_pool.cc.o"
+  "CMakeFiles/scanraw_pipeline.dir/pipeline/thread_pool.cc.o.d"
+  "libscanraw_pipeline.a"
+  "libscanraw_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_sim.dir/sim/calibrate.cc.o"
+  "CMakeFiles/scanraw_sim.dir/sim/calibrate.cc.o.d"
+  "CMakeFiles/scanraw_sim.dir/sim/pipeline_sim.cc.o"
+  "CMakeFiles/scanraw_sim.dir/sim/pipeline_sim.cc.o.d"
+  "libscanraw_sim.a"
+  "libscanraw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

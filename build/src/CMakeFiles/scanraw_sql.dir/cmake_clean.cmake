@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_sql.dir/sql/sql_parser.cc.o"
+  "CMakeFiles/scanraw_sql.dir/sql/sql_parser.cc.o.d"
+  "libscanraw_sql.a"
+  "libscanraw_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

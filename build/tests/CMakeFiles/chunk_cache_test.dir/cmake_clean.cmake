@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_cache_test.dir/chunk_cache_test.cc.o"
+  "CMakeFiles/chunk_cache_test.dir/chunk_cache_test.cc.o.d"
+  "chunk_cache_test"
+  "chunk_cache_test.pdb"
+  "chunk_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

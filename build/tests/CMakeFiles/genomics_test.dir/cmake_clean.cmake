@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_test.dir/genomics_test.cc.o"
+  "CMakeFiles/genomics_test.dir/genomics_test.cc.o.d"
+  "genomics_test"
+  "genomics_test.pdb"
+  "genomics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_reader_test.dir/raw_reader_test.cc.o"
+  "CMakeFiles/raw_reader_test.dir/raw_reader_test.cc.o.d"
+  "raw_reader_test"
+  "raw_reader_test.pdb"
+  "raw_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

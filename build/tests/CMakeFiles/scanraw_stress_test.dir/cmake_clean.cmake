@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_stress_test.dir/scanraw_stress_test.cc.o"
+  "CMakeFiles/scanraw_stress_test.dir/scanraw_stress_test.cc.o.d"
+  "scanraw_stress_test"
+  "scanraw_stress_test.pdb"
+  "scanraw_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

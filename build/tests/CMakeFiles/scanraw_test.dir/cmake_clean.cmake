@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_test.dir/scanraw_test.cc.o"
+  "CMakeFiles/scanraw_test.dir/scanraw_test.cc.o.d"
+  "scanraw_test"
+  "scanraw_test.pdb"
+  "scanraw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketches_test.dir/sketches_test.cc.o"
+  "CMakeFiles/sketches_test.dir/sketches_test.cc.o.d"
+  "sketches_test"
+  "sketches_test.pdb"
+  "sketches_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketches_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/columnar_test[1]_include.cmake")
+include("/root/repo/build/tests/tokenizer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/raw_reader_test[1]_include.cmake")
+include("/root/repo/build/tests/scanraw_test[1]_include.cmake")
+include("/root/repo/build/tests/genomics_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sketches_test[1]_include.cmake")
+include("/root/repo/build/tests/scanraw_features_test[1]_include.cmake")
+include("/root/repo/build/tests/scanraw_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")

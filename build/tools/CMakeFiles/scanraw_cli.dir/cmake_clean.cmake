@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_cli.dir/scanraw_cli.cc.o"
+  "CMakeFiles/scanraw_cli.dir/scanraw_cli.cc.o.d"
+  "scanraw_cli"
+  "scanraw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

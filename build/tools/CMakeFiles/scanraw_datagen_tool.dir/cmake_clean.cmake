@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanraw_datagen_tool.dir/scanraw_datagen.cc.o"
+  "CMakeFiles/scanraw_datagen_tool.dir/scanraw_datagen.cc.o.d"
+  "scanraw_datagen"
+  "scanraw_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanraw_datagen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

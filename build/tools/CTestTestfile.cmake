@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "bash" "-c" "set -e;     d=\$(mktemp -d); trap 'rm -rf \$d' EXIT;     /root/repo/build/tools/scanraw_datagen csv --out \$d/t.csv --rows 5000 --cols 4;     /root/repo/build/tools/scanraw_cli --db \$d/t.db --catalog \$d/t.catalog       --table t=\$d/t.csv=csv4 --policy full       'SELECT SUM(C0+C1+C2+C3) FROM t' | tee \$d/run1.txt;     grep -q 'rows matched' \$d/run1.txt;     grep -q '100% of t loaded' \$d/run1.txt;     /root/repo/build/tools/scanraw_cli --db \$d/t.db --catalog \$d/t.catalog       --table t=\$d/t.csv=csv4       'SELECT COUNT(*) FROM t WHERE C0 BETWEEN 0 AND 99999' | tee \$d/run2.txt;     grep -q 'recovered catalog' \$d/run2.txt")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
