@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 namespace bench {
@@ -72,6 +73,11 @@ class TablePrinter {
     std::printf("\n");
   }
 
+ public:
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
   std::vector<std::string> headers_;
   std::vector<size_t> widths_;
   std::vector<std::vector<std::string>> rows_;
@@ -82,6 +88,78 @@ inline std::string Fmt(const char* fmt, double v) {
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
 }
+
+// Machine-readable bench artifact: writes BENCH_<name>.json next to the
+// working directory (override the directory with SCANRAW_BENCH_OUT). The
+// schema is {"bench":name,"headers":[...],"rows":[[...]],"extra":{...}} —
+// every cell is the same string the table printed, so the JSON mirrors the
+// human-readable output exactly.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+
+  // Extra top-level key/value pairs (values embedded verbatim, so pass
+  // valid JSON — numbers, or strings already quoted via obs::JsonEscape).
+  void AddExtra(const std::string& key, const std::string& json_value) {
+    extra_.emplace_back(key, json_value);
+  }
+
+  // {"headers":[...],"rows":[[...]]} for one table — also usable as an
+  // AddExtra value to attach secondary tables.
+  static std::string TableJson(const TablePrinter& table) {
+    std::string json = "{\"headers\":[";
+    for (size_t i = 0; i < table.headers().size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"" + obs::JsonEscape(table.headers()[i]) + "\"";
+    }
+    json += "],\"rows\":[";
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      if (r > 0) json += ",";
+      json += "[";
+      const auto& row = table.rows()[r];
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) json += ",";
+        json += "\"" + obs::JsonEscape(row[i]) + "\"";
+      }
+      json += "]";
+    }
+    json += "]}";
+    return json;
+  }
+
+  // Serializes the printed table (headers + rows) plus the extras.
+  bool Write(const TablePrinter& table) const {
+    const std::string table_json = TableJson(table);
+    // Splice the table members into the top-level object.
+    std::string json = "{\"bench\":\"" + obs::JsonEscape(name_) + "\"," +
+                       table_json.substr(1, table_json.size() - 2);
+    for (const auto& [key, value] : extra_) {
+      json += ",\"" + obs::JsonEscape(key) + "\":" + value;
+    }
+    json += "}\n";
+
+    const std::string path = OutPath();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("bench artifact: %s\n", path.c_str());
+    return true;
+  }
+
+  std::string OutPath() const {
+    const char* dir = std::getenv("SCANRAW_BENCH_OUT");
+    std::string base = dir != nullptr ? std::string(dir) + "/" : "";
+    return base + "BENCH_" + name_ + ".json";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> extra_;
+};
 
 }  // namespace bench
 }  // namespace scanraw

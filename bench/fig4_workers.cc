@@ -54,6 +54,7 @@ void RunSimulated() {
                   bench::Fmt("%.0f", w == 0 ? 1.0 : static_cast<double>(w))});
   }
   table.Print();
+  bench::BenchJsonWriter("fig4_workers").Write(table);
   std::printf(
       "\nExpected shape (paper): time levels off once I/O-bound (~6 "
       "workers); full loading\nmatches external tables while CPU-bound, "
@@ -117,6 +118,7 @@ void RunRealCrossCheck() {
     }
   }
   table.Print();
+  bench::BenchJsonWriter("fig4_workers_real").Write(table);
   std::printf("\n");
 }
 

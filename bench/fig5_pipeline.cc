@@ -99,6 +99,11 @@ int main() {
   abs.Print();
   std::printf("\n(b) relative distribution\n");
   rel.Print();
+
+  scanraw::bench::BenchJsonWriter writer("fig5_pipeline");
+  writer.AddExtra("relative",
+                  scanraw::bench::BenchJsonWriter::TableJson(rel));
+  writer.Write(abs);
   std::printf(
       "\nExpected shape (paper): per-chunk time ~doubles with column count; "
       "PARSE dominates\nbeyond ~16 columns; the I/O share (READ+WRITE) falls "

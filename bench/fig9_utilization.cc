@@ -74,6 +74,13 @@ int main() {
                   Fmt("%.0f", w)});
   }
   table.Print();
+  {
+    scanraw::bench::BenchJsonWriter writer("fig9_utilization");
+    writer.AddExtra("chunks_written_at_exec",
+                    std::to_string(result.chunks_written_at_exec));
+    writer.AddExtra("num_chunks", std::to_string(config.num_chunks));
+    writer.Write(table);
+  }
   std::printf("\nchunks loaded speculatively by query end: %zu / %zu\n",
               result.chunks_written_at_exec, config.num_chunks);
   std::printf(

@@ -1,6 +1,7 @@
 #include "db/storage_manager.h"
 
 #include "columnar/chunk_serde.h"
+#include "common/clock.h"
 #include "common/string_util.h"
 
 namespace scanraw {
@@ -43,6 +44,7 @@ Result<StoredSegment> StorageManager::WriteSegment(
     SCANRAW_RETURN_IF_ERROR(subset.AddColumn(col, chunk.column(col)));
   }
   std::string blob;
+  const int64_t t0 = RealClock::Instance()->NowNanos();
   SCANRAW_RETURN_IF_ERROR(
       SerializeChunk(subset, &blob, compress_.load(std::memory_order_relaxed)));
 
@@ -53,6 +55,12 @@ Result<StoredSegment> StorageManager::WriteSegment(
   segment.columns = columns;
   SCANRAW_RETURN_IF_ERROR(writer_->Append(blob));
   next_offset_ += blob.size();
+  if (segments_metric_ != nullptr) segments_metric_->Add(1);
+  if (bytes_metric_ != nullptr) bytes_metric_->Add(blob.size());
+  if (write_nanos_metric_ != nullptr) {
+    write_nanos_metric_->Record(
+        static_cast<uint64_t>(RealClock::Instance()->NowNanos() - t0));
+  }
   return segment;
 }
 
@@ -113,6 +121,15 @@ Result<BinaryChunk> StorageManager::ReadChunkColumns(
 uint64_t StorageManager::bytes_written() const {
   std::lock_guard<std::mutex> lock(write_mu_);
   return next_offset_;
+}
+
+void StorageManager::BindMetrics(obs::Counter* segments_written,
+                                 obs::Counter* bytes,
+                                 obs::Histogram* write_nanos) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  segments_metric_ = segments_written;
+  bytes_metric_ = bytes;
+  write_nanos_metric_ = write_nanos;
 }
 
 }  // namespace scanraw

@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "db/catalog.h"
 #include "io/file.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 
@@ -60,6 +61,12 @@ class StorageManager {
   uint64_t bytes_written() const;
   const std::string& path() const { return path_; }
 
+  // Mirrors segment writes into registry metrics: a segment counter, a
+  // bytes counter, and an append-latency histogram (serialize + disk
+  // append, nanoseconds). nullptr detaches.
+  void BindMetrics(obs::Counter* segments_written, obs::Counter* bytes,
+                   obs::Histogram* write_nanos);
+
  private:
   StorageManager(std::string path, std::unique_ptr<WritableFile> writer,
                  RateLimiter* limiter, IoStats* stats);
@@ -73,6 +80,9 @@ class StorageManager {
   mutable std::mutex write_mu_;
   std::unique_ptr<WritableFile> writer_;
   uint64_t next_offset_ = 0;
+  obs::Counter* segments_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Histogram* write_nanos_metric_ = nullptr;
 
   mutable std::mutex reader_mu_;
   mutable std::unique_ptr<RandomAccessFile> reader_;  // lazily opened

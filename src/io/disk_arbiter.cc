@@ -3,10 +3,17 @@
 namespace scanraw {
 
 void DiskArbiter::Acquire(DiskUser user) {
+  const int64_t wait_start = clock_->NowNanos();
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return user_ == DiskUser::kNone; });
   user_ = user;
   acquired_at_nanos_ = clock_->NowNanos();
+  obs::Histogram* wait_hist = user == DiskUser::kReader ? reader_wait_hist_
+                                                        : writer_wait_hist_;
+  if (wait_hist != nullptr) {
+    wait_hist->Record(
+        static_cast<uint64_t>(acquired_at_nanos_ - wait_start));
+  }
 }
 
 bool DiskArbiter::TryAcquire(DiskUser user) {
@@ -23,11 +30,28 @@ void DiskArbiter::Release(DiskUser user) {
   const int64_t held = clock_->NowNanos() - acquired_at_nanos_;
   if (user == DiskUser::kReader) {
     reader_busy_nanos_ += held;
+    if (reader_hold_hist_ != nullptr) {
+      reader_hold_hist_->Record(static_cast<uint64_t>(held));
+    }
   } else if (user == DiskUser::kWriter) {
     writer_busy_nanos_ += held;
+    if (writer_hold_hist_ != nullptr) {
+      writer_hold_hist_->Record(static_cast<uint64_t>(held));
+    }
   }
   user_ = DiskUser::kNone;
   cv_.notify_all();
+}
+
+void DiskArbiter::BindMetrics(obs::Histogram* reader_wait,
+                              obs::Histogram* writer_wait,
+                              obs::Histogram* reader_hold,
+                              obs::Histogram* writer_hold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reader_wait_hist_ = reader_wait;
+  writer_wait_hist_ = writer_wait;
+  reader_hold_hist_ = reader_hold;
+  writer_hold_hist_ = writer_hold;
 }
 
 DiskUser DiskArbiter::current_user() const {

@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 
@@ -38,6 +39,13 @@ class DiskArbiter {
   int64_t reader_busy_nanos() const;
   int64_t writer_busy_nanos() const;
 
+  // Wires per-acquire wait/hold latency histograms (nanoseconds a READ or
+  // WRITE spent blocked before taking the disk, and held it afterwards).
+  // Call before the arbiter is shared across threads; pass nullptr to
+  // detach.
+  void BindMetrics(obs::Histogram* reader_wait, obs::Histogram* writer_wait,
+                   obs::Histogram* reader_hold, obs::Histogram* writer_hold);
+
  private:
   const Clock* clock_;
   mutable std::mutex mu_;
@@ -46,6 +54,10 @@ class DiskArbiter {
   int64_t acquired_at_nanos_ = 0;
   int64_t reader_busy_nanos_ = 0;
   int64_t writer_busy_nanos_ = 0;
+  obs::Histogram* reader_wait_hist_ = nullptr;
+  obs::Histogram* writer_wait_hist_ = nullptr;
+  obs::Histogram* reader_hold_hist_ = nullptr;
+  obs::Histogram* writer_hold_hist_ = nullptr;
 };
 
 // RAII holder.

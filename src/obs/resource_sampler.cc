@@ -1,0 +1,130 @@
+#include "obs/resource_sampler.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace scanraw {
+namespace obs {
+
+void ResourceLog::Append(ResourceSample sample) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[next_ % capacity_] = std::move(sample);
+  }
+  ++next_;
+}
+
+std::vector<ResourceSample> ResourceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResourceSample> out;
+  const uint64_t stored = std::min<uint64_t>(next_, capacity_);
+  out.reserve(stored);
+  const uint64_t begin = next_ - stored;
+  for (uint64_t i = begin; i < next_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+size_t ResourceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t ResourceLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+void ResourceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string ResourceLog::ToJson() const {
+  const std::vector<ResourceSample> samples = Snapshot();
+  int64_t epoch = 0;
+  for (const ResourceSample& s : samples) {
+    if (epoch == 0 || s.ts_nanos < epoch) epoch = s.ts_nanos;
+  }
+  std::string out = "[";
+  bool first = true;
+  for (const ResourceSample& s : samples) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ts_us\":" + std::to_string((s.ts_nanos - epoch) / 1000);
+    out += ",\"advice\":\"" + JsonEscape(s.advice) + "\"";
+    out += ",\"text_buffer\":[" + std::to_string(s.text_buffer_size) + "," +
+           std::to_string(s.text_buffer_capacity) + "]";
+    out += ",\"position_buffer\":[" + std::to_string(s.position_buffer_size) +
+           "," + std::to_string(s.position_buffer_capacity) + "]";
+    out += ",\"output_buffer\":[" + std::to_string(s.output_buffer_size) +
+           "," + std::to_string(s.output_buffer_capacity) + "]";
+    out += ",\"busy_workers\":" + std::to_string(s.busy_workers);
+    out += ",\"num_workers\":" + std::to_string(s.num_workers);
+    out += ",\"cache\":[" + std::to_string(s.cache_size) + "," +
+           std::to_string(s.cache_capacity) + "]";
+    out += ",\"disk_reader_busy_us\":" +
+           std::to_string(s.disk_reader_busy_nanos / 1000);
+    out += ",\"disk_writer_busy_us\":" +
+           std::to_string(s.disk_writer_busy_nanos / 1000);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+ResourceSampler::ResourceSampler(ResourceLog* log, Probe probe,
+                                 std::chrono::milliseconds interval)
+    : log_(log), probe_(std::move(probe)), interval_(interval) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+    stop_ = false;
+  }
+  log_->Append(probe_());
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ResourceSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  log_->Append(probe_());
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stop_;
+}
+
+void ResourceSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, interval_, [&] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    log_->Append(probe_());
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace scanraw

@@ -1,0 +1,101 @@
+// Resource-advice sampling (§3.3): a background thread periodically probes
+// the live pipeline (buffer occupancy, busy workers, cache fill, disk
+// arbiter busy time) and appends a time-series sample including the
+// scheduler's resource Advice state (kNeedMoreCpu / kIoBound /
+// kEngineBound). The series makes speculative-trigger decisions auditable
+// after the fact and feeds the CLI's --metrics=json export.
+#ifndef SCANRAW_OBS_RESOURCE_SAMPLER_H_
+#define SCANRAW_OBS_RESOURCE_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scanraw {
+namespace obs {
+
+// One probe of the live pipeline. `advice` is the §3.3 state name
+// ("balanced", "need-more-cpu", "io-bound", "engine-bound").
+struct ResourceSample {
+  int64_t ts_nanos = 0;
+  std::string advice = "balanced";
+  size_t text_buffer_size = 0;
+  size_t text_buffer_capacity = 0;
+  size_t position_buffer_size = 0;
+  size_t position_buffer_capacity = 0;
+  size_t output_buffer_size = 0;
+  size_t output_buffer_capacity = 0;
+  size_t busy_workers = 0;
+  size_t num_workers = 0;
+  size_t cache_size = 0;
+  size_t cache_capacity = 0;
+  int64_t disk_reader_busy_nanos = 0;
+  int64_t disk_writer_busy_nanos = 0;
+};
+
+// Bounded, thread-safe sample store shared by every sampler attached to the
+// same telemetry sink. Keeps the most recent `capacity` samples.
+class ResourceLog {
+ public:
+  explicit ResourceLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Append(ResourceSample sample);
+  std::vector<ResourceSample> Snapshot() const;
+  size_t size() const;
+  uint64_t total_appended() const;
+  void Clear();
+
+  // JSON array of samples; timestamps become microseconds relative to the
+  // first sample.
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<ResourceSample> ring_;
+  uint64_t next_ = 0;
+};
+
+// Periodically invokes `probe` on a dedicated thread and appends the result
+// to `log`. Takes one sample immediately on Start and a final one on Stop,
+// so even sub-interval queries leave a visible series.
+class ResourceSampler {
+ public:
+  using Probe = std::function<ResourceSample()>;
+
+  ResourceSampler(ResourceLog* log, Probe probe,
+                  std::chrono::milliseconds interval);
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  void Start();
+  // Joins the thread and records the final sample. Idempotent; the
+  // destructor calls it. The probe must stay valid until Stop returns.
+  void Stop();
+
+  bool running() const;
+
+ private:
+  void Loop();
+
+  ResourceLog* const log_;
+  const Probe probe_;
+  const std::chrono::milliseconds interval_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace obs
+}  // namespace scanraw
+
+#endif  // SCANRAW_OBS_RESOURCE_SAMPLER_H_

@@ -1,0 +1,52 @@
+// Telemetry: the unified observability sink — one metrics registry, one
+// chunk-lifecycle tracer, and one resource-advice time-series log. The
+// ScanRawManager owns a Telemetry instance and wires every component of the
+// pipeline (ScanRaw stages, DiskArbiter, ChunkCache, ThreadPool,
+// StorageManager) into it; the CLI and benches export it as JSON or text.
+#ifndef SCANRAW_OBS_TELEMETRY_H_
+#define SCANRAW_OBS_TELEMETRY_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+#include "obs/trace.h"
+
+namespace scanraw {
+namespace obs {
+
+struct TelemetryOptions {
+  // Ring capacity of the chunk-lifecycle tracer, in events (one event per
+  // chunk-stage). 0 disables tracing; metrics stay on.
+  size_t trace_capacity = 1 << 14;
+  // Bound on the resource time-series.
+  size_t resource_log_capacity = 4096;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = TelemetryOptions())
+      : tracer_(options.trace_capacity),
+        resources_(options.resource_log_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  ChunkTracer& tracer() { return tracer_; }
+  ResourceLog& resources() { return resources_; }
+
+  // Combined export: {"metrics": <registry>, "resource_samples": [...],
+  // "trace_events_recorded": N, "trace_events_dropped": N}.
+  std::string ToJson() const;
+
+  // Human-readable flat dump (metrics text + advice tallies).
+  std::string ToText() const;
+
+ private:
+  MetricsRegistry metrics_;
+  ChunkTracer tracer_;
+  ResourceLog resources_;
+};
+
+}  // namespace obs
+}  // namespace scanraw
+
+#endif  // SCANRAW_OBS_TELEMETRY_H_

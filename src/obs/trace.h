@@ -1,0 +1,138 @@
+// Chunk-lifecycle tracer: records one span per pipeline stage per chunk
+// (READ -> TOKENIZE -> PARSE -> WRITE) into a bounded ring buffer, plus
+// instant events for scheduler decisions (speculative triggers, safeguard
+// flushes). The buffer exports Chrome trace_event JSON, loadable by
+// chrome://tracing or Perfetto, so a query's execution can be audited after
+// the fact. Recording is mutex-guarded — events are per chunk-stage, orders
+// of magnitude rarer than per-row work, so contention is negligible and the
+// structure is trivially race-free.
+#ifndef SCANRAW_OBS_TRACE_H_
+#define SCANRAW_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace scanraw {
+namespace obs {
+
+// Small dense id for the current OS thread, stable for the thread's
+// lifetime (first call assigns the next free id).
+uint32_t CurrentThreadId();
+
+enum class TraceStage : uint8_t {
+  kRead = 0,
+  kTokenize = 1,
+  kParse = 2,
+  kWrite = 3,
+  // Instant events (duration 0): scheduler decisions.
+  kSpeculativeTrigger = 4,
+  kSafeguardFlush = 5,
+  kReadBlocked = 6,
+};
+
+std::string_view TraceStageName(TraceStage stage);
+
+// Where the chunk's bytes came from (§3.2.1 delivery order).
+enum class ChunkSource : uint8_t { kRaw = 0, kCache = 1, kDb = 2 };
+
+std::string_view ChunkSourceName(ChunkSource source);
+
+struct TraceEvent {
+  TraceStage stage = TraceStage::kRead;
+  ChunkSource source = ChunkSource::kRaw;
+  uint64_t chunk_index = 0;
+  uint32_t tid = 0;
+  int64_t start_nanos = 0;
+  int64_t dur_nanos = 0;
+};
+
+class ChunkTracer {
+ public:
+  // `capacity` bounds the ring; once full, the oldest events are
+  // overwritten (dropped() reports how many). 0 disables recording.
+  explicit ChunkTracer(size_t capacity = 1 << 14);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  void Record(const TraceEvent& event);
+
+  // Convenience: stamps tid and start time (end - duration) itself.
+  void RecordSpan(TraceStage stage, ChunkSource source, uint64_t chunk_index,
+                  int64_t start_nanos, int64_t dur_nanos);
+  void RecordInstant(TraceStage stage, uint64_t chunk_index,
+                     const Clock* clock = RealClock::Instance());
+
+  // Events in record order, oldest surviving first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  uint64_t recorded() const;  // total ever recorded
+  uint64_t dropped() const;   // overwritten by ring wrap
+  void Clear();
+
+  // Chrome trace_event JSON: an array of complete ("ph":"X") events for
+  // stage spans and instant ("ph":"i") events for scheduler decisions.
+  // Timestamps are microseconds relative to the earliest event.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_ = 0;  // total recorded; ring slot is next_ % capacity_
+};
+
+// RAII span: times its scope and records it into the tracer and (when
+// non-null) a latency histogram on destruction. The chunk index is usually
+// known only mid-scope; set it via set_chunk_index.
+class SpanRecorder {
+ public:
+  SpanRecorder(ChunkTracer* tracer, Histogram* latency, TraceStage stage,
+               ChunkSource source, uint64_t chunk_index = 0,
+               const Clock* clock = RealClock::Instance())
+      : tracer_(tracer),
+        latency_(latency),
+        clock_(clock),
+        stage_(stage),
+        source_(source),
+        chunk_index_(chunk_index),
+        start_nanos_(clock->NowNanos()) {}
+
+  ~SpanRecorder() {
+    const int64_t dur = clock_->NowNanos() - start_nanos_;
+    if (latency_ != nullptr) {
+      latency_->Record(static_cast<uint64_t>(dur < 0 ? 0 : dur));
+    }
+    if (tracer_ != nullptr && !cancelled_) {
+      tracer_->RecordSpan(stage_, source_, chunk_index_, start_nanos_, dur);
+    }
+  }
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  void set_chunk_index(uint64_t index) { chunk_index_ = index; }
+  void set_source(ChunkSource source) { source_ = source; }
+  // Suppress the trace event (the latency histogram still records).
+  void Cancel() { cancelled_ = true; }
+
+ private:
+  ChunkTracer* tracer_;
+  Histogram* latency_;
+  const Clock* clock_;
+  TraceStage stage_;
+  ChunkSource source_;
+  uint64_t chunk_index_;
+  int64_t start_nanos_;
+  bool cancelled_ = false;
+};
+
+}  // namespace obs
+}  // namespace scanraw
+
+#endif  // SCANRAW_OBS_TRACE_H_

@@ -20,13 +20,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tasks_counter_ != nullptr) tasks_counter_->Add(1);
+    }
     // Sequential mode: the caller is the worker.
     task();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_counter_ != nullptr) tasks_counter_->Add(1);
     queue_.push_back(std::move(task));
+    if (queue_gauge_ != nullptr) queue_gauge_->Add(1);
   }
   work_available_.notify_one();
 }
@@ -52,6 +58,14 @@ void ThreadPool::SetIdleCallback(std::function<void()> callback) {
   idle_callback_ = std::move(callback);
 }
 
+void ThreadPool::BindMetrics(obs::Gauge* busy_workers, obs::Gauge* queue_depth,
+                             obs::Counter* tasks_submitted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  busy_gauge_ = busy_workers;
+  queue_gauge_ = queue_depth;
+  tasks_counter_ = tasks_submitted;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -62,12 +76,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++busy_;
+      if (queue_gauge_ != nullptr) queue_gauge_->Add(-1);
+      if (busy_gauge_ != nullptr) busy_gauge_->Add(1);
     }
     task();
     std::function<void()> idle_cb;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --busy_;
+      if (busy_gauge_ != nullptr) busy_gauge_->Add(-1);
       if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
       if (queue_.size() < threads_.size()) idle_cb = idle_callback_;
     }

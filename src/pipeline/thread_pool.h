@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace scanraw {
 
 class ThreadPool {
@@ -40,6 +42,12 @@ class ThreadPool {
   // set before tasks are submitted; pass nullptr to clear.
   void SetIdleCallback(std::function<void()> callback);
 
+  // Wires live gauges (delta-updated, so several pools may share one gauge
+  // and it reads as the aggregate) and a submitted-task counter. Call
+  // before tasks are submitted; nullptr detaches.
+  void BindMetrics(obs::Gauge* busy_workers, obs::Gauge* queue_depth,
+                   obs::Counter* tasks_submitted);
+
  private:
   void WorkerLoop();
 
@@ -51,6 +59,9 @@ class ThreadPool {
   std::function<void()> idle_callback_;
   size_t busy_ = 0;
   bool shutdown_ = false;
+  obs::Gauge* busy_gauge_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
+  obs::Counter* tasks_counter_ = nullptr;
 };
 
 }  // namespace scanraw

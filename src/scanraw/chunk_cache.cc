@@ -36,9 +36,11 @@ void ChunkCache::EvictOne(std::vector<EvictedChunk>* evicted) {
   // Called with mu_ held and entries_ non-empty. Prefer the LRU loaded
   // chunk; fall back to the global LRU victim.
   uint64_t victim = lru_.back();
+  bool biased = false;
   if (bias_evict_loaded_) {
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
       if (entries_.at(*it).loaded) {
+        biased = *it != lru_.back();
         victim = *it;
         break;
       }
@@ -49,6 +51,12 @@ void ChunkCache::EvictOne(std::vector<EvictedChunk>* evicted) {
       EvictedChunk{victim, std::move(it->second.chunk), it->second.loaded});
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
+  ++evictions_;
+  if (evictions_metric_ != nullptr) evictions_metric_->Add(1);
+  if (biased) {
+    ++biased_evictions_;
+    if (biased_evictions_metric_ != nullptr) biased_evictions_metric_->Add(1);
+  }
 }
 
 BinaryChunkPtr ChunkCache::Lookup(uint64_t chunk_index) {
@@ -56,9 +64,11 @@ BinaryChunkPtr ChunkCache::Lookup(uint64_t chunk_index) {
   auto it = entries_.find(chunk_index);
   if (it == entries_.end()) {
     ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->Add(1);
     return nullptr;
   }
   ++hits_;
+  if (hits_metric_ != nullptr) hits_metric_->Add(1);
   lru_.erase(it->second.lru_pos);
   lru_.push_front(chunk_index);
   it->second.lru_pos = lru_.begin();
@@ -132,6 +142,26 @@ uint64_t ChunkCache::hits() const {
 uint64_t ChunkCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t ChunkCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+uint64_t ChunkCache::biased_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return biased_evictions_;
+}
+
+void ChunkCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                             obs::Counter* evictions,
+                             obs::Counter* biased_evictions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_metric_ = hits;
+  misses_metric_ = misses;
+  evictions_metric_ = evictions;
+  biased_evictions_metric_ = biased_evictions;
 }
 
 }  // namespace scanraw

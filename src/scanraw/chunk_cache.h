@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "columnar/binary_chunk.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 
@@ -63,6 +64,16 @@ class ChunkCache {
 
   uint64_t hits() const;
   uint64_t misses() const;
+  // Total evictions, and the subset where the biased-LRU policy displaced
+  // an already-loaded chunk (the paper's "chunks stored in binary format
+  // are more likely to be replaced").
+  uint64_t evictions() const;
+  uint64_t biased_evictions() const;
+
+  // Mirrors hit/miss/eviction counts into registry-backed counters.
+  // Typically called once right after construction; nullptr detaches.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions, obs::Counter* biased_evictions);
 
  private:
   struct Entry {
@@ -82,6 +93,12 @@ class ChunkCache {
   uint64_t next_seq_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t biased_evictions_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
+  obs::Counter* biased_evictions_metric_ = nullptr;
 };
 
 }  // namespace scanraw

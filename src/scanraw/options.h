@@ -10,6 +10,10 @@
 
 namespace scanraw {
 
+namespace obs {
+class Telemetry;
+}
+
 // WRITE scheduling policy (§3.1: "The scheduling policy for WRITE dictates
 // the SCANRAW behavior").
 enum class LoadPolicy : int {
@@ -104,6 +108,18 @@ struct ScanRawOptions {
   // conversion (§3.3 "more advanced statistics such as the number of
   // distinct elements ... or even samples").
   bool collect_sketches = false;
+
+  // Telemetry sink: registry-backed stage metrics, chunk-lifecycle tracing,
+  // and resource-advice sampling all record here. The ScanRawManager fills
+  // this in with its own sink when left null; set explicitly to share a
+  // sink across managers or to a standalone obs::Telemetry in tests.
+  obs::Telemetry* telemetry = nullptr;
+
+  // Period of the §3.3 resource-advice sampler thread attached to each
+  // query (0 disables the thread). Requires `telemetry`. The sampler always
+  // records one sample at query start and one at query end, so short
+  // queries still leave a series.
+  int resource_sample_interval_ms = 0;
 };
 
 }  // namespace scanraw

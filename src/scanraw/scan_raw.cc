@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/string_util.h"
 #include "columnar/chunk_sort.h"
 #include "db/statistics.h"
@@ -27,6 +28,68 @@ std::string_view LoadPolicyName(LoadPolicy policy) {
       return "buffered-loading";
   }
   return "unknown";
+}
+
+std::string_view AdviceName(ResourceSnapshot::Advice advice) {
+  switch (advice) {
+    case ResourceSnapshot::Advice::kNeedMoreCpu:
+      return "need-more-cpu";
+    case ResourceSnapshot::Advice::kIoBound:
+      return "io-bound";
+    case ResourceSnapshot::Advice::kEngineBound:
+      return "engine-bound";
+    case ResourceSnapshot::Advice::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
+ResourceSnapshot::Advice ResourceSnapshot::ComputeAdvice() const {
+  if (num_workers > 0 && busy_workers == num_workers &&
+      text_buffer_size >= text_buffer_capacity) {
+    return Advice::kNeedMoreCpu;
+  }
+  if (output_buffer_size >= output_buffer_capacity) {
+    return Advice::kEngineBound;
+  }
+  if (busy_workers == 0 && text_buffer_size == 0 &&
+      position_buffer_size == 0) {
+    return Advice::kIoBound;
+  }
+  return Advice::kBalanced;
+}
+
+void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
+  read_latency = registry->GetHistogram("scanraw.stage.read_nanos");
+  tokenize_latency = registry->GetHistogram("scanraw.stage.tokenize_nanos");
+  parse_latency = registry->GetHistogram("scanraw.stage.parse_nanos");
+  write_latency = registry->GetHistogram("scanraw.stage.write_nanos");
+  from_cache_metric = registry->GetCounter("scanraw.chunks_from_cache");
+  from_db_metric = registry->GetCounter("scanraw.chunks_from_db");
+  from_raw_metric = registry->GetCounter("scanraw.chunks_from_raw");
+  written_metric = registry->GetCounter("scanraw.chunks_written");
+  read_blocked_metric = registry->GetCounter("scanraw.read_blocked_events");
+  speculative_metric = registry->GetCounter("scanraw.speculative_triggers");
+}
+
+void PipelineProfile::Reset() {
+  read_time.Reset();
+  tokenize_time.Reset();
+  parse_time.Reset();
+  write_time.Reset();
+  chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
+  read_blocked_events = speculative_triggers = 0;
+  // Registry mirrors follow the same single-threaded-reset contract; the
+  // histograms are shared objects, so this clears the aggregated view too.
+  for (obs::Histogram* h :
+       {read_latency, tokenize_latency, parse_latency, write_latency}) {
+    if (h != nullptr) h->Reset();
+  }
+  for (obs::Counter* c :
+       {from_cache_metric, from_db_metric, from_raw_metric, written_metric,
+        read_blocked_metric, speculative_metric}) {
+    if (c != nullptr) c->Reset();
+  }
 }
 
 namespace {
@@ -65,12 +128,71 @@ struct ScanRaw::QueryRun::Impl {
         out_q(std::max<size_t>(1, parent_op->options_.output_buffer_capacity)),
         pool(parent_op->options_.num_workers),
         invisible_budget(static_cast<int64_t>(
-            parent_op->options_.invisible_chunks_per_query)) {}
+            parent_op->options_.invisible_chunks_per_query)) {
+    obs::Telemetry* telemetry = parent->options_.telemetry;
+    if (telemetry != nullptr) {
+      obs::MetricsRegistry& registry = telemetry->metrics();
+      pool.BindMetrics(registry.GetGauge("scanraw.pool.busy_workers"),
+                       registry.GetGauge("scanraw.pool.queue_depth"),
+                       registry.GetCounter("scanraw.pool.tasks_submitted"));
+      if (parent->options_.resource_sample_interval_ms > 0) {
+        sampler = std::make_unique<obs::ResourceSampler>(
+            &telemetry->resources(), [this] { return ProbeResources(); },
+            std::chrono::milliseconds(
+                parent->options_.resource_sample_interval_ms));
+      }
+    }
+  }
 
   void Start() {
     read_thread = std::thread([this] { ReadLoop(); });
     tokenize_thread = std::thread([this] { TokenizeLoop(); });
     parse_thread = std::thread([this] { ParseLoop(); });
+    if (sampler != nullptr) sampler->Start();
+  }
+
+  // Point-in-time utilization of the live pipeline (§3.3).
+  ResourceSnapshot SnapshotResources() const {
+    ResourceSnapshot snapshot;
+    snapshot.text_buffer_size = text_q.size();
+    snapshot.text_buffer_capacity = text_q.capacity();
+    snapshot.position_buffer_size = pos_q.size();
+    snapshot.position_buffer_capacity = pos_q.capacity();
+    snapshot.output_buffer_size = out_q.size();
+    snapshot.output_buffer_capacity = out_q.capacity();
+    snapshot.busy_workers = pool.busy_workers();
+    snapshot.num_workers = pool.num_workers();
+    snapshot.cache_size = parent->cache_.size();
+    snapshot.cache_capacity = parent->cache_.capacity();
+    snapshot.UpdateAdvice();
+    return snapshot;
+  }
+
+  // Sampler probe: one §3.3 resource-advice time-series entry, with the
+  // advice occurrence mirrored into the registry counters.
+  obs::ResourceSample ProbeResources() const {
+    const ResourceSnapshot snap = SnapshotResources();
+    obs::ResourceSample sample;
+    sample.ts_nanos = RealClock::Instance()->NowNanos();
+    sample.advice = std::string(AdviceName(snap.advice));
+    sample.text_buffer_size = snap.text_buffer_size;
+    sample.text_buffer_capacity = snap.text_buffer_capacity;
+    sample.position_buffer_size = snap.position_buffer_size;
+    sample.position_buffer_capacity = snap.position_buffer_capacity;
+    sample.output_buffer_size = snap.output_buffer_size;
+    sample.output_buffer_capacity = snap.output_buffer_capacity;
+    sample.busy_workers = snap.busy_workers;
+    sample.num_workers = snap.num_workers;
+    sample.cache_size = snap.cache_size;
+    sample.cache_capacity = snap.cache_capacity;
+    if (parent->arbiter_ != nullptr) {
+      sample.disk_reader_busy_nanos = parent->arbiter_->reader_busy_nanos();
+      sample.disk_writer_busy_nanos = parent->arbiter_->writer_busy_nanos();
+    }
+    obs::Counter* advice_counter =
+        parent->advice_counters_[static_cast<size_t>(snap.advice)];
+    if (advice_counter != nullptr) advice_counter->Add(1);
+    return sample;
   }
 
   void ReportError(const Status& status) {
@@ -93,8 +215,10 @@ struct ScanRaw::QueryRun::Impl {
   // blocks on a full buffer (§4). Returns false if the pipeline is aborting.
   bool PushText(TextChunk chunk) {
     if (text_q.TryPush(std::move(chunk))) return true;
-    parent->profile_.read_blocked_events.fetch_add(1,
-                                                   std::memory_order_relaxed);
+    parent->profile_.CountReadBlocked();
+    if (obs::ChunkTracer* tracer = parent->tracer()) {
+      tracer->RecordInstant(obs::TraceStage::kReadBlocked, chunk.chunk_index);
+    }
     parent->MaybeTriggerSpeculativeWrite();
     return text_q.Push(std::move(chunk));
   }
@@ -122,6 +246,9 @@ struct ScanRaw::QueryRun::Impl {
       std::optional<TextChunk> chunk;
       {
         ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        obs::SpanRecorder span(parent->tracer(),
+                               parent->profile_.read_latency,
+                               obs::TraceStage::kRead, obs::ChunkSource::kRaw);
         ScopedTimer timer(&parent->profile_.read_time);
         auto next = (*chunker)->Next();
         if (!next.ok()) {
@@ -129,6 +256,11 @@ struct ScanRaw::QueryRun::Impl {
           return;
         }
         chunk = std::move(*next);
+        if (chunk.has_value()) {
+          span.set_chunk_index(chunk->chunk_index);
+        } else {
+          span.Cancel();  // EOF probe, not a chunk read
+        }
       }
       if (!chunk.has_value()) break;
       ChunkMetadata cm;
@@ -141,7 +273,7 @@ struct ScanRaw::QueryRun::Impl {
         ReportError(s);
         return;
       }
-      parent->profile_.chunks_from_raw.fetch_add(1, std::memory_order_relaxed);
+      parent->profile_.CountFromRaw();
       if (!PushText(std::move(*chunk))) return;
     }
     Status s = parent->catalog_->MarkLayoutComplete(parent->table_);
@@ -171,8 +303,7 @@ struct ScanRaw::QueryRun::Impl {
     }
 
     for (auto& [index, chunk] : cached) {
-      parent->profile_.chunks_from_cache.fetch_add(1,
-                                                   std::memory_order_relaxed);
+      parent->profile_.CountFromCache();
       // Invisible loading charges its per-query quota against any unloaded
       // chunk that passes through, cached or freshly converted.
       if (parent->options_.policy == LoadPolicy::kInvisibleLoading) {
@@ -185,6 +316,10 @@ struct ScanRaw::QueryRun::Impl {
       BinaryChunkPtr ptr;
       {
         ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        obs::SpanRecorder span(parent->tracer(),
+                               parent->profile_.read_latency,
+                               obs::TraceStage::kRead, obs::ChunkSource::kDb,
+                               cm->chunk_index);
         ScopedTimer timer(&parent->profile_.read_time);
         auto chunk =
             parent->storage_->ReadChunkColumns(*cm, required_columns);
@@ -194,7 +329,7 @@ struct ScanRaw::QueryRun::Impl {
         }
         ptr = std::make_shared<const BinaryChunk>(std::move(*chunk));
       }
-      parent->profile_.chunks_from_db.fetch_add(1, std::memory_order_relaxed);
+      parent->profile_.CountFromDb();
       // Database chunks are cached too (pre-fetching works for both sources,
       // §3.1) and arrive already loaded.
       HandleEvictions(
@@ -213,6 +348,10 @@ struct ScanRaw::QueryRun::Impl {
       TextChunk chunk;
       {
         ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        obs::SpanRecorder span(parent->tracer(),
+                               parent->profile_.read_latency,
+                               obs::TraceStage::kRead, obs::ChunkSource::kRaw,
+                               cm->chunk_index);
         ScopedTimer timer(&parent->profile_.read_time);
         auto read = ReadChunkAt(**file, *cm);
         if (!read.ok()) {
@@ -221,7 +360,7 @@ struct ScanRaw::QueryRun::Impl {
         }
         chunk = std::move(*read);
       }
-      parent->profile_.chunks_from_raw.fetch_add(1, std::memory_order_relaxed);
+      parent->profile_.CountFromRaw();
       if (!PushText(std::move(chunk))) return;
     }
   }
@@ -259,6 +398,10 @@ struct ScanRaw::QueryRun::Impl {
       }
       pool.Submit([this, text, topts, cached, use_map_cache, json] {
         auto map = [&]() -> Result<PositionalMap> {
+          obs::SpanRecorder span(parent->tracer(),
+                                 parent->profile_.tokenize_latency,
+                                 obs::TraceStage::kTokenize,
+                                 obs::ChunkSource::kRaw, text->chunk_index);
           ScopedTimer timer(&parent->profile_.tokenize_time);
           if (json) return TokenizeJsonChunk(*text, meta.schema);
           // Delimited text: extend a cached partial map when available.
@@ -312,6 +455,11 @@ struct ScanRaw::QueryRun::Impl {
       Tokenized tokenized = std::move(*item);
       pool.Submit([this, tokenized, popts] {
         auto parsed = [&] {
+          obs::SpanRecorder span(parent->tracer(),
+                                 parent->profile_.parse_latency,
+                                 obs::TraceStage::kParse,
+                                 obs::ChunkSource::kRaw,
+                                 tokenized.text->chunk_index);
           ScopedTimer timer(&parent->profile_.parse_time);
           return ParseChunk(*tokenized.text, *tokenized.map, meta.schema,
                             popts);
@@ -398,6 +546,9 @@ struct ScanRaw::QueryRun::Impl {
     if (tokenize_thread.joinable()) tokenize_thread.join();
     if (parse_thread.joinable()) parse_thread.join();
     pool.WaitIdle();
+    // Stop after the pipeline drains so the final sample reflects the
+    // settled end state.
+    if (sampler != nullptr) sampler->Stop();
   }
 
   void Abandon() {
@@ -421,6 +572,7 @@ struct ScanRaw::QueryRun::Impl {
   std::thread read_thread;
   std::thread tokenize_thread;
   std::thread parse_thread;
+  std::unique_ptr<obs::ResourceSampler> sampler;
   bool joined = false;
 
   std::mutex inflight_mu;
@@ -456,30 +608,7 @@ void ScanRaw::QueryRun::Finish() { impl_->JoinAll(); }
 Status ScanRaw::QueryRun::status() const { return impl_->GetStatus(); }
 
 ResourceSnapshot ScanRaw::QueryRun::Resources() const {
-  ResourceSnapshot snapshot;
-  snapshot.text_buffer_size = impl_->text_q.size();
-  snapshot.text_buffer_capacity = impl_->text_q.capacity();
-  snapshot.position_buffer_size = impl_->pos_q.size();
-  snapshot.position_buffer_capacity = impl_->pos_q.capacity();
-  snapshot.output_buffer_size = impl_->out_q.size();
-  snapshot.output_buffer_capacity = impl_->out_q.capacity();
-  snapshot.busy_workers = impl_->pool.busy_workers();
-  snapshot.num_workers = impl_->pool.num_workers();
-  snapshot.cache_size = impl_->parent->cache_.size();
-  snapshot.cache_capacity = impl_->parent->cache_.capacity();
-
-  using Advice = ResourceSnapshot::Advice;
-  if (snapshot.num_workers > 0 &&
-      snapshot.busy_workers == snapshot.num_workers &&
-      snapshot.text_buffer_size >= snapshot.text_buffer_capacity) {
-    snapshot.advice = Advice::kNeedMoreCpu;
-  } else if (snapshot.output_buffer_size >= snapshot.output_buffer_capacity) {
-    snapshot.advice = Advice::kEngineBound;
-  } else if (snapshot.busy_workers == 0 && snapshot.text_buffer_size == 0 &&
-             snapshot.position_buffer_size == 0) {
-    snapshot.advice = Advice::kIoBound;
-  }
-  return snapshot;
+  return impl_->SnapshotResources();
 }
 
 // -------------------------------------------------------------- ScanRaw ---
@@ -498,6 +627,26 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
                            ? options.positional_map_cache_chunks
                            : 0),
       write_queue_(1 << 20) {
+  if (options_.telemetry != nullptr) {
+    // Bind every registry mirror before the WRITE thread (or any query
+    // pipeline) starts, so the hot paths read the pointers race-free.
+    obs::MetricsRegistry& registry = options_.telemetry->metrics();
+    profile_.Bind(&registry);
+    cache_.BindMetrics(registry.GetCounter("scanraw.cache.hits"),
+                       registry.GetCounter("scanraw.cache.misses"),
+                       registry.GetCounter("scanraw.cache.evictions"),
+                       registry.GetCounter("scanraw.cache.biased_evictions"));
+    advice_counters_[static_cast<size_t>(
+        ResourceSnapshot::Advice::kNeedMoreCpu)] =
+        registry.GetCounter("scanraw.advice.need_more_cpu");
+    advice_counters_[static_cast<size_t>(ResourceSnapshot::Advice::kIoBound)] =
+        registry.GetCounter("scanraw.advice.io_bound");
+    advice_counters_[static_cast<size_t>(
+        ResourceSnapshot::Advice::kEngineBound)] =
+        registry.GetCounter("scanraw.advice.engine_bound");
+    advice_counters_[static_cast<size_t>(ResourceSnapshot::Advice::kBalanced)] =
+        registry.GetCounter("scanraw.advice.balanced");
+  }
   write_thread_ = std::thread([this] { WriteLoop(); });
 }
 
@@ -664,12 +813,19 @@ void ScanRaw::MaybeTriggerSpeculativeWrite() {
   }
   auto victim = cache_.OldestUnloaded();
   if (!victim.has_value()) return;
-  if (EnqueueWrite(victim->first, std::move(victim->second))) {
-    profile_.speculative_triggers.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t victim_index = victim->first;
+  if (EnqueueWrite(victim_index, std::move(victim->second))) {
+    profile_.CountSpeculativeTrigger();
+    if (obs::ChunkTracer* t = tracer()) {
+      t->RecordInstant(obs::TraceStage::kSpeculativeTrigger, victim_index);
+    }
   }
 }
 
 void ScanRaw::SafeguardFlush() {
+  if (obs::ChunkTracer* t = tracer()) {
+    t->RecordInstant(obs::TraceStage::kSafeguardFlush, /*chunk_index=*/0);
+  }
   for (auto& [index, chunk] : cache_.UnloadedChunks()) {
     EnqueueWrite(index, std::move(chunk));
   }
@@ -691,6 +847,9 @@ void ScanRaw::WriteLoop() {
     }
     {
       ScopedDiskAccess disk(arbiter_, DiskUser::kWriter);
+      obs::SpanRecorder span(tracer(), profile_.write_latency,
+                             obs::TraceStage::kWrite, obs::ChunkSource::kRaw,
+                             req->chunk_index);
       ScopedTimer timer(&profile_.write_time);
       auto segment =
           storage_->WriteSegment(*to_store, to_store->ColumnIds());
@@ -705,7 +864,7 @@ void ScanRaw::WriteLoop() {
     }
     if (status.ok()) {
       cache_.MarkLoaded(req->chunk_index);
-      profile_.chunks_written.fetch_add(1, std::memory_order_relaxed);
+      profile_.CountWritten();
     } else {
       std::lock_guard<std::mutex> lock(write_mu_);
       if (write_status_.ok()) write_status_ = status;

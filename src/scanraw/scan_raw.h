@@ -27,6 +27,7 @@
 #include "io/file.h"
 #include "io/rate_limiter.h"
 #include "db/sketches.h"
+#include "obs/telemetry.h"
 #include "pipeline/bounded_queue.h"
 #include "scanraw/chunk_cache.h"
 #include "scanraw/options.h"
@@ -37,6 +38,11 @@ namespace scanraw {
 // Per-stage profiling counters ("special function calls to harness detailed
 // profiling data", §5). Stopwatch intervals count processed chunks, so
 // TotalSeconds()/intervals() is the per-chunk stage time of Figure 5.
+//
+// When bound to a metrics registry (Bind), every update is mirrored into
+// named registry metrics — per-stage latency histograms with percentiles
+// plus the chunk-source and scheduler counters — so the ad-hoc atomics here
+// stay as the cheap in-process view while the registry is the export path.
 struct PipelineProfile {
   Stopwatch read_time;
   Stopwatch tokenize_time;
@@ -49,13 +55,46 @@ struct PipelineProfile {
   std::atomic<uint64_t> read_blocked_events{0};
   std::atomic<uint64_t> speculative_triggers{0};
 
-  void Reset() {
-    read_time.Reset();
-    tokenize_time.Reset();
-    parse_time.Reset();
-    write_time.Reset();
-    chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
-    read_blocked_events = speculative_triggers = 0;
+  // Registry mirrors; null until Bind. Stage histograms record nanoseconds
+  // per chunk. Operators sharing one registry share these objects, so the
+  // registry view aggregates across operators.
+  obs::Histogram* read_latency = nullptr;
+  obs::Histogram* tokenize_latency = nullptr;
+  obs::Histogram* parse_latency = nullptr;
+  obs::Histogram* write_latency = nullptr;
+  obs::Counter* from_cache_metric = nullptr;
+  obs::Counter* from_db_metric = nullptr;
+  obs::Counter* from_raw_metric = nullptr;
+  obs::Counter* written_metric = nullptr;
+  obs::Counter* read_blocked_metric = nullptr;
+  obs::Counter* speculative_metric = nullptr;
+
+  // Resolves the registry mirrors under the "scanraw." prefix. Call before
+  // the pipeline runs.
+  void Bind(obs::MetricsRegistry* registry);
+
+  void CountFromCache() { Bump(chunks_from_cache, from_cache_metric); }
+  void CountFromDb() { Bump(chunks_from_db, from_db_metric); }
+  void CountFromRaw() { Bump(chunks_from_raw, from_raw_metric); }
+  void CountWritten() { Bump(chunks_written, written_metric); }
+  void CountReadBlocked() { Bump(read_blocked_events, read_blocked_metric); }
+  void CountSpeculativeTrigger() {
+    Bump(speculative_triggers, speculative_metric);
+  }
+
+  // Zeroes the stopwatches, the counters, and — when bound — the
+  // registry-backed mirrors (histograms included).
+  //
+  // Contract: reset is single-threaded. Each store is individually atomic,
+  // but the fields are cleared one by one, so a concurrently running query
+  // would observe (and write into) a half-cleared profile. Quiesce the
+  // operator first: finish every QueryRun and drain WaitForWrites().
+  void Reset();
+
+ private:
+  static void Bump(std::atomic<uint64_t>& local, obs::Counter* mirror) {
+    local.fetch_add(1, std::memory_order_relaxed);
+    if (mirror != nullptr) mirror->Add(1);
   }
 };
 
@@ -87,7 +126,15 @@ struct ResourceSnapshot {
     kBalanced,
   };
   Advice advice = Advice::kBalanced;
+
+  // Classifies the buffer/worker fields into the §3.3 advice states
+  // (exposed separately so the classification is unit-testable).
+  Advice ComputeAdvice() const;
+  void UpdateAdvice() { advice = ComputeAdvice(); }
 };
+
+// Stable lowercase-hyphen name for an advice state ("need-more-cpu", ...).
+std::string_view AdviceName(ResourceSnapshot::Advice advice);
 
 class ScanRaw {
  public:
@@ -165,6 +212,13 @@ class ScanRaw {
   const std::string& table() const { return table_; }
   const ScanRawOptions& options() const { return options_; }
   PipelineProfile& profile() { return profile_; }
+  // Telemetry sink wired at construction (null when options.telemetry was
+  // unset); tracer() is the chunk-lifecycle trace ring, or nullptr.
+  obs::Telemetry* telemetry() const { return options_.telemetry; }
+  obs::ChunkTracer* tracer() const {
+    return options_.telemetry != nullptr ? &options_.telemetry->tracer()
+                                         : nullptr;
+  }
   ChunkCache& cache() { return cache_; }
   PositionalMapCache& positional_maps() { return positional_maps_; }
   // Distinct/sample sketches collected during conversion; only populated
@@ -215,6 +269,9 @@ class ScanRaw {
   std::mutex sketched_mu_;
   std::set<uint64_t> sketched_chunks_;
   PipelineProfile profile_;
+  // Advice-state occurrence counters, indexed by ResourceSnapshot::Advice
+  // (null when telemetry is unset); bumped by the per-query sampler.
+  obs::Counter* advice_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
   IoStats raw_io_stats_;
 
   // Chunks with a write queued or in flight, to keep loading exactly-once.

@@ -33,6 +33,16 @@ Result<std::unique_ptr<ScanRawManager>> ScanRawManager::Create(
   if (!storage.ok()) return storage.status();
   manager->storage_ = std::move(*storage);
   manager->storage_->SetCompression(config.compress_segments);
+  obs::MetricsRegistry& registry = manager->telemetry_.metrics();
+  manager->arbiter_.BindMetrics(
+      registry.GetHistogram("disk.reader_wait_nanos"),
+      registry.GetHistogram("disk.writer_wait_nanos"),
+      registry.GetHistogram("disk.reader_hold_nanos"),
+      registry.GetHistogram("disk.writer_hold_nanos"));
+  manager->storage_->BindMetrics(
+      registry.GetCounter("storage.segments_written"),
+      registry.GetCounter("storage.bytes_written"),
+      registry.GetHistogram("storage.segment_write_nanos"));
   return manager;
 }
 
@@ -115,9 +125,13 @@ Result<QueryResult> ScanRawManager::Query(const std::string& table,
       if (opt_it == options_.end()) {
         return Status::Internal("no ScanRaw options for table " + table);
       }
+      ScanRawOptions op_options = opt_it->second;
+      if (op_options.telemetry == nullptr) {
+        op_options.telemetry = &telemetry_;
+      }
       auto created = std::make_unique<ScanRaw>(
           table, &catalog_, storage_.get(), &arbiter_, limiter_.get(),
-          opt_it->second);
+          op_options);
       op = created.get();
       operators_.emplace(table, std::move(created));
     }

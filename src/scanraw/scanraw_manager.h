@@ -18,6 +18,7 @@
 #include "exec/query.h"
 #include "io/disk_arbiter.h"
 #include "io/rate_limiter.h"
+#include "obs/telemetry.h"
 #include "scanraw/scan_raw.h"
 
 namespace scanraw {
@@ -84,11 +85,16 @@ class ScanRawManager {
   DiskArbiter* arbiter() { return &arbiter_; }
   RateLimiter* limiter() { return limiter_.get(); }
   IoStats* io_stats() { return &io_stats_; }
+  // The manager-wide telemetry sink. The arbiter and storage manager are
+  // bound at Create; operators created by Query record here too unless the
+  // registered ScanRawOptions carry their own sink.
+  obs::Telemetry* telemetry() { return &telemetry_; }
 
  private:
   explicit ScanRawManager(const Config& config);
 
   Config config_;
+  obs::Telemetry telemetry_;
   Catalog catalog_;
   std::unique_ptr<RateLimiter> limiter_;
   DiskArbiter arbiter_;

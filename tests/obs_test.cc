@@ -1,0 +1,316 @@
+// Tests for the obs/ building blocks in isolation: counters, gauges,
+// log-bucketed histograms (quantiles, reset, JSON), the chunk-lifecycle
+// tracer (ring wrap, Chrome export), the resource log, and the sampler
+// thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace scanraw {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, DeltaUpdatesCompose) {
+  Gauge g;
+  g.Add(5);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (uint64_t v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p50 = h.Quantile(0.5);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-bucket interpolation is within a 2x bucket of the true rank.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p99, 500.0);
+  EXPECT_LE(p99, 1000.0);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(h.Quantile(0.0), 1.0);
+  EXPECT_LE(h.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, SingleValueQuantiles) {
+  Histogram h;
+  h.Record(777);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 777.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 777.0);
+}
+
+TEST(HistogramTest, ZeroValueIsCounted) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, Reset) {
+  Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), static_cast<uint64_t>(kPerThread));
+}
+
+TEST(MetricsRegistryTest, StablePointersByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y.count"), a);
+  // Same name in different metric families is distinct storage.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("x.count")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(7);
+  registry.GetGauge("g")->Set(-3);
+  registry.GetHistogram("h")->Record(99);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsAllFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("events.total")->Add(3);
+  registry.GetGauge("queue.depth")->Set(2);
+  registry.GetHistogram("latency")->Record(1000);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events.total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+TEST(ChunkTracerTest, RecordsSpansInOrder) {
+  ChunkTracer tracer(16);
+  tracer.RecordSpan(TraceStage::kRead, ChunkSource::kRaw, 0, 1000, 50);
+  tracer.RecordSpan(TraceStage::kTokenize, ChunkSource::kRaw, 0, 1100, 70);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].stage, TraceStage::kRead);
+  EXPECT_EQ(events[1].stage, TraceStage::kTokenize);
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ChunkTracerTest, RingWrapKeepsNewestAndCountsDropped) {
+  ChunkTracer tracer(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.RecordSpan(TraceStage::kParse, ChunkSource::kRaw, i, 1000 + i, 1);
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().chunk_index, 6u);
+  EXPECT_EQ(events.back().chunk_index, 9u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(ChunkTracerTest, ZeroCapacityDisablesRecording) {
+  ChunkTracer tracer(0);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.RecordSpan(TraceStage::kRead, ChunkSource::kRaw, 0, 0, 1);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(ChunkTracerTest, ChromeExportShape) {
+  ChunkTracer tracer(16);
+  tracer.RecordSpan(TraceStage::kRead, ChunkSource::kDb, 3, 5000, 2000);
+  tracer.RecordInstant(TraceStage::kSpeculativeTrigger, 3);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("READ"), std::string::npos);
+  EXPECT_NE(json.find("SPECULATIVE_TRIGGER"), std::string::npos);
+  EXPECT_NE(json.find("\"db\""), std::string::npos);
+  // Loadable as a top-level array (trailing newline allowed).
+  EXPECT_NE(json.find_last_of(']'), std::string::npos);
+}
+
+TEST(SpanRecorderTest, RecordsIntoTracerAndHistogram) {
+  ChunkTracer tracer(16);
+  Histogram latency;
+  {
+    SpanRecorder span(&tracer, &latency, TraceStage::kWrite,
+                      ChunkSource::kRaw);
+    span.set_chunk_index(42);
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stage, TraceStage::kWrite);
+  EXPECT_EQ(events[0].chunk_index, 42u);
+  EXPECT_EQ(latency.count(), 1u);
+}
+
+TEST(SpanRecorderTest, CancelSuppressesTraceButNotHistogram) {
+  ChunkTracer tracer(16);
+  Histogram latency;
+  {
+    SpanRecorder span(&tracer, &latency, TraceStage::kRead, ChunkSource::kRaw);
+    span.Cancel();
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(latency.count(), 1u);
+}
+
+TEST(ResourceLogTest, BoundedRing) {
+  ResourceLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    ResourceSample s;
+    s.ts_nanos = i;
+    log.Append(std::move(s));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_appended(), 5u);
+  auto samples = log.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples.front().ts_nanos, 2);
+  EXPECT_EQ(samples.back().ts_nanos, 4);
+}
+
+TEST(ResourceLogTest, JsonIsArrayWithAdvice) {
+  ResourceLog log(8);
+  ResourceSample s;
+  s.ts_nanos = 1000;
+  s.advice = "io-bound";
+  log.Append(std::move(s));
+  const std::string json = log.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"io-bound\""), std::string::npos);
+}
+
+TEST(ResourceSamplerTest, TakesStartAndStopSamples) {
+  ResourceLog log(64);
+  std::atomic<int> probes{0};
+  ResourceSampler sampler(
+      &log,
+      [&probes] {
+        probes.fetch_add(1);
+        return ResourceSample();
+      },
+      std::chrono::milliseconds(1000));  // interval longer than the test
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  // One immediate sample on Start, one final on Stop.
+  EXPECT_GE(probes.load(), 2);
+  EXPECT_GE(log.size(), 2u);
+  sampler.Stop();  // idempotent
+}
+
+TEST(ResourceSamplerTest, PeriodicSampling) {
+  ResourceLog log(1024);
+  ResourceSampler sampler(
+      &log, [] { return ResourceSample(); }, std::chrono::milliseconds(1));
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.Stop();
+  // 30ms at a 1ms period: demand well below the theoretical 30 to keep the
+  // test robust on loaded machines.
+  EXPECT_GE(log.size(), 5u);
+}
+
+TEST(TelemetryTest, CombinedJsonExport) {
+  Telemetry telemetry;
+  telemetry.metrics().GetCounter("a")->Add(1);
+  telemetry.tracer().RecordSpan(TraceStage::kRead, ChunkSource::kRaw, 0, 0, 1);
+  ResourceSample s;
+  s.advice = "balanced";
+  telemetry.resources().Append(std::move(s));
+  const std::string json = telemetry.ToJson();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"resource_samples\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_recorded\":1"), std::string::npos);
+}
+
+TEST(CurrentThreadIdTest, DistinctPerThreadStableWithin) {
+  const uint32_t main_id = CurrentThreadId();
+  EXPECT_EQ(CurrentThreadId(), main_id);
+  uint32_t other_id = main_id;
+  std::thread t([&other_id] { other_id = CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other_id, main_id);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace scanraw

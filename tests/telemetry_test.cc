@@ -1,0 +1,341 @@
+// Tests for the telemetry wiring through the SCANRAW pipeline: the §3.3
+// resource-advice classification, reconciliation of the PipelineProfile
+// counters with catalog state after a multi-query speculative run, and the
+// registry / tracer / sampler integration through the ScanRawManager.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/csv_generator.h"
+#include "obs/telemetry.h"
+#include "scanraw/scan_raw.h"
+#include "scanraw/scanraw_manager.h"
+
+namespace scanraw {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  std::string test = testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  for (char& c : test) {
+    if (c == '/') c = '_';
+  }
+  return testing::TempDir() + "/telem_" + test + "_" + name;
+}
+
+// ----------------------------------------------- advice classification ----
+
+ResourceSnapshot BalancedSnapshot() {
+  ResourceSnapshot s;
+  s.text_buffer_size = 2;
+  s.text_buffer_capacity = 8;
+  s.position_buffer_size = 1;
+  s.position_buffer_capacity = 8;
+  s.output_buffer_size = 3;
+  s.output_buffer_capacity = 8;
+  s.busy_workers = 2;
+  s.num_workers = 4;
+  return s;
+}
+
+TEST(AdviceTest, BalancedPipeline) {
+  EXPECT_EQ(BalancedSnapshot().ComputeAdvice(),
+            ResourceSnapshot::Advice::kBalanced);
+}
+
+TEST(AdviceTest, NeedMoreCpuWhenSaturatedAndTextFull) {
+  // "All worker threads are busy and the text chunk buffer is full" (§3.3).
+  ResourceSnapshot s = BalancedSnapshot();
+  s.busy_workers = s.num_workers;
+  s.text_buffer_size = s.text_buffer_capacity;
+  EXPECT_EQ(s.ComputeAdvice(), ResourceSnapshot::Advice::kNeedMoreCpu);
+}
+
+TEST(AdviceTest, BusyWorkersAloneAreNotACpuRequest) {
+  // Saturated workers with a draining text buffer: conversion keeps up
+  // with the disk, no extra CPU needed.
+  ResourceSnapshot s = BalancedSnapshot();
+  s.busy_workers = s.num_workers;
+  s.text_buffer_size = 1;
+  EXPECT_EQ(s.ComputeAdvice(), ResourceSnapshot::Advice::kBalanced);
+}
+
+TEST(AdviceTest, IoBoundWhenWorkersStarved) {
+  ResourceSnapshot s = BalancedSnapshot();
+  s.busy_workers = 0;
+  s.text_buffer_size = 0;
+  s.position_buffer_size = 0;
+  s.output_buffer_size = 0;
+  EXPECT_EQ(s.ComputeAdvice(), ResourceSnapshot::Advice::kIoBound);
+}
+
+TEST(AdviceTest, EngineBoundWhenOutputFull) {
+  ResourceSnapshot s = BalancedSnapshot();
+  s.output_buffer_size = s.output_buffer_capacity;
+  EXPECT_EQ(s.ComputeAdvice(), ResourceSnapshot::Advice::kEngineBound);
+}
+
+TEST(AdviceTest, CpuRequestWinsOverEngineBound) {
+  // Everything full at once: the CPU request is checked first — it is the
+  // state the resource manager can actually act on mid-query.
+  ResourceSnapshot s = BalancedSnapshot();
+  s.busy_workers = s.num_workers;
+  s.text_buffer_size = s.text_buffer_capacity;
+  s.output_buffer_size = s.output_buffer_capacity;
+  EXPECT_EQ(s.ComputeAdvice(), ResourceSnapshot::Advice::kNeedMoreCpu);
+}
+
+TEST(AdviceTest, SequentialPipelineNeverAsksForCpu) {
+  // num_workers == 0 (fully sequential conversion) must not classify as a
+  // CPU request even with a full text buffer.
+  ResourceSnapshot s = BalancedSnapshot();
+  s.num_workers = 0;
+  s.busy_workers = 0;
+  s.text_buffer_size = s.text_buffer_capacity;
+  EXPECT_NE(s.ComputeAdvice(), ResourceSnapshot::Advice::kNeedMoreCpu);
+}
+
+TEST(AdviceTest, NamesAreStable) {
+  EXPECT_EQ(AdviceName(ResourceSnapshot::Advice::kNeedMoreCpu),
+            "need-more-cpu");
+  EXPECT_EQ(AdviceName(ResourceSnapshot::Advice::kIoBound), "io-bound");
+  EXPECT_EQ(AdviceName(ResourceSnapshot::Advice::kEngineBound),
+            "engine-bound");
+  EXPECT_EQ(AdviceName(ResourceSnapshot::Advice::kBalanced), "balanced");
+}
+
+// ----------------------------------------- pipeline integration fixture ---
+
+struct Fixture {
+  std::string csv_path;
+  CsvFileInfo info;
+  Schema schema;
+  std::unique_ptr<ScanRawManager> manager;
+
+  static Fixture Make(const std::string& name, const ScanRawOptions& options,
+                      uint64_t rows = 4000, size_t cols = 8) {
+    Fixture f;
+    f.csv_path = TempPath(name + ".csv");
+    CsvSpec spec;
+    spec.num_rows = rows;
+    spec.num_columns = cols;
+    spec.seed = 7;
+    auto info = GenerateCsvFile(f.csv_path, spec);
+    EXPECT_TRUE(info.ok());
+    f.info = *info;
+    f.schema = CsvSchema(spec);
+    ScanRawManager::Config config;
+    config.db_path = TempPath(name + ".db");
+    auto manager = ScanRawManager::Create(config);
+    EXPECT_TRUE(manager.ok());
+    f.manager = std::move(*manager);
+    EXPECT_TRUE(
+        f.manager->RegisterRawFile("t", f.csv_path, f.schema, options).ok());
+    return f;
+  }
+};
+
+ScanRawOptions BaseOptions() {
+  ScanRawOptions options;
+  options.policy = LoadPolicy::kSpeculativeLoading;
+  options.num_workers = 2;
+  options.chunk_rows = 500;  // 8 chunks at 4000 rows
+  options.cache_capacity_chunks = 4;
+  return options;
+}
+
+// Profile counters must reconcile with the catalog after a two-query
+// speculative run: every fully loaded chunk was written exactly once, and
+// the chunk-source counters account for every chunk of both passes.
+TEST(ProfileReconcileTest, CountersMatchCatalogAfterTwoQueries) {
+  auto f = Fixture::Make("reconcile", BaseOptions());
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ScanRaw* op = f.manager->GetOperator("t");
+  ASSERT_NE(op, nullptr);
+  auto second = op->ExecuteQuery(q);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->total_sum, f.info.total_sum);
+  op->WaitForWrites();
+  ASSERT_TRUE(op->write_status().ok());
+
+  const PipelineProfile& profile = op->profile();
+  auto meta = f.manager->catalog()->GetTable("t");
+  ASSERT_TRUE(meta.ok());
+
+  std::vector<size_t> all_columns;
+  for (size_t c = 0; c < 8; ++c) all_columns.push_back(c);
+  uint64_t loaded_chunks = 0;
+  for (const ChunkMetadata& cm : meta->chunks) {
+    if (cm.HasColumnsLoaded(all_columns)) ++loaded_chunks;
+  }
+  // Exactly-once loading: one write per loaded chunk, no rewrites.
+  EXPECT_EQ(profile.chunks_written.load(), loaded_chunks);
+
+  // Both passes delivered all 8 chunks, each attributed to exactly one
+  // source.
+  EXPECT_EQ(profile.chunks_from_raw.load() + profile.chunks_from_db.load() +
+                profile.chunks_from_cache.load(),
+            16u);
+  // The first pass had no binary data anywhere: 8 raw conversions.
+  EXPECT_GE(profile.chunks_from_raw.load(), 8u);
+
+  // The registry mirrors (bound via the manager's telemetry) agree with the
+  // atomics they shadow.
+  obs::MetricsRegistry& registry = f.manager->telemetry()->metrics();
+  EXPECT_EQ(registry.GetCounter("scanraw.chunks_written")->value(),
+            profile.chunks_written.load());
+  EXPECT_EQ(registry.GetCounter("scanraw.chunks_from_raw")->value(),
+            profile.chunks_from_raw.load());
+  EXPECT_EQ(registry.GetCounter("scanraw.chunks_from_cache")->value(),
+            profile.chunks_from_cache.load());
+  EXPECT_EQ(registry.GetCounter("scanraw.chunks_from_db")->value(),
+            profile.chunks_from_db.load());
+}
+
+TEST(ProfileReconcileTest, ResetClearsRegistryMirrors) {
+  auto f = Fixture::Make("reset", BaseOptions());
+  QuerySpec q;
+  q.sum_columns = {0};
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ScanRaw* op = f.manager->GetOperator("t");
+  ASSERT_NE(op, nullptr);
+  op->WaitForWrites();
+
+  obs::MetricsRegistry& registry = f.manager->telemetry()->metrics();
+  EXPECT_GT(registry.GetCounter("scanraw.chunks_from_raw")->value(), 0u);
+  EXPECT_GT(registry.GetHistogram("scanraw.stage.read_nanos")->count(), 0u);
+
+  // Quiesced (no QueryRun live, writes drained): Reset may run.
+  op->profile().Reset();
+  EXPECT_EQ(op->profile().chunks_from_raw.load(), 0u);
+  EXPECT_EQ(registry.GetCounter("scanraw.chunks_from_raw")->value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("scanraw.stage.read_nanos")->count(), 0u);
+  EXPECT_EQ(registry.GetHistogram("scanraw.stage.parse_nanos")->count(), 0u);
+}
+
+// -------------------------------------------------- manager integration ---
+
+TEST(ManagerTelemetryTest, StageHistogramsAndCacheCountersPopulate) {
+  ScanRawOptions options = BaseOptions();
+  options.resource_sample_interval_ms = 1;
+  auto f = Fixture::Make("stages", options);
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ScanRaw* op = f.manager->GetOperator("t");
+  ASSERT_NE(op, nullptr);
+  op->WaitForWrites();
+
+  obs::Telemetry* telemetry = f.manager->telemetry();
+  obs::MetricsRegistry& registry = telemetry->metrics();
+
+  // Per-stage latency histograms recorded one entry per chunk-stage.
+  EXPECT_GE(registry.GetHistogram("scanraw.stage.read_nanos")->count(), 8u);
+  EXPECT_GE(registry.GetHistogram("scanraw.stage.tokenize_nanos")->count(),
+            8u);
+  EXPECT_GE(registry.GetHistogram("scanraw.stage.parse_nanos")->count(), 8u);
+  EXPECT_GT(registry.GetHistogram("scanraw.stage.write_nanos")->count(), 0u);
+
+  // Cache counters mirror the ChunkCache (second query hit the cache).
+  EXPECT_GT(registry.GetCounter("scanraw.cache.hits")->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("scanraw.cache.hits")->value(),
+            op->cache().hits());
+  EXPECT_EQ(registry.GetCounter("scanraw.cache.misses")->value(),
+            op->cache().misses());
+  EXPECT_EQ(registry.GetCounter("scanraw.cache.evictions")->value(),
+            op->cache().evictions());
+
+  // The pool submitted tokenize + parse tasks.
+  EXPECT_GE(registry.GetCounter("scanraw.pool.tasks_submitted")->value(),
+            16u);
+  // Gauges are deltas and the pipeline has drained.
+  EXPECT_EQ(registry.GetGauge("scanraw.pool.busy_workers")->value(), 0);
+  EXPECT_EQ(registry.GetGauge("scanraw.pool.queue_depth")->value(), 0);
+
+  // Storage + arbiter wiring recorded the speculative writes.
+  EXPECT_GT(registry.GetCounter("storage.segments_written")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("storage.bytes_written")->value(), 0u);
+  EXPECT_GT(registry.GetHistogram("disk.reader_wait_nanos")->count(), 0u);
+
+  // The sampler left a resource-advice series with start + end samples.
+  EXPECT_GE(telemetry->resources().size(), 2u);
+
+  // Advice occurrences were tallied: the counters sum to the sample count
+  // this operator probed (every probe lands in exactly one state).
+  const uint64_t advice_total =
+      registry.GetCounter("scanraw.advice.need_more_cpu")->value() +
+      registry.GetCounter("scanraw.advice.io_bound")->value() +
+      registry.GetCounter("scanraw.advice.engine_bound")->value() +
+      registry.GetCounter("scanraw.advice.balanced")->value();
+  EXPECT_EQ(advice_total, telemetry->resources().total_appended());
+}
+
+TEST(ManagerTelemetryTest, TracerRecordsFullChunkLifecycle) {
+  auto f = Fixture::Make("trace", BaseOptions());
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ScanRaw* op = f.manager->GetOperator("t");
+  ASSERT_NE(op, nullptr);
+  op->WaitForWrites();
+
+  obs::ChunkTracer& tracer = f.manager->telemetry()->tracer();
+  auto events = tracer.Snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Every raw chunk of the discovery scan has a complete
+  // READ -> TOKENIZE -> PARSE span set; written chunks add WRITE.
+  for (uint64_t chunk = 0; chunk < 8; ++chunk) {
+    bool read = false, tokenize = false, parse = false;
+    for (const obs::TraceEvent& e : events) {
+      if (e.chunk_index != chunk) continue;
+      read = read || e.stage == obs::TraceStage::kRead;
+      tokenize = tokenize || e.stage == obs::TraceStage::kTokenize;
+      parse = parse || e.stage == obs::TraceStage::kParse;
+    }
+    EXPECT_TRUE(read && tokenize && parse) << "chunk " << chunk;
+  }
+  uint64_t writes = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.stage == obs::TraceStage::kWrite) ++writes;
+  }
+  EXPECT_EQ(writes, op->profile().chunks_written.load());
+
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find_last_of(']'), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ManagerTelemetryTest, ExplicitSinkOverridesManagerSink) {
+  obs::Telemetry own_sink;
+  ScanRawOptions options = BaseOptions();
+  options.telemetry = &own_sink;
+  auto f = Fixture::Make("own_sink", options);
+  QuerySpec q;
+  q.sum_columns = {0};
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ScanRaw* op = f.manager->GetOperator("t");
+  ASSERT_NE(op, nullptr);
+  op->WaitForWrites();
+
+  EXPECT_EQ(op->telemetry(), &own_sink);
+  EXPECT_GT(own_sink.metrics().GetCounter("scanraw.chunks_from_raw")->value(),
+            0u);
+  // The manager's sink saw no operator-side chunk traffic.
+  EXPECT_EQ(f.manager->telemetry()
+                ->metrics()
+                .GetCounter("scanraw.chunks_from_raw")
+                ->value(),
+            0u);
+}
+
+}  // namespace
+}  // namespace scanraw

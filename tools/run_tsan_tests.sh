@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
+# binaries (pipeline, scanraw core, telemetry/obs) under TSan. Any data race
+# aborts the run with a non-zero exit.
+#
+#   tools/run_tsan_tests.sh [test_binary]...
+#
+# The TSan tree lives in build-tsan/ so it never pollutes the regular build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TESTS=("$@")
+if [ "${#TESTS[@]}" -eq 0 ]; then
+  TESTS=(pipeline_test scanraw_test scanraw_features_test scanraw_stress_test
+         obs_test telemetry_test chunk_cache_test)
+fi
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target "${TESTS[@]}"
+
+# halt_on_error: fail fast on the first race instead of drowning in reports.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+for t in "${TESTS[@]}"; do
+  echo "== TSan: ${t}"
+  "build-tsan/tests/${t}"
+done
+echo "TSan run clean."

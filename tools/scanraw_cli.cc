@@ -13,6 +13,14 @@
 //   --policy P            speculative|external|full|invisible|buffered
 //   --workers N           conversion worker threads (default 4)
 //   --chunk-rows N        rows per chunk (default 65536)
+//   --metrics[=json|text] after the statements, dump the telemetry registry
+//                         (stage latency histograms with p50/p95/p99, cache
+//                         and disk-arbiter counters, resource-advice series);
+//                         default format is text
+//   --trace-out PATH      write the chunk-lifecycle trace as a Chrome
+//                         trace_event JSON array (load via chrome://tracing)
+//   --sample-interval-ms N  period of the §3.3 resource-advice sampler
+//                         (default 2 when --metrics/--trace-out is given)
 //
 // Remaining arguments are SQL statements, executed in order; with none,
 // statements are read from stdin (one per line).
@@ -30,6 +38,7 @@
 #include "format/parser.h"
 #include "genomics/sam.h"
 #include "io/file.h"
+#include "obs/telemetry.h"
 #include "scanraw/scanraw_manager.h"
 #include "sql/sql_parser.h"
 
@@ -40,6 +49,10 @@ struct CliOptions {
   std::string db_path;
   std::string catalog_path;
   uint64_t bandwidth_mb = 0;
+  bool metrics = false;
+  bool metrics_json = false;
+  std::string trace_path;
+  int sample_interval_ms = -1;  // -1 = default (2 when telemetry requested)
   ScanRawOptions scan_options;
   struct TableArg {
     std::string name;
@@ -56,6 +69,8 @@ void Usage() {
                "[--catalog PATH]\n"
                "                   [--bandwidth-mb N] [--policy P] "
                "[--workers N] [--chunk-rows N]\n"
+               "                   [--metrics[=json|text]] [--trace-out PATH]"
+               " [--sample-interval-ms N]\n"
                "                   [SQL]...\n");
 }
 
@@ -131,6 +146,20 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
         return Status::InvalidArgument("bad --chunk-rows");
       }
       options.scan_options.chunk_rows = *n;
+    } else if (arg == "--metrics" || arg == "--metrics=text") {
+      options.metrics = true;
+      options.metrics_json = false;
+    } else if (arg == "--metrics=json") {
+      options.metrics = true;
+      options.metrics_json = true;
+    } else if (arg == "--trace-out") {
+      SCANRAW_ASSIGN_OR_RETURN(options.trace_path, next_value());
+    } else if (arg == "--sample-interval-ms") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok()) return n.status();
+      options.sample_interval_ms = static_cast<int>(*n);
     } else if (arg == "--table") {
       std::string v;
       SCANRAW_ASSIGN_OR_RETURN(v, next_value());
@@ -154,6 +183,13 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (options.db_path.empty()) {
     return Status::InvalidArgument("--db is required");
   }
+  const bool telemetry_requested =
+      options.metrics || !options.trace_path.empty();
+  if (options.sample_interval_ms < 0) {
+    options.sample_interval_ms = telemetry_requested ? 2 : 0;
+  }
+  options.scan_options.resource_sample_interval_ms =
+      options.sample_interval_ms;
   return options;
 }
 
@@ -298,6 +334,28 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("catalog saved to %s\n", options->catalog_path.c_str());
+  }
+
+  obs::Telemetry* telemetry = (*manager)->telemetry();
+  if (options->metrics) {
+    const std::string dump = options->metrics_json ? telemetry->ToJson()
+                                                   : telemetry->ToText();
+    std::printf("%s\n", dump.c_str());
+  }
+  if (!options->trace_path.empty()) {
+    const std::string json = telemetry->tracer().ToChromeTraceJson();
+    std::FILE* f = std::fopen(options->trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace: cannot open %s\n",
+                   options->trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                options->trace_path.c_str(),
+                static_cast<unsigned long long>(telemetry->tracer().recorded()),
+                static_cast<unsigned long long>(telemetry->tracer().dropped()));
   }
   return failures == 0 ? 0 : 1;
 }
