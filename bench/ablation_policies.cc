@@ -33,7 +33,7 @@ SequenceOutcome RunSequence(const std::string& csv, const CsvSpec& spec,
                             const ScanRawOptions& options,
                             const std::string& tag) {
   ScanRawManager::Config config;
-  config.db_path = bench::TempPath("ablation_" + tag + ".db");
+  config.db_path = bench::MustTempPath("ablation_" + tag + ".db");
   config.disk_bandwidth = 100ull << 20;
   auto manager = ScanRawManager::Create(config);
   bench::CheckOk(manager.status(), "create manager");
@@ -73,7 +73,7 @@ ScanRawOptions BaseOptions() {
 
 int main() {
   using scanraw::bench::Fmt;
-  const std::string csv = scanraw::bench::TempPath("ablation.csv");
+  const std::string csv = scanraw::bench::MustTempPath("ablation.csv");
   scanraw::CsvSpec spec;
   spec.num_rows = scanraw::kRows;
   spec.num_columns = scanraw::kColumns;
@@ -158,7 +158,7 @@ int main() {
       options.cache_capacity_chunks = 0;  // force raw re-scans
       options.cache_positional_maps = enabled;
       scanraw::ScanRawManager::Config config;
-      config.db_path = scanraw::bench::TempPath(
+      config.db_path = scanraw::bench::MustTempPath(
           std::string("ablation_pmc_") + (enabled ? "on" : "off") + ".db");
       config.disk_bandwidth = 100ull << 20;
       auto manager = scanraw::ScanRawManager::Create(config);

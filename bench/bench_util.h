@@ -7,9 +7,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -22,11 +24,15 @@ inline std::string TempDir() {
   return base + "/scanraw_bench";
 }
 
-inline std::string TempPath(const std::string& name) {
+// Path for a scratch file under TempDir(), creating the directory if
+// needed. Fails (rather than returning a path writes would fail on) when
+// the directory cannot be created.
+inline Result<std::string> TempPath(const std::string& name) {
   const std::string dir = TempDir();
-  std::string cmd = "mkdir -p " + dir;
-  if (std::system(cmd.c_str()) != 0) {
-    std::fprintf(stderr, "failed to create %s\n", dir.c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + dir + ": " + ec.message());
   }
   return dir + "/" + name;
 }
@@ -38,6 +44,13 @@ inline void CheckOk(const Status& status, const char* context) {
     std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+// TempPath for the benches themselves: aborts on failure, like CheckOk.
+inline std::string MustTempPath(const std::string& name) {
+  auto path = TempPath(name);
+  if (!path.ok()) CheckOk(path.status(), "temp path");
+  return *path;
 }
 
 // Fixed-width table printer.

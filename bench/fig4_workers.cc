@@ -66,7 +66,7 @@ void RunSimulated() {
 void RunRealCrossCheck() {
   std::printf("Real-pipeline cross-check (host scale: 2^18 x 16 CSV, "
               "50 MB/s simulated disk)\n\n");
-  const std::string csv = bench::TempPath("fig4_cross.csv");
+  const std::string csv = bench::MustTempPath("fig4_cross.csv");
   CsvSpec spec;
   spec.num_rows = 1 << 18;
   spec.num_columns = 16;
@@ -79,7 +79,7 @@ void RunRealCrossCheck() {
          {LoadPolicy::kSpeculativeLoading, LoadPolicy::kFullLoad,
           LoadPolicy::kExternalTables}) {
       ScanRawManager::Config config;
-      config.db_path = bench::TempPath("fig4_cross.db");
+      config.db_path = bench::MustTempPath("fig4_cross.db");
       config.disk_bandwidth = 50ull << 20;
       auto manager = ScanRawManager::Create(config);
       bench::CheckOk(manager.status(), "create manager");

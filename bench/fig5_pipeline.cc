@@ -26,7 +26,7 @@ struct StageTimes {
 
 StageTimes MeasureColumns(size_t columns) {
   const std::string csv =
-      bench::TempPath("fig5_" + std::to_string(columns) + ".csv");
+      bench::MustTempPath("fig5_" + std::to_string(columns) + ".csv");
   CsvSpec spec;
   spec.num_rows = kRows;
   spec.num_columns = columns;

@@ -49,7 +49,7 @@ double MeasureQuery(const std::string& csv, const CsvSpec& spec,
 
 int main() {
   using scanraw::bench::Fmt;
-  const std::string csv = scanraw::bench::TempPath("fig6.csv");
+  const std::string csv = scanraw::bench::MustTempPath("fig6.csv");
   scanraw::CsvSpec spec;
   spec.num_rows = scanraw::kRows;
   spec.num_columns = scanraw::kColumns;

@@ -59,7 +59,7 @@ std::vector<double> RunSequence(const std::string& csv, const CsvSpec& spec,
 
 int main() {
   using scanraw::bench::Fmt;
-  const std::string csv = scanraw::bench::TempPath("fig8.csv");
+  const std::string csv = scanraw::bench::MustTempPath("fig8.csv");
   scanraw::CsvSpec spec;
   spec.num_rows = scanraw::kRows;
   spec.num_columns = scanraw::kColumns;

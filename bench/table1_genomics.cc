@@ -40,7 +40,7 @@ std::unique_ptr<ScanRawManager> MakeManager(const std::string& sam_path,
                                             LoadPolicy policy,
                                             const std::string& tag) {
   ScanRawManager::Config config;
-  config.db_path = bench::TempPath("table1_" + tag + ".db");
+  config.db_path = bench::MustTempPath("table1_" + tag + ".db");
   config.disk_bandwidth = kDiskBandwidth;
   auto manager = ScanRawManager::Create(config);
   bench::CheckOk(manager.status(), "create manager");
@@ -60,8 +60,8 @@ std::unique_ptr<ScanRawManager> MakeManager(const std::string& sam_path,
 
 int main() {
   using scanraw::bench::Fmt;
-  const std::string sam_path = scanraw::bench::TempPath("table1.sam");
-  const std::string bam_path = scanraw::bench::TempPath("table1.bam");
+  const std::string sam_path = scanraw::bench::MustTempPath("table1.sam");
+  const std::string bam_path = scanraw::bench::MustTempPath("table1.bam");
   scanraw::SamGenSpec spec;
   spec.num_reads = scanraw::kReads;
   spec.seed = 2014;

@@ -20,10 +20,13 @@ Result<std::optional<BinaryChunk>> HeapScan::Next() {
     if (has_filter_ &&
         meta.CanSkipForRange(filter_column_, filter_lo_, filter_hi_)) {
       ++chunks_skipped_;
+      if (skipped_counter_ != nullptr) skipped_counter_->Add(1);
       continue;
     }
     auto chunk = storage_->ReadChunkColumns(meta, columns_);
     if (!chunk.ok()) return chunk.status();
+    ++chunks_scanned_;
+    if (scanned_counter_ != nullptr) scanned_counter_->Add(1);
     return std::optional<BinaryChunk>(std::move(*chunk));
   }
   return std::optional<BinaryChunk>();

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "db/catalog.h"
 #include "db/storage_manager.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 
@@ -29,8 +30,20 @@ class HeapScan {
   // Returns the next chunk, or std::nullopt when exhausted.
   Result<std::optional<BinaryChunk>> Next();
 
-  // Chunks skipped thanks to statistics (for tests and EXPLAIN-style output).
+  // Chunks skipped thanks to statistics; surfaced in EXPLAIN ANALYZE
+  // reports as `chunks.skipped`.
   uint64_t chunks_skipped() const { return chunks_skipped_; }
+
+  // Chunks actually materialized by Next().
+  uint64_t chunks_scanned() const { return chunks_scanned_; }
+
+  // Optional process-global counters (e.g. "heapscan.chunks_scanned" /
+  // "heapscan.chunks_skipped" in the metrics registry). Bind before
+  // scanning; pass nullptr to detach.
+  void BindMetrics(obs::Counter* scanned, obs::Counter* skipped) {
+    scanned_counter_ = scanned;
+    skipped_counter_ = skipped;
+  }
 
  private:
   TableMetadata table_;
@@ -38,6 +51,9 @@ class HeapScan {
   std::vector<size_t> columns_;
   size_t next_chunk_ = 0;
   uint64_t chunks_skipped_ = 0;
+  uint64_t chunks_scanned_ = 0;
+  obs::Counter* scanned_counter_ = nullptr;
+  obs::Counter* skipped_counter_ = nullptr;
   bool has_filter_ = false;
   size_t filter_column_ = 0;
   int64_t filter_lo_ = 0;

@@ -104,11 +104,17 @@ Status QueryExecutor::Consume(const BinaryChunk& chunk) {
 QueryResult QueryExecutor::Finish() { return std::move(result_); }
 
 Result<QueryResult> RunQuery(const QuerySpec& spec, ChunkStream* stream) {
+  return RunQuery(spec, stream, nullptr);
+}
+
+Result<QueryResult> RunQuery(const QuerySpec& spec, ChunkStream* stream,
+                             obs::SpanProfiler* profiler) {
   QueryExecutor executor(spec);
   while (true) {
     auto next = stream->Next();
     if (!next.ok()) return next.status();
     if (!next->has_value()) break;
+    obs::SpanProfiler::Scope scope(profiler, obs::QueryStage::kEngine);
     SCANRAW_RETURN_IF_ERROR(executor.Consume(***next));
   }
   return executor.Finish();

@@ -13,6 +13,7 @@
 
 #include "columnar/binary_chunk.h"
 #include "common/result.h"
+#include "obs/span_profiler.h"
 
 namespace scanraw {
 
@@ -112,6 +113,11 @@ class ChunkStream {
 
 // Drains `stream` through a QueryExecutor.
 Result<QueryResult> RunQuery(const QuerySpec& spec, ChunkStream* stream);
+
+// Same, recording each Consume as an ENGINE span in `profiler` (nullable)
+// so EXPLAIN ANALYZE can attribute engine time vs. pipeline time.
+Result<QueryResult> RunQuery(const QuerySpec& spec, ChunkStream* stream,
+                             obs::SpanProfiler* profiler);
 
 }  // namespace scanraw
 

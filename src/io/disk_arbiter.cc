@@ -8,11 +8,16 @@ void DiskArbiter::Acquire(DiskUser user) {
   cv_.wait(lock, [&] { return user_ == DiskUser::kNone; });
   user_ = user;
   acquired_at_nanos_ = clock_->NowNanos();
+  const int64_t waited = acquired_at_nanos_ - wait_start;
+  if (user == DiskUser::kReader) {
+    reader_wait_nanos_ += waited;
+  } else if (user == DiskUser::kWriter) {
+    writer_wait_nanos_ += waited;
+  }
   obs::Histogram* wait_hist = user == DiskUser::kReader ? reader_wait_hist_
                                                         : writer_wait_hist_;
   if (wait_hist != nullptr) {
-    wait_hist->Record(
-        static_cast<uint64_t>(acquired_at_nanos_ - wait_start));
+    wait_hist->Record(static_cast<uint64_t>(waited < 0 ? 0 : waited));
   }
 }
 
@@ -67,6 +72,16 @@ int64_t DiskArbiter::reader_busy_nanos() const {
 int64_t DiskArbiter::writer_busy_nanos() const {
   std::lock_guard<std::mutex> lock(mu_);
   return writer_busy_nanos_;
+}
+
+int64_t DiskArbiter::reader_wait_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reader_wait_nanos_;
+}
+
+int64_t DiskArbiter::writer_wait_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_wait_nanos_;
 }
 
 }  // namespace scanraw

@@ -39,6 +39,13 @@ class DiskArbiter {
   int64_t reader_busy_nanos() const;
   int64_t writer_busy_nanos() const;
 
+  // Cumulative nanoseconds readers / writers spent blocked in Acquire.
+  // Per-query deltas drive the DISK_WAIT stage of critical-path
+  // attribution, distinguishing contention on the single-disk rule from
+  // bandwidth throttling.
+  int64_t reader_wait_nanos() const;
+  int64_t writer_wait_nanos() const;
+
   // Wires per-acquire wait/hold latency histograms (nanoseconds a READ or
   // WRITE spent blocked before taking the disk, and held it afterwards).
   // Call before the arbiter is shared across threads; pass nullptr to
@@ -54,6 +61,8 @@ class DiskArbiter {
   int64_t acquired_at_nanos_ = 0;
   int64_t reader_busy_nanos_ = 0;
   int64_t writer_busy_nanos_ = 0;
+  int64_t reader_wait_nanos_ = 0;
+  int64_t writer_wait_nanos_ = 0;
   obs::Histogram* reader_wait_hist_ = nullptr;
   obs::Histogram* writer_wait_hist_ = nullptr;
   obs::Histogram* reader_hold_hist_ = nullptr;

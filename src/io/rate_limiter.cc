@@ -23,6 +23,8 @@ void RateLimiter::Acquire(uint64_t bytes) {
     total_admitted_ += bytes;
     return;
   }
+  const int64_t enter_nanos = clock_->NowNanos();
+  bool slept = false;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     const int64_t now = clock_->NowNanos();
@@ -38,10 +40,20 @@ void RateLimiter::Acquire(uint64_t bytes) {
     if (available_bytes_ >= need) {
       available_bytes_ -= static_cast<double>(bytes);
       total_admitted_ += bytes;
+      if (slept) {
+        const int64_t waited = clock_->NowNanos() - enter_nanos;
+        total_wait_nanos_ += waited > 0 ? static_cast<uint64_t>(waited) : 0;
+        ++throttle_events_;
+        if (wait_hist_ != nullptr) {
+          wait_hist_->Record(waited > 0 ? static_cast<uint64_t>(waited) : 0);
+        }
+        if (throttle_counter_ != nullptr) throttle_counter_->Add(1);
+      }
       return;
     }
     const double deficit = need - available_bytes_;
     const double wait_s = deficit / static_cast<double>(bytes_per_second_);
+    slept = true;
     lock.unlock();
     std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
     lock.lock();
@@ -51,6 +63,23 @@ void RateLimiter::Acquire(uint64_t bytes) {
 uint64_t RateLimiter::total_admitted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_admitted_;
+}
+
+uint64_t RateLimiter::total_wait_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_wait_nanos_;
+}
+
+uint64_t RateLimiter::throttle_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throttle_events_;
+}
+
+void RateLimiter::BindMetrics(obs::Histogram* wait_nanos,
+                              obs::Counter* throttles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wait_hist_ = wait_nanos;
+  throttle_counter_ = throttles;
 }
 
 }  // namespace scanraw

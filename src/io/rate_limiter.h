@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 
@@ -28,6 +29,17 @@ class RateLimiter {
   // Total bytes admitted so far.
   uint64_t total_admitted() const;
 
+  // Cumulative nanoseconds Acquire spent sleeping (the emulated device was
+  // busy) and how many Acquire calls slept at all. Per-query deltas of
+  // these drive the THROTTLE_WAIT stage of critical-path attribution.
+  uint64_t total_wait_nanos() const;
+  uint64_t throttle_events() const;
+
+  // Optional sinks: a histogram of per-Acquire blocking time and a counter
+  // of throttled calls. Pass nullptr to unbind. Not thread-safe with
+  // concurrent Acquire; bind during setup.
+  void BindMetrics(obs::Histogram* wait_nanos, obs::Counter* throttles);
+
  private:
   const uint64_t bytes_per_second_;
   const Clock* clock_;
@@ -35,6 +47,10 @@ class RateLimiter {
   double available_bytes_ = 0;   // tokens in the bucket
   int64_t last_refill_nanos_ = 0;
   uint64_t total_admitted_ = 0;
+  uint64_t total_wait_nanos_ = 0;
+  uint64_t throttle_events_ = 0;
+  obs::Histogram* wait_hist_ = nullptr;
+  obs::Counter* throttle_counter_ = nullptr;
 };
 
 }  // namespace scanraw

@@ -1,0 +1,156 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace scanraw {
+namespace obs {
+
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string U64(uint64_t v) {
+  return std::to_string(static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+void ExplainReport::FillFromProfile(const SpanProfiler::Report& report) {
+  wall_seconds = static_cast<double>(report.wall_nanos) * 1e-9;
+  threads_accounted = report.distinct_threads;
+  busy_seconds_total = static_cast<double>(report.busy_nanos_total) * 1e-9;
+  blocked_seconds_total =
+      static_cast<double>(report.blocked_nanos_total) * 1e-9;
+  idle_seconds_total =
+      std::max(0.0, wall_seconds * static_cast<double>(threads_accounted) -
+                        busy_seconds_total - blocked_seconds_total);
+  critical_stage = std::string(QueryStageName(report.critical_stage));
+  critical_seconds = static_cast<double>(report.critical_covered_nanos) * 1e-9;
+  critical_fraction = report.critical_fraction;
+  spans_dropped = report.spans_dropped;
+
+  stages.clear();
+  for (size_t s = 0; s < kNumQueryStages; ++s) {
+    const SpanProfiler::StageStats& st = report.stages[s];
+    if (st.spans == 0) continue;
+    ExplainStage stage;
+    stage.name = std::string(QueryStageName(static_cast<QueryStage>(s)));
+    stage.busy_seconds = static_cast<double>(st.busy_nanos) * 1e-9;
+    stage.covered_seconds = static_cast<double>(st.covered_nanos) * 1e-9;
+    stage.spans = st.spans;
+    stage.threads = st.threads;
+    stage.is_wait = QueryStageIsWait(static_cast<QueryStage>(s));
+    stages.push_back(std::move(stage));
+  }
+}
+
+std::string ExplainReport::ToText() const {
+  std::string out;
+  out += "EXPLAIN ANALYZE  table=" + table + "  policy=" + policy + "\n";
+  out += "  wall " + Fmt("%.4f", wall_seconds) + " s, " +
+         std::to_string(workers) + " workers, " +
+         std::to_string(threads_accounted) + " threads accounted\n";
+
+  // Stage table.
+  char line[200];
+  std::snprintf(line, sizeof(line), "  %-14s %10s %10s %7s %8s %7s\n",
+                "stage", "busy(s)", "wall(s)", "spans", "threads", "share");
+  out += line;
+  for (const ExplainStage& s : stages) {
+    const double share =
+        wall_seconds > 0 ? 100.0 * s.covered_seconds / wall_seconds : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %10.4f %10.4f %7llu %8zu %6.1f%%%s\n",
+                  s.name.c_str(), s.busy_seconds, s.covered_seconds,
+                  static_cast<unsigned long long>(s.spans), s.threads, share,
+                  s.is_wait ? "  (blocked)" : "");
+    out += line;
+  }
+  out += "  accounting: busy " + Fmt("%.4f", busy_seconds_total) +
+         " s + blocked " + Fmt("%.4f", blocked_seconds_total) + " s + idle " +
+         Fmt("%.4f", idle_seconds_total) + " s = wall x threads\n";
+  out += "  critical path: " + critical_stage + " (" +
+         Fmt("%.4f", critical_seconds) + " s, " +
+         Fmt("%.1f", 100.0 * critical_fraction) + "% of wall)\n";
+  out += "  chunks: cache=" + U64(chunks_from_cache) +
+         " db=" + U64(chunks_from_db) + " raw=" + U64(chunks_from_raw) +
+         " skipped=" + U64(chunks_skipped) +
+         " written=" + U64(chunks_written) + "\n";
+  out += "  speculative: triggers=" + U64(speculative_triggers) +
+         " read-blocked=" + U64(read_blocked_events) +
+         " bytes-written=" + U64(bytes_written) + " paid-off=" +
+         (speculation_paid_off ? "yes" : "no") + "\n";
+  out += "  chunk cache: hits=" + U64(cache_hits) +
+         " misses=" + U64(cache_misses) + " rate=" +
+         Fmt("%.1f", 100.0 * HitRate(cache_hits, cache_misses)) + "%\n";
+  out += "  positional map: hits=" + U64(posmap_hits) +
+         " misses=" + U64(posmap_misses) + " rate=" +
+         Fmt("%.1f", 100.0 * HitRate(posmap_hits, posmap_misses)) + "%\n";
+  out += "  loaded: " + Fmt("%.1f", 100.0 * loaded_fraction_before) +
+         "% -> " + Fmt("%.1f", 100.0 * loaded_fraction_after) + "%\n";
+  if (spans_dropped > 0) {
+    out += "  (" + U64(spans_dropped) +
+           " spans dropped by the profiler cap; busy totals still include "
+           "them)\n";
+  }
+  return out;
+}
+
+std::string ExplainReport::ToJson() const {
+  std::string out = "{";
+  out += "\"table\":\"" + JsonEscape(table) + "\"";
+  out += ",\"policy\":\"" + JsonEscape(policy) + "\"";
+  out += ",\"wall_seconds\":" + Fmt("%.9g", wall_seconds);
+  out += ",\"workers\":" + std::to_string(workers);
+  out += ",\"threads_accounted\":" + std::to_string(threads_accounted);
+  out += ",\"stages\":[";
+  bool first = true;
+  for (const ExplainStage& s : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"busy_seconds\":" + Fmt("%.9g", s.busy_seconds);
+    out += ",\"covered_seconds\":" + Fmt("%.9g", s.covered_seconds);
+    out += ",\"spans\":" + U64(s.spans);
+    out += ",\"threads\":" + std::to_string(s.threads);
+    out += ",\"is_wait\":" + std::string(s.is_wait ? "true" : "false");
+    out += "}";
+  }
+  out += "]";
+  out += ",\"critical_path\":{\"stage\":\"" + JsonEscape(critical_stage) +
+         "\",\"covered_seconds\":" + Fmt("%.9g", critical_seconds) +
+         ",\"fraction_of_wall\":" + Fmt("%.9g", critical_fraction) + "}";
+  out += ",\"busy_seconds_total\":" + Fmt("%.9g", busy_seconds_total);
+  out += ",\"blocked_seconds_total\":" + Fmt("%.9g", blocked_seconds_total);
+  out += ",\"idle_seconds_total\":" + Fmt("%.9g", idle_seconds_total);
+  out += ",\"chunks\":{\"from_cache\":" + U64(chunks_from_cache) +
+         ",\"from_db\":" + U64(chunks_from_db) +
+         ",\"from_raw\":" + U64(chunks_from_raw) +
+         ",\"skipped\":" + U64(chunks_skipped) +
+         ",\"written\":" + U64(chunks_written) + "}";
+  out += ",\"speculative\":{\"triggers\":" + U64(speculative_triggers) +
+         ",\"read_blocked_events\":" + U64(read_blocked_events) +
+         ",\"bytes_written\":" + U64(bytes_written) + ",\"paid_off\":" +
+         (speculation_paid_off ? "true" : "false") + "}";
+  out += ",\"chunk_cache\":{\"hits\":" + U64(cache_hits) +
+         ",\"misses\":" + U64(cache_misses) + ",\"hit_rate\":" +
+         Fmt("%.9g", HitRate(cache_hits, cache_misses)) + "}";
+  out += ",\"positional_map\":{\"hits\":" + U64(posmap_hits) +
+         ",\"misses\":" + U64(posmap_misses) + ",\"hit_rate\":" +
+         Fmt("%.9g", HitRate(posmap_hits, posmap_misses)) + "}";
+  out += ",\"loaded_fraction_before\":" + Fmt("%.9g", loaded_fraction_before);
+  out += ",\"loaded_fraction_after\":" + Fmt("%.9g", loaded_fraction_after);
+  out += ",\"spans_dropped\":" + U64(spans_dropped);
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace scanraw

@@ -48,6 +48,16 @@ ChunkTracer::ChunkTracer(size_t capacity) : capacity_(capacity) {
   ring_.resize(capacity_);
 }
 
+void ChunkTracer::SetLabel(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_ = std::move(label);
+}
+
+std::string ChunkTracer::label() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_;
+}
+
 void ChunkTracer::Record(const TraceEvent& event) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -109,6 +119,13 @@ std::string ChunkTracer::ToChromeTraceJson() const {
   }
   std::string out = "[";
   bool first = true;
+  const std::string name = label();
+  if (!name.empty()) {
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
+           "{\"name\":\"" +
+           JsonEscape(name) + "\"}}";
+    first = false;
+  }
   for (const TraceEvent& e : events) {
     if (!first) out += ",\n";
     first = false;

@@ -60,6 +60,11 @@ class ChunkTracer {
 
   bool enabled() const { return capacity_ > 0; }
 
+  // Human-readable label (table or file name) emitted as a Chrome
+  // process_name metadata event; arbitrary bytes are JSON-escaped on export.
+  void SetLabel(std::string label);
+  std::string label() const;
+
   void Record(const TraceEvent& event);
 
   // Convenience: stamps tid and start time (end - duration) itself.
@@ -83,6 +88,7 @@ class ChunkTracer {
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
+  std::string label_;
   std::vector<TraceEvent> ring_;
   uint64_t next_ = 0;  // total recorded; ring slot is next_ % capacity_
 };

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 
@@ -12,6 +13,7 @@ namespace scanraw {
 
 namespace obs {
 class Telemetry;
+struct QueryProgress;
 }
 
 // WRITE scheduling policy (§3.1: "The scheduling policy for WRITE dictates
@@ -120,6 +122,13 @@ struct ScanRawOptions {
   // records one sample at query start and one at query end, so short
   // queries still leave a series.
   int resource_sample_interval_ms = 0;
+
+  // Live progress: when set, each query runs a reporter thread that invokes
+  // this callback every `progress_interval_ms` with bytes processed vs.
+  // total, chunks delivered/loaded, rolling throughput, and an ETA. Also
+  // fired once at query start and once at query end.
+  std::function<void(const obs::QueryProgress&)> progress_callback;
+  int progress_interval_ms = 200;
 };
 
 }  // namespace scanraw

@@ -7,6 +7,7 @@
 #ifndef SCANRAW_SCANRAW_POSITIONAL_MAP_CACHE_H_
 #define SCANRAW_SCANRAW_POSITIONAL_MAP_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -14,6 +15,7 @@
 #include <mutex>
 
 #include "format/positional_map.h"
+#include "obs/metrics.h"
 
 namespace scanraw {
 
@@ -27,7 +29,14 @@ class PositionalMapCache {
   std::shared_ptr<const PositionalMap> Lookup(uint64_t chunk_index) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(chunk_index);
-    return it == entries_.end() ? nullptr : it->second;
+    if (it == entries_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (miss_counter_ != nullptr) miss_counter_->Add(1);
+      return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_counter_ != nullptr) hit_counter_->Add(1);
+    return it->second;
   }
 
   // Stores (or widens) the map for a chunk. A narrower map never replaces
@@ -63,9 +72,26 @@ class PositionalMapCache {
     return total;
   }
 
+  // Lifetime lookup outcomes; per-query deltas feed the positional-map hit
+  // rate in EXPLAIN ANALYZE reports.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  // Optional registry counters (e.g. "posmap.hits" / "posmap.misses").
+  // Bind during setup; pass nullptr to detach.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hit_counter_ = hits;
+    miss_counter_ = misses;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
   std::map<uint64_t, std::shared_ptr<const PositionalMap>> entries_;
   std::deque<uint64_t> fifo_;
 };

@@ -68,6 +68,7 @@ void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
   from_db_metric = registry->GetCounter("scanraw.chunks_from_db");
   from_raw_metric = registry->GetCounter("scanraw.chunks_from_raw");
   written_metric = registry->GetCounter("scanraw.chunks_written");
+  skipped_metric = registry->GetCounter("scanraw.chunks_skipped");
   read_blocked_metric = registry->GetCounter("scanraw.read_blocked_events");
   speculative_metric = registry->GetCounter("scanraw.speculative_triggers");
 }
@@ -78,7 +79,7 @@ void PipelineProfile::Reset() {
   parse_time.Reset();
   write_time.Reset();
   chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
-  read_blocked_events = speculative_triggers = 0;
+  chunks_skipped = read_blocked_events = speculative_triggers = 0;
   // Registry mirrors follow the same single-threaded-reset contract; the
   // histograms are shared objects, so this clears the aggregated view too.
   for (obs::Histogram* h :
@@ -87,7 +88,7 @@ void PipelineProfile::Reset() {
   }
   for (obs::Counter* c :
        {from_cache_metric, from_db_metric, from_raw_metric, written_metric,
-        read_blocked_metric, speculative_metric}) {
+        skipped_metric, read_blocked_metric, speculative_metric}) {
     if (c != nullptr) c->Reset();
   }
 }
@@ -142,13 +143,38 @@ struct ScanRaw::QueryRun::Impl {
                 parent->options_.resource_sample_interval_ms));
       }
     }
+    // Progress totals are known only once the layout is (discovery scans
+    // report byte counts without a percentage). Skipped chunks are excluded
+    // so the fraction reaches 1.0.
+    if (meta.layout_known) {
+      uint64_t total_bytes = 0;
+      uint64_t total_chunks = 0;
+      for (const ChunkMetadata& cm : meta.chunks) {
+        if (skip_filter.has_value() &&
+            cm.CanSkipForRange(skip_filter->column, skip_filter->lo,
+                               skip_filter->hi)) {
+          continue;
+        }
+        total_bytes += cm.raw_size;
+        ++total_chunks;
+      }
+      progress.set_totals(total_bytes, total_chunks);
+    }
+    if (parent->options_.progress_callback) {
+      reporter = std::make_unique<obs::ProgressReporter>(
+          &progress, parent->options_.progress_callback,
+          std::max(1, parent->options_.progress_interval_ms));
+    }
   }
 
   void Start() {
+    profiler.Begin();  // re-anchor: setup (catalog reads) is not query time
+    parent->RegisterObservers(&profiler, &progress);
     read_thread = std::thread([this] { ReadLoop(); });
     tokenize_thread = std::thread([this] { TokenizeLoop(); });
     parse_thread = std::thread([this] { ParseLoop(); });
     if (sampler != nullptr) sampler->Start();
+    if (reporter != nullptr) reporter->Start();
   }
 
   // Point-in-time utilization of the live pipeline (§3.3).
@@ -246,6 +272,7 @@ struct ScanRaw::QueryRun::Impl {
       std::optional<TextChunk> chunk;
       {
         ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        obs::SpanProfiler::Scope pspan(&profiler, obs::QueryStage::kRead);
         obs::SpanRecorder span(parent->tracer(),
                                parent->profile_.read_latency,
                                obs::TraceStage::kRead, obs::ChunkSource::kRaw);
@@ -290,7 +317,8 @@ struct ScanRaw::QueryRun::Impl {
       if (skip_filter.has_value() &&
           cm.CanSkipForRange(skip_filter->column, skip_filter->lo,
                              skip_filter->hi)) {
-        continue;  // statistics prove no row matches (§3.3)
+        parent->profile_.CountSkipped();  // min/max proved no match (§3.3)
+        continue;
       }
       BinaryChunkPtr hit = parent->cache_.Lookup(cm.chunk_index);
       if (hit != nullptr && ChunkHasColumns(*hit, required_columns)) {
@@ -303,12 +331,17 @@ struct ScanRaw::QueryRun::Impl {
     }
 
     for (auto& [index, chunk] : cached) {
+      obs::SpanProfiler::Scope pspan(&profiler, obs::QueryStage::kCacheHit);
       parent->profile_.CountFromCache();
       // Invisible loading charges its per-query quota against any unloaded
       // chunk that passes through, cached or freshly converted.
       if (parent->options_.policy == LoadPolicy::kInvisibleLoading) {
         MaybeInvisibleWrite(index, chunk);
       }
+      if (index < meta.chunks.size()) {
+        progress.AddBytes(meta.chunks[index].raw_size);
+      }
+      progress.CountChunk();
       if (!out_q.Push(std::move(chunk))) return;
     }
 
@@ -316,6 +349,7 @@ struct ScanRaw::QueryRun::Impl {
       BinaryChunkPtr ptr;
       {
         ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        obs::SpanProfiler::Scope pspan(&profiler, obs::QueryStage::kRead);
         obs::SpanRecorder span(parent->tracer(),
                                parent->profile_.read_latency,
                                obs::TraceStage::kRead, obs::ChunkSource::kDb,
@@ -330,6 +364,8 @@ struct ScanRaw::QueryRun::Impl {
         ptr = std::make_shared<const BinaryChunk>(std::move(*chunk));
       }
       parent->profile_.CountFromDb();
+      progress.AddBytes(cm->raw_size);
+      progress.CountChunk();
       // Database chunks are cached too (pre-fetching works for both sources,
       // §3.1) and arrive already loaded.
       HandleEvictions(
@@ -348,6 +384,7 @@ struct ScanRaw::QueryRun::Impl {
       TextChunk chunk;
       {
         ScopedDiskAccess disk(parent->arbiter_, DiskUser::kReader);
+        obs::SpanProfiler::Scope pspan(&profiler, obs::QueryStage::kRead);
         obs::SpanRecorder span(parent->tracer(),
                                parent->profile_.read_latency,
                                obs::TraceStage::kRead, obs::ChunkSource::kRaw,
@@ -398,6 +435,8 @@ struct ScanRaw::QueryRun::Impl {
       }
       pool.Submit([this, text, topts, cached, use_map_cache, json] {
         auto map = [&]() -> Result<PositionalMap> {
+          obs::SpanProfiler::Scope pspan(&profiler,
+                                         obs::QueryStage::kTokenize);
           obs::SpanRecorder span(parent->tracer(),
                                  parent->profile_.tokenize_latency,
                                  obs::TraceStage::kTokenize,
@@ -455,6 +494,7 @@ struct ScanRaw::QueryRun::Impl {
       Tokenized tokenized = std::move(*item);
       pool.Submit([this, tokenized, popts] {
         auto parsed = [&] {
+          obs::SpanProfiler::Scope pspan(&profiler, obs::QueryStage::kParse);
           obs::SpanRecorder span(parent->tracer(),
                                  parent->profile_.parse_latency,
                                  obs::TraceStage::kParse,
@@ -465,6 +505,8 @@ struct ScanRaw::QueryRun::Impl {
                             popts);
         }();
         if (parsed.ok()) {
+          progress.AddBytes(tokenized.text->data.size());
+          progress.CountChunk();
           DeliverConverted(std::make_shared<const BinaryChunk>(
               std::move(*parsed)));
         } else {
@@ -549,6 +591,7 @@ struct ScanRaw::QueryRun::Impl {
     // Stop after the pipeline drains so the final sample reflects the
     // settled end state.
     if (sampler != nullptr) sampler->Stop();
+    if (reporter != nullptr) reporter->Stop();
   }
 
   void Abandon() {
@@ -557,6 +600,11 @@ struct ScanRaw::QueryRun::Impl {
     pos_q.Close();
     out_q.Close();
     JoinAll();
+    // Only now: the profiler/progress objects are about to be destroyed, so
+    // background writes that continue past this run are no longer ours.
+    // (Unregistration waits for destruction rather than Finish so the WRITE
+    // drain of the synchronous-loading policies is still attributed.)
+    parent->UnregisterObservers(&profiler, &progress);
   }
 
   ScanRaw* parent;
@@ -573,6 +621,11 @@ struct ScanRaw::QueryRun::Impl {
   std::thread tokenize_thread;
   std::thread parse_thread;
   std::unique_ptr<obs::ResourceSampler> sampler;
+  // Query-scoped observability: every stage records spans here, and the
+  // progress tracker feeds the optional reporter thread.
+  obs::SpanProfiler profiler;
+  obs::ProgressTracker progress;
+  std::unique_ptr<obs::ProgressReporter> reporter;
   bool joined = false;
 
   std::mutex inflight_mu;
@@ -632,6 +685,9 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
     // pipeline) starts, so the hot paths read the pointers race-free.
     obs::MetricsRegistry& registry = options_.telemetry->metrics();
     profile_.Bind(&registry);
+    positional_maps_.BindMetrics(registry.GetCounter("scanraw.posmap.hits"),
+                                 registry.GetCounter("scanraw.posmap.misses"));
+    options_.telemetry->tracer().SetLabel("scanraw:" + table_);
     cache_.BindMetrics(registry.GetCounter("scanraw.cache.hits"),
                        registry.GetCounter("scanraw.cache.misses"),
                        registry.GetCounter("scanraw.cache.evictions"),
@@ -690,10 +746,40 @@ Result<std::unique_ptr<ScanRaw::QueryRun>> ScanRaw::StartQuery(
 }
 
 Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec) {
+  return ExecuteQuery(spec, nullptr);
+}
+
+Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
+                                          obs::ExplainReport* explain) {
+  // Baselines for the per-query deltas the report shows. The counters are
+  // shared across queries on this operator, so EXPLAIN assumes one query at
+  // a time (concurrent queries fold into each other's deltas).
+  const uint64_t base_cache = profile_.chunks_from_cache.load();
+  const uint64_t base_db = profile_.chunks_from_db.load();
+  const uint64_t base_raw = profile_.chunks_from_raw.load();
+  const uint64_t base_written = profile_.chunks_written.load();
+  const uint64_t base_skipped = profile_.chunks_skipped.load();
+  const uint64_t base_triggers = profile_.speculative_triggers.load();
+  const uint64_t base_blocked = profile_.read_blocked_events.load();
+  const uint64_t base_cache_hits = cache_.hits();
+  const uint64_t base_cache_misses = cache_.misses();
+  const uint64_t base_pm_hits = positional_maps_.hits();
+  const uint64_t base_pm_misses = positional_maps_.misses();
+  const uint64_t base_bytes = storage_ != nullptr ? storage_->bytes_written()
+                                                  : 0;
+  const int64_t base_disk_wait =
+      arbiter_ != nullptr
+          ? arbiter_->reader_wait_nanos() + arbiter_->writer_wait_nanos()
+          : 0;
+  const uint64_t base_throttle_wait =
+      raw_limiter_ != nullptr ? raw_limiter_->total_wait_nanos() : 0;
+  const double loaded_before = LoadedFraction();
+
   std::optional<RangePredicate> skip_filter = spec.predicate.range;
   auto run = StartQuery(spec.RequiredColumns(), skip_filter);
   if (!run.ok()) return run.status();
-  auto result = RunQuery(spec, run->get());
+  obs::SpanProfiler& profiler = (*run)->impl_->profiler;
+  auto result = RunQuery(spec, run->get(), &profiler);
   (*run)->Finish();
   Status s = (*run)->status();
   if (!s.ok()) return s;
@@ -704,6 +790,62 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec) {
     WaitForWrites();
     Status ws = write_status();
     if (!ws.ok()) return ws;
+  }
+
+  if (explain != nullptr) {
+    // Include the background-write drain (speculative writes, safeguard
+    // flush) in the report's window: EXPLAIN ANALYZE answers "what did this
+    // query load", and without the drain those writes would land between
+    // the report snapshot and the next query's baseline, credited to
+    // neither. The per-query observers stay registered until the run is
+    // destroyed, so WRITE spans recorded here still attribute correctly.
+    WaitForWrites();
+
+    // The arbiter and limiter expose only cumulative wait totals, so the
+    // blocked time enters the profile as one synthetic span per category
+    // anchored at query start — correct busy/blocked accounting, excluded
+    // from critical-path selection (wait stages always are).
+    if (arbiter_ != nullptr) {
+      const int64_t d = arbiter_->reader_wait_nanos() +
+                        arbiter_->writer_wait_nanos() - base_disk_wait;
+      if (d > 0) {
+        profiler.RecordSpan(obs::QueryStage::kDiskWait, /*tid=*/0,
+                            profiler.start_nanos(), d);
+      }
+    }
+    if (raw_limiter_ != nullptr) {
+      const int64_t d = static_cast<int64_t>(raw_limiter_->total_wait_nanos() -
+                                             base_throttle_wait);
+      if (d > 0) {
+        profiler.RecordSpan(obs::QueryStage::kThrottleWait, /*tid=*/0,
+                            profiler.start_nanos(), d);
+      }
+    }
+    profiler.End();
+    explain->table = table_;
+    explain->policy = std::string(LoadPolicyName(options_.policy));
+    explain->workers = options_.num_workers;
+    explain->FillFromProfile(profiler.Aggregate());
+    explain->chunks_from_cache = profile_.chunks_from_cache.load() - base_cache;
+    explain->chunks_from_db = profile_.chunks_from_db.load() - base_db;
+    explain->chunks_from_raw = profile_.chunks_from_raw.load() - base_raw;
+    explain->chunks_skipped = profile_.chunks_skipped.load() - base_skipped;
+    explain->chunks_written = profile_.chunks_written.load() - base_written;
+    explain->speculative_triggers =
+        profile_.speculative_triggers.load() - base_triggers;
+    explain->read_blocked_events =
+        profile_.read_blocked_events.load() - base_blocked;
+    explain->bytes_written =
+        (storage_ != nullptr ? storage_->bytes_written() : 0) - base_bytes;
+    explain->cache_hits = cache_.hits() - base_cache_hits;
+    explain->cache_misses = cache_.misses() - base_cache_misses;
+    explain->posmap_hits = positional_maps_.hits() - base_pm_hits;
+    explain->posmap_misses = positional_maps_.misses() - base_pm_misses;
+    explain->loaded_fraction_before = loaded_before;
+    explain->loaded_fraction_after = LoadedFraction();
+    explain->speculation_paid_off =
+        explain->chunks_written > 0 &&
+        explain->loaded_fraction_after > loaded_before;
   }
   return result;
 }
@@ -845,6 +987,7 @@ void ScanRaw::WriteLoop() {
         to_store = std::make_shared<const BinaryChunk>(std::move(*sorted));
       }
     }
+    const int64_t write_start = RealClock::Instance()->NowNanos();
     {
       ScopedDiskAccess disk(arbiter_, DiskUser::kWriter);
       obs::SpanRecorder span(tracer(), profile_.write_latency,
@@ -862,9 +1005,12 @@ void ScanRaw::WriteLoop() {
                                          stats);
       }
     }
+    RecordWriteSpan(write_start,
+                    RealClock::Instance()->NowNanos() - write_start);
     if (status.ok()) {
       cache_.MarkLoaded(req->chunk_index);
       profile_.CountWritten();
+      NoteChunkLoaded();
     } else {
       std::lock_guard<std::mutex> lock(write_mu_);
       if (write_status_.ok()) write_status_ = status;
@@ -877,6 +1023,35 @@ void ScanRaw::WriteLoop() {
     --writes_outstanding_;
     write_cv_.notify_all();
   }
+}
+
+void ScanRaw::RegisterObservers(obs::SpanProfiler* profiler,
+                                obs::ProgressTracker* progress) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_profiler_ = profiler;
+  active_progress_ = progress;
+}
+
+void ScanRaw::UnregisterObservers(obs::SpanProfiler* profiler,
+                                  obs::ProgressTracker* progress) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  // Identity-checked: a newer query may have registered already.
+  if (active_profiler_ == profiler) active_profiler_ = nullptr;
+  if (active_progress_ == progress) active_progress_ = nullptr;
+}
+
+void ScanRaw::RecordWriteSpan(int64_t start_nanos, int64_t dur_nanos) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  if (active_profiler_ != nullptr) {
+    active_profiler_->RecordSpan(obs::QueryStage::kWrite,
+                                 obs::CurrentThreadId(), start_nanos,
+                                 dur_nanos);
+  }
+}
+
+void ScanRaw::NoteChunkLoaded() {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  if (active_progress_ != nullptr) active_progress_->CountLoaded();
 }
 
 void ScanRaw::MaybeUpdateSketches(const BinaryChunk& chunk) {

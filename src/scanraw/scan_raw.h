@@ -27,6 +27,9 @@
 #include "io/file.h"
 #include "io/rate_limiter.h"
 #include "db/sketches.h"
+#include "obs/explain.h"
+#include "obs/progress.h"
+#include "obs/span_profiler.h"
 #include "obs/telemetry.h"
 #include "pipeline/bounded_queue.h"
 #include "scanraw/chunk_cache.h"
@@ -52,6 +55,7 @@ struct PipelineProfile {
   std::atomic<uint64_t> chunks_from_db{0};
   std::atomic<uint64_t> chunks_from_raw{0};
   std::atomic<uint64_t> chunks_written{0};
+  std::atomic<uint64_t> chunks_skipped{0};  // min/max pruning (§3.3)
   std::atomic<uint64_t> read_blocked_events{0};
   std::atomic<uint64_t> speculative_triggers{0};
 
@@ -66,6 +70,7 @@ struct PipelineProfile {
   obs::Counter* from_db_metric = nullptr;
   obs::Counter* from_raw_metric = nullptr;
   obs::Counter* written_metric = nullptr;
+  obs::Counter* skipped_metric = nullptr;
   obs::Counter* read_blocked_metric = nullptr;
   obs::Counter* speculative_metric = nullptr;
 
@@ -77,6 +82,7 @@ struct PipelineProfile {
   void CountFromDb() { Bump(chunks_from_db, from_db_metric); }
   void CountFromRaw() { Bump(chunks_from_raw, from_raw_metric); }
   void CountWritten() { Bump(chunks_written, written_metric); }
+  void CountSkipped() { Bump(chunks_skipped, skipped_metric); }
   void CountReadBlocked() { Bump(read_blocked_events, read_blocked_metric); }
   void CountSpeculativeTrigger() {
     Bump(speculative_triggers, speculative_metric);
@@ -196,6 +202,15 @@ class ScanRaw {
   // exactly the §4 admission rule.
   Result<QueryResult> ExecuteQuery(const QuerySpec& spec);
 
+  // EXPLAIN ANALYZE variant: same execution, but when `explain` is non-null
+  // it is filled with the query's span profile (per-stage busy time,
+  // critical path), chunk provenance and pruning deltas, speculative-write
+  // payoff, and cache / positional-map hit rates. Deltas are computed
+  // against the operator's shared counters, so the report is meaningful for
+  // one query at a time; concurrent queries fold together.
+  Result<QueryResult> ExecuteQuery(const QuerySpec& spec,
+                                   obs::ExplainReport* explain);
+
   // Multi-query processing over raw files (the paper's §7 future work):
   // executes several queries in ONE shared pass. The pipeline converts the
   // union of the queries' required columns once; every delivered chunk is
@@ -251,6 +266,17 @@ class ScanRaw {
   // Stand-alone WRITE thread body (runs for the operator's lifetime).
   void WriteLoop();
 
+  // The WRITE thread outlives any single query, so per-query observers
+  // (span profiler, progress tracker) register here for the query's
+  // duration; the pointers are cleared before the QueryRun is destroyed.
+  void RegisterObservers(obs::SpanProfiler* profiler,
+                         obs::ProgressTracker* progress);
+  void UnregisterObservers(obs::SpanProfiler* profiler,
+                           obs::ProgressTracker* progress);
+  // WRITE-thread hooks into the active observers (no-ops when none).
+  void RecordWriteSpan(int64_t start_nanos, int64_t dur_nanos);
+  void NoteChunkLoaded();
+
   // Folds a freshly converted chunk into the sketches exactly once.
   void MaybeUpdateSketches(const BinaryChunk& chunk);
 
@@ -277,6 +303,11 @@ class ScanRaw {
   // Chunks with a write queued or in flight, to keep loading exactly-once.
   std::mutex pending_mu_;
   std::set<uint64_t> pending_writes_;
+
+  // Per-query observers of the shared WRITE thread (see RegisterObservers).
+  mutable std::mutex active_mu_;
+  obs::SpanProfiler* active_profiler_ = nullptr;
+  obs::ProgressTracker* active_progress_ = nullptr;
 
   // WRITE thread state.
   BoundedQueue<WriteRequest> write_queue_;

@@ -5,14 +5,16 @@ namespace scanraw {
 HeapScanStream::HeapScanStream(const TableMetadata& table,
                                const StorageManager* storage,
                                std::vector<size_t> columns,
-                               std::optional<RangePredicate> filter)
-    : scan_(table, storage, std::move(columns)) {
+                               std::optional<RangePredicate> filter,
+                               obs::SpanProfiler* profiler)
+    : scan_(table, storage, std::move(columns)), profiler_(profiler) {
   if (filter.has_value()) {
     scan_.SetRangeFilter(filter->column, filter->lo, filter->hi);
   }
 }
 
 Result<std::optional<BinaryChunkPtr>> HeapScanStream::Next() {
+  obs::SpanProfiler::Scope span(profiler_, obs::QueryStage::kHeapScan);
   auto chunk = scan_.Next();
   if (!chunk.ok()) return chunk.status();
   if (!chunk->has_value()) return std::optional<BinaryChunkPtr>();
@@ -43,6 +45,11 @@ Result<std::unique_ptr<ScanRawManager>> ScanRawManager::Create(
       registry.GetCounter("storage.segments_written"),
       registry.GetCounter("storage.bytes_written"),
       registry.GetHistogram("storage.segment_write_nanos"));
+  if (manager->limiter_ != nullptr) {
+    manager->limiter_->BindMetrics(
+        registry.GetHistogram("disk.limiter_wait_nanos"),
+        registry.GetCounter("disk.limiter_throttle_events"));
+  }
   return manager;
 }
 
@@ -103,6 +110,12 @@ bool ScanRawManager::IsRetired(const std::string& table) {
 
 Result<QueryResult> ScanRawManager::Query(const std::string& table,
                                           const QuerySpec& spec) {
+  return Query(table, spec, nullptr);
+}
+
+Result<QueryResult> ScanRawManager::Query(const std::string& table,
+                                          const QuerySpec& spec,
+                                          obs::ExplainReport* explain) {
   auto meta = catalog_.GetTable(table);
   if (!meta.ok()) return meta.status();
 
@@ -137,12 +150,30 @@ Result<QueryResult> ScanRawManager::Query(const std::string& table,
     }
   }
 
-  if (op != nullptr) return op->ExecuteQuery(spec);
+  if (op != nullptr) return op->ExecuteQuery(spec, explain);
 
   // Fully loaded: plain database processing through the heap scan.
+  obs::SpanProfiler profiler;
   HeapScanStream stream(*meta, storage_.get(), spec.RequiredColumns(),
-                        spec.predicate.range);
-  return RunQuery(spec, &stream);
+                        spec.predicate.range,
+                        explain != nullptr ? &profiler : nullptr);
+  stream.scan().BindMetrics(
+      telemetry_.metrics().GetCounter("heapscan.chunks_scanned"),
+      telemetry_.metrics().GetCounter("heapscan.chunks_skipped"));
+  auto result = RunQuery(spec, &stream,
+                         explain != nullptr ? &profiler : nullptr);
+  if (explain != nullptr && result.ok()) {
+    profiler.End();
+    explain->table = table;
+    explain->policy = "heap-scan (retired)";
+    explain->workers = 1;
+    explain->FillFromProfile(profiler.Aggregate());
+    explain->chunks_from_db = stream.scan().chunks_scanned();
+    explain->chunks_skipped = stream.scan().chunks_skipped();
+    explain->loaded_fraction_before = 1.0;
+    explain->loaded_fraction_after = 1.0;
+  }
+  return result;
 }
 
 }  // namespace scanraw

@@ -23,16 +23,21 @@
 
 namespace scanraw {
 
-// Adapts HeapScan to the engine's pull interface.
+// Adapts HeapScan to the engine's pull interface. When `profiler` is set,
+// each materialized chunk is recorded as a HEAP_SCAN span.
 class HeapScanStream : public ChunkStream {
  public:
   HeapScanStream(const TableMetadata& table, const StorageManager* storage,
                  std::vector<size_t> columns,
-                 std::optional<RangePredicate> filter = std::nullopt);
+                 std::optional<RangePredicate> filter = std::nullopt,
+                 obs::SpanProfiler* profiler = nullptr);
   Result<std::optional<BinaryChunkPtr>> Next() override;
+
+  HeapScan& scan() { return scan_; }
 
  private:
   HeapScan scan_;
+  obs::SpanProfiler* profiler_;
 };
 
 class ScanRawManager {
@@ -61,6 +66,12 @@ class ScanRawManager {
   // Runs a query, creating the table's ScanRaw operator on first use and
   // retiring it once the raw file is fully loaded (§3.3).
   Result<QueryResult> Query(const std::string& table, const QuerySpec& spec);
+
+  // EXPLAIN ANALYZE variant: fills `explain` (when non-null) with the span
+  // profile, critical path, chunk provenance, and cache statistics. Works
+  // for both the live-operator path and the retired heap-scan path.
+  Result<QueryResult> Query(const std::string& table, const QuerySpec& spec,
+                            obs::ExplainReport* explain);
 
   // The live operator for `table`, or nullptr if none exists (not yet
   // queried, or retired).

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -93,6 +95,41 @@ TEST(HistogramTest, Reset) {
   EXPECT_EQ(h.sum(), 0u);
   EXPECT_EQ(h.max(), 0u);
   EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExtremeValuesSurviveBucketing) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+  // Quantiles stay within the observed range even at the bucket extremes,
+  // and remain monotone across the probe points.
+  double prev = 0.0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 0.0) << "q=" << q;
+    EXPECT_LE(v, static_cast<double>(std::numeric_limits<uint64_t>::max()))
+        << "q=" << q;
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, QuantilesMonotoneOnSkewedData) {
+  Histogram h;
+  // Heavily skewed: many tiny values, one huge outlier.
+  for (int i = 0; i < 1000; ++i) h.Record(1);
+  h.Record(std::numeric_limits<uint64_t>::max());
+  double prev = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double v = h.Quantile(i / 100.0);
+    EXPECT_GE(v, prev) << "q=" << i / 100.0;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
 }
 
 TEST(HistogramTest, ConcurrentRecording) {
@@ -202,6 +239,41 @@ TEST(ChunkTracerTest, ChromeExportShape) {
   EXPECT_NE(json.find("\"db\""), std::string::npos);
   // Loadable as a top-level array (trailing newline allowed).
   EXPECT_NE(json.find_last_of(']'), std::string::npos);
+}
+
+TEST(ChunkTracerTest, LabelIsEscapedInChromeExport) {
+  ChunkTracer tracer(16);
+  tracer.RecordSpan(TraceStage::kRead, ChunkSource::kRaw, 0, 1000, 50);
+
+  // Labels flow from user input (table names, file paths); quotes,
+  // backslashes and control characters must not corrupt the JSON.
+  tracer.SetLabel("scanraw:\"quoted\\table\"\n\ttab");
+  EXPECT_EQ(tracer.label(), "scanraw:\"quoted\\table\"\n\ttab");
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("scanraw:\\\"quoted\\\\table\\\"\\n\\ttab"),
+            std::string::npos);
+  // No raw control characters survive anywhere in the export.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control char in JSON: " << static_cast<int>(c);
+  }
+}
+
+TEST(ChunkTracerTest, EmptyLabelOmitsMetadataEvent) {
+  ChunkTracer tracer(16);
+  tracer.RecordSpan(TraceStage::kRead, ChunkSource::kRaw, 0, 1000, 50);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_EQ(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(JsonEscapeTest, ControlCharactersUseUnicodeEscapes) {
+  // Control characters without shorthand escapes use \u00XX.
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonEscape("a\tb\rc"), "a\\tb\\rc");
+  // The empty string round-trips.
+  EXPECT_EQ(JsonEscape(""), "");
 }
 
 TEST(SpanRecorderTest, RecordsIntoTracerAndHistogram) {

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "datagen/csv_generator.h"
+#include "obs/explain.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "scanraw/scan_raw.h"
 #include "scanraw/scanraw_manager.h"
@@ -335,6 +339,185 @@ TEST(ManagerTelemetryTest, ExplicitSinkOverridesManagerSink) {
                 .GetCounter("scanraw.chunks_from_raw")
                 ->value(),
             0u);
+}
+
+// --------------------------------------------------- EXPLAIN ANALYZE e2e ---
+
+TEST(ExplainE2eTest, ColdThenCachedQueriesAttributeProvenance) {
+  auto f = Fixture::Make("explain_e2e", BaseOptions());
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+
+  obs::ExplainReport cold;
+  auto first = f.manager->Query("t", q, &cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->total_sum, f.info.total_sum);
+
+  // Cold query: all 8 chunks converted from raw, none cached yet.
+  EXPECT_EQ(cold.table, "t");
+  EXPECT_EQ(cold.policy, "speculative-loading");
+  EXPECT_EQ(cold.chunks_from_raw, 8u);
+  EXPECT_EQ(cold.chunks_from_cache, 0u);
+  EXPECT_GT(cold.wall_seconds, 0.0);
+  EXPECT_FALSE(cold.critical_stage.empty());
+  EXPECT_FALSE(cold.stages.empty());
+  // Accounting identity: busy + blocked + idle == wall * threads.
+  EXPECT_NEAR(cold.busy_seconds_total + cold.blocked_seconds_total +
+                  cold.idle_seconds_total,
+              cold.wall_seconds *
+                  static_cast<double>(cold.threads_accounted),
+              0.1 * cold.wall_seconds *
+                      static_cast<double>(cold.threads_accounted) +
+                  1e-6);
+
+  obs::ExplainReport warm;
+  auto second = f.manager->Query("t", q, &warm);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->total_sum, f.info.total_sum);
+
+  // Warm query: the cache (capacity 4) serves part of the file, and the
+  // per-query cache-hit delta reflects only this query.
+  EXPECT_GT(warm.chunks_from_cache, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.chunks_from_cache);
+  EXPECT_GT(warm.HitRate(warm.cache_hits, warm.cache_misses), 0.0);
+  EXPECT_EQ(warm.chunks_from_cache + warm.chunks_from_db +
+                warm.chunks_from_raw,
+            8u);
+  // The report renders in both formats.
+  EXPECT_NE(warm.ToText().find("critical path:"), std::string::npos);
+  EXPECT_NE(warm.ToJson().find("\"critical_path\""), std::string::npos);
+}
+
+TEST(ExplainE2eTest, SpeculativePayoffIsCreditedToAQuery) {
+  auto f = Fixture::Make("explain_payoff", BaseOptions());
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+
+  // Run queries until the file is fully loaded; with speculative loading
+  // + safeguard each pass makes progress. Some query's report must show
+  // written chunks and a loaded-fraction increase.
+  bool saw_payoff = false;
+  for (int pass = 0; pass < 10 && !f.manager->IsRetired("t"); ++pass) {
+    obs::ExplainReport report;
+    ASSERT_TRUE(f.manager->Query("t", q, &report).ok());
+    ScanRaw* op = f.manager->GetOperator("t");
+    if (op != nullptr) op->WaitForWrites();
+    if (report.speculation_paid_off) {
+      saw_payoff = true;
+      EXPECT_GT(report.chunks_written, 0u);
+      EXPECT_GT(report.loaded_fraction_after,
+                report.loaded_fraction_before);
+    }
+  }
+  EXPECT_TRUE(saw_payoff);
+}
+
+TEST(ExplainE2eTest, RetiredTableReportsHeapScanPath) {
+  ScanRawOptions options = BaseOptions();
+  options.policy = LoadPolicy::kFullLoad;
+  auto f = Fixture::Make("explain_retired", options);
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+
+  // Full load: first query loads everything; the table then retires.
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ASSERT_TRUE(f.manager->Query("t", q).ok());  // triggers retirement
+  ASSERT_TRUE(f.manager->IsRetired("t"));
+
+  obs::ExplainReport report;
+  auto result = f.manager->Query("t", q, &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_sum, f.info.total_sum);
+  EXPECT_EQ(report.policy, "heap-scan (retired)");
+  EXPECT_EQ(report.chunks_from_db, 8u);
+  EXPECT_EQ(report.chunks_from_raw, 0u);
+  EXPECT_EQ(report.loaded_fraction_before, 1.0);
+  bool saw_heap_scan = false;
+  for (const obs::ExplainStage& stage : report.stages) {
+    if (stage.name == "HEAP_SCAN") saw_heap_scan = true;
+  }
+  EXPECT_TRUE(saw_heap_scan);
+}
+
+TEST(ExplainE2eTest, SkippedChunksSurfaceInReport) {
+  // Min/max statistics are computed when a chunk is written (§3.3), so a
+  // full load gives every chunk stats; the pruned re-query can then skip
+  // all of them.
+  ScanRawOptions options = BaseOptions();
+  options.policy = LoadPolicy::kFullLoad;
+  options.collect_stats = true;
+  auto f = Fixture::Make("explain_skip", options);
+  // Sum every column so the full load materializes complete chunks (a
+  // narrower query would load only the touched columns and the table
+  // would never reach FullyLoaded).
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  ScanRaw* op = f.manager->GetOperator("t");
+  ASSERT_NE(op, nullptr);
+  op->WaitForWrites();
+
+  // A range no generated value can satisfy: every chunk is pruned by its
+  // min/max statistics. Querying the operator directly keeps this on the
+  // ScanRaw path (the manager would retire the fully loaded table).
+  QuerySpec pruned = q;
+  RangePredicate range;
+  range.column = 0;
+  range.lo = std::numeric_limits<int64_t>::max() - 1;
+  range.hi = std::numeric_limits<int64_t>::max();
+  pruned.predicate.range = range;
+  obs::ExplainReport report;
+  auto result = op->ExecuteQuery(pruned, &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows_matched, 0u);
+  EXPECT_EQ(report.chunks_skipped, 8u);
+  EXPECT_EQ(report.chunks_from_cache + report.chunks_from_db +
+                report.chunks_from_raw,
+            0u);
+
+  // The same pruning on the retired heap-scan path.
+  ASSERT_TRUE(f.manager->Query("t", q).ok());  // triggers retirement
+  ASSERT_TRUE(f.manager->IsRetired("t"));
+  obs::ExplainReport retired;
+  auto heap_result = f.manager->Query("t", pruned, &retired);
+  ASSERT_TRUE(heap_result.ok()) << heap_result.status().ToString();
+  EXPECT_EQ(heap_result->rows_matched, 0u);
+  EXPECT_EQ(retired.chunks_skipped, 8u);
+  EXPECT_EQ(retired.chunks_from_db, 0u);
+}
+
+TEST(ExplainE2eTest, ProgressCallbackFiresWithTotals) {
+  ScanRawOptions options = BaseOptions();
+  std::mutex mu;
+  std::vector<obs::QueryProgress> reports;
+  options.progress_callback = [&](const obs::QueryProgress& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(p);
+  };
+  options.progress_interval_ms = 1;
+  auto f = Fixture::Make("explain_progress", options);
+  QuerySpec q;
+  for (size_t c = 0; c < 8; ++c) q.sum_columns.push_back(c);
+
+  // Discovery pass: totals unknown, but first + final reports still fire.
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_GE(reports.size(), 2u);
+    EXPECT_EQ(reports.back().chunks_delivered, 8u);
+    reports.clear();
+  }
+
+  // Second pass: the layout is known, so the final report carries totals
+  // and a completed fraction.
+  ASSERT_TRUE(f.manager->Query("t", q).ok());
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(reports.size(), 2u);
+  const obs::QueryProgress& last = reports.back();
+  EXPECT_GT(last.bytes_total, 0u);
+  EXPECT_EQ(last.chunks_total, 8u);
+  EXPECT_EQ(last.chunks_delivered, 8u);
+  EXPECT_NEAR(last.fraction, 1.0, 1e-9);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 TESTS=("$@")
 if [ "${#TESTS[@]}" -eq 0 ]; then
   TESTS=(pipeline_test scanraw_test scanraw_features_test scanraw_stress_test
-         obs_test telemetry_test chunk_cache_test)
+         obs_test explain_test telemetry_test chunk_cache_test)
 fi
 
 cmake --preset tsan

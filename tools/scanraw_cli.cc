@@ -17,6 +17,14 @@
 //                         (stage latency histograms with p50/p95/p99, cache
 //                         and disk-arbiter counters, resource-advice series);
 //                         default format is text
+//   --explain[=json|text] EXPLAIN ANALYZE: after each statement, print the
+//                         per-stage span profile (busy/blocked/idle, critical
+//                         path), chunk provenance (cache/db/raw/skipped) and
+//                         speculative-loading payoff; default format is text
+//   --progress            print a live progress line (bytes converted, ETA
+//                         from rolling throughput) to stderr while a query
+//                         runs
+//   --progress-interval-ms N  progress reporting period (default 200)
 //   --trace-out PATH      write the chunk-lifecycle trace as a Chrome
 //                         trace_event JSON array (load via chrome://tracing)
 //   --sample-interval-ms N  period of the §3.3 resource-advice sampler
@@ -38,6 +46,8 @@
 #include "format/parser.h"
 #include "genomics/sam.h"
 #include "io/file.h"
+#include "obs/explain.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "scanraw/scanraw_manager.h"
 #include "sql/sql_parser.h"
@@ -51,6 +61,9 @@ struct CliOptions {
   uint64_t bandwidth_mb = 0;
   bool metrics = false;
   bool metrics_json = false;
+  bool explain = false;
+  bool explain_json = false;
+  bool progress = false;
   std::string trace_path;
   int sample_interval_ms = -1;  // -1 = default (2 when telemetry requested)
   ScanRawOptions scan_options;
@@ -69,8 +82,10 @@ void Usage() {
                "[--catalog PATH]\n"
                "                   [--bandwidth-mb N] [--policy P] "
                "[--workers N] [--chunk-rows N]\n"
-               "                   [--metrics[=json|text]] [--trace-out PATH]"
-               " [--sample-interval-ms N]\n"
+               "                   [--metrics[=json|text]] "
+               "[--explain[=json|text]] [--progress]\n"
+               "                   [--progress-interval-ms N] "
+               "[--trace-out PATH] [--sample-interval-ms N]\n"
                "                   [SQL]...\n");
 }
 
@@ -152,6 +167,23 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--metrics=json") {
       options.metrics = true;
       options.metrics_json = true;
+    } else if (arg == "--explain" || arg == "--explain=text") {
+      options.explain = true;
+      options.explain_json = false;
+    } else if (arg == "--explain=json") {
+      options.explain = true;
+      options.explain_json = true;
+    } else if (arg == "--progress") {
+      options.progress = true;
+    } else if (arg == "--progress-interval-ms") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok() || *n == 0) {
+        return Status::InvalidArgument("bad --progress-interval-ms");
+      }
+      options.progress = true;
+      options.scan_options.progress_interval_ms = static_cast<int>(*n);
     } else if (arg == "--trace-out") {
       SCANRAW_ASSIGN_OR_RETURN(options.trace_path, next_value());
     } else if (arg == "--sample-interval-ms") {
@@ -190,6 +222,14 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   options.scan_options.resource_sample_interval_ms =
       options.sample_interval_ms;
+  if (options.progress) {
+    // The progress line goes to stderr so it interleaves cleanly with query
+    // results on stdout (and with --explain=json output piped to a file).
+    options.scan_options.progress_callback =
+        [](const obs::QueryProgress& progress) {
+          std::fprintf(stderr, "%s\n", progress.ToLine().c_str());
+        };
+  }
   return options;
 }
 
@@ -289,7 +329,9 @@ int Run(int argc, char** argv) {
     }
     RealClock clock;
     const int64_t t0 = clock.NowNanos();
-    auto result = (*manager)->Query(parsed->table, parsed->spec);
+    obs::ExplainReport report;
+    auto result = (*manager)->Query(parsed->table, parsed->spec,
+                                    options->explain ? &report : nullptr);
     const double seconds =
         static_cast<double>(clock.NowNanos() - t0) * 1e-9;
     if (!result.ok()) {
@@ -298,6 +340,11 @@ int Run(int argc, char** argv) {
       return false;
     }
     PrintResult(*result, seconds, parsed->has_avg);
+    if (options->explain) {
+      const std::string dump =
+          options->explain_json ? report.ToJson() : report.ToText();
+      std::printf("%s\n", dump.c_str());
+    }
     auto after = (*manager)->catalog()->GetTable(parsed->table);
     if (after.ok()) {
       std::printf("-- %.0f%% of %s loaded into the database\n\n",
