@@ -85,7 +85,11 @@ void BM_ChunkSerde(benchmark::State& state) {
   auto chunk = ParseChunk(text, *map, schema, ParseOptions{});
   for (auto _ : state) {
     std::string blob;
-    (void)SerializeChunk(*chunk, &blob);
+    Status serde = SerializeChunk(*chunk, &blob);
+    if (!serde.ok()) {
+      state.SkipWithError(serde.ToString().c_str());
+      break;
+    }
     auto back = DeserializeChunk(blob);
     benchmark::DoNotOptimize(back);
   }
@@ -98,7 +102,11 @@ void BM_BamDecode(benchmark::State& state) {
                      "/scanraw_micro.bam";
   SamGenSpec spec;
   spec.num_reads = 4096;
-  (void)GenerateBamFile(path, spec);
+  auto gen = GenerateBamFile(path, spec);
+  if (!gen.ok()) {
+    state.SkipWithError(gen.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
     auto reader = BamReader::Open(path);
     SamRecord record;

@@ -242,7 +242,11 @@ Result<BinaryChunk> DeserializeChunk(std::string_view data) {
         return Status::Corruption("string offsets count mismatch");
       }
       std::vector<uint32_t> offsets(offsets_len);
-      std::memcpy(offsets.data(), offsets_raw.data(), offsets_raw.size());
+      if (!offsets_raw.empty()) {
+        // Guard: an empty string_view may carry a null data pointer, which
+        // memcpy must not receive even for a zero-byte copy.
+        std::memcpy(offsets.data(), offsets_raw.data(), offsets_raw.size());
+      }
       if (!offsets.empty() && offsets.back() != arena_len) {
         return Status::Corruption("string arena size mismatch");
       }

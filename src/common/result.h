@@ -12,7 +12,7 @@
 namespace scanraw {
 
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` or
   // `return Status::...;` directly, matching StatusOr ergonomics.

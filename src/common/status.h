@@ -28,7 +28,7 @@ enum class StatusCode : int {
 // Returns a stable human-readable name, e.g. "IoError".
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   // Creates an OK status. The common case allocates nothing.
   Status() = default;

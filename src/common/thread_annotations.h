@@ -1,0 +1,130 @@
+// Clang thread-safety annotations plus an annotated Mutex/CondVar wrapper
+// over the standard primitives. Under Clang, `-Wthread-safety -Werror` (on
+// by default, see the top-level CMakeLists) turns the lock discipline of
+// every concurrent structure — the DiskArbiter's READ/WRITE exclusion, the
+// BoundedQueue backpressure, the shared cache and catalog state — into a
+// compile-time capability analysis: touching a GUARDED_BY field without its
+// mutex is a build error on every compile, not a TSan report on the
+// interleavings the tests happened to exercise. Under GCC the macros expand
+// to nothing and the wrappers are zero-cost pass-throughs, so TSan/ASan
+// instrumentation and codegen are unchanged.
+//
+// Conventions (see DESIGN.md "Static analysis & sanitizers"):
+//  - every shared field is GUARDED_BY its mutex;
+//  - private helpers called with the lock held are REQUIRES(mu_);
+//  - raw std::mutex / std::condition_variable are banned in src/ outside
+//    this header (enforced by tools/scanraw_lint.py); use Mutex, MutexLock
+//    and CondVar;
+//  - condition waits are written as explicit `while (!cond) cv.Wait(lock);`
+//    loops so the guarded reads in the predicate are visible to the
+//    analysis (a wait-predicate lambda is analyzed as an unrelated function
+//    and would need an escape hatch).
+#ifndef SCANRAW_COMMON_THREAD_ANNOTATIONS_H_
+#define SCANRAW_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define SCANRAW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SCANRAW_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// A type that models a capability (a mutex).
+#define CAPABILITY(x) SCANRAW_THREAD_ANNOTATION(capability(x))
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define SCOPED_CAPABILITY SCANRAW_THREAD_ANNOTATION(scoped_lockable)
+// Data members protected by the given capability.
+#define GUARDED_BY(x) SCANRAW_THREAD_ANNOTATION(guarded_by(x))
+// Pointer members whose pointee is protected by the given capability.
+#define PT_GUARDED_BY(x) SCANRAW_THREAD_ANNOTATION(pt_guarded_by(x))
+// The function must be called with the capability held (and does not
+// release it).
+#define REQUIRES(...) \
+  SCANRAW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// The function acquires / releases the capability.
+#define ACQUIRE(...) SCANRAW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) SCANRAW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// The function acquires the capability when it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  SCANRAW_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+// The function must NOT be called with the capability held (deadlock
+// prevention for public entry points that take the lock themselves).
+#define EXCLUDES(...) SCANRAW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SCANRAW_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a comment justifying it; tools/scanraw_lint.py and review keep the
+// count at <= 3 repo-wide.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SCANRAW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace scanraw {
+
+class CondVar;
+
+// Annotated mutex. A thin wrapper over std::mutex so the capability
+// analysis can name it; prefer the scoped MutexLock over manual
+// Lock/Unlock.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII lock for Mutex (the scoped capability the analysis tracks).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to the annotated Mutex through MutexLock. Wait
+// atomically releases and reacquires the lock; from the analysis's point of
+// view the capability is held across the call, which is exactly the
+// invariant the caller's wait loop relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  // Timed wait; returns std::cv_status::timeout when the duration elapsed.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_COMMON_THREAD_ANNOTATIONS_H_

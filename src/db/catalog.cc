@@ -29,7 +29,7 @@ double TableMetadata::LoadedFraction() const {
 Status Catalog::CreateTable(const std::string& name,
                             const std::string& raw_path, const Schema& schema,
                             uint64_t target_chunk_rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -43,7 +43,7 @@ Status Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table " + name + " not found");
   }
@@ -51,12 +51,12 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.count(name) > 0;
 }
 
 Result<TableMetadata> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " not found");
@@ -65,7 +65,7 @@ Result<TableMetadata> Catalog::GetTable(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -74,7 +74,7 @@ std::vector<std::string> Catalog::TableNames() const {
 
 Status Catalog::SetChunkLayout(const std::string& name,
                                std::vector<ChunkMetadata> chunks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " not found");
@@ -89,7 +89,7 @@ Status Catalog::SetChunkLayout(const std::string& name,
 
 Status Catalog::AppendChunk(const std::string& name,
                             const ChunkMetadata& chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " not found");
@@ -121,7 +121,7 @@ Status Catalog::AppendChunk(const std::string& name,
 }
 
 Status Catalog::MarkLayoutComplete(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " not found");
@@ -133,7 +133,7 @@ Status Catalog::MarkLayoutComplete(const std::string& name) {
 Status Catalog::RecordSegment(const std::string& name, uint64_t chunk_index,
                               const StoredSegment& segment,
                               const std::map<size_t, ColumnStats>& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " not found");
@@ -166,7 +166,7 @@ Status Catalog::RecordSegment(const std::string& name, uint64_t chunk_index,
 //   seg <table> <chunk> <offset> <size> <col>[,<col>...]
 
 Status Catalog::SaveToFile(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, t] : tables_) {
     out << "table " << name << ' ' << t.raw_path << ' '
@@ -273,7 +273,7 @@ Status Catalog::LoadFromFile(const std::string& path) {
   for (auto& [name, t] : tables) {
     t.schema = Schema(schema_cols[name], delimiters[name]);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_ = std::move(tables);
   return Status::OK();
 }

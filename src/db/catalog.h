@@ -8,13 +8,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "format/schema.h"
 
 namespace scanraw {
@@ -113,8 +113,8 @@ class Catalog {
   Status LoadFromFile(const std::string& path);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, TableMetadata> tables_;
+  mutable Mutex mu_;
+  std::map<std::string, TableMetadata> tables_ GUARDED_BY(mu_);
 };
 
 }  // namespace scanraw

@@ -69,7 +69,7 @@ void ReservoirSample::Add(int64_t value) {
 }
 
 void TableSketches::AddChunk(const BinaryChunk& chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++chunks_added_;
   for (size_t col : chunk.ColumnIds()) {
     const ColumnVector& vec = chunk.column(col);
@@ -100,20 +100,20 @@ void TableSketches::AddChunk(const BinaryChunk& chunk) {
 }
 
 double TableSketches::EstimateDistinct(size_t column) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = columns_.find(column);
   return it == columns_.end() ? 0.0 : it->second.distinct.EstimateDistinct();
 }
 
 std::vector<int64_t> TableSketches::Sample(size_t column) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = columns_.find(column);
   return it == columns_.end() ? std::vector<int64_t>()
                               : it->second.sample.samples();
 }
 
 uint64_t TableSketches::chunks_added() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return chunks_added_;
 }
 

@@ -10,13 +10,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "columnar/binary_chunk.h"
+#include "common/thread_annotations.h"
 
 namespace scanraw {
 
@@ -76,22 +76,22 @@ class TableSketches {
   explicit TableSketches(size_t kmv_k = 256, size_t sample_capacity = 64)
       : kmv_k_(kmv_k), sample_capacity_(sample_capacity) {}
 
-  void AddChunk(const BinaryChunk& chunk);
+  void AddChunk(const BinaryChunk& chunk) EXCLUDES(mu_);
 
   // Estimated distinct count for a column; 0 if never seen.
-  double EstimateDistinct(size_t column) const;
+  double EstimateDistinct(size_t column) const EXCLUDES(mu_);
 
   // Snapshot of the current sample (numeric columns only).
-  std::vector<int64_t> Sample(size_t column) const;
+  std::vector<int64_t> Sample(size_t column) const EXCLUDES(mu_);
 
-  uint64_t chunks_added() const;
+  uint64_t chunks_added() const EXCLUDES(mu_);
 
  private:
   const size_t kmv_k_;
   const size_t sample_capacity_;
-  mutable std::mutex mu_;
-  std::map<size_t, ColumnSketch> columns_;
-  uint64_t chunks_added_ = 0;
+  mutable Mutex mu_;
+  std::map<size_t, ColumnSketch> columns_ GUARDED_BY(mu_);
+  uint64_t chunks_added_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scanraw

@@ -48,7 +48,7 @@ Result<StoredSegment> StorageManager::WriteSegment(
   SCANRAW_RETURN_IF_ERROR(
       SerializeChunk(subset, &blob, compress_.load(std::memory_order_relaxed)));
 
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   StoredSegment segment;
   segment.page.offset = next_offset_;
   segment.page.size = blob.size();
@@ -70,7 +70,7 @@ Result<StoredSegment> StorageManager::WriteChunk(const BinaryChunk& chunk) {
 
 Result<BinaryChunk> StorageManager::ReadSegment(const PageRef& page) const {
   {
-    std::lock_guard<std::mutex> lock(reader_mu_);
+    MutexLock lock(reader_mu_);
     if (reader_ == nullptr) {
       auto reader = RandomAccessFile::Open(path_, limiter_, stats_);
       if (!reader.ok()) return reader.status();
@@ -119,14 +119,14 @@ Result<BinaryChunk> StorageManager::ReadChunkColumns(
 }
 
 uint64_t StorageManager::bytes_written() const {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   return next_offset_;
 }
 
 void StorageManager::BindMetrics(obs::Counter* segments_written,
                                  obs::Counter* bytes,
                                  obs::Histogram* write_nanos) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   segments_metric_ = segments_written;
   bytes_metric_ = bytes;
   write_nanos_metric_ = write_nanos;

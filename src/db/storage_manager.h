@@ -5,14 +5,14 @@
 #ifndef SCANRAW_DB_STORAGE_MANAGER_H_
 #define SCANRAW_DB_STORAGE_MANAGER_H_
 
-#include <memory>
 #include <atomic>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "columnar/binary_chunk.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "db/catalog.h"
 #include "io/file.h"
 #include "obs/metrics.h"
@@ -77,15 +77,16 @@ class StorageManager {
 
   std::atomic<bool> compress_{false};
 
-  mutable std::mutex write_mu_;
-  std::unique_ptr<WritableFile> writer_;
-  uint64_t next_offset_ = 0;
-  obs::Counter* segments_metric_ = nullptr;
-  obs::Counter* bytes_metric_ = nullptr;
-  obs::Histogram* write_nanos_metric_ = nullptr;
+  mutable Mutex write_mu_;
+  std::unique_ptr<WritableFile> writer_ GUARDED_BY(write_mu_);
+  uint64_t next_offset_ GUARDED_BY(write_mu_) = 0;
+  obs::Counter* segments_metric_ GUARDED_BY(write_mu_) = nullptr;
+  obs::Counter* bytes_metric_ GUARDED_BY(write_mu_) = nullptr;
+  obs::Histogram* write_nanos_metric_ GUARDED_BY(write_mu_) = nullptr;
 
-  mutable std::mutex reader_mu_;
-  mutable std::unique_ptr<RandomAccessFile> reader_;  // lazily opened
+  mutable Mutex reader_mu_;
+  // Lazily opened.
+  mutable std::unique_ptr<RandomAccessFile> reader_ GUARDED_BY(reader_mu_);
 };
 
 }  // namespace scanraw

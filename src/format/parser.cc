@@ -49,7 +49,10 @@ Result<int64_t> ParseInt64(std::string_view text) {
   if (magnitude > limit) {
     return Status::Corruption("int64 overflow: '" + std::string(text) + "'");
   }
-  return negative ? -static_cast<int64_t>(magnitude)
+  // Negate in the unsigned domain: INT64_MIN's magnitude (2^63) cannot be
+  // represented as a positive int64_t, so -static_cast<int64_t>(magnitude)
+  // would be UB for exactly that value.
+  return negative ? static_cast<int64_t>(0 - magnitude)
                   : static_cast<int64_t>(magnitude);
 }
 

@@ -4,8 +4,8 @@ namespace scanraw {
 
 void DiskArbiter::Acquire(DiskUser user) {
   const int64_t wait_start = clock_->NowNanos();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return user_ == DiskUser::kNone; });
+  MutexLock lock(mu_);
+  while (user_ != DiskUser::kNone) cv_.Wait(lock);
   user_ = user;
   acquired_at_nanos_ = clock_->NowNanos();
   const int64_t waited = acquired_at_nanos_ - wait_start;
@@ -22,7 +22,7 @@ void DiskArbiter::Acquire(DiskUser user) {
 }
 
 bool DiskArbiter::TryAcquire(DiskUser user) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (user_ != DiskUser::kNone) return false;
   user_ = user;
   acquired_at_nanos_ = clock_->NowNanos();
@@ -30,7 +30,7 @@ bool DiskArbiter::TryAcquire(DiskUser user) {
 }
 
 void DiskArbiter::Release(DiskUser user) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (user_ != user) return;  // defensive: double release is a no-op
   const int64_t held = clock_->NowNanos() - acquired_at_nanos_;
   if (user == DiskUser::kReader) {
@@ -45,14 +45,14 @@ void DiskArbiter::Release(DiskUser user) {
     }
   }
   user_ = DiskUser::kNone;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void DiskArbiter::BindMetrics(obs::Histogram* reader_wait,
                               obs::Histogram* writer_wait,
                               obs::Histogram* reader_hold,
                               obs::Histogram* writer_hold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   reader_wait_hist_ = reader_wait;
   writer_wait_hist_ = writer_wait;
   reader_hold_hist_ = reader_hold;
@@ -60,27 +60,27 @@ void DiskArbiter::BindMetrics(obs::Histogram* reader_wait,
 }
 
 DiskUser DiskArbiter::current_user() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return user_;
 }
 
 int64_t DiskArbiter::reader_busy_nanos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reader_busy_nanos_;
 }
 
 int64_t DiskArbiter::writer_busy_nanos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writer_busy_nanos_;
 }
 
 int64_t DiskArbiter::reader_wait_nanos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reader_wait_nanos_;
 }
 
 int64_t DiskArbiter::writer_wait_nanos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writer_wait_nanos_;
 }
 

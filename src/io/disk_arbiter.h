@@ -8,11 +8,10 @@
 #ifndef SCANRAW_IO_DISK_ARBITER_H_
 #define SCANRAW_IO_DISK_ARBITER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace scanraw {
@@ -25,48 +24,49 @@ class DiskArbiter {
       : clock_(clock) {}
 
   // Blocks until the disk is free or already held by `user`, then takes it.
-  void Acquire(DiskUser user);
+  void Acquire(DiskUser user) EXCLUDES(mu_);
 
   // Non-blocking variant; returns true if the disk was taken.
-  bool TryAcquire(DiskUser user);
+  bool TryAcquire(DiskUser user) EXCLUDES(mu_);
 
-  void Release(DiskUser user);
+  void Release(DiskUser user) EXCLUDES(mu_);
 
-  DiskUser current_user() const;
+  DiskUser current_user() const EXCLUDES(mu_);
 
   // Cumulative nanoseconds the disk was held by readers / writers; the
   // resource-utilization benchmark (Figure 9) samples these.
-  int64_t reader_busy_nanos() const;
-  int64_t writer_busy_nanos() const;
+  int64_t reader_busy_nanos() const EXCLUDES(mu_);
+  int64_t writer_busy_nanos() const EXCLUDES(mu_);
 
   // Cumulative nanoseconds readers / writers spent blocked in Acquire.
   // Per-query deltas drive the DISK_WAIT stage of critical-path
   // attribution, distinguishing contention on the single-disk rule from
   // bandwidth throttling.
-  int64_t reader_wait_nanos() const;
-  int64_t writer_wait_nanos() const;
+  int64_t reader_wait_nanos() const EXCLUDES(mu_);
+  int64_t writer_wait_nanos() const EXCLUDES(mu_);
 
   // Wires per-acquire wait/hold latency histograms (nanoseconds a READ or
   // WRITE spent blocked before taking the disk, and held it afterwards).
   // Call before the arbiter is shared across threads; pass nullptr to
   // detach.
   void BindMetrics(obs::Histogram* reader_wait, obs::Histogram* writer_wait,
-                   obs::Histogram* reader_hold, obs::Histogram* writer_hold);
+                   obs::Histogram* reader_hold, obs::Histogram* writer_hold)
+      EXCLUDES(mu_);
 
  private:
   const Clock* clock_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  DiskUser user_ = DiskUser::kNone;
-  int64_t acquired_at_nanos_ = 0;
-  int64_t reader_busy_nanos_ = 0;
-  int64_t writer_busy_nanos_ = 0;
-  int64_t reader_wait_nanos_ = 0;
-  int64_t writer_wait_nanos_ = 0;
-  obs::Histogram* reader_wait_hist_ = nullptr;
-  obs::Histogram* writer_wait_hist_ = nullptr;
-  obs::Histogram* reader_hold_hist_ = nullptr;
-  obs::Histogram* writer_hold_hist_ = nullptr;
+  mutable Mutex mu_;
+  CondVar cv_;
+  DiskUser user_ GUARDED_BY(mu_) = DiskUser::kNone;
+  int64_t acquired_at_nanos_ GUARDED_BY(mu_) = 0;
+  int64_t reader_busy_nanos_ GUARDED_BY(mu_) = 0;
+  int64_t writer_busy_nanos_ GUARDED_BY(mu_) = 0;
+  int64_t reader_wait_nanos_ GUARDED_BY(mu_) = 0;
+  int64_t writer_wait_nanos_ GUARDED_BY(mu_) = 0;
+  obs::Histogram* reader_wait_hist_ GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* writer_wait_hist_ GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* reader_hold_hist_ GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* writer_hold_hist_ GUARDED_BY(mu_) = nullptr;
 };
 
 // RAII holder.

@@ -1,7 +1,7 @@
 #include "io/rate_limiter.h"
 
 #include <algorithm>
-#include <thread>
+#include <chrono>
 
 namespace scanraw {
 
@@ -19,13 +19,13 @@ RateLimiter::RateLimiter(uint64_t bytes_per_second, const Clock* clock)
 
 void RateLimiter::Acquire(uint64_t bytes) {
   if (bytes_per_second_ == 0 || bytes == 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     total_admitted_ += bytes;
     return;
   }
   const int64_t enter_nanos = clock_->NowNanos();
   bool slept = false;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     const int64_t now = clock_->NowNanos();
     const double elapsed = static_cast<double>(now - last_refill_nanos_) * 1e-9;
@@ -54,30 +54,31 @@ void RateLimiter::Acquire(uint64_t bytes) {
     const double deficit = need - available_bytes_;
     const double wait_s = deficit / static_cast<double>(bytes_per_second_);
     slept = true;
-    lock.unlock();
-    std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
-    lock.lock();
+    // Timed wait releases the lock while the emulated device "spins"; the
+    // loop re-refills from the clock on wakeup, so a spurious or early wake
+    // merely retries.
+    refill_cv_.WaitFor(lock, std::chrono::duration<double>(wait_s));
   }
 }
 
 uint64_t RateLimiter::total_admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_admitted_;
 }
 
 uint64_t RateLimiter::total_wait_nanos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_wait_nanos_;
 }
 
 uint64_t RateLimiter::throttle_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return throttle_events_;
 }
 
 void RateLimiter::BindMetrics(obs::Histogram* wait_nanos,
                               obs::Counter* throttles) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   wait_hist_ = wait_nanos;
   throttle_counter_ = throttles;
 }

@@ -6,11 +6,10 @@
 #ifndef SCANRAW_IO_RATE_LIMITER_H_
 #define SCANRAW_IO_RATE_LIMITER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace scanraw {
@@ -22,35 +21,40 @@ class RateLimiter {
                        const Clock* clock = RealClock::Instance());
 
   // Blocks until `bytes` can be admitted at the configured rate.
-  void Acquire(uint64_t bytes);
+  void Acquire(uint64_t bytes) EXCLUDES(mu_);
 
   uint64_t bytes_per_second() const { return bytes_per_second_; }
 
   // Total bytes admitted so far.
-  uint64_t total_admitted() const;
+  uint64_t total_admitted() const EXCLUDES(mu_);
 
   // Cumulative nanoseconds Acquire spent sleeping (the emulated device was
   // busy) and how many Acquire calls slept at all. Per-query deltas of
   // these drive the THROTTLE_WAIT stage of critical-path attribution.
-  uint64_t total_wait_nanos() const;
-  uint64_t throttle_events() const;
+  uint64_t total_wait_nanos() const EXCLUDES(mu_);
+  uint64_t throttle_events() const EXCLUDES(mu_);
 
   // Optional sinks: a histogram of per-Acquire blocking time and a counter
   // of throttled calls. Pass nullptr to unbind. Not thread-safe with
   // concurrent Acquire; bind during setup.
-  void BindMetrics(obs::Histogram* wait_nanos, obs::Counter* throttles);
+  void BindMetrics(obs::Histogram* wait_nanos, obs::Counter* throttles)
+      EXCLUDES(mu_);
 
  private:
   const uint64_t bytes_per_second_;
   const Clock* clock_;
-  mutable std::mutex mu_;
-  double available_bytes_ = 0;   // tokens in the bucket
-  int64_t last_refill_nanos_ = 0;
-  uint64_t total_admitted_ = 0;
-  uint64_t total_wait_nanos_ = 0;
-  uint64_t throttle_events_ = 0;
-  obs::Histogram* wait_hist_ = nullptr;
-  obs::Counter* throttle_counter_ = nullptr;
+  mutable Mutex mu_;
+  // Timed-wait channel for throttled Acquires. Nothing signals it during
+  // normal operation — the refill is time-driven — but waiting on it keeps
+  // the bucket state consistent without a bare sleep.
+  CondVar refill_cv_;
+  double available_bytes_ GUARDED_BY(mu_) = 0;  // tokens in the bucket
+  int64_t last_refill_nanos_ GUARDED_BY(mu_) = 0;
+  uint64_t total_admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t total_wait_nanos_ GUARDED_BY(mu_) = 0;
+  uint64_t throttle_events_ GUARDED_BY(mu_) = 0;
+  obs::Histogram* wait_hist_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* throttle_counter_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace scanraw

@@ -12,9 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 namespace scanraw {
 namespace obs {
@@ -70,7 +71,7 @@ class Histogram {
   // Approximate quantile (q in [0, 1]) from the bucket counts.
   double Quantile(double q) const;
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
@@ -86,9 +87,9 @@ class Histogram {
 // maps, never the metric updates themselves.
 class MetricsRegistry {
  public:
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) EXCLUDES(mu_);
 
   // Zeroes every registered metric (registration survives). Callers must
   // ensure no concurrent Reset of the same metric elsewhere; concurrent
@@ -97,15 +98,18 @@ class MetricsRegistry {
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
   // min, max, mean, p50, p95, p99}}}.
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mu_);
   // One metric per line, prometheus-flavored flat text.
-  std::string ToText() const;
+  std::string ToText() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 // Minimal JSON string escaping for metric names / labels.

@@ -1,6 +1,7 @@
 #include "obs/progress.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace scanraw {
@@ -38,7 +39,7 @@ ProgressTracker::ProgressTracker(uint64_t bytes_total, const Clock* clock)
 }
 
 void ProgressTracker::set_totals(uint64_t bytes_total, uint64_t chunks_total) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bytes_total_ = bytes_total;
   chunks_total_ = chunks_total;
 }
@@ -50,7 +51,7 @@ QueryProgress ProgressTracker::Snapshot() {
   p.chunks_loaded = loaded_.load(std::memory_order_relaxed);
   const int64_t now = clock_->NowNanos();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   p.bytes_total = bytes_total_;
   p.chunks_total = chunks_total_;
   p.elapsed_seconds = static_cast<double>(now - start_nanos_) * 1e-9;
@@ -85,7 +86,7 @@ ProgressReporter::ProgressReporter(ProgressTracker* tracker,
 ProgressReporter::~ProgressReporter() { Stop(); }
 
 void ProgressReporter::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return;
   started_ = true;
   stop_ = false;
@@ -94,14 +95,14 @@ void ProgressReporter::Start() {
 
 void ProgressReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stop_) {
       if (thread_.joinable()) thread_.join();
       return;
     }
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   // Final report: the settled end state.
   if (callback_) callback_(tracker_->Snapshot());
@@ -109,14 +110,13 @@ void ProgressReporter::Stop() {
 
 void ProgressReporter::Loop() {
   if (callback_) callback_(tracker_->Snapshot());
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                 [&] { return stop_; });
-    if (stop_) break;
-    lock.unlock();
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      cv_.WaitFor(lock, std::chrono::milliseconds(interval_ms_));
+      if (stop_) return;
+    }
     if (callback_) callback_(tracker_->Snapshot());
-    lock.lock();
   }
 }
 

@@ -8,15 +8,14 @@
 #define SCANRAW_OBS_PROGRESS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace scanraw {
 namespace obs {
@@ -49,7 +48,7 @@ class ProgressTracker {
   explicit ProgressTracker(uint64_t bytes_total = 0,
                            const Clock* clock = RealClock::Instance());
 
-  void set_totals(uint64_t bytes_total, uint64_t chunks_total);
+  void set_totals(uint64_t bytes_total, uint64_t chunks_total) EXCLUDES(mu_);
 
   void AddBytes(uint64_t n) {
     bytes_.fetch_add(n, std::memory_order_relaxed);
@@ -62,7 +61,7 @@ class ProgressTracker {
   // so the throughput reflects the recent past, not the lifetime average —
   // that is what makes the ETA follow phase changes (e.g. cache-served
   // chunks first, raw conversion after, §3.2.1 delivery order).
-  QueryProgress Snapshot();
+  QueryProgress Snapshot() EXCLUDES(mu_);
 
  private:
   static constexpr size_t kWindowSamples = 16;
@@ -71,11 +70,12 @@ class ProgressTracker {
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> chunks_{0};
   std::atomic<uint64_t> loaded_{0};
-  mutable std::mutex mu_;
-  uint64_t bytes_total_ = 0;
-  uint64_t chunks_total_ = 0;
-  int64_t start_nanos_ = 0;
-  std::deque<std::pair<int64_t, uint64_t>> window_;  // (ts, bytes)
+  mutable Mutex mu_;
+  uint64_t bytes_total_ GUARDED_BY(mu_) = 0;
+  uint64_t chunks_total_ GUARDED_BY(mu_) = 0;
+  int64_t start_nanos_ GUARDED_BY(mu_) = 0;
+  // Rolling (timestamp, bytes) samples.
+  std::deque<std::pair<int64_t, uint64_t>> window_ GUARDED_BY(mu_);
 };
 
 using ProgressCallback = std::function<void(const QueryProgress&)>;
@@ -91,22 +91,23 @@ class ProgressReporter {
   ProgressReporter(const ProgressReporter&) = delete;
   ProgressReporter& operator=(const ProgressReporter&) = delete;
 
-  void Start();
+  void Start() EXCLUDES(mu_);
   // Joins the thread and emits the final report. Idempotent; the destructor
   // calls it.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
   ProgressTracker* const tracker_;
   const ProgressCallback callback_;
   const int interval_ms_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
+  // Started under mu_ in Start, joined lock-free in Stop after stop_ flips.
   std::thread thread_;
-  bool stop_ = false;
-  bool started_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace obs

@@ -9,7 +9,7 @@ namespace obs {
 
 void ResourceLog::Append(ResourceSample sample) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(sample));
   } else {
@@ -19,7 +19,7 @@ void ResourceLog::Append(ResourceSample sample) {
 }
 
 std::vector<ResourceSample> ResourceLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ResourceSample> out;
   const uint64_t stored = std::min<uint64_t>(next_, capacity_);
   out.reserve(stored);
@@ -31,17 +31,17 @@ std::vector<ResourceSample> ResourceLog::Snapshot() const {
 }
 
 size_t ResourceLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t ResourceLog::total_appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_;
 }
 
 void ResourceLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
 }
@@ -87,7 +87,7 @@ ResourceSampler::~ResourceSampler() { Stop(); }
 
 void ResourceSampler::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
     stop_ = false;
@@ -98,31 +98,31 @@ void ResourceSampler::Start() {
 
 void ResourceSampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stop_) {
       if (thread_.joinable()) thread_.join();
       return;
     }
     stop_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
   log_->Append(probe_());
 }
 
 bool ResourceSampler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return started_ && !stop_;
 }
 
 void ResourceSampler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    cv_.wait_for(lock, interval_, [&] { return stop_; });
-    if (stop_) break;
-    lock.unlock();
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      cv_.WaitFor(lock, interval_);
+      if (stop_) return;
+    }
     log_->Append(probe_());
-    lock.lock();
   }
 }
 

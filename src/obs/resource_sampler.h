@@ -8,13 +8,13 @@
 #define SCANRAW_OBS_RESOURCE_SAMPLER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace scanraw {
 namespace obs {
@@ -44,11 +44,11 @@ class ResourceLog {
  public:
   explicit ResourceLog(size_t capacity = 4096) : capacity_(capacity) {}
 
-  void Append(ResourceSample sample);
-  std::vector<ResourceSample> Snapshot() const;
-  size_t size() const;
-  uint64_t total_appended() const;
-  void Clear();
+  void Append(ResourceSample sample) EXCLUDES(mu_);
+  std::vector<ResourceSample> Snapshot() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
+  uint64_t total_appended() const EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
 
   // JSON array of samples; timestamps become microseconds relative to the
   // first sample.
@@ -56,9 +56,9 @@ class ResourceLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<ResourceSample> ring_;
-  uint64_t next_ = 0;
+  mutable Mutex mu_;
+  std::vector<ResourceSample> ring_ GUARDED_BY(mu_);
+  uint64_t next_ GUARDED_BY(mu_) = 0;
 };
 
 // Periodically invokes `probe` on a dedicated thread and appends the result
@@ -74,25 +74,26 @@ class ResourceSampler {
   ResourceSampler(const ResourceSampler&) = delete;
   ResourceSampler& operator=(const ResourceSampler&) = delete;
 
-  void Start();
+  void Start() EXCLUDES(mu_);
   // Joins the thread and records the final sample. Idempotent; the
   // destructor calls it. The probe must stay valid until Stop returns.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
   ResourceLog* const log_;
   const Probe probe_;
   const std::chrono::milliseconds interval_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  // Started under mu_ in Start, joined lock-free in Stop after stop_ flips.
   std::thread thread_;
-  bool stop_ = false;
-  bool started_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace obs

@@ -37,17 +37,17 @@ SpanProfiler::SpanProfiler(const Clock* clock, size_t max_spans_per_stage)
 }
 
 void SpanProfiler::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   begin_nanos_ = clock_->NowNanos();
 }
 
 void SpanProfiler::End() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   end_nanos_ = clock_->NowNanos();
 }
 
 int64_t SpanProfiler::start_nanos() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return begin_nanos_;
 }
 
@@ -55,7 +55,7 @@ void SpanProfiler::RecordSpan(QueryStage stage, uint32_t tid,
                               int64_t start_nanos, int64_t dur_nanos) {
   if (dur_nanos < 0) dur_nanos = 0;
   const size_t s = static_cast<size_t>(stage);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StageStats& t = totals_[s];
   ++t.spans;
   t.busy_nanos += dur_nanos;
@@ -113,7 +113,7 @@ SpanProfiler::Report SpanProfiler::Aggregate() const {
   std::array<std::vector<Span>, kNumQueryStages> spans_copy;
   std::set<uint32_t> all_tids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const int64_t end =
         end_nanos_ != 0 ? end_nanos_ : clock_->NowNanos();
     report.wall_nanos = std::max<int64_t>(0, end - begin_nanos_);

@@ -16,12 +16,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace scanraw {
 namespace obs {
@@ -93,13 +93,13 @@ class SpanProfiler {
 
   // Stamps the query-start instant (the constructor does too; call again to
   // re-anchor after setup work that should not count as wall time).
-  void Begin();
+  void Begin() EXCLUDES(mu_);
   // Stamps the query-end instant; idempotent, later calls win. Aggregate
   // uses "now" when End was never called.
-  void End();
+  void End() EXCLUDES(mu_);
 
   void RecordSpan(QueryStage stage, uint32_t tid, int64_t start_nanos,
-                  int64_t dur_nanos);
+                  int64_t dur_nanos) EXCLUDES(mu_);
 
   // RAII helper: times its scope on the current thread.
   class Scope {
@@ -115,20 +115,20 @@ class SpanProfiler {
     int64_t start_nanos_;
   };
 
-  Report Aggregate() const;
+  Report Aggregate() const EXCLUDES(mu_);
 
-  int64_t start_nanos() const;
+  int64_t start_nanos() const EXCLUDES(mu_);
 
  private:
   const Clock* const clock_;
   const size_t max_spans_per_stage_;
-  mutable std::mutex mu_;
-  int64_t begin_nanos_ = 0;
-  int64_t end_nanos_ = 0;  // 0 = not ended
-  std::array<std::vector<Span>, kNumQueryStages> spans_;
-  std::array<StageStats, kNumQueryStages> totals_;
-  std::array<std::set<uint32_t>, kNumQueryStages> stage_tids_;
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  int64_t begin_nanos_ GUARDED_BY(mu_) = 0;
+  int64_t end_nanos_ GUARDED_BY(mu_) = 0;  // 0 = not ended
+  std::array<std::vector<Span>, kNumQueryStages> spans_ GUARDED_BY(mu_);
+  std::array<StageStats, kNumQueryStages> totals_ GUARDED_BY(mu_);
+  std::array<std::set<uint32_t>, kNumQueryStages> stage_tids_ GUARDED_BY(mu_);
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -49,18 +49,18 @@ ChunkTracer::ChunkTracer(size_t capacity) : capacity_(capacity) {
 }
 
 void ChunkTracer::SetLabel(std::string label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   label_ = std::move(label);
 }
 
 std::string ChunkTracer::label() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return label_;
 }
 
 void ChunkTracer::Record(const TraceEvent& event) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_[next_ % capacity_] = event;
   ++next_;
 }
@@ -85,7 +85,7 @@ void ChunkTracer::RecordInstant(TraceStage stage, uint64_t chunk_index,
 }
 
 std::vector<TraceEvent> ChunkTracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   const uint64_t stored = std::min<uint64_t>(next_, capacity_);
   out.reserve(stored);
@@ -97,17 +97,17 @@ std::vector<TraceEvent> ChunkTracer::Snapshot() const {
 }
 
 uint64_t ChunkTracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_;
 }
 
 uint64_t ChunkTracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_ > capacity_ ? next_ - capacity_ : 0;
 }
 
 void ChunkTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   next_ = 0;
 }
 

@@ -10,12 +10,12 @@
 #define SCANRAW_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace scanraw {
@@ -62,10 +62,10 @@ class ChunkTracer {
 
   // Human-readable label (table or file name) emitted as a Chrome
   // process_name metadata event; arbitrary bytes are JSON-escaped on export.
-  void SetLabel(std::string label);
-  std::string label() const;
+  void SetLabel(std::string label) EXCLUDES(mu_);
+  std::string label() const EXCLUDES(mu_);
 
-  void Record(const TraceEvent& event);
+  void Record(const TraceEvent& event) EXCLUDES(mu_);
 
   // Convenience: stamps tid and start time (end - duration) itself.
   void RecordSpan(TraceStage stage, ChunkSource source, uint64_t chunk_index,
@@ -74,23 +74,24 @@ class ChunkTracer {
                      const Clock* clock = RealClock::Instance());
 
   // Events in record order, oldest surviving first.
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mu_);
 
-  uint64_t recorded() const;  // total ever recorded
-  uint64_t dropped() const;   // overwritten by ring wrap
-  void Clear();
+  uint64_t recorded() const EXCLUDES(mu_);  // total ever recorded
+  uint64_t dropped() const EXCLUDES(mu_);   // overwritten by ring wrap
+  void Clear() EXCLUDES(mu_);
 
   // Chrome trace_event JSON: an array of complete ("ph":"X") events for
   // stage spans and instant ("ph":"i") events for scheduler decisions.
   // Timestamps are microseconds relative to the earliest event.
-  std::string ToChromeTraceJson() const;
+  std::string ToChromeTraceJson() const EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::string label_;
-  std::vector<TraceEvent> ring_;
-  uint64_t next_ = 0;  // total recorded; ring slot is next_ % capacity_
+  mutable Mutex mu_;
+  std::string label_ GUARDED_BY(mu_);
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  // Total recorded; ring slot is next_ % capacity_.
+  uint64_t next_ GUARDED_BY(mu_) = 0;
 };
 
 // RAII span: times its scope and records it into the tracer and (when

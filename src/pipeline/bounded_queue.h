@@ -5,11 +5,11 @@
 #ifndef SCANRAW_PIPELINE_BOUNDED_QUEUE_H_
 #define SCANRAW_PIPELINE_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace scanraw {
 
@@ -19,75 +19,75 @@ class BoundedQueue {
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
   // Blocks while full. Returns false if the queue was closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  bool Push(T item) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.Wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Non-blocking push; returns false when full or closed. On failure `item`
   // is left untouched so the caller can retry with a blocking Push.
-  bool TryPush(T&& item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T&& item) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks while empty. Returns nullopt once the queue is closed AND empty.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // After Close, pushes fail and pops drain the remaining items.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
   size_t capacity() const { return capacity_; }
-  bool Full() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Full() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size() >= capacity_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace scanraw

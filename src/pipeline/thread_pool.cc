@@ -11,9 +11,9 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
-    work_available_.notify_all();
+    work_available_.NotifyAll();
   }
   for (auto& t : threads_) t.join();
 }
@@ -21,7 +21,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (tasks_counter_ != nullptr) tasks_counter_->Add(1);
     }
     // Sequential mode: the caller is the worker.
@@ -29,38 +29,38 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (tasks_counter_ != nullptr) tasks_counter_->Add(1);
     queue_.push_back(std::move(task));
     if (queue_gauge_ != nullptr) queue_gauge_->Add(1);
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
   if (threads_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [&] { return queue_.empty() && busy_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || busy_ != 0) all_idle_.Wait(lock);
 }
 
 size_t ThreadPool::busy_workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return busy_;
 }
 
 size_t ThreadPool::queued_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 void ThreadPool::SetIdleCallback(std::function<void()> callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   idle_callback_ = std::move(callback);
 }
 
 void ThreadPool::BindMetrics(obs::Gauge* busy_workers, obs::Gauge* queue_depth,
                              obs::Counter* tasks_submitted) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   busy_gauge_ = busy_workers;
   queue_gauge_ = queue_depth;
   tasks_counter_ = tasks_submitted;
@@ -70,8 +70,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(lock);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -82,10 +82,10 @@ void ThreadPool::WorkerLoop() {
     task();
     std::function<void()> idle_cb;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --busy_;
       if (busy_gauge_ != nullptr) busy_gauge_->Add(-1);
-      if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+      if (queue_.empty() && busy_ == 0) all_idle_.NotifyAll();
       if (queue_.size() < threads_.size()) idle_cb = idle_callback_;
     }
     if (idle_cb) idle_cb();

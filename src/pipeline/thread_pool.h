@@ -7,13 +7,12 @@
 #ifndef SCANRAW_PIPELINE_THREAD_POOL_H_
 #define SCANRAW_PIPELINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace scanraw {
@@ -27,41 +26,42 @@ class ThreadPool {
 
   // Enqueues a task. With zero workers the task runs on the calling thread
   // before Submit returns.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until every submitted task has finished.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t num_workers() const { return threads_.size(); }
   // Workers currently executing a task.
-  size_t busy_workers() const;
-  size_t queued_tasks() const;
+  size_t busy_workers() const EXCLUDES(mu_);
+  size_t queued_tasks() const EXCLUDES(mu_);
 
   // Registers a callback fired each time a worker finishes a task and the
   // pool has spare capacity again ("resume" hook for the scheduler). Must be
   // set before tasks are submitted; pass nullptr to clear.
-  void SetIdleCallback(std::function<void()> callback);
+  void SetIdleCallback(std::function<void()> callback) EXCLUDES(mu_);
 
   // Wires live gauges (delta-updated, so several pools may share one gauge
   // and it reads as the aggregate) and a submitted-task counter. Call
   // before tasks are submitted; nullptr detaches.
   void BindMetrics(obs::Gauge* busy_workers, obs::Gauge* queue_depth,
-                   obs::Counter* tasks_submitted);
+                   obs::Counter* tasks_submitted) EXCLUDES(mu_);
 
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // Started in the constructor, joined in the destructor; const between.
   std::vector<std::thread> threads_;
-  std::function<void()> idle_callback_;
-  size_t busy_ = 0;
-  bool shutdown_ = false;
-  obs::Gauge* busy_gauge_ = nullptr;
-  obs::Gauge* queue_gauge_ = nullptr;
-  obs::Counter* tasks_counter_ = nullptr;
+  std::function<void()> idle_callback_ GUARDED_BY(mu_);
+  size_t busy_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  obs::Gauge* busy_gauge_ GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* queue_gauge_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* tasks_counter_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace scanraw

@@ -9,7 +9,7 @@ std::vector<EvictedChunk> ChunkCache::Insert(uint64_t chunk_index,
                                              bool loaded) {
   std::vector<EvictedChunk> evicted;
   if (capacity_ == 0) return evicted;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(chunk_index);
   if (it != entries_.end()) {
     // Refresh: replace payload (it may now carry more columns), keep the
@@ -60,7 +60,7 @@ void ChunkCache::EvictOne(std::vector<EvictedChunk>* evicted) {
 }
 
 BinaryChunkPtr ChunkCache::Lookup(uint64_t chunk_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(chunk_index);
   if (it == entries_.end()) {
     ++misses_;
@@ -76,19 +76,19 @@ BinaryChunkPtr ChunkCache::Lookup(uint64_t chunk_index) {
 }
 
 bool ChunkCache::Contains(uint64_t chunk_index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(chunk_index) > 0;
 }
 
 void ChunkCache::MarkLoaded(uint64_t chunk_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(chunk_index);
   if (it != entries_.end()) it->second.loaded = true;
 }
 
 std::optional<std::pair<uint64_t, BinaryChunkPtr>> ChunkCache::OldestUnloaded()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* best = nullptr;
   uint64_t best_index = 0;
   for (const auto& [index, entry] : entries_) {
@@ -104,7 +104,7 @@ std::optional<std::pair<uint64_t, BinaryChunkPtr>> ChunkCache::OldestUnloaded()
 
 std::vector<std::pair<uint64_t, BinaryChunkPtr>> ChunkCache::UnloadedChunks()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<uint64_t, const Entry*>> unloaded;
   for (const auto& [index, entry] : entries_) {
     if (!entry.loaded) unloaded.emplace_back(index, &entry);
@@ -122,7 +122,7 @@ std::vector<std::pair<uint64_t, BinaryChunkPtr>> ChunkCache::UnloadedChunks()
 }
 
 std::vector<uint64_t> ChunkCache::ResidentChunks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<uint64_t> out;
   out.reserve(entries_.size());
   for (const auto& [index, _] : entries_) out.push_back(index);
@@ -130,34 +130,34 @@ std::vector<uint64_t> ChunkCache::ResidentChunks() const {
 }
 
 size_t ChunkCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 uint64_t ChunkCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t ChunkCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 uint64_t ChunkCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 
 uint64_t ChunkCache::biased_evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return biased_evictions_;
 }
 
 void ChunkCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
                              obs::Counter* evictions,
                              obs::Counter* biased_evictions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hits_metric_ = hits;
   misses_metric_ = misses;
   evictions_metric_ = evictions;

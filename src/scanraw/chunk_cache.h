@@ -9,11 +9,11 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "columnar/binary_chunk.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace scanraw {
@@ -35,45 +35,48 @@ class ChunkCache {
   // Inserts (or refreshes) a chunk; returns any evicted entries. `loaded`
   // marks the chunk as already stored in the database.
   std::vector<EvictedChunk> Insert(uint64_t chunk_index, BinaryChunkPtr chunk,
-                                   bool loaded);
+                                   bool loaded) EXCLUDES(mu_);
 
   // Returns the cached chunk and refreshes its recency, or nullptr.
-  BinaryChunkPtr Lookup(uint64_t chunk_index);
+  BinaryChunkPtr Lookup(uint64_t chunk_index) EXCLUDES(mu_);
 
   // True when the cached entry for `chunk_index` exists (does not touch
   // recency).
-  bool Contains(uint64_t chunk_index) const;
+  bool Contains(uint64_t chunk_index) const EXCLUDES(mu_);
 
   // Marks a resident chunk as loaded into the database.
-  void MarkLoaded(uint64_t chunk_index);
+  void MarkLoaded(uint64_t chunk_index) EXCLUDES(mu_);
 
   // Oldest (by insertion sequence) resident chunk not yet loaded, if any —
   // the speculative WRITE candidate (§4: "only the 'oldest' chunk in the
   // binary cache that was not previously loaded ... is written at a time").
-  std::optional<std::pair<uint64_t, BinaryChunkPtr>> OldestUnloaded() const;
+  std::optional<std::pair<uint64_t, BinaryChunkPtr>> OldestUnloaded() const
+      EXCLUDES(mu_);
 
   // All resident unloaded chunks in insertion order — the safeguard flush
   // set (§4).
-  std::vector<std::pair<uint64_t, BinaryChunkPtr>> UnloadedChunks() const;
+  std::vector<std::pair<uint64_t, BinaryChunkPtr>> UnloadedChunks() const
+      EXCLUDES(mu_);
 
   // Indexes of all resident chunks (unordered snapshot).
-  std::vector<uint64_t> ResidentChunks() const;
+  std::vector<uint64_t> ResidentChunks() const EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
-  uint64_t hits() const;
-  uint64_t misses() const;
+  uint64_t hits() const EXCLUDES(mu_);
+  uint64_t misses() const EXCLUDES(mu_);
   // Total evictions, and the subset where the biased-LRU policy displaced
   // an already-loaded chunk (the paper's "chunks stored in binary format
   // are more likely to be replaced").
-  uint64_t evictions() const;
-  uint64_t biased_evictions() const;
+  uint64_t evictions() const EXCLUDES(mu_);
+  uint64_t biased_evictions() const EXCLUDES(mu_);
 
   // Mirrors hit/miss/eviction counts into registry-backed counters.
   // Typically called once right after construction; nullptr detaches.
   void BindMetrics(obs::Counter* hits, obs::Counter* misses,
-                   obs::Counter* evictions, obs::Counter* biased_evictions);
+                   obs::Counter* evictions, obs::Counter* biased_evictions)
+      EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -83,22 +86,22 @@ class ChunkCache {
     std::list<uint64_t>::iterator lru_pos;  // into lru_, MRU at front
   };
 
-  void EvictOne(std::vector<EvictedChunk>* evicted);
+  void EvictOne(std::vector<EvictedChunk>* evicted) REQUIRES(mu_);
 
   const size_t capacity_;
   const bool bias_evict_loaded_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, Entry> entries_;
-  std::list<uint64_t> lru_;  // front = most recently used
-  uint64_t next_seq_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t biased_evictions_ = 0;
-  obs::Counter* hits_metric_ = nullptr;
-  obs::Counter* misses_metric_ = nullptr;
-  obs::Counter* evictions_metric_ = nullptr;
-  obs::Counter* biased_evictions_metric_ = nullptr;
+  mutable Mutex mu_;
+  std::map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // front = most recently used
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t biased_evictions_ GUARDED_BY(mu_) = 0;
+  obs::Counter* hits_metric_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* misses_metric_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* evictions_metric_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* biased_evictions_metric_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace scanraw

@@ -12,8 +12,8 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "format/positional_map.h"
 #include "obs/metrics.h"
 
@@ -26,8 +26,9 @@ class PositionalMapCache {
 
   // Returns the cached map for `chunk_index`, or nullptr. The map may be
   // partial — the caller checks fields_per_row().
-  std::shared_ptr<const PositionalMap> Lookup(uint64_t chunk_index) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const PositionalMap> Lookup(uint64_t chunk_index) const
+      EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = entries_.find(chunk_index);
     if (it == entries_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -42,9 +43,9 @@ class PositionalMapCache {
   // Stores (or widens) the map for a chunk. A narrower map never replaces
   // a wider one.
   void Insert(uint64_t chunk_index,
-              std::shared_ptr<const PositionalMap> map) {
+              std::shared_ptr<const PositionalMap> map) EXCLUDES(mu_) {
     if (capacity_ == 0 || map == nullptr) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(chunk_index);
     if (it != entries_.end()) {
       if (map->fields_per_row() > it->second->fields_per_row()) {
@@ -60,13 +61,13 @@ class PositionalMapCache {
     entries_.emplace(chunk_index, std::move(map));
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
-  size_t MemoryBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t MemoryBytes() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     size_t total = 0;
     for (const auto& [_, map] : entries_) total += map->MemoryBytes();
     return total;
@@ -79,21 +80,22 @@ class PositionalMapCache {
 
   // Optional registry counters (e.g. "posmap.hits" / "posmap.misses").
   // Bind during setup; pass nullptr to detach.
-  void BindMetrics(obs::Counter* hits, obs::Counter* misses) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     hit_counter_ = hits;
     miss_counter_ = misses;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
-  obs::Counter* hit_counter_ = nullptr;
-  obs::Counter* miss_counter_ = nullptr;
-  std::map<uint64_t, std::shared_ptr<const PositionalMap>> entries_;
-  std::deque<uint64_t> fifo_;
+  obs::Counter* hit_counter_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* miss_counter_ GUARDED_BY(mu_) = nullptr;
+  std::map<uint64_t, std::shared_ptr<const PositionalMap>> entries_
+      GUARDED_BY(mu_);
+  std::deque<uint64_t> fifo_ GUARDED_BY(mu_);
 };
 
 }  // namespace scanraw

@@ -223,7 +223,7 @@ struct ScanRaw::QueryRun::Impl {
 
   void ReportError(const Status& status) {
     {
-      std::lock_guard<std::mutex> lock(status_mu);
+      MutexLock lock(status_mu);
       if (first_error.ok()) first_error = status;
     }
     // Unblock the whole pipeline; Pop drains what is already buffered.
@@ -233,7 +233,7 @@ struct ScanRaw::QueryRun::Impl {
   }
 
   Status GetStatus() const {
-    std::lock_guard<std::mutex> lock(status_mu);
+    MutexLock lock(status_mu);
     return first_error;
   }
 
@@ -430,7 +430,7 @@ struct ScanRaw::QueryRun::Impl {
         }
       }
       {
-        std::lock_guard<std::mutex> lock(inflight_mu);
+        MutexLock lock(inflight_mu);
         ++tokenize_inflight;
       }
       pool.Submit([this, text, topts, cached, use_map_cache, json] {
@@ -457,14 +457,14 @@ struct ScanRaw::QueryRun::Impl {
         } else {
           ReportError(map.status());
         }
-        std::lock_guard<std::mutex> lock(inflight_mu);
+        MutexLock lock(inflight_mu);
         --tokenize_inflight;
-        inflight_cv.notify_all();
+        inflight_cv.NotifyAll();
       });
     }
     {
-      std::unique_lock<std::mutex> lock(inflight_mu);
-      inflight_cv.wait(lock, [&] { return tokenize_inflight == 0; });
+      MutexLock lock(inflight_mu);
+      while (tokenize_inflight != 0) inflight_cv.Wait(lock);
     }
     pos_q.Close();
   }
@@ -488,7 +488,7 @@ struct ScanRaw::QueryRun::Impl {
 
     while (auto item = pos_q.Pop()) {
       {
-        std::lock_guard<std::mutex> lock(inflight_mu);
+        MutexLock lock(inflight_mu);
         ++parse_inflight;
       }
       Tokenized tokenized = std::move(*item);
@@ -512,14 +512,14 @@ struct ScanRaw::QueryRun::Impl {
         } else {
           ReportError(parsed.status());
         }
-        std::lock_guard<std::mutex> lock(inflight_mu);
+        MutexLock lock(inflight_mu);
         --parse_inflight;
-        inflight_cv.notify_all();
+        inflight_cv.NotifyAll();
       });
     }
     {
-      std::unique_lock<std::mutex> lock(inflight_mu);
-      inflight_cv.wait(lock, [&] { return parse_inflight == 0; });
+      MutexLock lock(inflight_mu);
+      while (parse_inflight != 0) inflight_cv.Wait(lock);
     }
     // End of scan: every raw chunk is converted and resident (or already
     // delivered). The safeguard flushes the unloaded cache tail (§4).
@@ -628,15 +628,15 @@ struct ScanRaw::QueryRun::Impl {
   std::unique_ptr<obs::ProgressReporter> reporter;
   bool joined = false;
 
-  std::mutex inflight_mu;
-  std::condition_variable inflight_cv;
-  size_t tokenize_inflight = 0;
-  size_t parse_inflight = 0;
+  Mutex inflight_mu;
+  CondVar inflight_cv;
+  size_t tokenize_inflight GUARDED_BY(inflight_mu) = 0;
+  size_t parse_inflight GUARDED_BY(inflight_mu) = 0;
 
   std::atomic<int64_t> invisible_budget;
 
-  mutable std::mutex status_mu;
-  Status first_error;
+  mutable Mutex status_mu;
+  Status first_error GUARDED_BY(status_mu);
 };
 
 ScanRaw::QueryRun::QueryRun(std::unique_ptr<Impl> impl)
@@ -906,7 +906,7 @@ Result<std::vector<QueryResult>> ScanRaw::ExecuteQueries(
 
 bool ScanRaw::EnqueueWrite(uint64_t chunk_index, BinaryChunkPtr chunk) {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     if (pending_writes_.count(chunk_index)) return false;
     auto meta = catalog_->GetTable(table_);
     if (meta.ok() && chunk_index < meta->chunks.size()) {
@@ -928,18 +928,18 @@ bool ScanRaw::EnqueueWrite(uint64_t chunk_index, BinaryChunkPtr chunk) {
     pending_writes_.insert(chunk_index);
   }
   {
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     ++writes_outstanding_;
   }
   if (!write_queue_.Push(WriteRequest{chunk_index, std::move(chunk)})) {
     // Operator shutting down.
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(pending_mu_);
       pending_writes_.erase(chunk_index);
     }
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     --writes_outstanding_;
-    write_cv_.notify_all();
+    write_cv_.NotifyAll();
     return false;
   }
   return true;
@@ -950,7 +950,7 @@ void ScanRaw::MaybeTriggerSpeculativeWrite() {
   {
     // One chunk at a time (§4): do not stack writes while one is queued or
     // in flight.
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     if (writes_outstanding_ > 0) return;
   }
   auto victim = cache_.OldestUnloaded();
@@ -1012,36 +1012,36 @@ void ScanRaw::WriteLoop() {
       profile_.CountWritten();
       NoteChunkLoaded();
     } else {
-      std::lock_guard<std::mutex> lock(write_mu_);
+      MutexLock lock(write_mu_);
       if (write_status_.ok()) write_status_ = status;
     }
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(pending_mu_);
       pending_writes_.erase(req->chunk_index);
     }
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     --writes_outstanding_;
-    write_cv_.notify_all();
+    write_cv_.NotifyAll();
   }
 }
 
 void ScanRaw::RegisterObservers(obs::SpanProfiler* profiler,
                                 obs::ProgressTracker* progress) {
-  std::lock_guard<std::mutex> lock(active_mu_);
+  MutexLock lock(active_mu_);
   active_profiler_ = profiler;
   active_progress_ = progress;
 }
 
 void ScanRaw::UnregisterObservers(obs::SpanProfiler* profiler,
                                   obs::ProgressTracker* progress) {
-  std::lock_guard<std::mutex> lock(active_mu_);
+  MutexLock lock(active_mu_);
   // Identity-checked: a newer query may have registered already.
   if (active_profiler_ == profiler) active_profiler_ = nullptr;
   if (active_progress_ == progress) active_progress_ = nullptr;
 }
 
 void ScanRaw::RecordWriteSpan(int64_t start_nanos, int64_t dur_nanos) {
-  std::lock_guard<std::mutex> lock(active_mu_);
+  MutexLock lock(active_mu_);
   if (active_profiler_ != nullptr) {
     active_profiler_->RecordSpan(obs::QueryStage::kWrite,
                                  obs::CurrentThreadId(), start_nanos,
@@ -1050,25 +1050,25 @@ void ScanRaw::RecordWriteSpan(int64_t start_nanos, int64_t dur_nanos) {
 }
 
 void ScanRaw::NoteChunkLoaded() {
-  std::lock_guard<std::mutex> lock(active_mu_);
+  MutexLock lock(active_mu_);
   if (active_progress_ != nullptr) active_progress_->CountLoaded();
 }
 
 void ScanRaw::MaybeUpdateSketches(const BinaryChunk& chunk) {
   {
-    std::lock_guard<std::mutex> lock(sketched_mu_);
+    MutexLock lock(sketched_mu_);
     if (!sketched_chunks_.insert(chunk.chunk_index()).second) return;
   }
   sketches_.AddChunk(chunk);
 }
 
 void ScanRaw::WaitForWrites() {
-  std::unique_lock<std::mutex> lock(write_mu_);
-  write_cv_.wait(lock, [&] { return writes_outstanding_ == 0; });
+  MutexLock lock(write_mu_);
+  while (writes_outstanding_ != 0) write_cv_.Wait(lock);
 }
 
 Status ScanRaw::write_status() const {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   return write_status_;
 }
 

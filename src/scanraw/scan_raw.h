@@ -9,9 +9,7 @@
 #define SCANRAW_SCANRAW_SCAN_RAW_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -20,6 +18,7 @@
 
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "db/catalog.h"
 #include "db/storage_manager.h"
 #include "exec/query.h"
@@ -220,9 +219,9 @@ class ScanRaw {
       const std::vector<QuerySpec>& specs);
 
   // Blocks until the WRITE queue is empty and no write is in flight.
-  void WaitForWrites();
+  void WaitForWrites() EXCLUDES(write_mu_);
   // First error raised by the WRITE thread, sticky (OK if none).
-  Status write_status() const;
+  Status write_status() const EXCLUDES(write_mu_);
 
   const std::string& table() const { return table_; }
   const ScanRawOptions& options() const { return options_; }
@@ -292,8 +291,8 @@ class ScanRaw {
   TableSketches sketches_;
   // Chunks already folded into the sketches, so re-scans do not bias the
   // reservoir sample (the KMV sketch is naturally idempotent).
-  std::mutex sketched_mu_;
-  std::set<uint64_t> sketched_chunks_;
+  Mutex sketched_mu_;
+  std::set<uint64_t> sketched_chunks_ GUARDED_BY(sketched_mu_);
   PipelineProfile profile_;
   // Advice-state occurrence counters, indexed by ResourceSnapshot::Advice
   // (null when telemetry is unset); bumped by the per-query sampler.
@@ -301,21 +300,21 @@ class ScanRaw {
   IoStats raw_io_stats_;
 
   // Chunks with a write queued or in flight, to keep loading exactly-once.
-  std::mutex pending_mu_;
-  std::set<uint64_t> pending_writes_;
+  Mutex pending_mu_;
+  std::set<uint64_t> pending_writes_ GUARDED_BY(pending_mu_);
 
   // Per-query observers of the shared WRITE thread (see RegisterObservers).
-  mutable std::mutex active_mu_;
-  obs::SpanProfiler* active_profiler_ = nullptr;
-  obs::ProgressTracker* active_progress_ = nullptr;
+  mutable Mutex active_mu_;
+  obs::SpanProfiler* active_profiler_ GUARDED_BY(active_mu_) = nullptr;
+  obs::ProgressTracker* active_progress_ GUARDED_BY(active_mu_) = nullptr;
 
   // WRITE thread state.
   BoundedQueue<WriteRequest> write_queue_;
   std::thread write_thread_;
-  mutable std::mutex write_mu_;
-  std::condition_variable write_cv_;
-  size_t writes_outstanding_ = 0;  // queued + in flight
-  Status write_status_;
+  mutable Mutex write_mu_;
+  CondVar write_cv_;
+  size_t writes_outstanding_ GUARDED_BY(write_mu_) = 0;  // queued + in flight
+  Status write_status_ GUARDED_BY(write_mu_);
 };
 
 }  // namespace scanraw

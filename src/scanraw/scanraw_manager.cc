@@ -65,7 +65,7 @@ Status ScanRawManager::RegisterRawFile(const std::string& table,
                                        const ScanRawOptions& options) {
   SCANRAW_RETURN_IF_ERROR(
       catalog_.CreateTable(table, path, schema, options.chunk_rows));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   options_[table] = options;
   return Status::OK();
 }
@@ -76,7 +76,7 @@ Status ScanRawManager::SaveCatalog(const std::string& path) const {
 
 Status ScanRawManager::LoadCatalog(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!operators_.empty()) {
       return Status::InvalidArgument(
           "cannot load a catalog while operators are live");
@@ -90,13 +90,13 @@ Status ScanRawManager::AttachOptions(const std::string& table,
   if (!catalog_.HasTable(table)) {
     return Status::NotFound("table " + table + " not in catalog");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   options_[table] = options;
   return Status::OK();
 }
 
 ScanRaw* ScanRawManager::GetOperator(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = operators_.find(table);
   return it == operators_.end() ? nullptr : it->second.get();
 }
@@ -104,7 +104,7 @@ ScanRaw* ScanRawManager::GetOperator(const std::string& table) {
 bool ScanRawManager::IsRetired(const std::string& table) {
   auto meta = catalog_.GetTable(table);
   if (!meta.ok() || !meta->FullyLoaded()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return operators_.find(table) == operators_.end();
 }
 
@@ -121,7 +121,7 @@ Result<QueryResult> ScanRawManager::Query(const std::string& table,
 
   ScanRaw* op = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = operators_.find(table);
     if (it != operators_.end()) {
       // Retire the operator once the whole raw file is in the database and

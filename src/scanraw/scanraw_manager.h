@@ -9,8 +9,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 #include "db/catalog.h"
 #include "db/heap_scan.h"
@@ -112,9 +113,9 @@ class ScanRawManager {
   IoStats io_stats_;
   std::unique_ptr<StorageManager> storage_;
 
-  std::mutex mu_;
-  std::map<std::string, ScanRawOptions> options_;
-  std::map<std::string, std::unique_ptr<ScanRaw>> operators_;
+  mutable Mutex mu_;
+  std::map<std::string, ScanRawOptions> options_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ScanRaw>> operators_ GUARDED_BY(mu_);
 };
 
 }  // namespace scanraw

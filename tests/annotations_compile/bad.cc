@@ -1,0 +1,25 @@
+// Accesses a GUARDED_BY field without holding its mutex. Under Clang with
+// -Wthread-safety -Werror=thread-safety this must FAIL to compile; the
+// surrounding CMake check asserts exactly that.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG: mu_ not held
+  }
+
+ private:
+  scanraw::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Correctly-locked use of the annotated primitives; must compile cleanly
+// under -Wthread-safety -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    scanraw::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const EXCLUDES(mu_) {
+    scanraw::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void WaitNonZero() EXCLUDES(mu_) {
+    scanraw::MutexLock lock(mu_);
+    while (balance_ == 0) cv_.Wait(lock);
+  }
+
+ private:
+  void AddLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  mutable scanraw::Mutex mu_;
+  scanraw::CondVar cv_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance() == 1 ? 0 : 1;
+}

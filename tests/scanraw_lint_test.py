@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/scanraw_lint.py.
+
+Each rule gets at least one fixture that must be caught and one that must
+pass, plus a suppression-comment case. Fixtures are laid out in a temp
+directory shaped like the repo (src/...) and linted via a subprocess with
+SCANRAW_LINT_ROOT pointing at the temp root.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "tools", "scanraw_lint.py")
+
+
+class LintTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="scanraw_lint_")
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "src", "io"))
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(content)
+        return path
+
+    def lint(self, *paths):
+        env = dict(os.environ, SCANRAW_LINT_ROOT=self.root)
+        proc = subprocess.run(
+            [sys.executable, LINT] + [os.path.join(self.root, p)
+                                      for p in paths],
+            capture_output=True, text=True, env=env)
+        return proc.returncode, proc.stdout
+
+    # ---- raw-mutex ----
+
+    def test_raw_mutex_caught(self):
+        self.write("src/io/foo.cc",
+                   "#include <mutex>\nstd::mutex mu_;\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[raw-mutex]", out)
+
+    def test_raw_lock_guard_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() { std::lock_guard<std::mutex> l(mu_); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[raw-mutex]", out)
+
+    def test_wrapper_types_pass(self):
+        self.write("src/io/foo.cc",
+                   "Mutex mu_;\nCondVar cv_;\n"
+                   "void F() { MutexLock lock(mu_); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_raw_mutex_exempt_header(self):
+        self.write("src/common/thread_annotations.h",
+                   "#ifndef SCANRAW_COMMON_THREAD_ANNOTATIONS_H_\n"
+                   "#define SCANRAW_COMMON_THREAD_ANNOTATIONS_H_\n"
+                   "#include <mutex>\nclass Mutex { std::mutex mu_; };\n"
+                   "#endif  // SCANRAW_COMMON_THREAD_ANNOTATIONS_H_\n")
+        code, out = self.lint("src/common/thread_annotations.h")
+        self.assertEqual(code, 0, out)
+
+    def test_raw_mutex_suppressed(self):
+        self.write("src/io/foo.cc",
+                   "std::mutex mu_;  // scanraw-lint: allow(raw-mutex)\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_raw_mutex_in_comment_passes(self):
+        self.write("src/io/foo.cc",
+                   "// wraps std::mutex under the hood\nMutex mu_;\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_raw_mutex_outside_src_passes(self):
+        self.write("tests/foo.cc", "std::mutex mu_;\n")
+        code, out = self.lint("tests/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    # ---- unchecked-value ----
+
+    def test_unchecked_value_caught(self):
+        self.write("src/io/foo.cc",
+                   "int F() {\n"
+                   "  auto r = Load();\n"
+                   "  return r.value();\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[unchecked-value]", out)
+
+    def test_checked_value_passes(self):
+        self.write("src/io/foo.cc",
+                   "int F() {\n"
+                   "  auto r = Load();\n"
+                   "  if (!r.ok()) return -1;\n"
+                   "  return r.value();\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_ok_in_previous_function_does_not_count(self):
+        self.write("src/io/foo.cc",
+                   "int G() {\n"
+                   "  auto a = Load();\n"
+                   "  if (!a.ok()) return -1;\n"
+                   "  return 0;\n"
+                   "}\n"
+                   "int F() {\n"
+                   "  auto r = Load();\n"
+                   "  return r.value();\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[unchecked-value]", out)
+
+    def test_unchecked_value_suppressed(self):
+        self.write("src/io/foo.cc",
+                   "int F() {\n"
+                   "  // scanraw-lint: allow(unchecked-value)\n"
+                   "  return Load().value();\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_pointer_value_accessor_passes(self):
+        # Counter::value() via pointer is an accessor, not a Result.
+        self.write("src/io/foo.cc",
+                   "uint64_t F(Counter* c) { return c->value(); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    # ---- sleep-in-src ----
+
+    def test_sleep_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n"
+                   "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[sleep-in-src]", out)
+
+    def test_sleep_in_test_file_passes(self):
+        self.write("src/io/foo_test.cc",
+                   "void F() {\n"
+                   "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo_test.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_sleep_suppressed(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n"
+                   "  // scanraw-lint: allow(sleep-in-src)\n"
+                   "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    # ---- include-guard ----
+
+    def good_header(self):
+        return ("#ifndef SCANRAW_IO_FOO_H_\n"
+                "#define SCANRAW_IO_FOO_H_\n"
+                "void F();\n"
+                "#endif  // SCANRAW_IO_FOO_H_\n")
+
+    def test_good_guard_passes(self):
+        self.write("src/io/foo.h", self.good_header())
+        code, out = self.lint("src/io/foo.h")
+        self.assertEqual(code, 0, out)
+
+    def test_pragma_once_caught(self):
+        self.write("src/io/foo.h", "#pragma once\nvoid F();\n")
+        code, out = self.lint("src/io/foo.h")
+        self.assertEqual(code, 1)
+        self.assertIn("[include-guard]", out)
+
+    def test_missing_guard_caught(self):
+        self.write("src/io/foo.h", "void F();\n")
+        code, out = self.lint("src/io/foo.h")
+        self.assertEqual(code, 1)
+        self.assertIn("no include guard", out)
+
+    def test_wrong_guard_token_caught(self):
+        self.write("src/io/foo.h",
+                   "#ifndef WRONG_H_\n#define WRONG_H_\nvoid F();\n"
+                   "#endif  // WRONG_H_\n")
+        code, out = self.lint("src/io/foo.h")
+        self.assertEqual(code, 1)
+        self.assertIn("expected SCANRAW_IO_FOO_H_", out)
+
+    def test_mismatched_define_caught(self):
+        self.write("src/io/foo.h",
+                   "#ifndef SCANRAW_IO_FOO_H_\n#define OTHER_H_\n"
+                   "void F();\n#endif\n")
+        code, out = self.lint("src/io/foo.h")
+        self.assertEqual(code, 1)
+        self.assertIn("[include-guard]", out)
+
+    def test_endif_without_comment_caught(self):
+        self.write("src/io/foo.h",
+                   "#ifndef SCANRAW_IO_FOO_H_\n#define SCANRAW_IO_FOO_H_\n"
+                   "void F();\n#endif\n")
+        code, out = self.lint("src/io/foo.h")
+        self.assertEqual(code, 1)
+        self.assertIn("#endif", out)
+
+    # ---- driver behavior ----
+
+    def test_directory_walk_and_multiple_findings(self):
+        self.write("src/io/a.cc", "std::mutex a;\n")
+        self.write("src/io/b.cc", "std::mutex b;\n")
+        code, out = self.lint("src")
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[raw-mutex]"), 2, out)
+
+    def test_clean_tree_exits_zero(self):
+        self.write("src/io/a.cc", "Mutex a;\n")
+        self.write("src/io/foo.h", self.good_header())
+        code, out = self.lint("src")
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

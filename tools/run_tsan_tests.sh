@@ -1,29 +1,9 @@
 #!/usr/bin/env bash
-# Builds the ThreadSanitizer preset and runs the concurrency-sensitive test
-# binaries (pipeline, scanraw core, telemetry/obs) under TSan. Any data race
-# aborts the run with a non-zero exit.
+# Back-compat wrapper: runs the concurrency-sensitive test binaries under
+# ThreadSanitizer. All logic lives in run_sanitizer_tests.sh, which also
+# handles asan/ubsan, honors CTEST_PARALLEL_LEVEL, and fails fast when the
+# configure step breaks.
 #
 #   tools/run_tsan_tests.sh [test_binary]...
-#
-# The TSan tree lives in build-tsan/ so it never pollutes the regular build.
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-
-TESTS=("$@")
-if [ "${#TESTS[@]}" -eq 0 ]; then
-  TESTS=(pipeline_test scanraw_test scanraw_features_test scanraw_stress_test
-         obs_test explain_test telemetry_test chunk_cache_test)
-fi
-
-cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target "${TESTS[@]}"
-
-# halt_on_error: fail fast on the first race instead of drowning in reports.
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-
-for t in "${TESTS[@]}"; do
-  echo "== TSan: ${t}"
-  "build-tsan/tests/${t}"
-done
-echo "TSan run clean."
+exec "$(dirname "$0")/run_sanitizer_tests.sh" tsan "$@"

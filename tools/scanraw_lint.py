@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""scanraw-lint: project-specific static checks for the SCANRAW tree.
+
+Rules
+-----
+raw-mutex        std::mutex / std::condition_variable / std::lock_guard /
+                 std::unique_lock / std::scoped_lock / std::shared_mutex are
+                 banned in src/ outside common/thread_annotations.h. Use the
+                 annotated Mutex / MutexLock / CondVar wrappers so Clang's
+                 thread-safety analysis sees every lock.
+unchecked-value  `.value()` on a Result/optional without a preceding `ok()`
+                 (or has_value()) check in the same function scope. Prefer
+                 SCANRAW_ASSIGN_OR_RETURN or an explicit ok() branch.
+sleep-in-src     std::this_thread::sleep_for / sleep_until in src/ non-test
+                 code. Time-based waits belong on a CondVar::WaitFor so
+                 shutdown can interrupt them and TSan can see the ordering.
+include-guard    Headers must carry the canonical SCANRAW_<PATH>_H_ include
+                 guard (#ifndef/#define pair plus a commented #endif);
+                 #pragma once is banned for consistency.
+
+Suppressions: append `// scanraw-lint: allow(<rule>)` to the offending line
+or place it on the line directly above.
+
+Usage: scanraw_lint.py [path...]     (default: src/, relative to repo root)
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+import os
+import re
+import sys
+
+# Overridable so the unit tests can lint fixture trees laid out in a
+# temporary directory as if they were the repo.
+REPO_ROOT = os.environ.get(
+    "SCANRAW_LINT_ROOT",
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+# The annotated wrapper header is the one place raw primitives may live.
+RAW_MUTEX_EXEMPT = ("common/thread_annotations.h",)
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
+    r"(_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+SLEEP_RE = re.compile(r"std::this_thread::sleep_(for|until)\b")
+# Dot access only: Results/optionals are held by value in this tree, while
+# `->value()` is the Counter/Gauge accessor (a plain uint64, not a Result).
+VALUE_CALL_RE = re.compile(r"[\w\)\]>]\s*\.\s*value\s*\(\s*\)")
+OK_CHECK_RE = re.compile(r"\b(ok|has_value|IsOk)\s*\(")
+ALLOW_RE = re.compile(r"//\s*scanraw-lint:\s*allow\(([\w-]+)\)")
+# A function-definition-ish line: `... ) {` at low indent, not a control-flow
+# statement. Used to bound the backwards scan for the unchecked-value rule.
+FUNC_START_RE = re.compile(r"^[\w\}].*\)\s*(const\s*)?(noexcept\s*)?\{?\s*$")
+CONTROL_KEYWORD_RE = re.compile(r"^\s*(if|for|while|switch|catch|else)\b")
+
+MAX_SCOPE_LOOKBACK = 50  # lines; fallback when no function start is found
+
+
+def is_suppressed(lines, idx, rule):
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def strip_comments(line):
+    """Removes // comments and collapses string literals so lint patterns
+    never match inside either. Block comments are rare in this tree and
+    handled line-locally."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return line.split("//")[0]
+
+
+def check_raw_mutex(rel, lines, findings):
+    if any(rel.endswith(e) for e in RAW_MUTEX_EXEMPT):
+        return
+    for i, line in enumerate(lines):
+        code = strip_comments(line)
+        m = RAW_MUTEX_RE.search(code)
+        if m and not is_suppressed(lines, i, "raw-mutex"):
+            findings.append((rel, i + 1, "raw-mutex",
+                             f"use the annotated wrapper from "
+                             f"common/thread_annotations.h instead of "
+                             f"std::{m.group(1)}"))
+
+
+def check_sleep(rel, lines, findings):
+    for i, line in enumerate(lines):
+        if SLEEP_RE.search(strip_comments(line)) and \
+                not is_suppressed(lines, i, "sleep-in-src"):
+            findings.append((rel, i + 1, "sleep-in-src",
+                             "use CondVar::WaitFor instead of "
+                             "std::this_thread::sleep_for"))
+
+
+def scope_start(lines, idx):
+    """Best-effort index of the enclosing function body start: walk upwards
+    past balanced braces until a definition-looking line at brace depth
+    <= 0, bounded by MAX_SCOPE_LOOKBACK."""
+    depth = 0
+    lo = max(0, idx - MAX_SCOPE_LOOKBACK)
+    for j in range(idx - 1, lo - 1, -1):
+        code = strip_comments(lines[j])
+        depth += code.count("}") - code.count("{")
+        if depth < 0 and FUNC_START_RE.match(code) and \
+                not CONTROL_KEYWORD_RE.match(code):
+            return j
+    return lo
+
+
+def check_unchecked_value(rel, lines, findings):
+    for i, line in enumerate(lines):
+        code = strip_comments(line)
+        if not VALUE_CALL_RE.search(code):
+            continue
+        if OK_CHECK_RE.search(code):
+            continue  # checked on the same line (e.g. `r.ok() ? r.value()...`)
+        if is_suppressed(lines, i, "unchecked-value"):
+            continue
+        start = scope_start(lines, i)
+        checked = any(OK_CHECK_RE.search(strip_comments(lines[j]))
+                      for j in range(start, i))
+        if not checked:
+            findings.append((rel, i + 1, "unchecked-value",
+                             ".value() without a preceding ok() check in "
+                             "the same scope"))
+
+
+def check_include_guard(rel, lines, findings):
+    for i, line in enumerate(lines):
+        if re.match(r"\s*#\s*pragma\s+once\b", line) and \
+                not is_suppressed(lines, i, "include-guard"):
+            findings.append((rel, i + 1, "include-guard",
+                             "#pragma once is banned; use a "
+                             "SCANRAW_<PATH>_H_ ifndef guard"))
+            return
+    ifndef = None
+    ifndef_line = 0
+    for i, line in enumerate(lines):
+        m = re.match(r"\s*#\s*ifndef\s+(\w+)", line)
+        if m:
+            ifndef, ifndef_line = m.group(1), i
+            break
+        if re.match(r"\s*#\s*(if|include|define)\b", line):
+            break  # preprocessor activity before any guard
+    if ifndef is None:
+        if not is_suppressed(lines, 0, "include-guard"):
+            findings.append((rel, 1, "include-guard",
+                             "header has no include guard"))
+        return
+    if is_suppressed(lines, ifndef_line, "include-guard"):
+        return
+    # The #define must immediately follow the #ifndef with the same token.
+    if ifndef_line + 1 >= len(lines) or not re.match(
+            rf"\s*#\s*define\s+{re.escape(ifndef)}\s*$",
+            lines[ifndef_line + 1]):
+        findings.append((rel, ifndef_line + 2, "include-guard",
+                         f"#define {ifndef} must directly follow the "
+                         f"#ifndef"))
+        return
+    # Canonical token for headers under a src/ root.
+    parts = rel.replace(os.sep, "/").split("/")
+    if "src" in parts:
+        sub = "/".join(parts[parts.index("src") + 1:])
+        expected = "SCANRAW_" + re.sub(r"[^A-Za-z0-9]", "_", sub).upper() + "_"
+        if ifndef != expected:
+            findings.append((rel, ifndef_line + 1, "include-guard",
+                             f"guard is {ifndef}, expected {expected}"))
+            return
+    # Closing #endif should name the guard in a trailing comment.
+    for line in reversed(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not re.match(rf"#\s*endif\s*//\s*{re.escape(ifndef)}\b", stripped):
+            findings.append((rel, len(lines), "include-guard",
+                             f"closing #endif must carry a "
+                             f"`// {ifndef}` comment"))
+        return
+
+
+def is_test_file(rel):
+    base = os.path.basename(rel)
+    return ("test" in base) or ("/tests/" in rel.replace(os.sep, "/"))
+
+
+def lint_file(path, findings):
+    rel = os.path.relpath(path, REPO_ROOT)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"scanraw-lint: cannot read {rel}: {e}", file=sys.stderr)
+        sys.exit(2)
+    in_src = rel.replace(os.sep, "/").startswith("src/")
+    if in_src and not is_test_file(rel):
+        check_raw_mutex(rel, lines, findings)
+        check_sleep(rel, lines, findings)
+    check_unchecked_value(rel, lines, findings)
+    if rel.endswith(".h"):
+        check_include_guard(rel, lines, findings)
+
+
+def collect(paths):
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                for n in sorted(names):
+                    if n.endswith((".h", ".cc")):
+                        out.append(os.path.join(root, n))
+        elif os.path.isfile(p):
+            out.append(p)
+        else:
+            print(f"scanraw-lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def main(argv):
+    paths = argv[1:] or [os.path.join(REPO_ROOT, "src")]
+    findings = []
+    files = collect(paths)
+    for f in files:
+        lint_file(f, findings)
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"scanraw-lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
