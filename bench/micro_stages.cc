@@ -1,10 +1,28 @@
-// Google-benchmark microbenchmarks for the conversion stages: TOKENIZE and
-// PARSE throughput by column count, chunk serialization, and the BAM-like
-// sequential decoder — the raw numbers behind the Figure 5 cost model.
+// Microbenchmarks for the conversion stages. Two layers:
+//
+//  1. A self-timed "golden" harness (always run, or alone with
+//     --golden-only) that times the vectorized TOKENIZE/PARSE hot path
+//     against the frozen scalar reference (bench/reference_scalar.h) and
+//     writes BENCH_micro_stages.json for the bench_compare CI gate. The
+//     main table holds only the new-path times (larger = worse, gated
+//     against bench/golden/); the scalar times and the speedup ratios ride
+//     along as extras.
+//
+//  2. The google-benchmark suite with per-stage counters (TOKENIZE and
+//     PARSE throughput by column count, chunk serialization, BAM decode) —
+//     the raw numbers behind the Figure 5 cost model.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "bench/bench_util.h"
+#include "bench/reference_scalar.h"
 #include "columnar/chunk_serde.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "format/parser.h"
@@ -27,6 +45,138 @@ TextChunk MakeCsvChunk(size_t columns, size_t rows) {
   return MakeTextChunk(std::move(data));
 }
 
+Schema AllDoubleSchema(size_t count) {
+  std::vector<ColumnDef> cols(count);
+  for (size_t i = 0; i < count; ++i) {
+    cols[i].name = "D" + std::to_string(i);
+    cols[i].type = FieldType::kDouble;
+  }
+  return Schema(std::move(cols));
+}
+
+TextChunk MakeDoubleCsvChunk(size_t columns, size_t rows) {
+  Random rng(7);
+  std::string data;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (c > 0) data.push_back(',');
+      data += bench::Fmt("%.6f", rng.NextDouble() * 1e4 - 5e3);
+    }
+    data.push_back('\n');
+  }
+  return MakeTextChunk(std::move(data));
+}
+
+// ------------------------------------------------------- golden harness ---
+
+// Seconds per call, min over `reps` repetitions of a calibrated batch. The
+// minimum is the standard noise-robust estimator for CI gates.
+double TimeIt(const std::function<void()>& fn) {
+  constexpr int64_t kTargetBatchNanos = 50'000'000;  // 50 ms
+  constexpr int kReps = 5;
+  RealClock* clock = RealClock::Instance();
+  fn();  // warm-up
+  int64_t t0 = clock->NowNanos();
+  fn();
+  const int64_t once = std::max<int64_t>(clock->NowNanos() - t0, 1);
+  const int64_t iters = std::max<int64_t>(kTargetBatchNanos / once, 1);
+  double best = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    t0 = clock->NowNanos();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double per_call = static_cast<double>(clock->NowNanos() - t0) /
+                            static_cast<double>(iters) * 1e-9;
+    best = std::min(best, per_call);
+  }
+  return best;
+}
+
+struct GoldenCase {
+  std::string key;
+  std::function<void()> vectorized;
+  std::function<void()> scalar;
+};
+
+int RunGolden() {
+  constexpr size_t kRows = 4096;
+  // Workloads live beyond the lambdas below.
+  static const TextChunk u32_16 = MakeCsvChunk(16, kRows);
+  static const TextChunk u32_64 = MakeCsvChunk(64, kRows);
+  static const TextChunk dbl_16 = MakeDoubleCsvChunk(16, kRows);
+
+  auto tokenize_case = [](const TextChunk& chunk, size_t columns,
+                          const char* key) {
+    TokenizeOptions opts;
+    opts.schema_fields = columns;
+    return GoldenCase{
+        key,
+        [&chunk, opts] {
+          auto map = TokenizeChunk(chunk, opts);
+          bench::CheckOk(map.status(), "tokenize");
+          benchmark::DoNotOptimize(map);
+        },
+        [&chunk, opts] {
+          auto map = reference::RefTokenizeChunk(chunk, opts);
+          bench::CheckOk(map.status(), "ref tokenize");
+          benchmark::DoNotOptimize(map);
+        }};
+  };
+  auto parse_case = [](const TextChunk& chunk, const Schema& schema,
+                       const char* key) {
+    TokenizeOptions topts;
+    topts.schema_fields = schema.num_columns();
+    auto map = TokenizeChunk(chunk, topts);
+    bench::CheckOk(map.status(), "tokenize for parse");
+    auto m = std::make_shared<PositionalMap>(std::move(*map));
+    return GoldenCase{
+        key,
+        [&chunk, m, schema] {
+          auto parsed = ParseChunk(chunk, *m, schema, ParseOptions{});
+          bench::CheckOk(parsed.status(), "parse");
+          benchmark::DoNotOptimize(parsed);
+        },
+        [&chunk, m, schema] {
+          auto parsed = reference::RefParseChunk(chunk, *m, schema,
+                                                 ParseOptions{});
+          bench::CheckOk(parsed.status(), "ref parse");
+          benchmark::DoNotOptimize(parsed);
+        }};
+  };
+
+  std::vector<GoldenCase> cases;
+  cases.push_back(tokenize_case(u32_16, 16, "tokenize/16"));
+  cases.push_back(tokenize_case(u32_64, 64, "tokenize/64"));
+  cases.push_back(parse_case(u32_16, Schema::AllUint32(16), "parse_u32/16"));
+  cases.push_back(parse_case(u32_64, Schema::AllUint32(64), "parse_u32/64"));
+  cases.push_back(parse_case(dbl_16, AllDoubleSchema(16), "parse_dbl/16"));
+
+  bench::TablePrinter table({"stage", "ms_per_chunk"});
+  bench::TablePrinter scalar_table({"stage", "ms_per_chunk"});
+  std::string speedups = "{";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const GoldenCase& c = cases[i];
+    const double vec_s = TimeIt(c.vectorized);
+    const double ref_s = TimeIt(c.scalar);
+    table.AddRow({c.key, bench::Fmt("%.4f", vec_s * 1e3)});
+    scalar_table.AddRow({c.key, bench::Fmt("%.4f", ref_s * 1e3)});
+    if (i > 0) speedups += ",";
+    speedups += "\"" + c.key + "\":" + bench::Fmt("%.2f", ref_s / vec_s);
+    std::printf("%-14s vectorized %8.4f ms   scalar %8.4f ms   speedup %.2fx\n",
+                c.key.c_str(), vec_s * 1e3, ref_s * 1e3, ref_s / vec_s);
+  }
+  speedups += "}";
+
+  std::printf("\n");
+  table.Print();
+  bench::BenchJsonWriter writer("micro_stages");
+  writer.AddExtra("rows_per_chunk", std::to_string(kRows));
+  writer.AddExtra("scalar", bench::BenchJsonWriter::TableJson(scalar_table));
+  writer.AddExtra("speedups", speedups);
+  return writer.Write(table) ? 0 : 1;
+}
+
+// ------------------------------------------------- google-benchmark suite --
+
 void BM_Tokenize(benchmark::State& state) {
   const size_t columns = static_cast<size_t>(state.range(0));
   const size_t rows = 4096;
@@ -41,6 +191,21 @@ void BM_Tokenize(benchmark::State& state) {
                           static_cast<int64_t>(chunk.data.size()));
 }
 BENCHMARK(BM_Tokenize)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TokenizeScalarRef(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const size_t rows = 4096;
+  TextChunk chunk = MakeCsvChunk(columns, rows);
+  TokenizeOptions opts;
+  opts.schema_fields = columns;
+  for (auto _ : state) {
+    auto map = reference::RefTokenizeChunk(chunk, opts);
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk.data.size()));
+}
+BENCHMARK(BM_TokenizeScalarRef)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_Parse(benchmark::State& state) {
   const size_t columns = static_cast<size_t>(state.range(0));
@@ -58,6 +223,24 @@ void BM_Parse(benchmark::State& state) {
                           static_cast<int64_t>(rows * columns));
 }
 BENCHMARK(BM_Parse)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ParseScalarRef(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const size_t rows = 4096;
+  TextChunk chunk = MakeCsvChunk(columns, rows);
+  const Schema schema = Schema::AllUint32(columns);
+  TokenizeOptions topts;
+  topts.schema_fields = columns;
+  auto map = TokenizeChunk(chunk, topts);
+  for (auto _ : state) {
+    auto parsed = reference::RefParseChunk(chunk, *map, schema,
+                                           ParseOptions{});
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * columns));
+}
+BENCHMARK(BM_ParseScalarRef)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_SelectiveParse(benchmark::State& state) {
   const size_t columns = 64;
@@ -125,4 +308,16 @@ BENCHMARK(BM_BamDecode);
 }  // namespace
 }  // namespace scanraw
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool golden_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--golden-only") golden_only = true;
+  }
+  const int golden_rc = scanraw::RunGolden();
+  if (golden_only || golden_rc != 0) return golden_rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -47,6 +47,14 @@ class BinaryChunk {
   // raw file.
   Status MergeColumnsFrom(const BinaryChunk& other);
 
+  // Hands every column's backing buffers to `source` for reuse (see
+  // ChunkBufferPool::WrapChunk); the chunk is empty afterwards.
+  void ReleaseBuffersTo(ColumnBufferSource* source) {
+    for (auto& [id, vec] : columns_) vec.ReleaseBuffersTo(source);
+    columns_.clear();
+    num_rows_ = 0;
+  }
+
   size_t MemoryBytes() const;
 
  private:

@@ -15,6 +15,23 @@
 
 namespace scanraw {
 
+// Supplier of recycled backing buffers for ColumnVector (and the READ
+// chunker's text buffers). Acquired buffers are always empty (size 0) but
+// keep the capacity of whatever they backed before, so steady-state
+// pipeline iterations allocate nothing. Implemented by
+// scanraw::ChunkBufferPool; defined here so the parser can recycle without
+// depending on the scanraw/ layer.
+class ColumnBufferSource {
+ public:
+  virtual ~ColumnBufferSource() = default;
+  virtual std::vector<uint8_t> AcquireFixed() = 0;
+  virtual std::string AcquireString() = 0;
+  virtual std::vector<uint32_t> AcquireOffsets() = 0;
+  virtual void ReleaseFixed(std::vector<uint8_t> buffer) = 0;
+  virtual void ReleaseString(std::string buffer) = 0;
+  virtual void ReleaseOffsets(std::vector<uint32_t> buffer) = 0;
+};
+
 class ColumnVector {
  public:
   ColumnVector() = default;
@@ -36,6 +53,43 @@ class ColumnVector {
   void AppendUint32(uint32_t v) { AppendFixed(&v, sizeof(v)); }
   void AppendInt64(int64_t v) { AppendFixed(&v, sizeof(v)); }
   void AppendDouble(double v) { AppendFixed(&v, sizeof(v)); }
+
+  // Bulk appends: grow by `n` values in one resize and return a pointer to
+  // the new block for the caller to fill (the columnar parser writes one
+  // whole column through these instead of one AppendFixed per field). The
+  // block is zero-initialized by the resize.
+  uint32_t* AppendUint32Block(size_t n) {
+    return static_cast<uint32_t*>(AppendBlock(n, sizeof(uint32_t)));
+  }
+  int64_t* AppendInt64Block(size_t n) {
+    return static_cast<int64_t*>(AppendBlock(n, sizeof(int64_t)));
+  }
+  double* AppendDoubleBlock(size_t n) {
+    return static_cast<double*>(AppendBlock(n, sizeof(double)));
+  }
+
+  // -- buffer recycling (see ChunkBufferPool) --
+  // Swaps in recycled, empty backing buffers for this vector's type.
+  void AdoptBuffersFrom(ColumnBufferSource* source) {
+    if (IsFixedWidth(type_)) {
+      fixed_ = source->AcquireFixed();
+    } else {
+      string_arena_ = source->AcquireString();
+      string_offsets_ = source->AcquireOffsets();
+    }
+    num_values_ = 0;
+  }
+  // Hands every backing buffer (and its capacity) back; the vector is empty
+  // afterwards. Safe on buffers that never came from a source.
+  void ReleaseBuffersTo(ColumnBufferSource* source) {
+    source->ReleaseFixed(std::move(fixed_));
+    source->ReleaseString(std::move(string_arena_));
+    source->ReleaseOffsets(std::move(string_offsets_));
+    fixed_.clear();
+    string_arena_.clear();
+    string_offsets_.clear();
+    num_values_ = 0;
+  }
   void AppendString(std::string_view v) {
     if (string_offsets_.empty()) string_offsets_.push_back(0);
     string_arena_.append(v);
@@ -102,6 +156,13 @@ class ColumnVector {
     fixed_.resize(old + width);
     std::memcpy(fixed_.data() + old, src, width);
     ++num_values_;
+  }
+
+  void* AppendBlock(size_t n, size_t width) {
+    const size_t old = fixed_.size();
+    fixed_.resize(old + n * width);
+    num_values_ += n;
+    return fixed_.data() + old;
   }
 
   FieldType type_ = FieldType::kUint32;

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/byte_scan.h"
 #include "common/string_util.h"
 
 namespace scanraw {
@@ -18,6 +19,27 @@ struct Cursor {
   char Peek() const { return data[pos]; }
   void SkipSpace() {
     while (pos < end && (data[pos] == ' ' || data[pos] == '\t')) ++pos;
+  }
+
+  // Bulk scan to the closing quote of a string, stopping early on an escape
+  // (escapes are unsupported; the caller turns them into an error). Returns
+  // false when the line ends before either byte shows up.
+  bool SeekQuoteOrEscape() {
+    const size_t hit = bytescan::FindEither(data, pos, end, '"', '\\');
+    if (hit == bytescan::kNpos) {
+      pos = end;
+      return false;
+    }
+    pos = static_cast<uint32_t>(hit);
+    return true;
+  }
+
+  // Bulk scan past an unquoted value: stops at the first of ',', '}', or
+  // inline whitespace, or the line end.
+  void SeekValueEnd() {
+    const size_t hit = bytescan::FindAnyOf4(data, pos, end, ',', '}', ' ',
+                                            '\t');
+    pos = hit == bytescan::kNpos ? end : static_cast<uint32_t>(hit);
   }
 };
 
@@ -77,13 +99,12 @@ Result<PositionalMap> TokenizeJsonChunk(const TextChunk& chunk,
       }
       ++cur.pos;
       const uint32_t key_start = cur.pos;
-      while (!cur.AtEnd() && cur.Peek() != '"') {
-        if (cur.Peek() == '\\') {
-          return Status::Unimplemented("escaped JSON keys are not supported");
-        }
-        ++cur.pos;
+      if (!cur.SeekQuoteOrEscape()) {
+        return RowError(chunk, r, "unterminated key");
       }
-      if (cur.AtEnd()) return RowError(chunk, r, "unterminated key");
+      if (cur.Peek() == '\\') {
+        return Status::Unimplemented("escaped JSON keys are not supported");
+      }
       const std::string_view key = data.substr(key_start, cur.pos - key_start);
       ++cur.pos;  // closing quote
       cur.SkipSpace();
@@ -99,14 +120,13 @@ Result<PositionalMap> TokenizeJsonChunk(const TextChunk& chunk,
       if (cur.Peek() == '"') {
         ++cur.pos;
         value_start = cur.pos;
-        while (!cur.AtEnd() && cur.Peek() != '"') {
-          if (cur.Peek() == '\\') {
-            return Status::Unimplemented(
-                "escaped JSON strings are not supported");
-          }
-          ++cur.pos;
+        if (!cur.SeekQuoteOrEscape()) {
+          return RowError(chunk, r, "unterminated string");
         }
-        if (cur.AtEnd()) return RowError(chunk, r, "unterminated string");
+        if (cur.Peek() == '\\') {
+          return Status::Unimplemented(
+              "escaped JSON strings are not supported");
+        }
         value_end = cur.pos;
         ++cur.pos;  // closing quote
       } else if (cur.Peek() == '{' || cur.Peek() == '[') {
@@ -114,10 +134,7 @@ Result<PositionalMap> TokenizeJsonChunk(const TextChunk& chunk,
             "nested JSON objects/arrays are not supported");
       } else {
         value_start = cur.pos;
-        while (!cur.AtEnd() && cur.Peek() != ',' && cur.Peek() != '}' &&
-               cur.Peek() != ' ' && cur.Peek() != '\t') {
-          ++cur.pos;
-        }
+        cur.SeekValueEnd();
         value_end = cur.pos;
         if (value_end == value_start) {
           return RowError(chunk, r, "empty value");

@@ -1,107 +1,127 @@
 #include "format/parser.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <string>
 
 #include "common/string_util.h"
 
 namespace scanraw {
 
-Result<uint32_t> ParseUint32(std::string_view text) {
-  if (text.empty()) return Status::Corruption("empty uint32 field");
-  uint64_t value = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') {
-      return Status::Corruption("invalid uint32: '" + std::string(text) + "'");
-    }
-    value = value * 10 + static_cast<uint64_t>(c - '0');
-    if (value > UINT32_MAX) {
-      return Status::Corruption("uint32 overflow: '" + std::string(text) +
-                                "'");
-    }
+namespace {
+
+// Full-range strtod through a NUL-terminated heap copy: the cold
+// compatibility path for inputs std::from_chars rejects but the historical
+// strtod-based parser accepted (hex floats, leading whitespace, and
+// out-of-range magnitudes saturating to ±HUGE_VAL / 0). Never runs for
+// well-formed decimal fields.
+bool StrtodFull(const char* first, const char* last, double* out) {
+  const std::string copy(first, last);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool TryParseUint32(const char* first, const char* last, uint32_t* out) {
+  // std::from_chars already rejects signs, whitespace, and empty input,
+  // exactly matching the digits-only contract of ParseUint32.
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool TryParseInt64(const char* first, const char* last, int64_t* out) {
+  // from_chars accepts '-' but not '+'; strip an explicit plus, which must
+  // be followed by a digit (not another sign or end-of-field).
+  if (first != last && *first == '+') {
+    ++first;
+    if (first == last || *first < '0' || *first > '9') return false;
   }
-  return static_cast<uint32_t>(value);
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool TryParseDouble(const char* first, const char* last, double* out) {
+  if (first == last) return false;
+  const char* p = first;
+  if (*p == '+') {
+    ++p;
+    // "+-1" / "++1" / a bare "+" were never valid; bail before from_chars
+    // would happily parse the inner "-1".
+    if (p == last || *p == '+' || *p == '-') return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(p, last, *out, std::chars_format::general);
+  if (ec == std::errc() && ptr == last) return true;
+  return StrtodFull(first, last, out);
+}
+
+Result<uint32_t> ParseUint32(std::string_view text) {
+  uint32_t value = 0;
+  if (TryParseUint32(text.data(), text.data() + text.size(), &value)) {
+    return value;
+  }
+  if (text.empty()) return Status::Corruption("empty uint32 field");
+  // Overflow is reported the moment the digit prefix exceeds the type's
+  // range, even with trailing junk after it (matching the historical
+  // digit-by-digit accumulation).
+  uint32_t probe = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), probe);
+  (void)ptr;
+  if (ec == std::errc::result_out_of_range) {
+    return Status::Corruption("uint32 overflow: '" + std::string(text) + "'");
+  }
+  return Status::Corruption("invalid uint32: '" + std::string(text) + "'");
 }
 
 Result<int64_t> ParseInt64(std::string_view text) {
+  int64_t value = 0;
+  if (TryParseInt64(text.data(), text.data() + text.size(), &value)) {
+    return value;
+  }
   if (text.empty()) return Status::Corruption("empty int64 field");
-  size_t i = 0;
-  bool negative = false;
-  if (text[0] == '-' || text[0] == '+') {
-    negative = text[0] == '-';
-    i = 1;
-    if (text.size() == 1) return Status::Corruption("lone sign in int64");
+  if (text.size() == 1 && (text[0] == '-' || text[0] == '+')) {
+    return Status::Corruption("lone sign in int64");
   }
+  // Reconstruct the historical accumulate-in-uint64 semantics: overflow is
+  // reported when the digit prefix exceeds the uint64 accumulator (even
+  // with trailing junk), or when a fully-digits magnitude exceeds the
+  // signed limit; anything else is malformed.
+  std::string_view digits = text;
+  if (digits[0] == '-' || digits[0] == '+') digits.remove_prefix(1);
+  const bool negative = text[0] == '-';
   uint64_t magnitude = 0;
-  for (; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c < '0' || c > '9') {
-      return Status::Corruption("invalid int64: '" + std::string(text) + "'");
-    }
-    const uint64_t digit = static_cast<uint64_t>(c - '0');
-    if (magnitude > (UINT64_MAX - digit) / 10) {
-      return Status::Corruption("int64 overflow: '" + std::string(text) + "'");
-    }
-    magnitude = magnitude * 10 + digit;
-  }
-  const uint64_t limit =
-      negative ? (1ull << 63) : (1ull << 63) - 1;
-  if (magnitude > limit) {
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), magnitude);
+  const bool all_digits = ptr == digits.data() + digits.size();
+  if (ec == std::errc::result_out_of_range) {
     return Status::Corruption("int64 overflow: '" + std::string(text) + "'");
   }
-  // Negate in the unsigned domain: INT64_MIN's magnitude (2^63) cannot be
-  // represented as a positive int64_t, so -static_cast<int64_t>(magnitude)
-  // would be UB for exactly that value.
-  return negative ? static_cast<int64_t>(0 - magnitude)
-                  : static_cast<int64_t>(magnitude);
+  if (all_digits && ec == std::errc()) {
+    const uint64_t limit = negative ? (1ull << 63) : (1ull << 63) - 1;
+    if (magnitude > limit) {
+      return Status::Corruption("int64 overflow: '" + std::string(text) +
+                                "'");
+    }
+  }
+  return Status::Corruption("invalid int64: '" + std::string(text) + "'");
 }
 
 Result<double> ParseDouble(std::string_view text) {
   if (text.empty()) return Status::Corruption("empty double field");
-  // strtod needs NUL termination; fields are short so a stack copy is fine.
-  char buf[64];
-  if (text.size() >= sizeof(buf)) {
-    return Status::Corruption("double field too long");
+  double value = 0;
+  if (TryParseDouble(text.data(), text.data() + text.size(), &value)) {
+    return value;
   }
-  std::copy(text.begin(), text.end(), buf);
-  buf[text.size()] = '\0';
-  char* end = nullptr;
-  const double value = std::strtod(buf, &end);
-  if (end != buf + text.size()) {
-    return Status::Corruption("invalid double: '" + std::string(text) + "'");
-  }
-  return value;
+  return Status::Corruption("invalid double: '" + std::string(text) + "'");
 }
 
 namespace {
-
-// Parses one field into `out`; returns a Status on malformed input.
-Status AppendField(std::string_view text, FieldType type, ColumnVector* out) {
-  switch (type) {
-    case FieldType::kUint32: {
-      auto v = ParseUint32(text);
-      if (!v.ok()) return v.status();
-      out->AppendUint32(*v);
-      return Status::OK();
-    }
-    case FieldType::kInt64: {
-      auto v = ParseInt64(text);
-      if (!v.ok()) return v.status();
-      out->AppendInt64(*v);
-      return Status::OK();
-    }
-    case FieldType::kDouble: {
-      auto v = ParseDouble(text);
-      if (!v.ok()) return v.status();
-      out->AppendDouble(*v);
-      return Status::OK();
-    }
-    case FieldType::kString:
-      out->AppendString(text);
-      return Status::OK();
-  }
-  return Status::Internal("unknown field type");
-}
 
 Result<int64_t> ParseNumeric(std::string_view text, FieldType type) {
   switch (type) {
@@ -122,6 +142,124 @@ Result<int64_t> ParseNumeric(std::string_view text, FieldType type) {
   }
   return Status::InvalidArgument("push-down filter on non-numeric column");
 }
+
+// Builds the full error for a field the Try* fast path rejected: the
+// classified scalar message (reproduced via the Result-returning parser)
+// wrapped with chunk/row/col context. Only runs after a parse has already
+// failed, so the hot loops stay allocation-free.
+Status FieldError(const TextChunk& chunk, size_t r, size_t c,
+                  std::string_view field, FieldType type) {
+  Status s = [&]() -> Status {
+    switch (type) {
+      case FieldType::kUint32:
+        return ParseUint32(field).status();
+      case FieldType::kInt64:
+        return ParseInt64(field).status();
+      case FieldType::kDouble:
+        return ParseDouble(field).status();
+      case FieldType::kString:
+        break;
+    }
+    return Status::Internal("unknown field type");
+  }();
+  return Status(
+      s.code(),
+      StringPrintf("chunk %llu row %zu col %zu: ",
+                   static_cast<unsigned long long>(chunk.chunk_index), r, c) +
+          std::string(s.message()));
+}
+
+// Converts `bn` selected rows starting at selection index `b0` of column
+// `c` in one typed loop, templated on a span provider `span(i, &r, &s, &e)`
+// so the compact fast path (hoisted row stride, loop-invariant end
+// adjustment) and the generic path share the per-type bodies. The type
+// switch runs once per block instead of once per field, and fixed-width
+// output lands in a single bulk-resized block.
+template <typename SpanFn>
+Status ParseBlockTyped(const TextChunk& chunk, size_t c, FieldType type,
+                       size_t bn, ColumnVector* out, SpanFn span) {
+  const std::string_view data(chunk.data);
+  const char* base = data.data();
+  size_t r = 0;
+  uint32_t s = 0;
+  uint32_t e = 0;
+  switch (type) {
+    case FieldType::kUint32: {
+      uint32_t* dst = out->AppendUint32Block(bn);
+      for (size_t i = 0; i < bn; ++i) {
+        span(i, &r, &s, &e);
+        if (!TryParseUint32(base + s, base + e, &dst[i])) {
+          return FieldError(chunk, r, c, data.substr(s, e - s), type);
+        }
+      }
+      return Status::OK();
+    }
+    case FieldType::kInt64: {
+      int64_t* dst = out->AppendInt64Block(bn);
+      for (size_t i = 0; i < bn; ++i) {
+        span(i, &r, &s, &e);
+        if (!TryParseInt64(base + s, base + e, &dst[i])) {
+          return FieldError(chunk, r, c, data.substr(s, e - s), type);
+        }
+      }
+      return Status::OK();
+    }
+    case FieldType::kDouble: {
+      double* dst = out->AppendDoubleBlock(bn);
+      for (size_t i = 0; i < bn; ++i) {
+        span(i, &r, &s, &e);
+        if (!TryParseDouble(base + s, base + e, &dst[i])) {
+          return FieldError(chunk, r, c, data.substr(s, e - s), type);
+        }
+      }
+      return Status::OK();
+    }
+    case FieldType::kString: {
+      for (size_t i = 0; i < bn; ++i) {
+        span(i, &r, &s, &e);
+        out->AppendString(data.substr(s, e - s));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown field type");
+}
+
+// One block of one column. `sel` lists the surviving row indexes (null =
+// all rows); `b0` is the block's first selection index.
+Status ParseColumnBlock(const TextChunk& chunk, const PositionalMap& map,
+                        size_t c, FieldType type, const uint32_t* sel,
+                        size_t b0, size_t bn, ColumnVector* out) {
+  if (!map.explicit_ends() && sel == nullptr) {
+    // Compact unfiltered fast path: rows are consecutive, so the slot
+    // pointer advances by a fixed stride, and whether the field end needs
+    // the delimiter-byte adjustment is a per-column constant.
+    const size_t stride = map.fields_per_row() + 1;
+    const uint32_t* slot = map.RowData(b0) + c;
+    const uint32_t adj = (c + 1 == map.fields_per_row()) ? 0 : 1;
+    return ParseBlockTyped(
+        chunk, c, type, bn, out,
+        [=](size_t i, size_t* r, uint32_t* s, uint32_t* e) {
+          *r = b0 + i;
+          const uint32_t* p = slot + i * stride;
+          *s = p[0];
+          *e = p[1] - adj;
+        });
+  }
+  return ParseBlockTyped(chunk, c, type, bn, out,
+                         [&map, sel, c, b0](size_t i, size_t* r, uint32_t* s,
+                                            uint32_t* e) {
+                           *r = sel != nullptr ? sel[b0 + i] : b0 + i;
+                           *s = map.FieldStart(*r, c);
+                           *e = map.FieldEnd(*r, c);
+                         });
+}
+
+// Rows per processing block: columns are parsed block-at-a-time so the
+// text and map bytes a block touches stay cache-resident while every
+// projected column walks them (a whole wide chunk would be re-streamed
+// from memory once per column otherwise).
+constexpr size_t kParseRowBlock = 512;
 
 }  // namespace
 
@@ -158,43 +296,70 @@ Result<BinaryChunk> ParseChunk(const TextChunk& chunk,
   }
 
   const std::string_view data(chunk.data);
-  BinaryChunk out(chunk.chunk_index);
-  std::vector<ColumnVector> vectors;
-  vectors.reserve(cols.size());
-  for (size_t c : cols) {
-    vectors.emplace_back(schema.column(c).type);
-    vectors.back().Reserve(chunk.num_rows());
-  }
+  const size_t num_rows = chunk.num_rows();
 
-  for (size_t r = 0; r < chunk.num_rows(); ++r) {
-    if (options.pushdown.has_value()) {
-      const auto& pd = *options.pushdown;
-      const std::string_view field = data.substr(
-          map.FieldStart(r, pd.column),
-          map.FieldEnd(r, pd.column) - map.FieldStart(r, pd.column));
-      auto v = ParseNumeric(field, schema.column(pd.column).type);
-      if (!v.ok()) return v.status();
-      if (*v < pd.min_value || *v > pd.max_value) continue;
-    }
-    for (size_t i = 0; i < cols.size(); ++i) {
-      const size_t c = cols[i];
-      const std::string_view field =
-          data.substr(map.FieldStart(r, c),
-                      map.FieldEnd(r, c) - map.FieldStart(r, c));
-      Status s = AppendField(field, schema.column(c).type, &vectors[i]);
-      if (!s.ok()) {
-        return Status(s.code(),
-                      StringPrintf("chunk %llu row %zu col %zu: ",
-                                   static_cast<unsigned long long>(
-                                       chunk.chunk_index),
-                                   r, c) +
-                          std::string(s.message()));
+  // Push-down selection first (§2): one typed pass over the predicate
+  // column produces the row selection every projected column then honors.
+  std::vector<uint32_t> selected;
+  const bool filtered = options.pushdown.has_value();
+  if (filtered) {
+    const auto& pd = *options.pushdown;
+    const FieldType pt = schema.column(pd.column).type;
+    const char* base = data.data();
+    selected.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      const uint32_t s = map.FieldStart(r, pd.column);
+      const uint32_t e = map.FieldEnd(r, pd.column);
+      int64_t value = 0;
+      bool parsed = false;
+      switch (pt) {
+        case FieldType::kUint32: {
+          uint32_t v = 0;
+          parsed = TryParseUint32(base + s, base + e, &v);
+          value = static_cast<int64_t>(v);
+          break;
+        }
+        case FieldType::kInt64:
+          parsed = TryParseInt64(base + s, base + e, &value);
+          break;
+        case FieldType::kDouble: {
+          double v = 0;
+          parsed = TryParseDouble(base + s, base + e, &v);
+          value = static_cast<int64_t>(v);
+          break;
+        }
+        case FieldType::kString:
+          break;  // rejected by validation above
+      }
+      if (!parsed) return ParseNumeric(data.substr(s, e - s), pt).status();
+      if (value >= pd.min_value && value <= pd.max_value) {
+        selected.push_back(static_cast<uint32_t>(r));
       }
     }
   }
+  const uint32_t* sel = filtered ? selected.data() : nullptr;
+  const size_t out_rows = filtered ? selected.size() : num_rows;
 
-  for (size_t i = 0; i < cols.size(); ++i) {
-    SCANRAW_RETURN_IF_ERROR(out.AddColumn(cols[i], std::move(vectors[i])));
+  std::vector<ColumnVector> vectors;
+  vectors.reserve(cols.size());
+  for (size_t c : cols) {
+    ColumnVector vec(schema.column(c).type);
+    if (options.recycler != nullptr) vec.AdoptBuffersFrom(options.recycler);
+    vec.Reserve(out_rows);
+    vectors.push_back(std::move(vec));
+  }
+  for (size_t b0 = 0; b0 < out_rows; b0 += kParseRowBlock) {
+    const size_t bn = std::min(kParseRowBlock, out_rows - b0);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      SCANRAW_RETURN_IF_ERROR(ParseColumnBlock(chunk, map, cols[j],
+                                               schema.column(cols[j]).type,
+                                               sel, b0, bn, &vectors[j]));
+    }
+  }
+
+  BinaryChunk out(chunk.chunk_index);
+  for (size_t j = 0; j < cols.size(); ++j) {
+    SCANRAW_RETURN_IF_ERROR(out.AddColumn(cols[j], std::move(vectors[j])));
   }
   if (out.num_columns() > 0 && out.num_rows() == 0) {
     // All rows filtered out: keep an explicit zero-row chunk.

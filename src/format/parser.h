@@ -30,6 +30,9 @@ struct ParseOptions {
   // covered by the positional map.
   std::vector<size_t> projected_columns;
   std::optional<PushdownFilter> pushdown;
+  // When set, output columns draw their backing buffers from here instead
+  // of allocating fresh ones (see ChunkBufferPool). May be null.
+  ColumnBufferSource* recycler = nullptr;
 };
 
 // Parses the projected columns of `chunk` into a BinaryChunk. When a
@@ -45,6 +48,15 @@ Result<BinaryChunk> ParseChunk(const TextChunk& chunk,
 Result<uint32_t> ParseUint32(std::string_view text);
 Result<int64_t> ParseInt64(std::string_view text);
 Result<double> ParseDouble(std::string_view text);
+
+// Allocation-free variants used by the columnar hot loops: parse [first,
+// last) and return false on any malformed input without building an error
+// string (the caller classifies the failure only after it happens, via the
+// Result-returning functions above). Built on std::from_chars — no stack
+// copy, no field-length limit, locale-independent.
+bool TryParseUint32(const char* first, const char* last, uint32_t* out);
+bool TryParseInt64(const char* first, const char* last, int64_t* out);
+bool TryParseDouble(const char* first, const char* last, double* out);
 
 }  // namespace scanraw
 

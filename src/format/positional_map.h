@@ -58,6 +58,18 @@ class PositionalMap {
     offsets_[r * SlotsPerRow() + slot] = offset;
   }
 
+  // Compact layout only: direct pointer to row `r`'s slot array
+  // (fields_per_row + 1 entries). The tokenizer bulk-writes a whole row of
+  // field starts here in one multi-match scan.
+  uint32_t* MutableRow(size_t r) { return offsets_.data() + r * SlotsPerRow(); }
+
+  // Compact layout only: read-side counterpart of MutableRow. The parser's
+  // per-column loops walk rows through this with a hoisted stride instead
+  // of paying FieldStart/FieldEnd's index arithmetic per field.
+  const uint32_t* RowData(size_t r) const {
+    return offsets_.data() + r * SlotsPerRow();
+  }
+
   // Explicit-ends layout only: records one field's span.
   void SetSpan(size_t r, size_t f, uint32_t start, uint32_t end) {
     offsets_[r * SlotsPerRow() + 2 * f] = start;

@@ -7,7 +7,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/byte_scan.h"
 
 namespace scanraw {
 
@@ -38,24 +41,45 @@ struct TextChunk {
   }
 };
 
-// Builds a TextChunk from raw bytes by locating line starts. Used by READ
-// and by tests; `data` should end at a line boundary (a trailing newline is
-// optional on the final line).
-inline TextChunk MakeTextChunk(std::string data, uint64_t chunk_index = 0,
+// Fills `starts` with the line-start offsets of `data` (cleared first): 0,
+// then one past every '\n' that is not the final byte. Bulk scan — the whole
+// buffer is covered in one multi-match pass instead of one find per line.
+inline void FindLineStarts(std::string_view data,
+                           std::vector<uint32_t>* starts) {
+  starts->clear();
+  if (data.empty()) return;
+  starts->push_back(0);
+  bytescan::FindAll(data.data(), 0, data.size(), '\n', data.size(),
+                    /*bias=*/1, starts);
+  // A newline as the final byte terminates the last line without opening a
+  // new one.
+  if (starts->back() == data.size()) starts->pop_back();
+}
+
+// Builds a TextChunk from raw bytes plus line starts the caller already
+// located (the READ chunker finds them while sizing the chunk — handing
+// them over avoids scanning the same bytes twice).
+inline TextChunk MakeTextChunk(std::string data,
+                               std::vector<uint32_t> line_starts,
+                               uint64_t chunk_index = 0,
                                uint64_t file_offset = 0) {
   TextChunk chunk;
   chunk.chunk_index = chunk_index;
   chunk.file_offset = file_offset;
   chunk.data = std::move(data);
-  const std::string& d = chunk.data;
-  size_t pos = 0;
-  while (pos < d.size()) {
-    chunk.line_starts.push_back(static_cast<uint32_t>(pos));
-    const size_t nl = d.find('\n', pos);
-    if (nl == std::string::npos) break;
-    pos = nl + 1;
-  }
+  chunk.line_starts = std::move(line_starts);
   return chunk;
+}
+
+// Builds a TextChunk from raw bytes by locating line starts. Used by READ
+// and by tests; `data` should end at a line boundary (a trailing newline is
+// optional on the final line).
+inline TextChunk MakeTextChunk(std::string data, uint64_t chunk_index = 0,
+                               uint64_t file_offset = 0) {
+  std::vector<uint32_t> starts;
+  FindLineStarts(data, &starts);
+  return MakeTextChunk(std::move(data), std::move(starts), chunk_index,
+                       file_offset);
 }
 
 }  // namespace scanraw

@@ -1,7 +1,6 @@
 #include "format/tokenizer.h"
 
-#include <cstring>
-
+#include "common/byte_scan.h"
 #include "common/string_util.h"
 
 namespace scanraw {
@@ -14,10 +13,10 @@ uint32_t LineEnd(const TextChunk& chunk, size_t r) {
                      ? chunk.line_starts[r + 1]
                      : static_cast<uint32_t>(chunk.data.size());
   const std::string& d = chunk.data;
-  while (end > chunk.line_starts[r] &&
-         (d[end - 1] == '\n' || d[end - 1] == '\r')) {
-    --end;
-  }
+  // A line carries at most one '\n' (it is the split byte), possibly
+  // preceded by '\r's.
+  if (end > chunk.line_starts[r] && d[end - 1] == '\n') --end;
+  while (end > chunk.line_starts[r] && d[end - 1] == '\r') --end;
   return end;
 }
 
@@ -34,34 +33,31 @@ Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
   PositionalMap map(chunk.num_rows(), fields);
 
   for (size_t r = 0; r < chunk.num_rows(); ++r) {
-    uint32_t pos = chunk.line_starts[r];
+    const uint32_t start = chunk.line_starts[r];
     const uint32_t end = LineEnd(chunk, r);
-    map.Set(r, 0, pos);
-    for (size_t f = 1; f < fields; ++f) {
-      // memchr beats a hand-rolled loop for long fields and matches it for
-      // short ones.
-      const char* hit = static_cast<const char*>(
-          std::memchr(data + pos, delim, end - pos));
-      if (hit == nullptr) {
-        return Status::Corruption(StringPrintf(
-            "chunk %llu row %zu: expected %zu fields, found %zu",
-            static_cast<unsigned long long>(chunk.chunk_index), r, fields, f));
-      }
-      pos = static_cast<uint32_t>(hit - data) + 1;
-      map.Set(r, f, pos);
+    // One bulk scan per row: every delimiter hit writes the next field's
+    // start (bias 1) straight into the row's slot array, and the overflow
+    // match doubles as the end-of-last-field / extra-field probe.
+    uint32_t* slots = map.MutableRow(r);
+    slots[0] = start;
+    size_t next = bytescan::kNpos;
+    const size_t found = bytescan::FindN(data, start, end, delim, slots + 1,
+                                         fields - 1, /*bias=*/1, &next);
+    if (found < fields - 1) {
+      return Status::Corruption(StringPrintf(
+          "chunk %llu row %zu: expected %zu fields, found %zu",
+          static_cast<unsigned long long>(chunk.chunk_index), r, fields,
+          found + 1));
     }
-    // End of the last tokenized field: next delimiter or end of line.
-    const char* hit =
-        static_cast<const char*>(std::memchr(data + pos, delim, end - pos));
-    uint32_t last_end = (hit != nullptr && fields < options.schema_fields)
-                            ? static_cast<uint32_t>(hit - data)
-                            : end;
-    if (hit != nullptr && fields == options.schema_fields) {
+    if (next != bytescan::kNpos && fields == options.schema_fields) {
       return Status::Corruption(StringPrintf(
           "chunk %llu row %zu: more fields than the %zu in the schema",
           static_cast<unsigned long long>(chunk.chunk_index), r, fields));
     }
-    map.Set(r, fields, last_end);
+    // End of the last tokenized field: next delimiter or end of line.
+    slots[fields] = (next != bytescan::kNpos && fields < options.schema_fields)
+                        ? static_cast<uint32_t>(next)
+                        : end;
   }
   return map;
 }
@@ -107,9 +103,8 @@ Result<PositionalMap> ExtendTokenizeMap(const TextChunk& chunk,
       }
       const uint32_t start = field_end + 1;  // skip the delimiter
       map.Set(r, f, start);
-      const char* hit = static_cast<const char*>(
-          std::memchr(data + start, delim, end - start));
-      field_end = hit == nullptr ? end : static_cast<uint32_t>(hit - data);
+      const size_t hit = bytescan::FindByte(data, start, end, delim);
+      field_end = hit == bytescan::kNpos ? end : static_cast<uint32_t>(hit);
     }
     if (fields == options.schema_fields && field_end != end) {
       return Status::Corruption(StringPrintf(

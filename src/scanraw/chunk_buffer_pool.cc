@@ -1,0 +1,132 @@
+#include "scanraw/chunk_buffer_pool.h"
+
+#include <utility>
+
+namespace scanraw {
+
+namespace {
+
+// Acquire/release over one free list. Buffers come back cleared but with
+// their capacity intact; releases past the cap and buffers holding no heap
+// allocation (capacity no better than a fresh buffer's — for std::string
+// that means within the SSO size) are dropped on the floor.
+template <typename Buffer>
+bool PopBuffer(std::vector<Buffer>* list, Buffer* out) {
+  if (list->empty()) return false;
+  *out = std::move(list->back());
+  list->pop_back();
+  return true;
+}
+
+template <typename Buffer>
+void PushBuffer(std::vector<Buffer>* list, Buffer buffer, size_t max_pooled) {
+  if (buffer.capacity() <= Buffer().capacity() || list->size() >= max_pooled) {
+    return;
+  }
+  buffer.clear();
+  list->push_back(std::move(buffer));
+}
+
+}  // namespace
+
+void ChunkBufferPool::UpdateIdle() {
+  if (idle_ != nullptr) {
+    idle_->Set(static_cast<int64_t>(fixed_.size() + strings_.size() +
+                                    offsets_.size()));
+  }
+}
+
+std::vector<uint8_t> ChunkBufferPool::AcquireFixed() {
+  std::vector<uint8_t> buffer;
+  bool hit = false;
+  {
+    MutexLock lock(mu_);
+    hit = PopBuffer(&fixed_, &buffer);
+    UpdateIdle();
+  }
+  if (hit && hits_ != nullptr) hits_->Add();
+  if (!hit && misses_ != nullptr) misses_->Add();
+  return buffer;
+}
+
+std::string ChunkBufferPool::AcquireString() {
+  std::string buffer;
+  bool hit = false;
+  {
+    MutexLock lock(mu_);
+    hit = PopBuffer(&strings_, &buffer);
+    UpdateIdle();
+  }
+  if (hit && hits_ != nullptr) hits_->Add();
+  if (!hit && misses_ != nullptr) misses_->Add();
+  return buffer;
+}
+
+std::vector<uint32_t> ChunkBufferPool::AcquireOffsets() {
+  std::vector<uint32_t> buffer;
+  bool hit = false;
+  {
+    MutexLock lock(mu_);
+    hit = PopBuffer(&offsets_, &buffer);
+    UpdateIdle();
+  }
+  if (hit && hits_ != nullptr) hits_->Add();
+  if (!hit && misses_ != nullptr) misses_->Add();
+  return buffer;
+}
+
+void ChunkBufferPool::ReleaseFixed(std::vector<uint8_t> buffer) {
+  MutexLock lock(mu_);
+  PushBuffer(&fixed_, std::move(buffer), max_pooled_);
+  UpdateIdle();
+}
+
+void ChunkBufferPool::ReleaseString(std::string buffer) {
+  MutexLock lock(mu_);
+  PushBuffer(&strings_, std::move(buffer), max_pooled_);
+  UpdateIdle();
+}
+
+void ChunkBufferPool::ReleaseOffsets(std::vector<uint32_t> buffer) {
+  MutexLock lock(mu_);
+  PushBuffer(&offsets_, std::move(buffer), max_pooled_);
+  UpdateIdle();
+}
+
+void ChunkBufferPool::ReleaseText(TextChunk* chunk) {
+  ReleaseString(std::move(chunk->data));
+  ReleaseOffsets(std::move(chunk->line_starts));
+  chunk->data.clear();
+  chunk->line_starts.clear();
+}
+
+size_t ChunkBufferPool::idle_buffers() const {
+  MutexLock lock(mu_);
+  return fixed_.size() + strings_.size() + offsets_.size();
+}
+
+std::shared_ptr<TextChunk> ChunkBufferPool::WrapText(
+    TextChunk chunk, std::shared_ptr<ChunkBufferPool> pool) {
+  if (pool == nullptr) return std::make_shared<TextChunk>(std::move(chunk));
+  auto* raw = new TextChunk(std::move(chunk));
+  return std::shared_ptr<TextChunk>(
+      raw, [pool = std::move(pool)](TextChunk* c) {
+        pool->ReleaseText(c);
+        delete c;
+      });
+}
+
+BinaryChunkPtr ChunkBufferPool::WrapChunk(
+    BinaryChunk chunk, std::shared_ptr<ChunkBufferPool> pool) {
+  if (pool == nullptr) {
+    return std::make_shared<const BinaryChunk>(std::move(chunk));
+  }
+  auto* raw = new BinaryChunk(std::move(chunk));
+  return BinaryChunkPtr(raw, [pool = std::move(pool)](const BinaryChunk* c) {
+    auto* mut = const_cast<BinaryChunk*>(c);
+    mut->ReleaseBuffersTo(pool.get());
+    delete mut;
+  });
+}
+
+}  // namespace scanraw

@@ -1,0 +1,92 @@
+// ChunkBufferPool: recycles the large allocations of the READ→TOKENIZE→
+// PARSE pipeline — TextChunk text buffers, line-start vectors, and
+// ColumnVector backing arrays — so steady-state chunk processing reuses
+// capacity instead of round-tripping every chunk's buffers through the
+// allocator. Buffers are returned when the last reference to a chunk drops
+// (see WrapText / WrapChunk) and handed out again by the READ chunker and
+// the parser (via ParseOptions::recycler).
+#ifndef SCANRAW_SCANRAW_CHUNK_BUFFER_POOL_H_
+#define SCANRAW_SCANRAW_CHUNK_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/binary_chunk.h"
+#include "common/thread_annotations.h"
+#include "format/text_chunk.h"
+#include "obs/metrics.h"
+
+namespace scanraw {
+
+// Thread-safe. One pool serves all pipeline stages of a query; the free
+// lists are keyed only by buffer kind (raw text and string arenas share the
+// std::string list) because capacity transfers across roles for free.
+class ChunkBufferPool : public ColumnBufferSource {
+ public:
+  // At most `max_pooled_per_kind` idle buffers are retained per free list;
+  // releases beyond that are dropped on the floor (freed).
+  explicit ChunkBufferPool(size_t max_pooled_per_kind = 64)
+      : max_pooled_(max_pooled_per_kind) {}
+
+  // Optional observability hookup; call before the pool is shared across
+  // threads. `hits` counts acquires served from a free list, `misses`
+  // acquires that fell through to a fresh buffer, `idle` tracks the total
+  // number of pooled buffers.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Gauge* idle) {
+    hits_ = hits;
+    misses_ = misses;
+    idle_ = idle;
+  }
+
+  // -- ColumnBufferSource --
+  std::vector<uint8_t> AcquireFixed() override EXCLUDES(mu_);
+  std::string AcquireString() override EXCLUDES(mu_);
+  std::vector<uint32_t> AcquireOffsets() override EXCLUDES(mu_);
+  void ReleaseFixed(std::vector<uint8_t> buffer) override EXCLUDES(mu_);
+  void ReleaseString(std::string buffer) override EXCLUDES(mu_);
+  void ReleaseOffsets(std::vector<uint32_t> buffer) override EXCLUDES(mu_);
+
+  // Text buffers ride the same free lists: a chunk's raw bytes are a
+  // std::string and its line starts a uint32 vector.
+  std::string AcquireText() EXCLUDES(mu_) { return AcquireString(); }
+  std::vector<uint32_t> AcquireLineStarts() EXCLUDES(mu_) {
+    return AcquireOffsets();
+  }
+  // Takes the chunk's buffers back; the chunk is empty afterwards.
+  void ReleaseText(TextChunk* chunk) EXCLUDES(mu_);
+
+  size_t idle_buffers() const EXCLUDES(mu_);
+
+  // Wraps a TextChunk so its buffers return to `pool` when the last
+  // reference drops — the chunk is shared by TOKENIZE and PARSE, and only
+  // the final release may recycle it. A null pool degrades to plain
+  // make_shared.
+  static std::shared_ptr<TextChunk> WrapText(
+      TextChunk chunk, std::shared_ptr<ChunkBufferPool> pool);
+
+  // Same for a parsed BinaryChunk handed to the engine/cache: the consumer
+  // holds an ordinary BinaryChunkPtr and the columns' backing arrays come
+  // home when it lets go.
+  static BinaryChunkPtr WrapChunk(BinaryChunk chunk,
+                                  std::shared_ptr<ChunkBufferPool> pool);
+
+ private:
+  void UpdateIdle() REQUIRES(mu_);
+
+  const size_t max_pooled_;
+  obs::Counter* hits_ = nullptr;    // set once before concurrent use
+  obs::Counter* misses_ = nullptr;
+  obs::Gauge* idle_ = nullptr;
+
+  mutable Mutex mu_;
+  std::vector<std::vector<uint8_t>> fixed_ GUARDED_BY(mu_);
+  std::vector<std::string> strings_ GUARDED_BY(mu_);
+  std::vector<std::vector<uint32_t>> offsets_ GUARDED_BY(mu_);
+};
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_SCANRAW_CHUNK_BUFFER_POOL_H_

@@ -63,6 +63,11 @@ struct ScanRawOptions {
   size_t position_buffer_capacity = 8;
   size_t output_buffer_capacity = 8;
 
+  // Recycle chunk text buffers and column arrays through a per-operator
+  // ChunkBufferPool, so steady-state pipeline iterations reuse capacity
+  // instead of allocating per chunk. Exposed for the ablation bench.
+  bool reuse_buffers = true;
+
   // Binary chunk cache capacity, in chunks (0 disables caching).
   size_t cache_capacity_chunks = 32;
   // Evict already-loaded chunks first (the paper's biased LRU). Exposed so

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/byte_scan.h"
 #include "common/string_util.h"
+#include "scanraw/chunk_buffer_pool.h"
 
 namespace scanraw {
 
@@ -12,34 +14,37 @@ constexpr size_t kReadBlockBytes = 1 << 20;  // 1 MB sequential read unit
 
 Result<std::unique_ptr<SequentialChunker>> SequentialChunker::Open(
     const std::string& path, uint64_t chunk_rows, RateLimiter* limiter,
-    IoStats* stats) {
+    IoStats* stats, ChunkBufferPool* pool) {
   if (chunk_rows == 0) {
     return Status::InvalidArgument("chunk_rows must be > 0");
   }
   auto file = RandomAccessFile::Open(path, limiter, stats);
   if (!file.ok()) return file.status();
   return std::unique_ptr<SequentialChunker>(
-      new SequentialChunker(std::move(*file), chunk_rows));
+      new SequentialChunker(std::move(*file), chunk_rows, pool));
 }
 
 SequentialChunker::SequentialChunker(std::unique_ptr<RandomAccessFile> file,
-                                     uint64_t chunk_rows)
-    : file_(std::move(file)), chunk_rows_(chunk_rows) {}
+                                     uint64_t chunk_rows,
+                                     ChunkBufferPool* pool)
+    : file_(std::move(file)), chunk_rows_(chunk_rows), pool_(pool) {}
 
 Result<std::optional<TextChunk>> SequentialChunker::Next() {
-  std::string data = std::move(carry_);
-  carry_.clear();
-  uint64_t lines = 0;
-  size_t scan_from = 0;
-  // Count complete lines already in `data` (carry can hold several when
-  // chunk_rows is tiny).
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (data[i] == '\n') {
-      ++lines;
-      scan_from = i + 1;
-      if (lines >= chunk_rows_) break;
-    }
+  std::string data;
+  if (pool_ != nullptr) {
+    // Recycled buffer; the carry (usually a partial line) is copied in.
+    data = pool_->AcquireText();
+    data.assign(carry_);
+  } else {
+    data = std::move(carry_);
   }
+  carry_.clear();
+  newline_scratch_.clear();
+
+  // One bulk scan per byte range: newline positions land in the scratch
+  // vector, which both sizes the chunk and becomes its line starts below.
+  uint64_t lines = bytescan::FindAll(data.data(), 0, data.size(), '\n',
+                                     chunk_rows_, 0, &newline_scratch_);
   while (lines < chunk_rows_ && !eof_) {
     const size_t old = data.size();
     data.resize(old + kReadBlockBytes);
@@ -51,35 +56,48 @@ Result<std::optional<TextChunk>> SequentialChunker::Next() {
       eof_ = true;
       break;
     }
-    for (size_t i = old; i < data.size(); ++i) {
-      if (data[i] == '\n') {
-        ++lines;
-        scan_from = i + 1;
-        if (lines >= chunk_rows_) break;
-      }
-    }
+    lines += bytescan::FindAll(data.data(), old, data.size(), '\n',
+                               chunk_rows_ - lines, 0, &newline_scratch_);
   }
 
   size_t cut = data.size();
   if (lines >= chunk_rows_) {
-    cut = scan_from;
+    cut = static_cast<size_t>(newline_scratch_[chunk_rows_ - 1]) + 1;
   } else if (eof_ && !data.empty() && data.back() != '\n') {
     ++lines;  // final unterminated line
   }
-  carry_ = data.substr(cut);
+  carry_.assign(data, cut, std::string::npos);
   data.resize(cut);
-  if (data.empty()) return std::optional<TextChunk>();
+  if (data.empty()) {
+    if (pool_ != nullptr) pool_->ReleaseString(std::move(data));
+    return std::optional<TextChunk>();
+  }
 
-  const uint64_t offset =
-      file_pos_ - carry_.size() - data.size();
-  TextChunk chunk = MakeTextChunk(std::move(data), next_chunk_index_, offset);
+  // Line starts from the newline positions already in hand: 0, then one past
+  // every newline except a final-byte terminator.
+  std::vector<uint32_t> starts;
+  if (pool_ != nullptr) starts = pool_->AcquireLineStarts();
+  starts.clear();
+  starts.push_back(0);
+  for (const uint32_t nl : newline_scratch_) {
+    const size_t next_line = static_cast<size_t>(nl) + 1;
+    if (next_line >= cut) break;
+    starts.push_back(static_cast<uint32_t>(next_line));
+  }
+
+  const uint64_t offset = file_pos_ - carry_.size() - data.size();
+  TextChunk chunk = MakeTextChunk(std::move(data), std::move(starts),
+                                  next_chunk_index_, offset);
   ++next_chunk_index_;
   return std::optional<TextChunk>(std::move(chunk));
 }
 
 Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
-                              const ChunkMetadata& meta) {
-  std::string data(meta.raw_size, '\0');
+                              const ChunkMetadata& meta,
+                              ChunkBufferPool* pool) {
+  std::string data;
+  if (pool != nullptr) data = pool->AcquireText();
+  data.resize(meta.raw_size);
   auto n = file.ReadAt(meta.raw_offset, meta.raw_size, data.data());
   if (!n.ok()) return n.status();
   if (*n != meta.raw_size) {
@@ -88,8 +106,11 @@ Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
         static_cast<unsigned long long>(meta.chunk_index), *n,
         static_cast<unsigned long long>(meta.raw_size)));
   }
-  TextChunk chunk =
-      MakeTextChunk(std::move(data), meta.chunk_index, meta.raw_offset);
+  std::vector<uint32_t> starts;
+  if (pool != nullptr) starts = pool->AcquireLineStarts();
+  FindLineStarts(data, &starts);
+  TextChunk chunk = MakeTextChunk(std::move(data), std::move(starts),
+                                  meta.chunk_index, meta.raw_offset);
   if (chunk.num_rows() != meta.num_rows) {
     return Status::Corruption(StringPrintf(
         "chunk %llu: expected %llu rows, found %zu",

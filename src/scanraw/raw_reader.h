@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "db/catalog.h"
@@ -15,15 +16,19 @@
 namespace scanraw {
 
 class RateLimiter;
+class ChunkBufferPool;
 
 // Splits a raw file sequentially into chunks of `chunk_rows` complete lines,
 // recording each chunk's byte extent for the catalog. Single-threaded (used
-// only by the READ thread).
+// only by the READ thread). When `pool` is set, chunk text buffers and
+// line-start vectors are drawn from it (and return to it when the consumer
+// releases the chunk).
 class SequentialChunker {
  public:
   static Result<std::unique_ptr<SequentialChunker>> Open(
       const std::string& path, uint64_t chunk_rows,
-      RateLimiter* limiter = nullptr, IoStats* stats = nullptr);
+      RateLimiter* limiter = nullptr, IoStats* stats = nullptr,
+      ChunkBufferPool* pool = nullptr);
 
   // Returns the next chunk, or nullopt at end of file.
   Result<std::optional<TextChunk>> Next();
@@ -32,19 +37,22 @@ class SequentialChunker {
 
  private:
   SequentialChunker(std::unique_ptr<RandomAccessFile> file,
-                    uint64_t chunk_rows);
+                    uint64_t chunk_rows, ChunkBufferPool* pool);
 
   std::unique_ptr<RandomAccessFile> file_;
   const uint64_t chunk_rows_;
+  ChunkBufferPool* const pool_;  // may be null
   uint64_t file_pos_ = 0;        // next byte to read from the file
   uint64_t next_chunk_index_ = 0;
   std::string carry_;            // bytes after the last complete line
+  std::vector<uint32_t> newline_scratch_;  // newline positions, reused
   bool eof_ = false;
 };
 
 // Re-reads one chunk of a file whose layout is already in the catalog.
 Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
-                              const ChunkMetadata& meta);
+                              const ChunkMetadata& meta,
+                              ChunkBufferPool* pool = nullptr);
 
 }  // namespace scanraw
 

@@ -261,9 +261,9 @@ struct ScanRaw::QueryRun::Impl {
   // First access to the file: sequential scan, chunk layout recorded into
   // the catalog as chunks are produced.
   void DiscoveryScan() {
-    auto chunker =
-        SequentialChunker::Open(meta.raw_path, parent->options_.chunk_rows,
-                                parent->raw_limiter_, &parent->raw_io_stats_);
+    auto chunker = SequentialChunker::Open(
+        meta.raw_path, parent->options_.chunk_rows, parent->raw_limiter_,
+        &parent->raw_io_stats_, parent->buffer_pool_.get());
     if (!chunker.ok()) {
       ReportError(chunker.status());
       return;
@@ -390,7 +390,7 @@ struct ScanRaw::QueryRun::Impl {
                                obs::TraceStage::kRead, obs::ChunkSource::kRaw,
                                cm->chunk_index);
         ScopedTimer timer(&parent->profile_.read_time);
-        auto read = ReadChunkAt(**file, *cm);
+        auto read = ReadChunkAt(**file, *cm, parent->buffer_pool_.get());
         if (!read.ok()) {
           ReportError(read.status());
           return;
@@ -416,7 +416,11 @@ struct ScanRaw::QueryRun::Impl {
 
     const bool use_map_cache = parent->options_.cache_positional_maps;
     while (auto item = text_q.Pop()) {
-      auto text = std::make_shared<TextChunk>(std::move(*item));
+      // The chunk is shared by the TOKENIZE and PARSE tasks; wrapping it
+      // through the pool returns its text buffer for reuse only when the
+      // last holder lets go.
+      auto text =
+          ChunkBufferPool::WrapText(std::move(*item), parent->buffer_pool_);
       // Positional map cache (§2): a cached map that already covers the
       // needed fields skips TOKENIZE outright; a partial one is extended
       // from its last mapped attribute.
@@ -481,6 +485,7 @@ struct ScanRaw::QueryRun::Impl {
   void ParseLoop() {
     ParseOptions popts;
     popts.projected_columns = required_columns;
+    popts.recycler = parent->buffer_pool_.get();
     if (PushdownActive()) {
       popts.pushdown = PushdownFilter{skip_filter->column, skip_filter->lo,
                                       skip_filter->hi};
@@ -507,8 +512,8 @@ struct ScanRaw::QueryRun::Impl {
         if (parsed.ok()) {
           progress.AddBytes(tokenized.text->data.size());
           progress.CountChunk();
-          DeliverConverted(std::make_shared<const BinaryChunk>(
-              std::move(*parsed)));
+          DeliverConverted(ChunkBufferPool::WrapChunk(std::move(*parsed),
+                                                      parent->buffer_pool_));
         } else {
           ReportError(parsed.status());
         }
@@ -680,6 +685,9 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
                            ? options.positional_map_cache_chunks
                            : 0),
       write_queue_(1 << 20) {
+  if (options_.reuse_buffers) {
+    buffer_pool_ = std::make_shared<ChunkBufferPool>();
+  }
   if (options_.telemetry != nullptr) {
     // Bind every registry mirror before the WRITE thread (or any query
     // pipeline) starts, so the hot paths read the pointers race-free.
@@ -688,6 +696,12 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
     positional_maps_.BindMetrics(registry.GetCounter("scanraw.posmap.hits"),
                                  registry.GetCounter("scanraw.posmap.misses"));
     options_.telemetry->tracer().SetLabel("scanraw:" + table_);
+    if (buffer_pool_ != nullptr) {
+      buffer_pool_->BindMetrics(
+          registry.GetCounter("scanraw.pool.buffer_hits"),
+          registry.GetCounter("scanraw.pool.buffer_misses"),
+          registry.GetGauge("scanraw.pool.idle_buffers"));
+    }
     cache_.BindMetrics(registry.GetCounter("scanraw.cache.hits"),
                        registry.GetCounter("scanraw.cache.misses"),
                        registry.GetCounter("scanraw.cache.evictions"),

@@ -31,6 +31,7 @@
 #include "obs/span_profiler.h"
 #include "obs/telemetry.h"
 #include "pipeline/bounded_queue.h"
+#include "scanraw/chunk_buffer_pool.h"
 #include "scanraw/chunk_cache.h"
 #include "scanraw/options.h"
 #include "scanraw/positional_map_cache.h"
@@ -288,6 +289,9 @@ class ScanRaw {
 
   ChunkCache cache_;
   PositionalMapCache positional_maps_;
+  // Buffer recycler shared by READ/PARSE and the chunk release paths; null
+  // when options.reuse_buffers is off. Set once in the constructor.
+  std::shared_ptr<ChunkBufferPool> buffer_pool_;
   TableSketches sketches_;
   // Chunks already folded into the sketches, so re-scans do not bias the
   // reservoir sample (the KMV sketch is naturally idempotent).

@@ -1,0 +1,181 @@
+// Tests for the bulk byte scanners behind TOKENIZE and the READ chunker.
+// The SIMD paths process 16/32 bytes per step, so the interesting inputs
+// sit at and around block boundaries; every case is also checked against a
+// naive per-byte reference.
+
+#include "common/byte_scan.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace scanraw {
+namespace bytescan {
+namespace {
+
+std::vector<size_t> NaiveFind(const std::string& s, size_t from, size_t end,
+                              char needle) {
+  std::vector<size_t> out;
+  for (size_t i = from; i < end; ++i) {
+    if (s[i] == needle) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(FindByteTest, BasicAndBoundaries) {
+  const std::string s = "abc,def,ghi";
+  EXPECT_EQ(FindByte(s.data(), 0, s.size(), ','), 3u);
+  EXPECT_EQ(FindByte(s.data(), 4, s.size(), ','), 7u);
+  EXPECT_EQ(FindByte(s.data(), 8, s.size(), ','), kNpos);
+  EXPECT_EQ(FindByte(s.data(), 0, s.size(), 'a'), 0u);
+  EXPECT_EQ(FindByte(s.data(), 0, s.size(), 'i'), s.size() - 1);
+  EXPECT_EQ(FindByte(s.data(), 5, 5, ','), kNpos);  // empty range
+  EXPECT_EQ(FindByte(s.data(), 7, 8, ','), 7u);     // one-byte range
+}
+
+TEST(FindEitherTest, FirstOfTwoNeedlesWins) {
+  // Long enough to exercise the 16-byte SIMD blocks plus the tail.
+  std::string s(50, 'x');
+  s[17] = 'b';
+  s[33] = 'a';
+  EXPECT_EQ(FindEither(s.data(), 0, s.size(), 'a', 'b'), 17u);
+  EXPECT_EQ(FindEither(s.data(), 18, s.size(), 'a', 'b'), 33u);
+  EXPECT_EQ(FindEither(s.data(), 34, s.size(), 'a', 'b'), kNpos);
+  EXPECT_EQ(FindEither(s.data(), 0, 0, 'a', 'b'), kNpos);
+  // Needle in the scalar tail after the last full block.
+  s[49] = 'a';
+  EXPECT_EQ(FindEither(s.data(), 34, s.size(), 'a', 'b'), 49u);
+}
+
+TEST(FindAnyOf4Test, AllFourNeedles) {
+  std::string s(70, '_');
+  s[5] = 'a';
+  s[20] = 'b';
+  s[40] = 'c';
+  s[69] = 'd';
+  EXPECT_EQ(FindAnyOf4(s.data(), 0, s.size(), 'a', 'b', 'c', 'd'), 5u);
+  EXPECT_EQ(FindAnyOf4(s.data(), 6, s.size(), 'a', 'b', 'c', 'd'), 20u);
+  EXPECT_EQ(FindAnyOf4(s.data(), 21, s.size(), 'a', 'b', 'c', 'd'), 40u);
+  EXPECT_EQ(FindAnyOf4(s.data(), 41, s.size(), 'a', 'b', 'c', 'd'), 69u);
+  EXPECT_EQ(FindAnyOf4(s.data(), 41, 69, 'a', 'b', 'c', 'd'), kNpos);
+}
+
+TEST(FindNTest, MatchesAtBlockBoundaries) {
+  // One match at each position around the SSE (16) and AVX (32) block
+  // edges; every one must be found with the right bias applied.
+  for (size_t at : {0u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u}) {
+    std::string s(80, 'x');
+    s[at] = ',';
+    uint32_t out[4] = {};
+    size_t next = 0;
+    const size_t n = FindN(s.data(), 0, s.size(), ',', out, 4, 1, &next);
+    ASSERT_EQ(n, 1u) << "at=" << at;
+    EXPECT_EQ(out[0], static_cast<uint32_t>(at) + 1) << "at=" << at;
+    EXPECT_EQ(next, kNpos);
+  }
+}
+
+TEST(FindNTest, StopsAtMaxHitsAndReportsOverflowMatch) {
+  const std::string s = "a,b,c,d,e,f";
+  uint32_t out[3] = {};
+  size_t next = 0;
+  const size_t n = FindN(s.data(), 0, s.size(), ',', out, 3, 0, &next);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[2], 5u);
+  EXPECT_EQ(next, 7u);  // the fourth comma
+}
+
+TEST(FindNTest, OverflowMatchInSameSimdBlock) {
+  // All matches inside one 16-byte block: the drain loop itself must stop
+  // at max_hits and surface the overflow position.
+  const std::string s = ",,,,,,,,,,,,,,,,";  // 16 commas
+  uint32_t out[5] = {};
+  size_t next = 0;
+  const size_t n = FindN(s.data(), 0, s.size(), ',', out, 5, 0, &next);
+  ASSERT_EQ(n, 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(next, 5u);
+}
+
+TEST(FindNTest, EmptyRange) {
+  const std::string s = "abc";
+  uint32_t out[1] = {};
+  size_t next = 0;
+  EXPECT_EQ(FindN(s.data(), 2, 2, 'a', out, 1, 0, &next), 0u);
+  EXPECT_EQ(next, kNpos);
+}
+
+TEST(FindAllTest, AppendsWithBias) {
+  const std::string s = "r1\nr2\nr3\n";
+  std::vector<uint32_t> starts = {0};  // pre-seeded first line
+  const size_t n =
+      FindAll(s.data(), 0, s.size(), '\n', s.size(), /*bias=*/1, &starts);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(starts, (std::vector<uint32_t>{0, 3, 6, 9}));
+}
+
+TEST(FindAllTest, RespectsMaxHits) {
+  const std::string s = "a\nb\nc\nd\n";
+  std::vector<uint32_t> out;
+  EXPECT_EQ(FindAll(s.data(), 0, s.size(), '\n', 2, 0, &out), 2u);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(FindAllTest, BatchesPastInternalBatchSize) {
+  // More matches than the internal 1024-slot batch: the overflow match that
+  // ends one batch must start the next (no dropped or duplicated match).
+  std::string s;
+  std::vector<uint32_t> expected;
+  Random rng(7);
+  for (size_t i = 0; i < 3000; ++i) {
+    const size_t pad = rng.Uniform(3);
+    s.append(pad, 'x');
+    expected.push_back(static_cast<uint32_t>(s.size()));
+    s.push_back(';');
+  }
+  std::vector<uint32_t> out;
+  const size_t n = FindAll(s.data(), 0, s.size(), ';', s.size(), 0, &out);
+  EXPECT_EQ(n, 3000u);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(FindNTest, RandomizedAgainstNaiveScan) {
+  Random rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t len = rng.Uniform(300);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      // Dense needle population so block-internal multi-hits are common.
+      s.push_back(rng.OneIn(4) ? ',' : static_cast<char>('a' + rng.Uniform(4)));
+    }
+    const size_t from = len == 0 ? 0 : rng.Uniform(len);
+    const auto naive = NaiveFind(s, from, len, ',');
+
+    std::vector<uint32_t> all;
+    FindAll(s.data(), from, len, ',', len + 1, 0, &all);
+    ASSERT_EQ(all.size(), naive.size()) << "iter=" << iter;
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(all[i], naive[i]) << "iter=" << iter;
+    }
+
+    // FindN with a cap strictly below the match count must report the first
+    // uncaptured match.
+    if (naive.size() >= 2) {
+      std::vector<uint32_t> capped(naive.size() - 1);
+      size_t next = 0;
+      const size_t n = FindN(s.data(), from, len, ',', capped.data(),
+                             capped.size(), 0, &next);
+      EXPECT_EQ(n, naive.size() - 1);
+      EXPECT_EQ(next, naive.back());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bytescan
+}  // namespace scanraw

@@ -1,0 +1,176 @@
+// Tests for ChunkBufferPool: buffer recycling across READ/TOKENIZE/PARSE,
+// the retention cap, the hit/miss/idle metrics, and the Wrap* shared-ptr
+// hooks that return buffers when the last chunk reference drops.
+
+#include "scanraw/chunk_buffer_pool.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "columnar/binary_chunk.h"
+#include "format/text_chunk.h"
+#include "obs/metrics.h"
+
+namespace scanraw {
+namespace {
+
+TEST(ChunkBufferPoolTest, EmptyPoolHandsOutFreshBuffers) {
+  ChunkBufferPool pool;
+  obs::Counter hits, misses;
+  obs::Gauge idle;
+  pool.BindMetrics(&hits, &misses, &idle);
+
+  EXPECT_TRUE(pool.AcquireFixed().empty());
+  EXPECT_TRUE(pool.AcquireString().empty());
+  EXPECT_TRUE(pool.AcquireOffsets().empty());
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(misses.value(), 3u);
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(ChunkBufferPoolTest, RecyclesCapacityAcrossAcquireRelease) {
+  ChunkBufferPool pool;
+  obs::Counter hits, misses;
+  obs::Gauge idle;
+  pool.BindMetrics(&hits, &misses, &idle);
+
+  std::string s(1 << 16, 'x');
+  const size_t cap = s.capacity();
+  pool.ReleaseString(std::move(s));
+  EXPECT_EQ(pool.idle_buffers(), 1u);
+  EXPECT_EQ(idle.value(), 1);
+
+  std::string back = pool.AcquireString();
+  EXPECT_TRUE(back.empty());          // recycled buffers come back empty...
+  EXPECT_GE(back.capacity(), cap);    // ...with their capacity intact.
+  EXPECT_EQ(hits.value(), 1u);
+  EXPECT_EQ(misses.value(), 0u);
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+  EXPECT_EQ(idle.value(), 0);
+}
+
+TEST(ChunkBufferPoolTest, DropsZeroCapacityReleases) {
+  ChunkBufferPool pool;
+  pool.ReleaseFixed({});
+  pool.ReleaseString({});
+  pool.ReleaseOffsets({});
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(ChunkBufferPoolTest, RetentionCapDropsExcessBuffers) {
+  ChunkBufferPool pool(/*max_pooled_per_kind=*/2);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<uint8_t> buf;
+    buf.reserve(64);
+    pool.ReleaseFixed(std::move(buf));
+  }
+  EXPECT_EQ(pool.idle_buffers(), 2u);
+}
+
+TEST(ChunkBufferPoolTest, FreeListsAreIndependentPerKind) {
+  ChunkBufferPool pool;
+  std::vector<uint8_t> fixed;
+  fixed.reserve(16);
+  pool.ReleaseFixed(std::move(fixed));
+  // The fixed free list must not satisfy a string/offsets acquire.
+  EXPECT_EQ(pool.AcquireString().capacity(), std::string().capacity());
+  EXPECT_TRUE(pool.AcquireOffsets().empty());
+  EXPECT_EQ(pool.idle_buffers(), 1u);
+  EXPECT_GE(pool.AcquireFixed().capacity(), 16u);
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(ChunkBufferPoolTest, ReleaseTextTakesDataAndLineStarts) {
+  ChunkBufferPool pool;
+  TextChunk chunk =
+      MakeTextChunk("field_one,field_two\nfield_three,field_four\n", 3);
+  ASSERT_EQ(chunk.num_rows(), 2u);
+  pool.ReleaseText(&chunk);
+  EXPECT_TRUE(chunk.data.empty());
+  EXPECT_TRUE(chunk.line_starts.empty());
+  EXPECT_EQ(pool.idle_buffers(), 2u);  // one string + one offsets vector
+
+  EXPECT_FALSE(pool.AcquireText().capacity() == 0);
+  EXPECT_FALSE(pool.AcquireLineStarts().capacity() == 0);
+}
+
+TEST(ChunkBufferPoolTest, WrapTextReturnsBuffersWhenLastReferenceDrops) {
+  auto pool = std::make_shared<ChunkBufferPool>();
+  auto shared = ChunkBufferPool::WrapText(
+      MakeTextChunk("wide_enough_to_leave_the_sso_buffer,y\n"), pool);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->num_rows(), 1u);
+
+  auto second = shared;  // TOKENIZE and PARSE both hold the chunk
+  shared.reset();
+  EXPECT_EQ(pool->idle_buffers(), 0u);  // still referenced
+  second.reset();
+  EXPECT_EQ(pool->idle_buffers(), 2u);  // text + line starts came home
+}
+
+TEST(ChunkBufferPoolTest, WrapChunkReturnsColumnBuffers) {
+  auto pool = std::make_shared<ChunkBufferPool>();
+  BinaryChunk chunk(9);
+  ColumnVector u32(FieldType::kUint32);
+  u32.AppendUint32(1);
+  u32.AppendUint32(2);
+  ColumnVector str(FieldType::kString);
+  str.AppendString("hello from a string long enough to live on the heap");
+  str.AppendString("world");
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(u32)).ok());
+  ASSERT_TRUE(chunk.AddColumn(1, std::move(str)).ok());
+
+  BinaryChunkPtr ptr = ChunkBufferPool::WrapChunk(std::move(chunk), pool);
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_EQ(ptr->num_rows(), 2u);
+  ptr.reset();
+  // uint32 column: fixed payload. string column: arena + offsets.
+  EXPECT_EQ(pool->idle_buffers(), 3u);
+}
+
+TEST(ChunkBufferPoolTest, NullPoolWrapsDegradeToPlainSharedPtr) {
+  auto text = ChunkBufferPool::WrapText(MakeTextChunk("a\n"), nullptr);
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->num_rows(), 1u);
+
+  BinaryChunk chunk(0);
+  ColumnVector v(FieldType::kUint32);
+  v.AppendUint32(7);
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(v)).ok());
+  BinaryChunkPtr ptr = ChunkBufferPool::WrapChunk(std::move(chunk), nullptr);
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_EQ(ptr->column(0).AsUint32()[0], 7u);
+}
+
+TEST(ChunkBufferPoolTest, MetricsAreOptional) {
+  ChunkBufferPool pool;  // no BindMetrics
+  std::string s(128, 'a');
+  pool.ReleaseString(std::move(s));
+  EXPECT_GE(pool.AcquireString().capacity(), 128u);
+}
+
+TEST(ChunkBufferPoolTest, SteadyStateReusesInsteadOfAllocating) {
+  ChunkBufferPool pool;
+  obs::Counter hits, misses;
+  obs::Gauge idle;
+  pool.BindMetrics(&hits, &misses, &idle);
+
+  // Prime the pool with one round-trip, then loop acquire→release: every
+  // later acquire must be a hit.
+  std::string buf(4096, 'b');
+  pool.ReleaseString(std::move(buf));
+  for (int i = 0; i < 10; ++i) {
+    std::string b = pool.AcquireString();
+    b.assign(4096, 'c');
+    pool.ReleaseString(std::move(b));
+  }
+  EXPECT_EQ(hits.value(), 10u);
+  EXPECT_EQ(misses.value(), 0u);
+}
+
+}  // namespace
+}  // namespace scanraw

@@ -1,0 +1,368 @@
+// Equivalence tests for the vectorized hot path: the SIMD tokenizer and the
+// column-at-a-time parser must produce byte-identical PositionalMaps and
+// BinaryChunks to the frozen scalar reference (bench/reference_scalar.h)
+// over randomized schemas, delimiters, and edge-case layouts — CRLF line
+// endings, empty fields, unterminated last lines, projections, selective
+// tokenizing, and push-down filters (including filters that drop every row).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/reference_scalar.h"
+#include "common/random.h"
+#include "format/parser.h"
+#include "format/schema.h"
+#include "format/text_chunk.h"
+#include "format/tokenizer.h"
+#include "scanraw/chunk_buffer_pool.h"
+
+namespace scanraw {
+namespace {
+
+void ExpectMapsEqual(const PositionalMap& got, const PositionalMap& want,
+                     const std::string& context) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << context;
+  ASSERT_EQ(got.fields_per_row(), want.fields_per_row()) << context;
+  for (size_t r = 0; r < want.num_rows(); ++r) {
+    for (size_t f = 0; f < want.fields_per_row(); ++f) {
+      ASSERT_EQ(got.FieldStart(r, f), want.FieldStart(r, f))
+          << context << " row " << r << " field " << f;
+      ASSERT_EQ(got.FieldEnd(r, f), want.FieldEnd(r, f))
+          << context << " row " << r << " field " << f;
+    }
+  }
+}
+
+void ExpectChunksEqual(const BinaryChunk& got, const BinaryChunk& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << context;
+  ASSERT_EQ(got.ColumnIds(), want.ColumnIds()) << context;
+  for (size_t id : want.ColumnIds()) {
+    const ColumnVector& g = got.column(id);
+    const ColumnVector& w = want.column(id);
+    ASSERT_EQ(g.type(), w.type()) << context << " col " << id;
+    ASSERT_EQ(g.size(), w.size()) << context << " col " << id;
+    // Byte-identical backing arrays, not just equal logical values.
+    ASSERT_EQ(g.fixed_data(), w.fixed_data()) << context << " col " << id;
+    ASSERT_EQ(g.string_arena(), w.string_arena()) << context << " col " << id;
+    ASSERT_EQ(g.string_offsets(), w.string_offsets())
+        << context << " col " << id;
+  }
+}
+
+FieldType RandomType(Random* rng) {
+  switch (rng->Uniform(4)) {
+    case 0: return FieldType::kUint32;
+    case 1: return FieldType::kInt64;
+    case 2: return FieldType::kDouble;
+    default: return FieldType::kString;
+  }
+}
+
+std::string RandomFieldText(Random* rng, FieldType type, char delimiter) {
+  switch (type) {
+    case FieldType::kUint32:
+      return std::to_string(rng->NextUint32());
+    case FieldType::kInt64: {
+      const int64_t v = static_cast<int64_t>(rng->NextUint64());
+      std::string s = std::to_string(v);
+      if (v >= 0 && rng->OneIn(4)) s.insert(0, "+");
+      return s;
+    }
+    case FieldType::kDouble:
+      switch (rng->Uniform(4)) {
+        case 0:
+          return std::to_string(rng->NextDouble() * 1e6 - 5e5);
+        case 1:
+          return std::to_string(rng->NextUint32()) + "e" +
+                 std::to_string(rng->Uniform(30));
+        case 2:
+          return "-" + std::to_string(rng->NextDouble());
+        default:
+          return std::to_string(rng->Uniform(1000));
+      }
+    case FieldType::kString: {
+      const size_t len = rng->Uniform(12);  // often empty
+      std::string s;
+      for (size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(' ' + rng->Uniform(94));
+        if (c == delimiter || c == '\n' || c == '\r') c = '_';
+        s.push_back(c);
+      }
+      return s;
+    }
+  }
+  return "";
+}
+
+struct RandomCsv {
+  Schema schema;
+  TextChunk chunk;
+  size_t rows = 0;
+};
+
+RandomCsv MakeRandomCsv(Random* rng, uint64_t chunk_index) {
+  static const char kDelims[] = {',', ';', '\t', '|'};
+  const char delim = kDelims[rng->Uniform(4)];
+  const size_t columns = 1 + rng->Uniform(12);
+  const size_t rows = rng->Uniform(120);  // sometimes zero
+  const bool crlf = rng->OneIn(3);
+  const bool unterminated = rows > 0 && rng->OneIn(3);
+
+  std::vector<ColumnDef> defs(columns);
+  for (size_t c = 0; c < columns; ++c) {
+    defs[c].name = "c" + std::to_string(c);
+    defs[c].type = RandomType(rng);
+  }
+  RandomCsv out;
+  out.schema = Schema(defs, delim);
+  out.rows = rows;
+
+  std::string data;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (c > 0) data.push_back(delim);
+      data += RandomFieldText(rng, defs[c].type, delim);
+    }
+    if (r + 1 == rows && unterminated) break;
+    data += crlf ? "\r\n" : "\n";
+  }
+  out.chunk = MakeTextChunk(std::move(data), chunk_index);
+  return out;
+}
+
+TokenizeOptions TokOpts(const Schema& schema, size_t max_fields = 0) {
+  TokenizeOptions opts;
+  opts.delimiter = schema.delimiter();
+  opts.schema_fields = schema.num_columns();
+  opts.max_fields = max_fields;
+  return opts;
+}
+
+TEST(HotpathEquivalenceTest, RandomizedTokenizeAndParse) {
+  Random rng(20240817);
+  for (int iter = 0; iter < 60; ++iter) {
+    RandomCsv csv = MakeRandomCsv(&rng, iter);
+    const std::string context = "iter " + std::to_string(iter);
+    const TokenizeOptions topts = TokOpts(csv.schema);
+
+    auto ref_map = reference::RefTokenizeChunk(csv.chunk, topts);
+    auto map = TokenizeChunk(csv.chunk, topts);
+    ASSERT_TRUE(ref_map.ok()) << context << ": " << ref_map.status().ToString();
+    ASSERT_TRUE(map.ok()) << context << ": " << map.status().ToString();
+    ExpectMapsEqual(*map, *ref_map, context);
+
+    auto ref_parsed =
+        reference::RefParseChunk(csv.chunk, *ref_map, csv.schema, {});
+    auto parsed = ParseChunk(csv.chunk, *map, csv.schema, {});
+    ASSERT_TRUE(ref_parsed.ok())
+        << context << ": " << ref_parsed.status().ToString();
+    ASSERT_TRUE(parsed.ok()) << context << ": " << parsed.status().ToString();
+    ExpectChunksEqual(*parsed, *ref_parsed, context);
+  }
+}
+
+TEST(HotpathEquivalenceTest, RandomizedProjectionsAndSelectiveTokenize) {
+  Random rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    RandomCsv csv = MakeRandomCsv(&rng, iter);
+    const std::string context = "iter " + std::to_string(iter);
+    const size_t columns = csv.schema.num_columns();
+
+    // Project a random prefix-closed subset and tokenize only up to the
+    // last projected field (selective tokenizing).
+    ParseOptions popts;
+    const size_t keep = 1 + rng.Uniform(columns);
+    for (size_t c = 0; c < keep; ++c) {
+      if (rng.OneIn(2) || c + 1 == keep) popts.projected_columns.push_back(c);
+    }
+    const size_t max_fields = popts.projected_columns.back() + 1;
+    const TokenizeOptions topts = TokOpts(csv.schema, max_fields);
+
+    auto ref_map = reference::RefTokenizeChunk(csv.chunk, topts);
+    auto map = TokenizeChunk(csv.chunk, topts);
+    ASSERT_TRUE(ref_map.ok()) << context << ": " << ref_map.status().ToString();
+    ASSERT_TRUE(map.ok()) << context << ": " << map.status().ToString();
+    ExpectMapsEqual(*map, *ref_map, context);
+
+    auto ref_parsed =
+        reference::RefParseChunk(csv.chunk, *ref_map, csv.schema, popts);
+    auto parsed = ParseChunk(csv.chunk, *map, csv.schema, popts);
+    ASSERT_TRUE(ref_parsed.ok())
+        << context << ": " << ref_parsed.status().ToString();
+    ASSERT_TRUE(parsed.ok()) << context << ": " << parsed.status().ToString();
+    ExpectChunksEqual(*parsed, *ref_parsed, context);
+  }
+}
+
+TEST(HotpathEquivalenceTest, RandomizedPushdownFilters) {
+  Random rng(4242);
+  int exercised = 0;
+  int filtered_all = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    RandomCsv csv = MakeRandomCsv(&rng, iter);
+    // Find an integer column for the predicate. Doubles are excluded: the
+    // generator produces values far outside int64 range, and the
+    // double→int64 predicate cast would overflow (UB) in both paths.
+    size_t pc = csv.schema.num_columns();
+    for (size_t c = 0; c < csv.schema.num_columns(); ++c) {
+      const FieldType t = csv.schema.column(c).type;
+      if (t == FieldType::kUint32 || t == FieldType::kInt64) {
+        pc = c;
+        break;
+      }
+    }
+    if (pc == csv.schema.num_columns()) continue;
+    ++exercised;
+
+    ParseOptions popts;
+    popts.pushdown = PushdownFilter{};
+    popts.pushdown->column = pc;
+    switch (rng.Uniform(3)) {
+      case 0:  // passes everything
+        popts.pushdown->min_value = INT64_MIN;
+        popts.pushdown->max_value = INT64_MAX;
+        break;
+      case 1:  // filters everything (empty range)
+        popts.pushdown->min_value = 1;
+        popts.pushdown->max_value = 0;
+        ++filtered_all;
+        break;
+      default: {  // arbitrary band
+        const int64_t a = static_cast<int64_t>(rng.NextUint64());
+        const int64_t b = static_cast<int64_t>(rng.NextUint64());
+        popts.pushdown->min_value = std::min(a, b);
+        popts.pushdown->max_value = std::max(a, b);
+        break;
+      }
+    }
+
+    const std::string context = "iter " + std::to_string(iter);
+    const TokenizeOptions topts = TokOpts(csv.schema);
+    auto map = TokenizeChunk(csv.chunk, topts);
+    ASSERT_TRUE(map.ok()) << context;
+
+    auto ref_parsed =
+        reference::RefParseChunk(csv.chunk, *map, csv.schema, popts);
+    auto parsed = ParseChunk(csv.chunk, *map, csv.schema, popts);
+    ASSERT_TRUE(ref_parsed.ok())
+        << context << ": " << ref_parsed.status().ToString();
+    ASSERT_TRUE(parsed.ok()) << context << ": " << parsed.status().ToString();
+    ExpectChunksEqual(*parsed, *ref_parsed, context);
+  }
+  EXPECT_GT(exercised, 20);
+  EXPECT_GT(filtered_all, 5);
+}
+
+TEST(HotpathEquivalenceTest, HandcraftedEdgeCases) {
+  struct Case {
+    const char* name;
+    const char* data;
+  };
+  const Case cases[] = {
+      {"empty fields", ",,\n,,\n"},
+      {"crlf", "a,b,c\r\nd,e,f\r\n"},
+      {"unterminated last line", "x,y,z\np,q,r"},
+      {"single row single field", "hello"},
+      {"trailing empty field", "a,b,\n"},
+      {"empty chunk", ""},
+  };
+  std::vector<ColumnDef> defs(3);
+  for (size_t c = 0; c < 3; ++c) {
+    defs[c] = {"s" + std::to_string(c), FieldType::kString};
+  }
+  for (const Case& tc : cases) {
+    const size_t columns = std::string_view(tc.data).empty() ? 3
+                           : std::string(tc.data).find(',') == std::string::npos
+                               ? 1
+                               : 3;
+    Schema schema(std::vector<ColumnDef>(defs.begin(), defs.begin() + columns));
+    TextChunk chunk = MakeTextChunk(tc.data);
+    const TokenizeOptions topts = TokOpts(schema);
+
+    auto ref_map = reference::RefTokenizeChunk(chunk, topts);
+    auto map = TokenizeChunk(chunk, topts);
+    ASSERT_TRUE(ref_map.ok()) << tc.name;
+    ASSERT_TRUE(map.ok()) << tc.name;
+    ExpectMapsEqual(*map, *ref_map, tc.name);
+
+    auto ref_parsed = reference::RefParseChunk(chunk, *ref_map, schema, {});
+    auto parsed = ParseChunk(chunk, *map, schema, {});
+    ASSERT_TRUE(ref_parsed.ok()) << tc.name;
+    ASSERT_TRUE(parsed.ok()) << tc.name;
+    ExpectChunksEqual(*parsed, *ref_parsed, tc.name);
+  }
+}
+
+TEST(HotpathEquivalenceTest, TokenizeErrorsMatchReference) {
+  std::vector<ColumnDef> defs(3);
+  for (size_t c = 0; c < 3; ++c) defs[c] = {"c", FieldType::kString};
+  const Schema schema(defs);
+  const TokenizeOptions topts = TokOpts(schema);
+  for (const char* data : {"a,b\n", "a,b,c,d\n", "ok,ok,ok\nshort\n"}) {
+    TextChunk chunk = MakeTextChunk(data, 5);
+    auto ref_map = reference::RefTokenizeChunk(chunk, topts);
+    auto map = TokenizeChunk(chunk, topts);
+    ASSERT_FALSE(ref_map.ok()) << data;
+    ASSERT_FALSE(map.ok()) << data;
+    EXPECT_EQ(map.status().ToString(), ref_map.status().ToString()) << data;
+  }
+}
+
+TEST(HotpathEquivalenceTest, SingleParseErrorMatchesReference) {
+  // One malformed field in the chunk: row-major (reference) and
+  // column-major (vectorized) discovery must report the same location and
+  // message. Multi-error chunks may legitimately report different (valid)
+  // first errors, so only single-error inputs are compared.
+  std::vector<ColumnDef> defs = {{"a", FieldType::kUint32},
+                                 {"b", FieldType::kInt64},
+                                 {"c", FieldType::kDouble}};
+  const Schema schema(defs);
+  const TokenizeOptions topts = TokOpts(schema);
+  const char* cases[] = {
+      "1,2,3.5\n4,oops,6.5\n7,8,9.5\n",   // bad int64 mid-chunk
+      "bad,2,3.5\n",                      // bad uint32 first row
+      "1,2,\n",                           // empty double
+      "99999999999,2,3.5\n",              // uint32 overflow
+  };
+  for (const char* data : cases) {
+    TextChunk chunk = MakeTextChunk(data, 11);
+    auto map = TokenizeChunk(chunk, topts);
+    ASSERT_TRUE(map.ok()) << data;
+    auto ref_parsed = reference::RefParseChunk(chunk, *map, schema, {});
+    auto parsed = ParseChunk(chunk, *map, schema, {});
+    ASSERT_FALSE(ref_parsed.ok()) << data;
+    ASSERT_FALSE(parsed.ok()) << data;
+    EXPECT_EQ(parsed.status().ToString(), ref_parsed.status().ToString())
+        << data;
+  }
+}
+
+TEST(HotpathEquivalenceTest, RecycledBuffersProduceIdenticalOutput) {
+  Random rng(777);
+  ChunkBufferPool pool;
+  for (int iter = 0; iter < 20; ++iter) {
+    RandomCsv csv = MakeRandomCsv(&rng, iter);
+    const std::string context = "iter " + std::to_string(iter);
+    const TokenizeOptions topts = TokOpts(csv.schema);
+    auto map = TokenizeChunk(csv.chunk, topts);
+    ASSERT_TRUE(map.ok()) << context;
+
+    auto fresh = ParseChunk(csv.chunk, *map, csv.schema, {});
+    ASSERT_TRUE(fresh.ok()) << context;
+
+    ParseOptions recycled_opts;
+    recycled_opts.recycler = &pool;
+    auto recycled = ParseChunk(csv.chunk, *map, csv.schema, recycled_opts);
+    ASSERT_TRUE(recycled.ok()) << context;
+    ExpectChunksEqual(*recycled, *fresh, context);
+    // Return the buffers so later iterations genuinely reuse them.
+    recycled->ReleaseBuffersTo(&pool);
+  }
+}
+
+}  // namespace
+}  // namespace scanraw

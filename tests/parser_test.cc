@@ -57,7 +57,46 @@ TEST(ScalarParseTest, DoubleInvalid) {
   EXPECT_TRUE(ParseDouble("").status().IsCorruption());
   EXPECT_TRUE(ParseDouble("abc").status().IsCorruption());
   EXPECT_TRUE(ParseDouble("1.5x").status().IsCorruption());
-  EXPECT_TRUE(ParseDouble(std::string(100, '1')).status().IsCorruption());
+  EXPECT_TRUE(ParseDouble("+-5").status().IsCorruption());
+  EXPECT_TRUE(ParseDouble("+").status().IsCorruption());
+  EXPECT_TRUE(ParseDouble("+ 1.5").status().IsCorruption());
+}
+
+// Regression: the old strtod path copied the field into a 64-byte stack
+// buffer and rejected anything longer. Long numeric fields are legitimate
+// (high-precision scientific data) and must parse.
+TEST(ScalarParseTest, DoubleLongerThan64Chars) {
+  const std::string ones(100, '1');  // 1.11...e99, 100 chars
+  auto v = ParseDouble(ones);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(*v, 1.1111111111111111e99);
+
+  std::string precise = "3.";
+  precise += std::string(80, '1');
+  auto p = ParseDouble(precise);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 3.1111111111111111);
+}
+
+TEST(ScalarParseTest, TryParseVariantsMatchResultVariants) {
+  const char* cases[] = {"0",   "42",  "-7",    "+5",   "4294967296",
+                         "1.5", "",    "-",     "+",    "abc",
+                         "1e3", "0x10", " 1",   "1 ",   "9223372036854775807"};
+  for (const char* c : cases) {
+    const std::string_view text(c);
+    uint32_t u = 0;
+    EXPECT_EQ(TryParseUint32(text.data(), text.data() + text.size(), &u),
+              ParseUint32(text).ok())
+        << text;
+    int64_t i = 0;
+    EXPECT_EQ(TryParseInt64(text.data(), text.data() + text.size(), &i),
+              ParseInt64(text).ok())
+        << text;
+    double d = 0;
+    EXPECT_EQ(TryParseDouble(text.data(), text.data() + text.size(), &d),
+              ParseDouble(text).ok())
+        << text;
+  }
 }
 
 TEST(ParseChunkTest, AllColumns) {

@@ -220,6 +220,93 @@ class LintTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("#endif", out)
 
+    # ---- byte-loop ----
+
+    def byte_loop_snippet(self):
+        return ("void F(const char* d, size_t n) {\n"
+                "  for (size_t i = 0; i < n; ++i) {\n"
+                "    if (d[i] == '\\n') Mark(i);\n"
+                "  }\n"
+                "}\n")
+
+    def test_byte_loop_caught_in_format(self):
+        self.write("src/format/foo.cc", self.byte_loop_snippet())
+        code, out = self.lint("src/format/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[byte-loop]", out)
+
+    def test_byte_loop_caught_in_scanraw(self):
+        self.write("src/scanraw/foo.cc", self.byte_loop_snippet())
+        code, out = self.lint("src/scanraw/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[byte-loop]", out)
+
+    def test_byte_loop_outside_hot_dirs_passes(self):
+        self.write("src/io/foo.cc", self.byte_loop_snippet())
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_byte_loop_in_test_file_passes(self):
+        self.write("src/format/foo_test.cc", self.byte_loop_snippet())
+        code, out = self.lint("src/format/foo_test.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_for_without_char_compare_passes(self):
+        self.write("src/format/foo.cc",
+                   "void F(size_t n) {\n"
+                   "  for (size_t i = 0; i < n; ++i) Push(i);\n"
+                   "}\n")
+        code, out = self.lint("src/format/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_char_compare_outside_window_passes(self):
+        # The comparison is 5 lines below the for-header — out of range.
+        self.write("src/format/foo.cc",
+                   "void F(const char* d, size_t n) {\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    A();\n"
+                   "    B();\n"
+                   "    C();\n"
+                   "    D();\n"
+                   "    if (d[i] == 'x') Mark(i);\n"
+                   "  }\n"
+                   "}\n")
+        code, out = self.lint("src/format/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_byte_loop_suppressed_on_header(self):
+        self.write("src/format/foo.cc",
+                   "void F(const char* d, size_t n) {\n"
+                   "  // scanraw-lint: allow(byte-loop)\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    if (d[i] == '\\n') Mark(i);\n"
+                   "  }\n"
+                   "}\n")
+        code, out = self.lint("src/format/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_byte_loop_suppressed_on_compare_line(self):
+        self.write("src/format/foo.cc",
+                   "void F(const char* d, size_t n) {\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    if (d[i] == '\\n') Mark(i);"
+                   "  // scanraw-lint: allow(byte-loop)\n"
+                   "  }\n"
+                   "}\n")
+        code, out = self.lint("src/format/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_char_compare_in_comment_passes(self):
+        self.write("src/format/foo.cc",
+                   "void F(const char* d, size_t n) {\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    // stops when d[i] == '\\n' is seen\n"
+                   "    Push(d, i);\n"
+                   "  }\n"
+                   "}\n")
+        code, out = self.lint("src/format/foo.cc")
+        self.assertEqual(code, 0, out)
+
     # ---- driver behavior ----
 
     def test_directory_walk_and_multiple_findings(self):

@@ -17,6 +17,12 @@ sleep-in-src     std::this_thread::sleep_for / sleep_until in src/ non-test
 include-guard    Headers must carry the canonical SCANRAW_<PATH>_H_ include
                  guard (#ifndef/#define pair plus a commented #endif);
                  #pragma once is banned for consistency.
+byte-loop        Per-byte `for` scans that compare an indexed byte against a
+                 character literal are banned in src/format/ and
+                 src/scanraw/ non-test code — the conversion hot path. Use
+                 the bulk scanners in common/byte_scan.h (FindByte / FindN /
+                 FindAll), which dispatch to SIMD, instead of advancing one
+                 byte per iteration.
 
 Suppressions: append `// scanraw-lint: allow(<rule>)` to the offending line
 or place it on the line directly above.
@@ -53,6 +59,15 @@ FUNC_START_RE = re.compile(r"^[\w\}].*\)\s*(const\s*)?(noexcept\s*)?\{?\s*$")
 CONTROL_KEYWORD_RE = re.compile(r"^\s*(if|for|while|switch|catch|else)\b")
 
 MAX_SCOPE_LOOKBACK = 50  # lines; fallback when no function start is found
+
+# byte-loop: hot-path directories where per-byte scan loops are banned.
+BYTE_LOOP_DIRS = ("src/format/", "src/scanraw/")
+# A `for` header that advances one element at a time.
+FOR_INCREMENT_RE = re.compile(r"\bfor\s*\([^)]*\+\+")
+# An indexed byte compared against a character literal, e.g.
+# `data[i] == '\n'` or `buf[pos] != ','`.
+CHAR_COMPARE_RE = re.compile(r"\w+\s*\[[^\]]*\]\s*[!=]=\s*'(\\.|[^'\\])'")
+BYTE_LOOP_WINDOW = 3  # lines after the for-header to look for the compare
 
 
 def is_suppressed(lines, idx, rule):
@@ -181,6 +196,29 @@ def check_include_guard(rel, lines, findings):
         return
 
 
+def check_byte_loop(rel, lines, findings):
+    norm = rel.replace(os.sep, "/")
+    if not any(norm.startswith(d) or f"/{d}" in norm for d in BYTE_LOOP_DIRS):
+        return
+    for i, line in enumerate(lines):
+        code = strip_comments(line)
+        if not FOR_INCREMENT_RE.search(code):
+            continue
+        hi = min(len(lines), i + BYTE_LOOP_WINDOW + 1)
+        hit = next((j for j in range(i, hi)
+                    if CHAR_COMPARE_RE.search(strip_comments(lines[j]))),
+                   None)
+        if hit is None:
+            continue
+        if is_suppressed(lines, i, "byte-loop") or \
+                is_suppressed(lines, hit, "byte-loop"):
+            continue
+        findings.append((rel, i + 1, "byte-loop",
+                         "per-byte scan loop in the conversion hot path; "
+                         "use FindByte/FindN/FindAll from "
+                         "common/byte_scan.h"))
+
+
 def is_test_file(rel):
     base = os.path.basename(rel)
     return ("test" in base) or ("/tests/" in rel.replace(os.sep, "/"))
@@ -198,6 +236,7 @@ def lint_file(path, findings):
     if in_src and not is_test_file(rel):
         check_raw_mutex(rel, lines, findings)
         check_sleep(rel, lines, findings)
+        check_byte_loop(rel, lines, findings)
     check_unchecked_value(rel, lines, findings)
     if rel.endswith(".h"):
         check_include_guard(rel, lines, findings)
