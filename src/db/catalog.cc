@@ -1,7 +1,12 @@
 #include "db/catalog.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "common/string_util.h"
 #include "format/parser.h"
@@ -29,6 +34,9 @@ double TableMetadata::LoadedFraction() const {
 Status Catalog::CreateTable(const std::string& name,
                             const std::string& raw_path, const Schema& schema,
                             uint64_t target_chunk_rows) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
   MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table " + name + " already exists");
@@ -151,6 +159,18 @@ Status Catalog::RecordSegment(const std::string& name, uint64_t chunk_index,
     if (!inserted) {
       pos->second.min_value = std::min(pos->second.min_value, st.min_value);
       pos->second.max_value = std::max(pos->second.max_value, st.max_value);
+      if (st.has_double) {
+        if (pos->second.has_double) {
+          pos->second.min_double =
+              std::min(pos->second.min_double, st.min_double);
+          pos->second.max_double =
+              std::max(pos->second.max_double, st.max_double);
+        } else {
+          pos->second.has_double = true;
+          pos->second.min_double = st.min_double;
+          pos->second.max_double = st.max_double;
+        }
+      }
     }
   }
   return Status::OK();
@@ -158,34 +178,115 @@ Status Catalog::RecordSegment(const std::string& name, uint64_t chunk_index,
 
 // ------------------------------------------------------------ persistence --
 //
-// Line-oriented text format, one record per line:
+// Versioned line-oriented text format. First line: `scanraw-catalog v2`;
+// files without the header are legacy v1 (unescaped fields, int-only
+// stats). One record per line:
 //   table <name> <raw_path> <delimiter-int> <target_chunk_rows> <layout_known>
 //   col <table> <name> <type-int>
 //   chunk <table> <index> <raw_offset> <raw_size> <num_rows>
-//   stat <table> <chunk> <col> <min> <max>
+//   stat <table> <chunk> <col> <min> <max> [D <hexmin> <hexmax>]
 //   seg <table> <chunk> <offset> <size> <col>[,<col>...]
+// String fields (names, raw_path) are percent-escaped so embedded
+// whitespace round-trips; double stats use hexfloat (%a) so denormals and
+// 17-significant-digit values round-trip bit-exactly.
+
+namespace {
+
+constexpr int kCatalogFormatVersion = 2;
+constexpr char kCatalogMagic[] = "scanraw-catalog";
+
+std::string EscapeField(const std::string& s) {
+  if (s.empty()) return "%e";  // literal '%' always escapes, so unambiguous
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case ' ': out += "%20"; break;
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  if (s == "%e") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(s[i + 1]) &&
+        std::isxdigit(s[i + 2])) {
+      out += static_cast<char>(
+          std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string FormatHexDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+Result<double> ParseHexDouble(const std::string& s) {
+  if (s.empty()) return Status::Corruption("empty double field");
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return Status::Corruption("bad double field: " + s);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::map<std::string, TableMetadata> Catalog::Snapshot() const {
+  MutexLock lock(mu_);
+  return tables_;
+}
+
+void Catalog::Restore(std::map<std::string, TableMetadata> tables) {
+  MutexLock lock(mu_);
+  tables_ = std::move(tables);
+}
 
 Status Catalog::SaveToFile(const std::string& path) const {
-  MutexLock lock(mu_);
+  // Snapshot under the lock; serialize and hit the disk outside it so a
+  // slow device never blocks concurrent GetTable/RecordSegment.
+  const std::map<std::string, TableMetadata> tables = Snapshot();
   std::ostringstream out;
-  for (const auto& [name, t] : tables_) {
-    out << "table " << name << ' ' << t.raw_path << ' '
-        << static_cast<int>(t.schema.delimiter()) << ' '
+  out << kCatalogMagic << " v" << kCatalogFormatVersion << '\n';
+  for (const auto& [name, t] : tables) {
+    out << "table " << EscapeField(name) << ' ' << EscapeField(t.raw_path)
+        << ' ' << static_cast<int>(t.schema.delimiter()) << ' '
         << t.target_chunk_rows << ' ' << (t.layout_known ? 1 : 0) << '\n';
     for (const auto& col : t.schema.columns()) {
-      out << "col " << name << ' ' << col.name << ' '
-          << static_cast<int>(col.type) << '\n';
+      out << "col " << EscapeField(name) << ' ' << EscapeField(col.name)
+          << ' ' << static_cast<int>(col.type) << '\n';
     }
     for (const auto& c : t.chunks) {
-      out << "chunk " << name << ' ' << c.chunk_index << ' ' << c.raw_offset
-          << ' ' << c.raw_size << ' ' << c.num_rows << '\n';
+      out << "chunk " << EscapeField(name) << ' ' << c.chunk_index << ' '
+          << c.raw_offset << ' ' << c.raw_size << ' ' << c.num_rows << '\n';
       for (const auto& [col, st] : c.stats) {
-        out << "stat " << name << ' ' << c.chunk_index << ' ' << col << ' '
-            << st.min_value << ' ' << st.max_value << '\n';
+        out << "stat " << EscapeField(name) << ' ' << c.chunk_index << ' '
+            << col << ' ' << st.min_value << ' ' << st.max_value;
+        if (st.has_double) {
+          out << " D " << FormatHexDouble(st.min_double) << ' '
+              << FormatHexDouble(st.max_double);
+        }
+        out << '\n';
       }
       for (const auto& seg : c.segments) {
-        out << "seg " << name << ' ' << c.chunk_index << ' ' << seg.page.offset
-            << ' ' << seg.page.size << ' ';
+        out << "seg " << EscapeField(name) << ' ' << c.chunk_index << ' '
+            << seg.page.offset << ' ' << seg.page.size << ' ';
         for (size_t i = 0; i < seg.columns.size(); ++i) {
           if (i > 0) out << ',';
           out << seg.columns[i];
@@ -194,27 +295,67 @@ Status Catalog::SaveToFile(const std::string& path) const {
       }
     }
   }
-  return WriteStringToFile(path, out.str());
+  // Atomic replace: a crash mid-save leaves the previous catalog intact.
+  return AtomicWriteFile(path, out.str());
 }
 
-Status Catalog::LoadFromFile(const std::string& path) {
+Status Catalog::LoadFromFile(const std::string& path, LoadStats* load_stats) {
   auto contents = ReadFileToString(path);
   if (!contents.ok()) return contents.status();
+  const bool last_terminated =
+      contents->empty() || contents->back() == '\n';
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(*contents);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(std::move(line));
+  }
+
+  int version = 1;
+  size_t first = 0;
+  if (!lines.empty() &&
+      lines[0].compare(0, sizeof(kCatalogMagic) - 1, kCatalogMagic) == 0) {
+    std::istringstream hs(lines[0]);
+    std::string magic, ver;
+    hs >> magic >> ver;
+    if (ver.size() < 2 || ver[0] != 'v') {
+      return Status::Corruption("bad catalog header: " + lines[0]);
+    }
+    auto parsed = ParseUint32(ver.substr(1));
+    if (!parsed.ok()) {
+      return Status::Corruption("bad catalog header: " + lines[0]);
+    }
+    version = static_cast<int>(*parsed);
+    if (version > kCatalogFormatVersion) {
+      return Status::Corruption(StringPrintf(
+          "catalog version %d newer than supported %d", version,
+          kCatalogFormatVersion));
+    }
+    first = 1;
+  }
+  // v1 files predate escaping; their fields are raw.
+  const bool escaped = version >= 2;
+  auto field = [escaped](const std::string& tok) {
+    return escaped ? UnescapeField(tok) : tok;
+  };
+
   std::map<std::string, TableMetadata> tables;
   std::map<std::string, std::vector<ColumnDef>> schema_cols;
   std::map<std::string, char> delimiters;
-  std::istringstream in(*contents);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+
+  auto parse_line = [&](const std::string& line) -> Status {
     std::istringstream ls(line);
     std::string kind;
     ls >> kind;
     if (kind == "table") {
       TableMetadata t;
+      std::string name_tok, path_tok;
       int delim = 0, layout = 0;
-      ls >> t.name >> t.raw_path >> delim >> t.target_chunk_rows >> layout;
+      ls >> name_tok >> path_tok >> delim >> t.target_chunk_rows >> layout;
       if (ls.fail()) return Status::Corruption("bad table line: " + line);
+      t.name = field(name_tok);
+      t.raw_path = field(path_tok);
       t.layout_known = layout != 0;
       delimiters[t.name] = static_cast<char>(delim);
       tables[t.name] = std::move(t);
@@ -223,14 +364,14 @@ Status Catalog::LoadFromFile(const std::string& path) {
       int type = 0;
       ls >> table >> col_name >> type;
       if (ls.fail()) return Status::Corruption("bad col line: " + line);
-      schema_cols[table].push_back(
-          ColumnDef{col_name, static_cast<FieldType>(type)});
+      schema_cols[field(table)].push_back(
+          ColumnDef{field(col_name), static_cast<FieldType>(type)});
     } else if (kind == "chunk") {
       std::string table;
       ChunkMetadata c;
       ls >> table >> c.chunk_index >> c.raw_offset >> c.raw_size >> c.num_rows;
       if (ls.fail()) return Status::Corruption("bad chunk line: " + line);
-      auto it = tables.find(table);
+      auto it = tables.find(field(table));
       if (it == tables.end()) return Status::Corruption("chunk before table");
       if (c.chunk_index != it->second.chunks.size()) {
         return Status::Corruption("chunk records out of order");
@@ -243,7 +384,21 @@ Status Catalog::LoadFromFile(const std::string& path) {
       ColumnStats st;
       ls >> table >> chunk >> col >> st.min_value >> st.max_value;
       if (ls.fail()) return Status::Corruption("bad stat line: " + line);
-      auto it = tables.find(table);
+      std::string tag;
+      if (ls >> tag) {
+        if (tag != "D") return Status::Corruption("bad stat line: " + line);
+        std::string lo_tok, hi_tok;
+        ls >> lo_tok >> hi_tok;
+        if (ls.fail()) return Status::Corruption("bad stat line: " + line);
+        auto lo = ParseHexDouble(lo_tok);
+        if (!lo.ok()) return lo.status();
+        auto hi = ParseHexDouble(hi_tok);
+        if (!hi.ok()) return hi.status();
+        st.has_double = true;
+        st.min_double = *lo;
+        st.max_double = *hi;
+      }
+      auto it = tables.find(field(table));
       if (it == tables.end() || chunk >= it->second.chunks.size()) {
         return Status::Corruption("stat for unknown chunk");
       }
@@ -259,7 +414,7 @@ Status Catalog::LoadFromFile(const std::string& path) {
         if (!col.ok()) return Status::Corruption("bad seg columns: " + line);
         seg.columns.push_back(*col);
       }
-      auto it = tables.find(table);
+      auto it = tables.find(field(table));
       if (it == tables.end() || chunk >= it->second.chunks.size()) {
         return Status::Corruption("seg for unknown chunk");
       }
@@ -269,12 +424,30 @@ Status Catalog::LoadFromFile(const std::string& path) {
     } else {
       return Status::Corruption("unknown catalog record: " + line);
     }
+    return Status::OK();
+  };
+
+  LoadStats stats;
+  stats.version = version;
+  for (size_t i = first; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    Status s = parse_line(lines[i]);
+    if (!s.ok()) {
+      // A torn trailing line (no final newline) means the writer died
+      // mid-append; everything before it is intact, so drop just the tail.
+      if (i == lines.size() - 1 && !last_terminated) {
+        stats.torn_tail_dropped = true;
+        stats.torn_tail = lines[i];
+        break;
+      }
+      return s;
+    }
   }
   for (auto& [name, t] : tables) {
     t.schema = Schema(schema_cols[name], delimiters[name]);
   }
-  MutexLock lock(mu_);
-  tables_ = std::move(tables);
+  if (load_stats != nullptr) *load_stats = stats;
+  Restore(std::move(tables));
   return Status::OK();
 }
 

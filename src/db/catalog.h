@@ -25,10 +25,18 @@ struct PageRef {
   uint64_t size = 0;
 };
 
-// Min/max statistic for one numeric column of one chunk.
+// Min/max statistic for one numeric column of one chunk. For kDouble
+// columns the exact bounds live in min_double/max_double (persisted as
+// hexfloat so they round-trip bit-exactly); min_value/max_value then hold a
+// conservative floor/ceil envelope for integer-only consumers. Truncating
+// doubles into the int64 fields is how restarted catalogs used to wrongly
+// skip chunks (min -3.5 became -3).
 struct ColumnStats {
   int64_t min_value = 0;
   int64_t max_value = 0;
+  bool has_double = false;
+  double min_double = 0.0;
+  double max_double = 0.0;
 };
 
 // One blob written by WRITE: a column subset of a chunk.
@@ -54,11 +62,18 @@ struct ChunkMetadata {
   }
 
   // True when min/max statistics prove no row of this chunk can satisfy
-  // value-in-[lo,hi] on `column`. Unknown stats => cannot skip.
+  // value-in-[lo,hi] on `column`. Unknown stats => cannot skip. Double
+  // columns are judged on their exact double bounds; the int64 envelope is
+  // only a fallback (it is conservative, so never skips wrongly).
   bool CanSkipForRange(size_t column, int64_t lo, int64_t hi) const {
     auto it = stats.find(column);
     if (it == stats.end()) return false;
-    return it->second.max_value < lo || it->second.min_value > hi;
+    const ColumnStats& st = it->second;
+    if (st.has_double) {
+      return st.max_double < static_cast<double>(lo) ||
+             st.min_double > static_cast<double>(hi);
+    }
+    return st.max_value < lo || st.min_value > hi;
   }
 };
 
@@ -108,9 +123,29 @@ class Catalog {
                        const StoredSegment& segment,
                        const std::map<size_t, ColumnStats>& stats);
 
-  // Persistence (simple line-oriented text format).
+  // What LoadFromFile observed about the on-disk catalog; recovery uses it
+  // to report what was tolerated.
+  struct LoadStats {
+    int version = 0;                // 1 for legacy headerless files
+    bool torn_tail_dropped = false; // a partial trailing line was discarded
+    std::string torn_tail;          // the discarded text, for logging
+  };
+
+  // Persistence (versioned line-oriented text format with percent-escaped
+  // fields). SaveToFile snapshots under the lock, then serializes and
+  // writes outside it (via AtomicWriteFile), so slow disks never stall
+  // concurrent GetTable/RecordSegment. LoadFromFile tolerates a torn,
+  // unterminated final line (the file may come from a legacy non-atomic
+  // writer); all other corruption still fails the load.
   Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+  Status LoadFromFile(const std::string& path,
+                      LoadStats* load_stats = nullptr);
+
+  // Deep copy of every table (point-in-time consistent view).
+  std::map<std::string, TableMetadata> Snapshot() const;
+  // Replaces the whole catalog content; restart reconciliation rewrites the
+  // loaded state through this after cross-validating against storage.
+  void Restore(std::map<std::string, TableMetadata> tables);
 
  private:
   mutable Mutex mu_;

@@ -1,0 +1,65 @@
+#include "db/recovery.h"
+
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace scanraw {
+
+ReconcileReport ReconcileCatalogWithStorage(Catalog& catalog,
+                                            const StorageManager& storage,
+                                            bool verify_checksums) {
+  ReconcileReport report;
+  auto tables = catalog.Snapshot();
+  const uint64_t storage_end = storage.bytes_written();
+  bool changed = false;
+
+  for (auto& [name, table] : tables) {
+    ++report.tables;
+    for (ChunkMetadata& chunk : table.chunks) {
+      std::vector<StoredSegment> kept;
+      kept.reserve(chunk.segments.size());
+      bool dropped_any = false;
+      for (const StoredSegment& seg : chunk.segments) {
+        ++report.segments_checked;
+        Status ok = Status::OK();
+        if (seg.page.offset + seg.page.size > storage_end) {
+          ok = Status::Corruption(StringPrintf(
+              "past storage end %llu",
+              static_cast<unsigned long long>(storage_end)));
+        } else if (verify_checksums) {
+          ok = storage.VerifySegment(seg.page);
+        }
+        if (ok.ok()) {
+          kept.push_back(seg);
+          continue;
+        }
+        ++report.segments_dropped;
+        dropped_any = true;
+        report.details.push_back(StringPrintf(
+            "%s chunk %llu: dropped segment [%llu, +%llu): %s", name.c_str(),
+            static_cast<unsigned long long>(chunk.chunk_index),
+            static_cast<unsigned long long>(seg.page.offset),
+            static_cast<unsigned long long>(seg.page.size),
+            std::string(ok.message()).c_str()));
+      }
+      if (!dropped_any) continue;
+      changed = true;
+      const size_t loaded_before = chunk.loaded_columns.size();
+      chunk.segments = std::move(kept);
+      chunk.loaded_columns.clear();
+      for (const StoredSegment& seg : chunk.segments) {
+        for (size_t c : seg.columns) chunk.loaded_columns.insert(c);
+      }
+      if (chunk.loaded_columns.size() < loaded_before) {
+        ++report.chunks_reverted;
+      }
+    }
+  }
+
+  if (changed) catalog.Restore(std::move(tables));
+  return report;
+}
+
+}  // namespace scanraw

@@ -1,0 +1,41 @@
+// Restart reconciliation: after Catalog::LoadFromFile +
+// StorageManager::OpenExisting, cross-validate every recorded segment
+// against the storage file. Segments past the storage EOF (a crash between
+// catalog save and data sync under a legacy writer, or external truncation)
+// or failing the chunk checksum (torn append at the tail) are dropped; the
+// affected chunk reverts to not-loaded and is simply re-extracted from the
+// raw file on the next scan — in-situ processing makes that the cheap, safe
+// fallback (§3.3).
+#ifndef SCANRAW_DB_RECOVERY_H_
+#define SCANRAW_DB_RECOVERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/storage_manager.h"
+
+namespace scanraw {
+
+struct ReconcileReport {
+  size_t tables = 0;
+  size_t segments_checked = 0;
+  size_t segments_dropped = 0;  // past EOF or failed checksum
+  size_t chunks_reverted = 0;   // chunks that lost >= 1 loaded column
+  std::vector<std::string> details;  // one human-readable line per drop
+
+  bool clean() const { return segments_dropped == 0; }
+};
+
+// Validates the whole catalog against `storage` and rewrites the catalog
+// (via Snapshot/Restore) without the dropped segments. When
+// `verify_checksums` is true every in-bounds segment is also deserialized
+// so its checksum is checked; otherwise only the EOF bound is enforced.
+ReconcileReport ReconcileCatalogWithStorage(Catalog& catalog,
+                                            const StorageManager& storage,
+                                            bool verify_checksums);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_DB_RECOVERY_H_

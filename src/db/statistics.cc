@@ -1,8 +1,35 @@
 #include "db/statistics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace scanraw {
+
+namespace {
+
+// Conservative int64 envelope for double bounds: round outward (floor for
+// min, ceil for max) and saturate, so integer-only consumers of the stats
+// can never skip a chunk that contains matching rows. A plain
+// static_cast<int64_t> truncates toward zero — min -3.5 became -3, wrongly
+// excluding -3.5 from the zone map.
+int64_t FloorToInt64(double v) {
+  if (std::isnan(v)) return std::numeric_limits<int64_t>::min();
+  const double f = std::floor(v);
+  if (f < -9.2233720368547758e18) return std::numeric_limits<int64_t>::min();
+  if (f >= 9.2233720368547758e18) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(f);
+}
+
+int64_t CeilToInt64(double v) {
+  if (std::isnan(v)) return std::numeric_limits<int64_t>::max();
+  const double c = std::ceil(v);
+  if (c < -9.2233720368547758e18) return std::numeric_limits<int64_t>::min();
+  if (c >= 9.2233720368547758e18) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(c);
+}
+
+}  // namespace
 
 std::map<size_t, ColumnStats> ComputeChunkStats(const BinaryChunk& chunk) {
   std::map<size_t, ColumnStats> stats;
@@ -28,8 +55,11 @@ std::map<size_t, ColumnStats> ComputeChunkStats(const BinaryChunk& chunk) {
       case FieldType::kDouble: {
         auto values = vec.AsDouble();
         const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
-        st.min_value = static_cast<int64_t>(*lo);
-        st.max_value = static_cast<int64_t>(*hi);
+        st.has_double = true;
+        st.min_double = *lo;
+        st.max_double = *hi;
+        st.min_value = FloorToInt64(*lo);
+        st.max_value = CeilToInt64(*hi);
         break;
       }
       case FieldType::kString:

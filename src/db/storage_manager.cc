@@ -3,6 +3,7 @@
 #include "columnar/chunk_serde.h"
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "io/fault_injection.h"
 
 namespace scanraw {
 
@@ -53,7 +54,16 @@ Result<StoredSegment> StorageManager::WriteSegment(
   segment.page.offset = next_offset_;
   segment.page.size = blob.size();
   segment.columns = columns;
-  SCANRAW_RETURN_IF_ERROR(writer_->Append(blob));
+  FaultKillPoint("storage.write_segment.before_append");
+  Status append_status = writer_->Append(blob);
+  if (!append_status.ok()) {
+    // A failed append may still have written a torn prefix (ENOSPC mid
+    // write). Resync so the next segment's recorded offset matches the
+    // real end of the file instead of overlapping the torn bytes.
+    next_offset_ = writer_->bytes_written();
+    return append_status;
+  }
+  FaultKillPoint("storage.write_segment.after_append");
   next_offset_ += blob.size();
   if (segments_metric_ != nullptr) segments_metric_->Add(1);
   if (bytes_metric_ != nullptr) bytes_metric_->Add(blob.size());
@@ -66,6 +76,11 @@ Result<StoredSegment> StorageManager::WriteSegment(
 
 Result<StoredSegment> StorageManager::WriteChunk(const BinaryChunk& chunk) {
   return WriteSegment(chunk, chunk.ColumnIds());
+}
+
+Status StorageManager::Sync() {
+  MutexLock lock(write_mu_);
+  return writer_->Sync();
 }
 
 Result<BinaryChunk> StorageManager::ReadSegment(const PageRef& page) const {
@@ -87,6 +102,18 @@ Result<BinaryChunk> StorageManager::ReadSegment(const PageRef& page) const {
         static_cast<unsigned long long>(page.size)));
   }
   return DeserializeChunk(blob);
+}
+
+Status StorageManager::VerifySegment(const PageRef& page) const {
+  if (page.offset + page.size > bytes_written()) {
+    return Status::Corruption(StringPrintf(
+        "segment [%llu, +%llu) extends past storage end %llu",
+        static_cast<unsigned long long>(page.offset),
+        static_cast<unsigned long long>(page.size),
+        static_cast<unsigned long long>(bytes_written())));
+  }
+  auto chunk = ReadSegment(page);
+  return chunk.ok() ? Status::OK() : chunk.status();
 }
 
 Result<BinaryChunk> StorageManager::ReadChunkColumns(

@@ -49,8 +49,18 @@ class StorageManager {
   void SetCompression(bool enabled) { compress_ = enabled; }
   bool compression() const { return compress_; }
 
+  // Forces every appended segment to stable storage. The write path calls
+  // this before the catalog records a segment, so the catalog never points
+  // at unsynced bytes. Thread-safe.
+  Status Sync();
+
   // Reads one segment back. Thread-safe; may run concurrently with writes.
   Result<BinaryChunk> ReadSegment(const PageRef& page) const;
+
+  // Validates that `page` lies entirely inside the file and deserializes
+  // (checksum-verifies) its contents, without keeping the chunk. Restart
+  // reconciliation uses this to detect torn or phantom segments.
+  Status VerifySegment(const PageRef& page) const;
 
   // Reads and merges as many stored segments of `chunk_meta` as needed to
   // cover `columns` (earliest segments first). Fails with NotFound if some

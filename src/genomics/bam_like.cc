@@ -410,7 +410,9 @@ Result<BamIndex> WriteBamIndex(const std::string& bam_path) {
     blob.append(reinterpret_cast<const char*>(&e.record_count), 4);
     blob.append(reinterpret_cast<const char*>(&e.chain_state), 8);
   }
-  SCANRAW_RETURN_IF_ERROR(WriteStringToFile(bam_path + ".bai", blob));
+  // The index is consulted on restart; a torn .bai would poison every later
+  // open, so it must land atomically.
+  SCANRAW_RETURN_IF_ERROR(AtomicWriteFile(bam_path + ".bai", blob));
   return index;
 }
 

@@ -1,0 +1,220 @@
+#include "io/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace scanraw {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+Status InjectedErrnoStatus(int err, const std::string& context) {
+  const std::string msg =
+      "injected fault: " + context + ": " + std::strerror(err);
+  if (err == ENOSPC) return Status::ResourceExhausted(msg);
+  return Status::IoError(msg);
+}
+
+// ------------------------------------------------------------ decorators --
+
+// The decorators deliberately re-fetch the global injector on every call
+// instead of caching the pointer handed out at wrap time: a wrapped file may
+// outlive the ScopedFaultInjection that caused the wrapping (e.g. a
+// StorageManager created under injection and used after), and must then
+// behave as a plain pass-through rather than touch a dead injector.
+FaultInjector* ActiveInjector(const std::string& path) {
+  FaultInjector* injector = FaultInjector::Global();
+  if (injector == nullptr || !injector->Matches(path)) return nullptr;
+  return injector;
+}
+
+class FaultInjectingRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit FaultInjectingRandomAccessFile(
+      std::unique_ptr<RandomAccessFile> base)
+      : base_(std::move(base)) {}
+
+  Result<size_t> ReadAt(uint64_t offset, size_t length,
+                        char* scratch) const override {
+    if (FaultInjector* injector = ActiveInjector(base_->path())) {
+      auto fault = injector->OnRead(base_->path(), length);
+      using Kind = FaultInjector::ReadFault::Kind;
+      switch (fault.kind) {
+        case Kind::kError:
+          return fault.status;
+        case Kind::kShort:
+          length = fault.short_length;
+          break;
+        case Kind::kRetry:  // simulated EINTR: already retried internally
+        case Kind::kNone:
+          break;
+      }
+    }
+    return base_->ReadAt(offset, length, scratch);
+  }
+
+  uint64_t size() const override { return base_->size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  explicit FaultInjectingWritableFile(std::unique_ptr<WritableFile> base)
+      : base_(std::move(base)) {}
+
+  Status Append(const char* data, size_t length) override {
+    FaultInjector* injector = ActiveInjector(base_->path());
+    if (injector == nullptr) return base_->Append(data, length);
+    auto fault = injector->OnAppend(base_->path(), length);
+    using Kind = FaultInjector::AppendFault::Kind;
+    if (fault.kind == Kind::kNone) return base_->Append(data, length);
+    // Torn write: the prefix reaches the file, then the error / crash.
+    if (fault.torn_bytes > 0) {
+      (void)base_->Append(data, fault.torn_bytes);
+    }
+    if (fault.kind == Kind::kKill) ::_exit(kFaultKillExitCode);
+    return fault.status;
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    if (FaultInjector* injector = ActiveInjector(base_->path())) {
+      SCANRAW_RETURN_IF_ERROR(injector->OnSync(base_->path()));
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+  uint64_t bytes_written() const override { return base_->bytes_written(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------- FaultInjector --
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::Matches(const std::string& path) const {
+  return plan_.path_substring.empty() ||
+         path.find(plan_.path_substring) != std::string::npos;
+}
+
+bool FaultInjector::Draw(double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  return rng_.NextDouble() < rate;
+}
+
+FaultInjector::ReadFault FaultInjector::OnRead(const std::string& path,
+                                               size_t length) {
+  ReadFault fault;
+  if (!Matches(path)) return fault;
+  MutexLock lock(mu_);
+  if (Draw(plan_.read_error_rate)) {
+    counters_.read_errors.fetch_add(1, std::memory_order_relaxed);
+    fault.kind = ReadFault::Kind::kError;
+    fault.status = InjectedErrnoStatus(plan_.error_errno, "pread " + path);
+    return fault;
+  }
+  if (length > 1 && Draw(plan_.short_read_rate)) {
+    counters_.short_reads.fetch_add(1, std::memory_order_relaxed);
+    fault.kind = ReadFault::Kind::kShort;
+    fault.short_length = 1 + rng_.Uniform(length - 1);
+    return fault;
+  }
+  if (Draw(plan_.read_eintr_rate)) {
+    counters_.read_retries.fetch_add(1, std::memory_order_relaxed);
+    fault.kind = ReadFault::Kind::kRetry;
+  }
+  return fault;
+}
+
+FaultInjector::AppendFault FaultInjector::OnAppend(const std::string& path,
+                                                   size_t length) {
+  AppendFault fault;
+  if (!Matches(path)) return fault;
+  MutexLock lock(mu_);
+  const uint64_t ordinal = ++appends_seen_;
+  const bool kill =
+      plan_.kill_append_at != 0 && ordinal == plan_.kill_append_at;
+  const bool error = !kill && Draw(plan_.append_error_rate);
+  if (!kill && !error) return fault;
+  fault.torn_bytes = static_cast<size_t>(
+      static_cast<double>(length) * plan_.torn_fraction);
+  if (fault.torn_bytes >= length && length > 0) fault.torn_bytes = length - 1;
+  if (fault.torn_bytes > 0) {
+    counters_.torn_appends.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (kill) {
+    fault.kind = AppendFault::Kind::kKill;
+    counters_.kill_point_hits.fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
+  counters_.append_errors.fetch_add(1, std::memory_order_relaxed);
+  fault.kind = AppendFault::Kind::kError;
+  fault.status = InjectedErrnoStatus(plan_.error_errno, "write " + path);
+  return fault;
+}
+
+Status FaultInjector::OnSync(const std::string& path) {
+  if (!Matches(path)) return Status::OK();
+  MutexLock lock(mu_);
+  if (Draw(plan_.sync_error_rate)) {
+    counters_.sync_errors.fetch_add(1, std::memory_order_relaxed);
+    return InjectedErrnoStatus(plan_.error_errno, "fdatasync " + path);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::MaybeKill(std::string_view point) {
+  if (plan_.kill_point.empty() || point != plan_.kill_point) return;
+  bool fire = false;
+  {
+    MutexLock lock(mu_);
+    fire = ++kill_hits_ == plan_.kill_point_hit;
+  }
+  counters_.kill_point_hits.fetch_add(1, std::memory_order_relaxed);
+  if (fire) ::_exit(kFaultKillExitCode);
+}
+
+FaultInjector* FaultInjector::Global() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void FaultInjector::InstallGlobal(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+void FaultKillPoint(std::string_view point) {
+  if (FaultInjector* injector = FaultInjector::Global()) {
+    injector->MaybeKill(point);
+  }
+}
+
+std::unique_ptr<RandomAccessFile> MaybeWrapWithFaultInjection(
+    std::unique_ptr<RandomAccessFile> file) {
+  if (ActiveInjector(file->path()) == nullptr) return file;
+  return std::make_unique<FaultInjectingRandomAccessFile>(std::move(file));
+}
+
+std::unique_ptr<WritableFile> MaybeWrapWithFaultInjection(
+    std::unique_ptr<WritableFile> file) {
+  if (ActiveInjector(file->path()) == nullptr) return file;
+  return std::make_unique<FaultInjectingWritableFile>(std::move(file));
+}
+
+}  // namespace scanraw

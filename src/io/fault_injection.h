@@ -1,0 +1,158 @@
+// Deterministic fault injection for the I/O layer. A FaultInjector holds a
+// seed-driven plan of read/append/sync failures, torn (partial) appends, and
+// named kill-points; when installed (see ScopedFaultInjection) the
+// RandomAccessFile / WritableFile factories wrap every matching file in a
+// decorator that consults the injector before delegating, so error paths are
+// exercised through the exact production call sites. Crash-recovery tests
+// fork a child, arm a kill-point, and let the process _exit() mid-protocol;
+// the parent then restarts and asserts recovery.
+//
+// Everything is deterministic for a given FaultPlan::seed: the decision
+// stream is a single seeded PRNG consumed under a lock, so a plan replays
+// identically run-to-run (though thread interleaving may reorder which
+// operation consumes which decision).
+#ifndef SCANRAW_IO_FAULT_INJECTION_H_
+#define SCANRAW_IO_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "io/file.h"
+
+namespace scanraw {
+
+// Exit code used by kill-points so a waiting parent can tell an injected
+// crash apart from an ordinary failure.
+inline constexpr int kFaultKillExitCode = 42;
+
+// What to inject. Rates are probabilities in [0, 1] evaluated per call on
+// files whose path contains `path_substring` (empty matches every file).
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::string path_substring;
+
+  // Reads.
+  double read_error_rate = 0.0;   // ReadAt fails with `error_errno`
+  double short_read_rate = 0.0;   // ReadAt returns fewer bytes than asked
+  double read_eintr_rate = 0.0;   // simulated EINTR: counted retry, then OK
+
+  // Writes.
+  double append_error_rate = 0.0;  // Append fails with `error_errno` after
+                                   // writing a torn prefix (torn_fraction)
+  double sync_error_rate = 0.0;    // Sync fails with `error_errno`
+
+  // errno carried by injected read/append/sync errors: EIO or ENOSPC
+  // (ENOSPC maps to StatusCode::kResourceExhausted, EIO to kIoError).
+  int error_errno = 5;  // EIO
+
+  // Fraction of an injected-failed append's bytes that still reach the file
+  // before the error/kill — models a torn write at the storage tail.
+  double torn_fraction = 0.5;
+
+  // Crash (via _exit) in the middle of the Nth matching Append, after
+  // writing the torn prefix. 1-based; 0 disables.
+  uint64_t kill_append_at = 0;
+
+  // Named kill-point: the process _exit()s when code reaches
+  // FaultKillPoint(kill_point) for the `kill_point_hit`-th time.
+  std::string kill_point;
+  uint64_t kill_point_hit = 1;
+};
+
+// Tallies of injected faults, for test assertions and the CLI fault report.
+struct FaultCounters {
+  std::atomic<uint64_t> read_errors{0};
+  std::atomic<uint64_t> short_reads{0};
+  std::atomic<uint64_t> read_retries{0};
+  std::atomic<uint64_t> append_errors{0};
+  std::atomic<uint64_t> torn_appends{0};
+  std::atomic<uint64_t> sync_errors{0};
+  std::atomic<uint64_t> kill_point_hits{0};
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& counters() const { return counters_; }
+  bool Matches(const std::string& path) const;
+
+  struct ReadFault {
+    enum class Kind { kNone, kError, kShort, kRetry };
+    Kind kind = Kind::kNone;
+    size_t short_length = 0;  // for kShort: bytes to actually read
+    Status status;            // for kError
+  };
+  ReadFault OnRead(const std::string& path, size_t length);
+
+  struct AppendFault {
+    enum class Kind { kNone, kError, kKill };
+    Kind kind = Kind::kNone;
+    size_t torn_bytes = 0;  // prefix written before the error / crash
+    Status status;          // for kError
+  };
+  AppendFault OnAppend(const std::string& path, size_t length);
+
+  // OK, or the injected sync failure.
+  Status OnSync(const std::string& path);
+
+  // Calls _exit(kFaultKillExitCode) when `point` matches the armed
+  // kill-point and the hit count is reached; otherwise just counts.
+  void MaybeKill(std::string_view point);
+
+  // Process-global injector consulted by the file factories and by
+  // FaultKillPoint(). Not owned; install nullptr to disable.
+  static FaultInjector* Global();
+  static void InstallGlobal(FaultInjector* injector);
+
+ private:
+  bool Draw(double rate) REQUIRES(mu_);
+
+  const FaultPlan plan_;
+  FaultCounters counters_;
+  Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  uint64_t appends_seen_ GUARDED_BY(mu_) = 0;
+  uint64_t kill_hits_ GUARDED_BY(mu_) = 0;
+};
+
+// RAII install/uninstall of a process-global injector. Tests hold one on the
+// stack; the CLI holds one for the process lifetime when --fault-* is given.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan)
+      : injector_(std::make_unique<FaultInjector>(std::move(plan))) {
+    FaultInjector::InstallGlobal(injector_.get());
+  }
+  ~ScopedFaultInjection() { FaultInjector::InstallGlobal(nullptr); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector* injector() { return injector_.get(); }
+
+ private:
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+// Named crash point for the durability protocol (storage write, catalog
+// save, ...). No-op unless an injector with a matching kill_point is
+// installed, so production code can leave these in place.
+void FaultKillPoint(std::string_view point);
+
+// Used by the file factories: wraps `file` in the fault-injecting decorator
+// when a global injector is installed and its path filter matches.
+std::unique_ptr<RandomAccessFile> MaybeWrapWithFaultInjection(
+    std::unique_ptr<RandomAccessFile> file);
+std::unique_ptr<WritableFile> MaybeWrapWithFaultInjection(
+    std::unique_ptr<WritableFile> file);
+
+}  // namespace scanraw
+
+#endif  // SCANRAW_IO_FAULT_INJECTION_H_

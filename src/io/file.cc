@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include "io/fault_injection.h"
 #include "io/rate_limiter.h"
 
 namespace scanraw {
@@ -14,12 +16,128 @@ namespace scanraw {
 namespace {
 
 Status ErrnoStatus(const std::string& context) {
+  if (errno == ENOSPC) {
+    return Status::ResourceExhausted(context + ": " + std::strerror(errno));
+  }
   return Status::IoError(context + ": " + std::strerror(errno));
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------- reader --
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd, uint64_t size,
+                        RateLimiter* limiter, IoStats* stats)
+      : path_(std::move(path)),
+        fd_(fd),
+        size_(size),
+        limiter_(limiter),
+        stats_(stats) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, size_t length,
+                        char* scratch) const override {
+    size_t done = 0;
+    while (done < length) {
+      ssize_t n = ::pread(fd_, scratch + done, length - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + path_);
+      }
+      if (n == 0) break;  // EOF
+      done += static_cast<size_t>(n);
+    }
+    if (limiter_ != nullptr) limiter_->Acquire(done);
+    if (stats_ != nullptr) {
+      stats_->bytes_read.fetch_add(done, std::memory_order_relaxed);
+      stats_->read_calls.fetch_add(1, std::memory_order_relaxed);
+    }
+    return done;
+  }
+
+  uint64_t size() const override { return size_; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+  RateLimiter* limiter_;
+  IoStats* stats_;
+};
+
+// ---------------------------------------------------------------- writer --
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd, uint64_t bytes_written,
+                    RateLimiter* limiter, IoStats* stats)
+      : path_(std::move(path)),
+        fd_(fd),
+        bytes_written_(bytes_written),
+        limiter_(limiter),
+        stats_(stats) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, size_t length) override {
+    if (fd_ < 0) return Status::IoError("write to closed file " + path_);
+    size_t done = 0;
+    while (done < length) {
+      ssize_t n = ::write(fd_, data + done, length - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        bytes_written_ += done;  // a torn prefix may have reached the file
+        return ErrnoStatus("write " + path_);
+      }
+      done += static_cast<size_t>(n);
+    }
+    bytes_written_ += length;
+    if (limiter_ != nullptr) limiter_->Acquire(length);
+    if (stats_ != nullptr) {
+      stats_->bytes_written.fetch_add(length, std::memory_order_relaxed);
+      stats_->write_calls.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (fd_ < 0) return Status::IoError("flush of closed file " + path_);
+    return Status::OK();  // no user-space buffering
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError("sync of closed file " + path_);
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return ErrnoStatus("close " + path_);
+    return Status::OK();
+  }
+
+  uint64_t bytes_written() const override { return bytes_written_; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t bytes_written_;
+  RateLimiter* limiter_;
+  IoStats* stats_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path, RateLimiter* limiter, IoStats* stats) {
@@ -31,51 +149,17 @@ Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     ::close(fd);
     return s;
   }
-  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(
-      path, fd, static_cast<uint64_t>(st.st_size), limiter, stats));
+  return MaybeWrapWithFaultInjection(std::unique_ptr<RandomAccessFile>(
+      new PosixRandomAccessFile(path, fd, static_cast<uint64_t>(st.st_size),
+                                limiter, stats)));
 }
-
-RandomAccessFile::RandomAccessFile(std::string path, int fd, uint64_t size,
-                                   RateLimiter* limiter, IoStats* stats)
-    : path_(std::move(path)),
-      fd_(fd),
-      size_(size),
-      limiter_(limiter),
-      stats_(stats) {}
-
-RandomAccessFile::~RandomAccessFile() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Result<size_t> RandomAccessFile::ReadAt(uint64_t offset, size_t length,
-                                        char* scratch) const {
-  size_t done = 0;
-  while (done < length) {
-    ssize_t n = ::pread(fd_, scratch + done, length - done,
-                        static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("pread " + path_);
-    }
-    if (n == 0) break;  // EOF
-    done += static_cast<size_t>(n);
-  }
-  if (limiter_ != nullptr) limiter_->Acquire(done);
-  if (stats_ != nullptr) {
-    stats_->bytes_read.fetch_add(done, std::memory_order_relaxed);
-    stats_->read_calls.fetch_add(1, std::memory_order_relaxed);
-  }
-  return done;
-}
-
-// ---------------------------------------------------------------- writer --
 
 Result<std::unique_ptr<WritableFile>> WritableFile::Create(
     const std::string& path, RateLimiter* limiter, IoStats* stats) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("open " + path);
-  return std::unique_ptr<WritableFile>(
-      new WritableFile(path, fd, limiter, stats));
+  return MaybeWrapWithFaultInjection(std::unique_ptr<WritableFile>(
+      new PosixWritableFile(path, fd, 0, limiter, stats)));
 }
 
 Result<std::unique_ptr<WritableFile>> WritableFile::OpenForAppend(
@@ -88,51 +172,9 @@ Result<std::unique_ptr<WritableFile>> WritableFile::OpenForAppend(
     ::close(fd);
     return s;
   }
-  auto file = std::unique_ptr<WritableFile>(
-      new WritableFile(path, fd, limiter, stats));
-  file->bytes_written_ = static_cast<uint64_t>(st.st_size);
-  return file;
-}
-
-WritableFile::WritableFile(std::string path, int fd, RateLimiter* limiter,
-                           IoStats* stats)
-    : path_(std::move(path)), fd_(fd), limiter_(limiter), stats_(stats) {}
-
-WritableFile::~WritableFile() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Status WritableFile::Append(const char* data, size_t length) {
-  if (fd_ < 0) return Status::IoError("write to closed file " + path_);
-  size_t done = 0;
-  while (done < length) {
-    ssize_t n = ::write(fd_, data + done, length - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write " + path_);
-    }
-    done += static_cast<size_t>(n);
-  }
-  bytes_written_ += length;
-  if (limiter_ != nullptr) limiter_->Acquire(length);
-  if (stats_ != nullptr) {
-    stats_->bytes_written.fetch_add(length, std::memory_order_relaxed);
-    stats_->write_calls.fetch_add(1, std::memory_order_relaxed);
-  }
-  return Status::OK();
-}
-
-Status WritableFile::Flush() {
-  if (fd_ < 0) return Status::IoError("flush of closed file " + path_);
-  return Status::OK();  // no user-space buffering
-}
-
-Status WritableFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  int rc = ::close(fd_);
-  fd_ = -1;
-  if (rc != 0) return ErrnoStatus("close " + path_);
-  return Status::OK();
+  return MaybeWrapWithFaultInjection(std::unique_ptr<WritableFile>(
+      new PosixWritableFile(path, fd, static_cast<uint64_t>(st.st_size),
+                            limiter, stats)));
 }
 
 // --------------------------------------------------------------- helpers --
@@ -171,6 +213,53 @@ Status RemoveFileIfExists(const std::string& path) {
     return ErrnoStatus("unlink " + path);
   }
   return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir " + dir);
+  int rc = ::fsync(fd);
+  int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return ErrnoStatus("fsync dir " + dir);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    auto file = WritableFile::Create(tmp);
+    if (!file.ok()) return file.status();
+    Status s = (*file)->Append(contents.data(), contents.size());
+    FaultKillPoint("atomic_write.after_append");
+    if (s.ok()) s = (*file)->Sync();
+    FaultKillPoint("atomic_write.after_sync");
+    Status close_status = (*file)->Close();
+    if (s.ok()) s = close_status;
+    if (!s.ok()) {
+      (void)RemoveFileIfExists(tmp);
+      return s;
+    }
+  }
+  SCANRAW_RETURN_IF_ERROR(RenameFile(tmp, path));
+  FaultKillPoint("atomic_write.after_rename");
+  // Make the rename durable. Without a directory entry sync a crash can
+  // roll the rename back even though the data blocks reached disk.
+  auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return SyncDir(dir);
 }
 
 }  // namespace scanraw

@@ -1,6 +1,10 @@
 // POSIX file wrappers used by the READ and WRITE stages and by the storage
 // manager. All I/O goes through these so byte counters and the optional
-// bandwidth limiter see every access.
+// bandwidth limiter see every access. Both classes are abstract interfaces:
+// the factories return the POSIX implementation, transparently wrapped in a
+// fault-injecting decorator when a FaultInjector is installed (see
+// io/fault_injection.h), so tests exercise error paths through the exact
+// production call sites.
 #ifndef SCANRAW_IO_FILE_H_
 #define SCANRAW_IO_FILE_H_
 
@@ -32,7 +36,7 @@ struct IoStats {
 };
 
 // Sequential reader with positional Read support (pread). Thread-compatible:
-// concurrent ReadAt calls are safe, Read/Skip are not.
+// concurrent ReadAt calls are safe.
 class RandomAccessFile {
  public:
   // Opens an existing file for reading.
@@ -40,29 +44,25 @@ class RandomAccessFile {
       const std::string& path, RateLimiter* limiter = nullptr,
       IoStats* stats = nullptr);
 
-  ~RandomAccessFile();
+  virtual ~RandomAccessFile() = default;
   RandomAccessFile(const RandomAccessFile&) = delete;
   RandomAccessFile& operator=(const RandomAccessFile&) = delete;
 
   // Reads up to `length` bytes at `offset` into `scratch`; returns the number
   // of bytes read (0 at EOF).
-  Result<size_t> ReadAt(uint64_t offset, size_t length, char* scratch) const;
+  virtual Result<size_t> ReadAt(uint64_t offset, size_t length,
+                                char* scratch) const = 0;
 
-  uint64_t size() const { return size_; }
-  const std::string& path() const { return path_; }
+  virtual uint64_t size() const = 0;
+  virtual const std::string& path() const = 0;
 
- private:
-  RandomAccessFile(std::string path, int fd, uint64_t size,
-                   RateLimiter* limiter, IoStats* stats);
-
-  std::string path_;
-  int fd_;
-  uint64_t size_;
-  RateLimiter* limiter_;
-  IoStats* stats_;
+ protected:
+  RandomAccessFile() = default;
 };
 
-// Append-only writer (creates or truncates). Not thread-safe.
+// Append-only writer (creates or truncates). Not thread-safe. Destruction
+// without Close() releases the descriptor but cannot report errors; durable
+// state must Sync() + Close() and check both statuses.
 class WritableFile {
  public:
   static Result<std::unique_ptr<WritableFile>> Create(
@@ -75,28 +75,26 @@ class WritableFile {
       const std::string& path, RateLimiter* limiter = nullptr,
       IoStats* stats = nullptr);
 
-  ~WritableFile();
+  virtual ~WritableFile() = default;
   WritableFile(const WritableFile&) = delete;
   WritableFile& operator=(const WritableFile&) = delete;
 
-  Status Append(const char* data, size_t length);
+  virtual Status Append(const char* data, size_t length) = 0;
   Status Append(const std::string& data) {
     return Append(data.data(), data.size());
   }
-  Status Flush();
-  Status Close();
+  virtual Status Flush() = 0;
+  // Forces written bytes to stable storage (fdatasync). The durability
+  // contract everywhere in this tree: data is Sync()ed before any catalog
+  // record points at it.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
 
-  uint64_t bytes_written() const { return bytes_written_; }
-  const std::string& path() const { return path_; }
+  virtual uint64_t bytes_written() const = 0;
+  virtual const std::string& path() const = 0;
 
- private:
-  WritableFile(std::string path, int fd, RateLimiter* limiter, IoStats* stats);
-
-  std::string path_;
-  int fd_;
-  uint64_t bytes_written_ = 0;
-  RateLimiter* limiter_;
-  IoStats* stats_;
+ protected:
+  WritableFile() = default;
 };
 
 // Convenience helpers (tests, generators).
@@ -105,6 +103,20 @@ Result<std::string> ReadFileToString(const std::string& path);
 Result<uint64_t> GetFileSize(const std::string& path);
 bool FileExists(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
+
+// Atomically replaces the file at `path` with `contents`: writes
+// `path`.tmp, fsyncs it, renames over `path`, then fsyncs the parent
+// directory so the rename itself is durable. A crash at any point leaves
+// either the complete old file or the complete new file — never a torn mix.
+// All state files (catalog, resident bitmaps, ...) must be saved through
+// this helper; scanraw-lint's state-file-write rule enforces it.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// fsync on a directory, making completed renames/creations in it durable.
+Status SyncDir(const std::string& dir);
+
+// rename(2) with Status error reporting.
+Status RenameFile(const std::string& from, const std::string& to);
 
 }  // namespace scanraw
 

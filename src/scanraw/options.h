@@ -87,6 +87,19 @@ struct ScanRawOptions {
   // Collect per-column min/max statistics while loading (§3.3).
   bool collect_stats = true;
 
+  // Durability: fsync the storage file after each segment append, before
+  // the catalog records the segment. Keeps the write-ordering invariant
+  // (the catalog never points at unsynced bytes) even if the process dies
+  // between the append and the next catalog save.
+  bool sync_segment_writes = true;
+
+  // Graceful degradation: after a background WRITE fails (disk full, I/O
+  // error), suppress new speculative triggers for this long. The failed
+  // chunk stays unloaded — queries keep running from the raw side — and
+  // loading is retried once the backoff expires. Synchronous-loading
+  // policies (kFullLoad, kInvisibleLoading) still surface the error.
+  int write_failure_backoff_ms = 100;
+
   // Cache positional maps across queries so re-scans of raw chunks skip or
   // shorten TOKENIZE (§2's positional map; off by default per the §3.1
   // argument that binary-chunk caching dominates it).

@@ -1,8 +1,10 @@
 #include "scanraw/scan_raw.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/clock.h"
+#include "io/fault_injection.h"
 #include "common/string_util.h"
 #include "columnar/chunk_sort.h"
 #include "db/statistics.h"
@@ -71,6 +73,8 @@ void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
   skipped_metric = registry->GetCounter("scanraw.chunks_skipped");
   read_blocked_metric = registry->GetCounter("scanraw.read_blocked_events");
   speculative_metric = registry->GetCounter("scanraw.speculative_triggers");
+  write_failures_metric = registry->GetCounter("scanraw.write_failures");
+  write_backoff_metric = registry->GetCounter("scanraw.write_backoffs");
 }
 
 void PipelineProfile::Reset() {
@@ -80,6 +84,7 @@ void PipelineProfile::Reset() {
   write_time.Reset();
   chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
   chunks_skipped = read_blocked_events = speculative_triggers = 0;
+  write_failures = write_backoffs = 0;
   // Registry mirrors follow the same single-threaded-reset contract; the
   // histograms are shared objects, so this clears the aggregated view too.
   for (obs::Histogram* h :
@@ -88,7 +93,8 @@ void PipelineProfile::Reset() {
   }
   for (obs::Counter* c :
        {from_cache_metric, from_db_metric, from_raw_metric, written_metric,
-        skipped_metric, read_blocked_metric, speculative_metric}) {
+        skipped_metric, read_blocked_metric, speculative_metric,
+        write_failures_metric, write_backoff_metric}) {
     if (c != nullptr) c->Reset();
   }
 }
@@ -539,6 +545,9 @@ struct ScanRaw::QueryRun::Impl {
   // the chunk to the execution engine.
   void DeliverConverted(BinaryChunkPtr chunk) {
     const uint64_t index = chunk->chunk_index();
+    // Crash point for the recovery matrix: a chunk has been extracted
+    // (tokenized + parsed) but nothing about it has been persisted yet.
+    FaultKillPoint("scanraw.extract.converted");
     if (PushdownActive()) {
       // Filtered chunks are incomplete: deliver to the engine only.
       out_q.Push(std::move(chunk));
@@ -961,6 +970,15 @@ bool ScanRaw::EnqueueWrite(uint64_t chunk_index, BinaryChunkPtr chunk) {
 
 void ScanRaw::MaybeTriggerSpeculativeWrite() {
   if (options_.policy != LoadPolicy::kSpeculativeLoading) return;
+  // Back off after a failed background write: the disk is unhappy (full,
+  // erroring); keep serving the query from the raw side and retry later.
+  const int64_t backoff_until =
+      write_backoff_until_nanos_.load(std::memory_order_relaxed);
+  if (backoff_until != 0 &&
+      RealClock::Instance()->NowNanos() < backoff_until) {
+    profile_.CountWriteBackoff();
+    return;
+  }
   {
     // One chunk at a time (§4): do not stack writes while one is queued or
     // in flight.
@@ -1013,10 +1031,19 @@ void ScanRaw::WriteLoop() {
       if (!segment.ok()) {
         status = segment.status();
       } else {
-        std::map<size_t, ColumnStats> stats;
-        if (options_.collect_stats) stats = ComputeChunkStats(*to_store);
-        status = catalog_->RecordSegment(table_, req->chunk_index, *segment,
-                                         stats);
+        // Write-ordering invariant: the segment's bytes reach stable
+        // storage before any catalog record points at them, so a crash
+        // can leave orphan bytes in the storage tail (harmless) but never
+        // a catalog entry referencing unsynced data.
+        if (options_.sync_segment_writes) status = storage_->Sync();
+        FaultKillPoint("scanraw.write.before_record");
+        if (status.ok()) {
+          std::map<size_t, ColumnStats> stats;
+          if (options_.collect_stats) stats = ComputeChunkStats(*to_store);
+          status = catalog_->RecordSegment(table_, req->chunk_index, *segment,
+                                           stats);
+          FaultKillPoint("scanraw.write.after_record");
+        }
       }
     }
     RecordWriteSpan(write_start,
@@ -1025,9 +1052,31 @@ void ScanRaw::WriteLoop() {
       cache_.MarkLoaded(req->chunk_index);
       profile_.CountWritten();
       NoteChunkLoaded();
-    } else {
+    } else if (options_.policy == LoadPolicy::kFullLoad ||
+               options_.policy == LoadPolicy::kInvisibleLoading) {
+      // Loading is part of the query under these policies; surface it.
       MutexLock lock(write_mu_);
       if (write_status_.ok()) write_status_ = status;
+    } else {
+      // Graceful degradation (speculative / buffered / safeguard writes):
+      // the chunk simply stays unloaded — the query keeps processing it
+      // from the raw side — and new speculative triggers back off so a
+      // sick disk is not hammered. Retried naturally once the backoff
+      // expires.
+      profile_.CountWriteFailure();
+      std::fprintf(stderr,
+                   "scanraw: background write of %s chunk %llu failed, "
+                   "falling back to raw-side processing: %s\n",
+                   table_.c_str(),
+                   static_cast<unsigned long long>(req->chunk_index),
+                   std::string(status.message()).c_str());
+      if (options_.write_failure_backoff_ms > 0) {
+        write_backoff_until_nanos_.store(
+            RealClock::Instance()->NowNanos() +
+                static_cast<int64_t>(options_.write_failure_backoff_ms) *
+                    1'000'000,
+            std::memory_order_relaxed);
+      }
     }
     {
       MutexLock lock(pending_mu_);

@@ -58,6 +58,11 @@ struct PipelineProfile {
   std::atomic<uint64_t> chunks_skipped{0};  // min/max pruning (§3.3)
   std::atomic<uint64_t> read_blocked_events{0};
   std::atomic<uint64_t> speculative_triggers{0};
+  // Failed background WRITEs degraded to raw-side processing (the chunk
+  // stays unloaded and will be re-extracted or retried), and speculative
+  // triggers suppressed while backing off after such a failure.
+  std::atomic<uint64_t> write_failures{0};
+  std::atomic<uint64_t> write_backoffs{0};
 
   // Registry mirrors; null until Bind. Stage histograms record nanoseconds
   // per chunk. Operators sharing one registry share these objects, so the
@@ -73,6 +78,8 @@ struct PipelineProfile {
   obs::Counter* skipped_metric = nullptr;
   obs::Counter* read_blocked_metric = nullptr;
   obs::Counter* speculative_metric = nullptr;
+  obs::Counter* write_failures_metric = nullptr;
+  obs::Counter* write_backoff_metric = nullptr;
 
   // Resolves the registry mirrors under the "scanraw." prefix. Call before
   // the pipeline runs.
@@ -87,6 +94,8 @@ struct PipelineProfile {
   void CountSpeculativeTrigger() {
     Bump(speculative_triggers, speculative_metric);
   }
+  void CountWriteFailure() { Bump(write_failures, write_failures_metric); }
+  void CountWriteBackoff() { Bump(write_backoffs, write_backoff_metric); }
 
   // Zeroes the stopwatches, the counters, and — when bound — the
   // registry-backed mirrors (histograms included).
@@ -319,6 +328,9 @@ class ScanRaw {
   CondVar write_cv_;
   size_t writes_outstanding_ GUARDED_BY(write_mu_) = 0;  // queued + in flight
   Status write_status_ GUARDED_BY(write_mu_);
+  // Speculative triggers are suppressed until this deadline after a failed
+  // background write (graceful degradation; 0 = no backoff active).
+  std::atomic<int64_t> write_backoff_until_nanos_{0};
 };
 
 }  // namespace scanraw

@@ -1,5 +1,7 @@
 #include "scanraw/scanraw_manager.h"
 
+#include "io/fault_injection.h"
+
 namespace scanraw {
 
 HeapScanStream::HeapScanStream(const TableMetadata& table,
@@ -71,7 +73,21 @@ Status ScanRawManager::RegisterRawFile(const std::string& table,
 }
 
 Status ScanRawManager::SaveCatalog(const std::string& path) const {
-  return catalog_.SaveToFile(path);
+  // Drain in-flight background writes (speculative / safeguard flushes)
+  // first: a segment that lands after the snapshot would be durable but
+  // unreferenced, and its chunk would be re-extracted on restart.
+  {
+    MutexLock lock(mu_);
+    for (const auto& [name, op] : operators_) op->WaitForWrites();
+  }
+  // Durability ordering: every segment byte reaches stable storage before
+  // the catalog that references it. The write path also syncs per segment;
+  // this is the catch-all for anything buffered since.
+  SCANRAW_RETURN_IF_ERROR(storage_->Sync());
+  FaultKillPoint("manager.save_catalog.before");
+  Status s = catalog_.SaveToFile(path);
+  FaultKillPoint("manager.save_catalog.after");
+  return s;
 }
 
 Status ScanRawManager::LoadCatalog(const std::string& path) {
@@ -82,7 +98,29 @@ Status ScanRawManager::LoadCatalog(const std::string& path) {
           "cannot load a catalog while operators are live");
     }
   }
-  return catalog_.LoadFromFile(path);
+  Catalog::LoadStats load_stats;
+  SCANRAW_RETURN_IF_ERROR(catalog_.LoadFromFile(path, &load_stats));
+  ReconcileReport report = ReconcileCatalogWithStorage(
+      catalog_, *storage_, config_.verify_segments_on_load);
+  obs::MetricsRegistry& registry = telemetry_.metrics();
+  registry.GetCounter("recovery.segments_checked")
+      ->Add(report.segments_checked);
+  registry.GetCounter("recovery.segments_dropped")
+      ->Add(report.segments_dropped);
+  registry.GetCounter("recovery.chunks_reverted")->Add(report.chunks_reverted);
+  if (load_stats.torn_tail_dropped) {
+    registry.GetCounter("recovery.catalog_torn_tail_dropped")->Add(1);
+    report.details.push_back("catalog: dropped torn trailing line: " +
+                             load_stats.torn_tail);
+  }
+  MutexLock lock(mu_);
+  last_recovery_ = std::move(report);
+  return Status::OK();
+}
+
+ReconcileReport ScanRawManager::last_recovery() const {
+  MutexLock lock(mu_);
+  return last_recovery_;
 }
 
 Status ScanRawManager::AttachOptions(const std::string& table,

@@ -15,6 +15,7 @@
 
 #include "db/catalog.h"
 #include "db/heap_scan.h"
+#include "db/recovery.h"
 #include "db/storage_manager.h"
 #include "exec/query.h"
 #include "io/disk_arbiter.h"
@@ -55,6 +56,10 @@ class ScanRawManager {
     bool reuse_existing_db = false;
     // Delta-compress integer columns in stored segments.
     bool compress_segments = false;
+    // Checksum-verify every catalog segment against storage during
+    // LoadCatalog (drops torn segments instead of serving Corruption
+    // later). The EOF bound is always enforced.
+    bool verify_segments_on_load = true;
   };
 
   static Result<std::unique_ptr<ScanRawManager>> Create(const Config& config);
@@ -82,10 +87,18 @@ class ScanRawManager {
   bool IsRetired(const std::string& table);
 
   // Restart recovery: persist / restore catalog metadata (tables, chunk
-  // layouts, loaded segments, statistics). Register the same raw files
-  // with RegisterRawFileOptions after LoadCatalog to re-attach operators.
+  // layouts, loaded segments, statistics). SaveCatalog syncs storage first
+  // and writes atomically, so the saved catalog never references unsynced
+  // bytes. LoadCatalog tolerates a torn trailing catalog line and
+  // reconciles every recorded segment against the storage file (see
+  // db/recovery.h); what was dropped is available via last_recovery() and
+  // the recovery.* telemetry counters. Register the same raw files with
+  // AttachOptions after LoadCatalog to re-attach operators.
   Status SaveCatalog(const std::string& path) const;
   Status LoadCatalog(const std::string& path);
+
+  // Report of the most recent LoadCatalog reconciliation (empty before).
+  ReconcileReport last_recovery() const;
 
   // Like RegisterRawFile but for a table restored by LoadCatalog: only the
   // ScanRaw options are (re)attached; the catalog entry must already exist.
@@ -116,6 +129,7 @@ class ScanRawManager {
   mutable Mutex mu_;
   std::map<std::string, ScanRawOptions> options_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ScanRaw>> operators_ GUARDED_BY(mu_);
+  ReconcileReport last_recovery_ GUARDED_BY(mu_);
 };
 
 }  // namespace scanraw

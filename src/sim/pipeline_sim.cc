@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/random.h"
 #include "scanraw/chunk_cache.h"
 
 namespace scanraw {
@@ -59,10 +60,18 @@ SimResult SimulateSequential(const SimConfig& config,
   double t = 0;
   size_t invisible_left = config.invisible_chunks_per_query;
   result.chunks_from_cache = cached_count;
+  Random failure_rng(config.failure_seed);
   auto write_chunk = [&](size_t chunk) {
     t += config.costs.write_s;
-    result.loaded_after[chunk] = 1;
+    // Reserve the chunk either way so a failed write is not retried within
+    // this query (the real operator backs off instead of spinning).
     cache.MarkLoaded(chunk);
+    if (config.write_failure_rate > 0 &&
+        failure_rng.NextDouble() < config.write_failure_rate) {
+      ++result.writes_failed;
+      return;
+    }
+    result.loaded_after[chunk] = 1;
     ++result.chunks_written_at_exec;
     ++result.chunks_written_total;
   };
@@ -173,6 +182,7 @@ SimResult SimulatePipeline(const SimConfig& config) {
   size_t engine_processed = 0;
   size_t invisible_left = config.invisible_chunks_per_query;
   bool exec_recorded = false;
+  Random failure_rng(config.failure_seed);
 
   // Initial deliveries from the cache.
   result.chunks_from_cache = cached_chunks.size();
@@ -369,6 +379,13 @@ SimResult SimulatePipeline(const SimConfig& config) {
       case TaskKind::kDiskWrite:
         disk_busy = false;
         disk_mode = 0;
+        if (config.write_failure_rate > 0 &&
+            failure_rng.NextDouble() < config.write_failure_rate) {
+          // The chunk stays unloaded; its cache reservation stands so this
+          // query does not retry it (the real operator backs off instead).
+          ++result.writes_failed;
+          break;
+        }
         result.loaded_after[task.chunk] = 1;
         ++result.chunks_written_total;
         if (!exec_recorded) ++result.chunks_written_at_exec;

@@ -45,6 +45,13 @@ struct SimConfig {
   // dynamic allocation of tasks"). The default is fitted so the optimal
   // chunk size lands in the paper's reported 2^17–2^19 row range.
   double dispatch_overhead_s = 30e-3;
+  // Fault model: each disk WRITE independently fails with this probability
+  // (drawn from a deterministic stream seeded by failure_seed). A failed
+  // write leaves the chunk unloaded — future queries re-extract it from the
+  // raw side, mirroring the real operator's graceful degradation — and the
+  // disk time of the attempt is still charged.
+  double write_failure_rate = 0;
+  uint64_t failure_seed = 1;
   // Chunk state carried across queries in a sequence: loaded[i] — in the
   // database; cached[i] — resident in the binary cache. Empty = cold start.
   std::vector<uint8_t> initially_loaded;
@@ -72,6 +79,9 @@ struct SimResult {
   size_t chunks_from_cache = 0;
   size_t chunks_from_db = 0;
   size_t chunks_from_raw = 0;
+  // Writes that failed under SimConfig::write_failure_rate; the chunks stay
+  // unloaded.
+  size_t writes_failed = 0;
   std::vector<uint8_t> loaded_after;  // after write drain
   std::vector<uint8_t> cached_after;
   std::vector<UtilSample> trace;      // only when record_trace

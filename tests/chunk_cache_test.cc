@@ -32,6 +32,41 @@ TEST(ChunkCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.Lookup(1), nullptr);
 }
 
+TEST(ChunkCacheTest, ZeroCapacityKeepsCountersAndQueriesConsistent) {
+  ChunkCache cache(0);
+  cache.Insert(1, MakeChunk(1), false);
+  cache.Insert(2, MakeChunk(2), true);
+  // Rejected inserts are not evictions, and nothing becomes resident.
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.biased_evictions(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_FALSE(cache.OldestUnloaded().has_value());
+  EXPECT_TRUE(cache.UnloadedChunks().empty());
+  EXPECT_TRUE(cache.ResidentChunks().empty());
+  cache.MarkLoaded(1);  // no-op on a chunk that was never admitted
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ChunkCacheTest, RefreshWhileFullDoesNotEvict) {
+  ChunkCache cache(2);
+  cache.Insert(1, MakeChunk(1), false);
+  cache.Insert(2, MakeChunk(2), false);
+  // Refreshing a resident chunk while at capacity must not displace anyone.
+  EXPECT_TRUE(cache.Insert(1, MakeChunk(1), false).empty());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  // A genuinely new chunk evicts exactly one victim.
+  auto evicted = cache.Insert(3, MakeChunk(3), false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(ChunkCacheTest, LruEviction) {
   ChunkCache cache(2, /*bias_evict_loaded=*/false);
   cache.Insert(1, MakeChunk(1), false);

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <iterator>
+
 #include "db/catalog.h"
 #include "db/heap_scan.h"
 #include "db/statistics.h"
@@ -158,6 +163,205 @@ TEST(CatalogTest, LoadRejectsGarbage) {
   EXPECT_TRUE(catalog.LoadFromFile(path).IsCorruption());
 }
 
+TEST(CatalogTest, CreateTableRejectsEmptyName) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.CreateTable("", "raw", Schema::AllUint32(1), 10)
+                  .IsInvalidArgument());
+}
+
+// Names with embedded whitespace used to shear the whitespace-split text
+// format; percent-escaping makes them round-trip.
+TEST(CatalogTest, PersistenceRoundTripEscapedNames) {
+  const std::string path = TempPath("catalog_escaped.txt");
+  Catalog catalog;
+  Schema schema(
+      std::vector<ColumnDef>{{"gene name", FieldType::kUint32},
+                             {"50% identity\tmatch", FieldType::kString},
+                             {"", FieldType::kInt64}},
+      ',');
+  ASSERT_TRUE(catalog
+                  .CreateTable("my table", "/data/raw files/genes 2.sam",
+                               schema, 128)
+                  .ok());
+  ASSERT_TRUE(catalog.SetChunkLayout("my table", TwoChunkLayout()).ok());
+  StoredSegment seg;
+  seg.page = {0, 10};
+  seg.columns = {0};
+  ASSERT_TRUE(catalog.RecordSegment("my table", 0, seg, {{0, {1, 2}}}).ok());
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+
+  Catalog restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  auto meta = restored.GetTable("my table");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta->raw_path, "/data/raw files/genes 2.sam");
+  EXPECT_EQ(meta->schema.column(0).name, "gene name");
+  EXPECT_EQ(meta->schema.column(1).name, "50% identity\tmatch");
+  EXPECT_EQ(meta->schema.column(2).name, "");
+  EXPECT_EQ(meta->chunks[0].stats.at(0).min_value, 1);
+  EXPECT_EQ(meta->chunks[0].loaded_columns.count(0), 1u);
+}
+
+// Double zone-map bounds must survive a save/load bit-exactly — denormals,
+// extreme magnitudes, and 17-significant-digit values included. Truncating
+// them through the int64 path is the regression this guards against.
+TEST(CatalogTest, PersistenceRoundTripAdversarialDoubles) {
+  const std::string path = TempPath("catalog_doubles.txt");
+  const double kAdversarial[][2] = {
+      {5e-324, 2.2250738585072014e-308},     // denormal .. smallest normal
+      {-DBL_MAX, DBL_MAX},
+      {-0.0, 0.0},
+      {0.1, 0.30000000000000004},            // classic non-representables
+      {-9007199254740993.0, 9007199254740993.0},  // 2^53 + 1 territory
+      {1.7976931348623155e+308, 1.7976931348623157e+308},
+  };
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", "raw",
+                               Schema::AllUint32(std::size(kAdversarial)), 10)
+                  .ok());
+  std::vector<ChunkMetadata> layout(1);
+  layout[0].chunk_index = 0;
+  ASSERT_TRUE(catalog.SetChunkLayout("t", std::move(layout)).ok());
+  StoredSegment seg;
+  seg.page = {0, 1};
+  std::map<size_t, ColumnStats> stats;
+  for (size_t i = 0; i < std::size(kAdversarial); ++i) {
+    seg.columns.push_back(i);
+    ColumnStats st;
+    st.has_double = true;
+    st.min_double = kAdversarial[i][0];
+    st.max_double = kAdversarial[i][1];
+    st.min_value = INT64_MIN;
+    st.max_value = INT64_MAX;
+    stats[i] = st;
+  }
+  ASSERT_TRUE(catalog.RecordSegment("t", 0, seg, stats).ok());
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+
+  Catalog restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  auto meta = restored.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  for (size_t i = 0; i < std::size(kAdversarial); ++i) {
+    const ColumnStats& st = meta->chunks[0].stats.at(i);
+    ASSERT_TRUE(st.has_double) << "column " << i;
+    // Bit-exact, not just value-equal: -0.0 must stay -0.0.
+    uint64_t want_lo, want_hi, got_lo, got_hi;
+    std::memcpy(&want_lo, &kAdversarial[i][0], 8);
+    std::memcpy(&want_hi, &kAdversarial[i][1], 8);
+    std::memcpy(&got_lo, &st.min_double, 8);
+    std::memcpy(&got_hi, &st.max_double, 8);
+    EXPECT_EQ(got_lo, want_lo) << "column " << i << " min";
+    EXPECT_EQ(got_hi, want_hi) << "column " << i << " max";
+  }
+}
+
+// The restart-then-skip regression: skip decisions taken from fractional
+// double bounds must be identical before and after a catalog round-trip.
+TEST(CatalogTest, RestartPreservesDoubleSkipDecisions) {
+  const std::string path = TempPath("catalog_skip.txt");
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", "raw", Schema::AllUint32(1), 10).ok());
+  std::vector<ChunkMetadata> layout(1);
+  layout[0].chunk_index = 0;
+  ASSERT_TRUE(catalog.SetChunkLayout("t", std::move(layout)).ok());
+  StoredSegment seg;
+  seg.columns = {0};
+  ColumnStats st;
+  st.has_double = true;
+  st.min_double = -3.5;
+  st.max_double = -0.5;
+  st.min_value = -4;  // conservative floor/ceil envelope
+  st.max_value = 0;
+  ASSERT_TRUE(catalog.RecordSegment("t", 0, seg, {{0, st}}).ok());
+
+  auto check = [](const ChunkMetadata& chunk) {
+    // All values in [-3.5, -0.5]: a [0, 100] probe is skippable only with
+    // the exact double upper bound (the int64 envelope rounds it to 0).
+    EXPECT_TRUE(chunk.CanSkipForRange(0, 0, 100));
+    EXPECT_TRUE(chunk.CanSkipForRange(0, -100, -4));
+    EXPECT_FALSE(chunk.CanSkipForRange(0, -3, -1));
+    // A probe at exactly -4 overlaps the int64 envelope but not the exact
+    // double bounds — only the latter proves the chunk skippable.
+    EXPECT_TRUE(chunk.CanSkipForRange(0, -4, -4));
+  };
+  check(catalog.GetTable("t")->chunks[0]);
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+  Catalog restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  check(restored.GetTable("t")->chunks[0]);
+}
+
+TEST(CatalogTest, TornTrailingLineTolerated) {
+  const std::string path = TempPath("catalog_torn.txt");
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", "raw", Schema::AllUint32(2), 10).ok());
+  ASSERT_TRUE(catalog.SetChunkLayout("t", TwoChunkLayout()).ok());
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+  // Simulate a legacy non-atomic writer dying mid-append: a partial record
+  // with no final newline.
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(WriteStringToFile(path, *contents + "seg t 1 99").ok());
+
+  Catalog restored;
+  Catalog::LoadStats stats;
+  ASSERT_TRUE(restored.LoadFromFile(path, &stats).ok());
+  EXPECT_TRUE(stats.torn_tail_dropped);
+  EXPECT_EQ(stats.torn_tail, "seg t 1 99");
+  auto meta = restored.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->chunks.size(), 2u);
+  EXPECT_TRUE(meta->chunks[1].segments.empty());  // torn record dropped
+}
+
+TEST(CatalogTest, TerminatedGarbageLineStillCorruption) {
+  const std::string path = TempPath("catalog_mid.txt");
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", "raw", Schema::AllUint32(1), 10).ok());
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  // A newline-terminated bad record is real corruption, not a torn tail.
+  ASSERT_TRUE(WriteStringToFile(path, *contents + "seg t 1 99\n").ok());
+  Catalog restored;
+  EXPECT_TRUE(restored.LoadFromFile(path).IsCorruption());
+}
+
+TEST(CatalogTest, LegacyV1HeaderlessFileLoads) {
+  const std::string path = TempPath("catalog_v1.txt");
+  // Hand-written v1 record set: no header, raw (unescaped) fields,
+  // int-only stats.
+  ASSERT_TRUE(WriteStringToFile(path,
+                                "table t /raw/t.csv 44 100 1\n"
+                                "col t c0 0\n"
+                                "col t c1 3\n"
+                                "chunk t 0 0 64 4\n"
+                                "stat t 0 0 -3 88\n"
+                                "seg t 0 0 55 0,1\n")
+                  .ok());
+  Catalog catalog;
+  Catalog::LoadStats stats;
+  ASSERT_TRUE(catalog.LoadFromFile(path, &stats).ok());
+  EXPECT_EQ(stats.version, 1);
+  auto meta = catalog.GetTable("t");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->raw_path, "/raw/t.csv");
+  EXPECT_EQ(meta->schema.delimiter(), ',');
+  EXPECT_EQ(meta->schema.column(1).type, FieldType::kString);
+  EXPECT_EQ(meta->chunks[0].stats.at(0).min_value, -3);
+  EXPECT_FALSE(meta->chunks[0].stats.at(0).has_double);
+  EXPECT_EQ(meta->chunks[0].loaded_columns.size(), 2u);
+}
+
+TEST(CatalogTest, NewerFormatVersionRejected) {
+  const std::string path = TempPath("catalog_future.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "scanraw-catalog v99\n").ok());
+  Catalog catalog;
+  EXPECT_TRUE(catalog.LoadFromFile(path).IsCorruption());
+}
+
 TEST(StatisticsTest, ComputesMinMaxAcrossTypes) {
   BinaryChunk chunk(0);
   ColumnVector u(FieldType::kUint32);
@@ -181,6 +385,24 @@ TEST(StatisticsTest, ComputesMinMaxAcrossTypes) {
   EXPECT_EQ(stats.at(0).max_value, 9);
   EXPECT_EQ(stats.at(1).min_value, -4);
   EXPECT_EQ(stats.at(1).max_value, 100);
+}
+
+TEST(StatisticsTest, DoubleColumnsGetExactBoundsAndEnvelope) {
+  BinaryChunk chunk(0);
+  ColumnVector d(FieldType::kDouble);
+  d.AppendDouble(-3.5);
+  d.AppendDouble(2.25);
+  d.AppendDouble(-0.5);
+  ASSERT_TRUE(chunk.AddColumn(0, std::move(d)).ok());
+  auto stats = ComputeChunkStats(chunk);
+  ASSERT_EQ(stats.size(), 1u);
+  const ColumnStats& st = stats.at(0);
+  ASSERT_TRUE(st.has_double);
+  EXPECT_DOUBLE_EQ(st.min_double, -3.5);
+  EXPECT_DOUBLE_EQ(st.max_double, 2.25);
+  // Conservative integer envelope: floor of the min, ceil of the max.
+  EXPECT_EQ(st.min_value, -4);
+  EXPECT_EQ(st.max_value, 3);
 }
 
 TEST(StatisticsTest, EmptyChunkNoStats) {

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/storage_manager.h"
+#include "io/fault_injection.h"
+#include "io/file.h"
+
+namespace scanraw {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string TestPath(const std::string& suffix) {
+  std::string name = testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  return TempPath("fault_" + name + "_" + suffix);
+}
+
+TEST(FaultInjectorTest, DeterministicForSeed) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.read_error_rate = 0.3;
+  plan.short_read_rate = 0.3;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    auto fa = a.OnRead("x", 100);
+    auto fb = b.OnRead("x", 100);
+    EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind)) << i;
+    EXPECT_EQ(fa.short_length, fb.short_length) << i;
+  }
+  EXPECT_EQ(a.counters().read_errors.load(), b.counters().read_errors.load());
+  EXPECT_GT(a.counters().read_errors.load(), 0u);
+  EXPECT_GT(a.counters().short_reads.load(), 0u);
+}
+
+TEST(FaultInjectorTest, PathSubstringFilters) {
+  FaultPlan plan;
+  plan.path_substring = ".db";
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.Matches("/tmp/table.db"));
+  EXPECT_FALSE(injector.Matches("/tmp/table.csv"));
+  FaultPlan all;
+  EXPECT_TRUE(FaultInjector(all).Matches("/anything/at/all"));
+}
+
+TEST(FaultInjectionTest, InjectedReadErrorSurfacesThroughFactory) {
+  const std::string path = TestPath("data");
+  ASSERT_TRUE(WriteStringToFile(path, "hello world").ok());
+  FaultPlan plan;
+  plan.read_error_rate = 1.0;
+  plan.error_errno = 5;  // EIO
+  ScopedFaultInjection fault(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  char buf[16];
+  auto n = (*file)->ReadAt(0, sizeof(buf), buf);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsIoError());
+  EXPECT_GT(fault.injector()->counters().read_errors.load(), 0u);
+}
+
+TEST(FaultInjectionTest, ShortReadsReturnFewerBytes) {
+  const std::string path = TestPath("data");
+  ASSERT_TRUE(WriteStringToFile(path, "0123456789").ok());
+  FaultPlan plan;
+  plan.short_read_rate = 1.0;
+  ScopedFaultInjection fault(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  char buf[10];
+  auto n = (*file)->ReadAt(0, 10, buf);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_LT(*n, 10u);
+  EXPECT_GT(fault.injector()->counters().short_reads.load(), 0u);
+  // The shortened prefix is still real file data.
+  EXPECT_EQ(std::memcmp(buf, "0123456789", *n), 0);
+}
+
+TEST(FaultInjectionTest, EintrRetriesAreCountedAndSucceed) {
+  const std::string path = TestPath("data");
+  ASSERT_TRUE(WriteStringToFile(path, "abc").ok());
+  FaultPlan plan;
+  plan.read_eintr_rate = 1.0;
+  ScopedFaultInjection fault(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  char buf[3];
+  auto n = (*file)->ReadAt(0, 3, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_GT(fault.injector()->counters().read_retries.load(), 0u);
+}
+
+TEST(FaultInjectionTest, AppendErrorLeavesTornPrefix) {
+  const std::string path = TestPath("torn");
+  FaultPlan plan;
+  plan.append_error_rate = 1.0;
+  plan.torn_fraction = 0.5;
+  plan.error_errno = 28;  // ENOSPC
+  ScopedFaultInjection fault(plan);
+  auto file = WritableFile::Create(path);
+  ASSERT_TRUE(file.ok());
+  const std::string payload(100, 'x');
+  Status s = (*file)->Append(payload);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(fault.injector()->counters().append_errors.load(), 1u);
+  EXPECT_EQ(fault.injector()->counters().torn_appends.load(), 1u);
+  // Half the bytes reached the file — a torn tail, visible to bytes_written
+  // so callers can resync their offsets.
+  EXPECT_EQ((*file)->bytes_written(), 50u);
+  ASSERT_TRUE((*file)->Close().ok());
+  auto size = GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 50u);
+}
+
+TEST(FaultInjectionTest, SyncErrorPropagates) {
+  const std::string path = TestPath("sync");
+  FaultPlan plan;
+  plan.sync_error_rate = 1.0;
+  ScopedFaultInjection fault(plan);
+  auto file = WritableFile::Create(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("data").ok());
+  Status s = (*file)->Sync();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_GT(fault.injector()->counters().sync_errors.load(), 0u);
+}
+
+TEST(FaultInjectionTest, UninstalledInjectorIsInert) {
+  const std::string path = TestPath("clean");
+  {
+    FaultPlan plan;
+    plan.read_error_rate = 1.0;
+    plan.append_error_rate = 1.0;
+    ScopedFaultInjection fault(plan);
+  }  // uninstalled here
+  auto file = WritableFile::Create(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("fine").ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_TRUE((*file)->Close().ok());
+  // Kill-points are no-ops without an armed injector.
+  FaultKillPoint("not.armed");
+}
+
+TEST(AtomicWriteFileTest, ReplacesContentsAndLeavesNoTemp) {
+  const std::string path = TestPath("state");
+  ASSERT_TRUE(AtomicWriteFile(path, "first version").ok());
+  EXPECT_EQ(*ReadFileToString(path), "first version");
+  ASSERT_TRUE(AtomicWriteFile(path, "second version").ok());
+  EXPECT_EQ(*ReadFileToString(path), "second version");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(AtomicWriteFileTest, FailedWriteKeepsOldFileIntact) {
+  const std::string path = TestPath("state");
+  ASSERT_TRUE(AtomicWriteFile(path, "precious").ok());
+  {
+    FaultPlan plan;
+    plan.path_substring = ".tmp";
+    plan.sync_error_rate = 1.0;
+    ScopedFaultInjection fault(plan);
+    Status s = AtomicWriteFile(path, "doomed replacement");
+    EXPECT_FALSE(s.ok());
+  }
+  // The old file is untouched and the temp file was cleaned up.
+  EXPECT_EQ(*ReadFileToString(path), "precious");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(AtomicWriteFileTest, FailedAppendKeepsOldFileIntact) {
+  const std::string path = TestPath("state");
+  ASSERT_TRUE(AtomicWriteFile(path, "precious").ok());
+  {
+    FaultPlan plan;
+    plan.path_substring = ".tmp";
+    plan.append_error_rate = 1.0;
+    plan.error_errno = 28;  // ENOSPC
+    ScopedFaultInjection fault(plan);
+    Status s = AtomicWriteFile(path, "doomed replacement");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(*ReadFileToString(path), "precious");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+BinaryChunk MakeChunk(uint64_t index, std::vector<uint32_t> values) {
+  BinaryChunk chunk(index);
+  ColumnVector v(FieldType::kUint32);
+  for (uint32_t x : values) v.AppendUint32(x);
+  EXPECT_TRUE(chunk.AddColumn(0, std::move(v)).ok());
+  return chunk;
+}
+
+TEST(FaultInjectionTest, StorageManagerResyncsOffsetAfterTornAppend) {
+  const std::string path = TestPath("db");
+  // Injection must be live when the storage writer is created: decorators are
+  // attached at factory time (and pass through once the scope ends).
+  std::optional<ScopedFaultInjection> fault;
+  {
+    FaultPlan plan;
+    plan.append_error_rate = 1.0;
+    plan.torn_fraction = 0.5;
+    fault.emplace(plan);
+  }
+  auto storage = StorageManager::Create(path);
+  ASSERT_TRUE(storage.ok());
+  auto failed = (*storage)->WriteSegment(MakeChunk(0, {1, 2, 3, 4}), {0});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(fault->injector()->counters().torn_appends.load(), 1u);
+  fault.reset();  // faults off; the wrapped writer now passes through
+  // The torn prefix is on disk; the next segment must land after it, and
+  // both its PageRef and checksum must line up when read back.
+  EXPECT_GT((*storage)->bytes_written(), 0u);
+  auto seg = (*storage)->WriteSegment(MakeChunk(7, {9, 8, 7}), {0});
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_EQ(seg->page.offset, (*storage)->bytes_written() - seg->page.size);
+  auto back = (*storage)->ReadSegment(seg->page);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->chunk_index(), 7u);
+  EXPECT_EQ(back->column(0).AsUint32()[2], 7u);
+  EXPECT_TRUE((*storage)->VerifySegment(seg->page).ok());
+}
+
+TEST(FaultInjectionTest, VerifySegmentRejectsOutOfBoundsAndGarbage) {
+  const std::string path = TestPath("db");
+  auto storage = StorageManager::Create(path);
+  ASSERT_TRUE(storage.ok());
+  auto seg = (*storage)->WriteSegment(MakeChunk(0, {1, 2}), {0});
+  ASSERT_TRUE(seg.ok());
+  EXPECT_TRUE((*storage)->VerifySegment(seg->page).ok());
+  // Past EOF: phantom segment recorded by a catalog that outran storage.
+  PageRef phantom{seg->page.offset + seg->page.size, 64};
+  EXPECT_TRUE((*storage)->VerifySegment(phantom).IsCorruption());
+  // Misaligned ref inside the file: checksum mismatch.
+  PageRef misaligned{1, seg->page.size - 1};
+  EXPECT_FALSE((*storage)->VerifySegment(misaligned).ok());
+}
+
+}  // namespace
+}  // namespace scanraw

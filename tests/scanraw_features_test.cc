@@ -360,7 +360,11 @@ TEST(WriteFailureTest, QueryStillSucceedsWhenLoadingFails) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->total_sum, info->total_sum);
   op.WaitForWrites();
-  EXPECT_FALSE(op.write_status().ok());
+  // Speculative writes degrade gracefully: the failure is counted and the
+  // query-fatal write_status stays clean (only full/invisible loading treat
+  // a failed write as a query error).
+  EXPECT_TRUE(op.write_status().ok());
+  EXPECT_GT(op.profile().write_failures.load(), 0u);
   EXPECT_DOUBLE_EQ(catalog.GetTable("t")->LoadedFraction(), 0.0);
   // A follow-up query is still correct.
   auto again = op.ExecuteQuery(query);

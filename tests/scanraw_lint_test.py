@@ -307,6 +307,58 @@ class LintTest(unittest.TestCase):
         code, out = self.lint("src/format/foo.cc")
         self.assertEqual(code, 0, out)
 
+    # ---- state-file-write ----
+
+    def test_state_file_write_caught(self):
+        self.write("src/db/foo.cc",
+                   "Status Save() {\n"
+                   "  return WriteStringToFile(path_, Serialize());\n"
+                   "}\n")
+        code, out = self.lint("src/db/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[state-file-write]", out)
+        self.assertIn("AtomicWriteFile", out)
+
+    def test_atomic_write_passes(self):
+        self.write("src/db/foo.cc",
+                   "Status Save() {\n"
+                   "  return AtomicWriteFile(path_, Serialize());\n"
+                   "}\n")
+        code, out = self.lint("src/db/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_state_file_write_exempt_in_file_cc(self):
+        self.write("src/io/file.cc",
+                   "Status WriteStringToFile(const std::string& p,\n"
+                   "                         std::string_view c) {\n"
+                   "  return Status::OK();\n"
+                   "}\n")
+        code, out = self.lint("src/io/file.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_state_file_write_in_test_file_passes(self):
+        self.write("src/db/foo_test.cc",
+                   "void F() { WriteStringToFile(p, c); }\n")
+        code, out = self.lint("src/db/foo_test.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_state_file_write_suppressed(self):
+        self.write("src/db/foo.cc",
+                   "Status Dump() {\n"
+                   "  // scratch output, no durability needed\n"
+                   "  // scanraw-lint: allow(state-file-write)\n"
+                   "  return WriteStringToFile(path_, Serialize());\n"
+                   "}\n")
+        code, out = self.lint("src/db/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_state_file_write_in_comment_passes(self):
+        self.write("src/db/foo.cc",
+                   "// unlike WriteStringToFile(, this fsyncs and renames\n"
+                   "Status Save() { return AtomicWriteFile(p, c); }\n")
+        code, out = self.lint("src/db/foo.cc")
+        self.assertEqual(code, 0, out)
+
     # ---- driver behavior ----
 
     def test_directory_walk_and_multiple_findings(self):

@@ -227,6 +227,51 @@ TEST(SimTest, WorkConservation) {
   }
 }
 
+TEST(SimTest, WriteFailuresLeaveChunksUnloaded) {
+  SimConfig config = BaseConfig(LoadPolicy::kFullLoad, 8);
+  config.write_failure_rate = 1.0;
+  SimResult r = SimulatePipeline(config);
+  EXPECT_EQ(r.writes_failed, 64u);
+  EXPECT_EQ(LoadedCount(r), 0u);
+  EXPECT_EQ(r.chunks_written_total, 0u);
+  // The query itself still completes: chunks are served from the raw side.
+  EXPECT_GT(r.exec_seconds, 0.0);
+
+  // Sequential mode degrades the same way.
+  config.workers = 0;
+  SimResult seq = SimulatePipeline(config);
+  EXPECT_EQ(seq.writes_failed, 64u);
+  EXPECT_EQ(LoadedCount(seq), 0u);
+}
+
+TEST(SimTest, WriteFailuresDeterministicForSeed) {
+  SimConfig config = BaseConfig(LoadPolicy::kFullLoad, 8);
+  config.write_failure_rate = 0.3;
+  config.failure_seed = 123;
+  SimResult a = SimulatePipeline(config);
+  SimResult b = SimulatePipeline(config);
+  EXPECT_GT(a.writes_failed, 0u);
+  EXPECT_LT(a.writes_failed, 64u);
+  EXPECT_EQ(a.writes_failed, b.writes_failed);
+  EXPECT_EQ(a.loaded_after, b.loaded_after);
+  EXPECT_EQ(LoadedCount(a) + a.writes_failed, 64u);
+}
+
+TEST(SimTest, SequenceRetriesFailedWritesAcrossQueries) {
+  // A failure leaves the chunk unloaded; later queries in a sequence try
+  // again (mirroring the real operator's backoff-and-retry), so loading
+  // still converges when the fault is transient.
+  SimConfig config = BaseConfig(LoadPolicy::kSpeculativeLoading, 16);
+  config.write_failure_rate = 0.5;
+  config.failure_seed = 7;
+  auto results = SimulateQuerySequence(config, 12);
+  size_t total_failures = 0;
+  for (const auto& r : results) total_failures += r.writes_failed;
+  EXPECT_GT(total_failures, 0u);
+  EXPECT_GT(LoadedCount(results.back()),
+            LoadedCount(results.front()));
+}
+
 TEST(SimTest, CachedChunksSkipConversionNextQuery) {
   SimConfig config = BaseConfig(LoadPolicy::kExternalTables, 16);
   config.cache_chunks = 64;  // whole file fits

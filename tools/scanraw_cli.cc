@@ -30,14 +30,28 @@
 //   --sample-interval-ms N  period of the §3.3 resource-advice sampler
 //                         (default 2 when --metrics/--trace-out is given)
 //
+// Fault injection (testing the crash-safety layer; all deterministic for a
+// given --fault-seed):
+//   --fault-seed N              PRNG seed for the fault plan (default 1)
+//   --fault-path-substr S       only inject on files whose path contains S
+//   --fault-read-error-rate F   probability a read fails
+//   --fault-short-read-rate F   probability a read returns fewer bytes
+//   --fault-append-error-rate F probability an append fails (torn prefix)
+//   --fault-sync-error-rate F   probability a sync fails
+//   --fault-errno eio|enospc    errno carried by injected errors
+//   --fault-kill-point NAME     _exit(42) at the named protocol point
+//   --fault-kill-append-at N    _exit(42) mid-append on the Nth append
+//
 // Remaining arguments are SQL statements, executed in order; with none,
 // statements are read from stdin (one per line).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +59,7 @@
 #include "common/string_util.h"
 #include "format/parser.h"
 #include "genomics/sam.h"
+#include "io/fault_injection.h"
 #include "io/file.h"
 #include "obs/explain.h"
 #include "obs/progress.h"
@@ -66,6 +81,8 @@ struct CliOptions {
   bool progress = false;
   std::string trace_path;
   int sample_interval_ms = -1;  // -1 = default (2 when telemetry requested)
+  bool fault_enabled = false;
+  FaultPlan fault_plan;
   ScanRawOptions scan_options;
   struct TableArg {
     std::string name;
@@ -86,7 +103,11 @@ void Usage() {
                "[--explain[=json|text]] [--progress]\n"
                "                   [--progress-interval-ms N] "
                "[--trace-out PATH] [--sample-interval-ms N]\n"
-               "                   [SQL]...\n");
+               "                   [--fault-seed N] [--fault-path-substr S] "
+               "[--fault-*-rate F]\n"
+               "                   [--fault-errno eio|enospc] "
+               "[--fault-kill-point NAME]\n"
+               "                   [--fault-kill-append-at N] [SQL]...\n");
 }
 
 Result<LoadPolicy> ParsePolicy(const std::string& name) {
@@ -192,6 +213,52 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       auto n = ParseUint32(v);
       if (!n.ok()) return n.status();
       options.sample_interval_ms = static_cast<int>(*n);
+    } else if (arg.rfind("--fault-", 0) == 0) {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      options.fault_enabled = true;
+      auto rate = [&]() -> Result<double> {
+        char* end = nullptr;
+        double r = std::strtod(v.c_str(), &end);
+        if (end != v.c_str() + v.size() || r < 0.0 || r > 1.0) {
+          return Status::InvalidArgument("bad rate for " + arg + ": " + v);
+        }
+        return r;
+      };
+      if (arg == "--fault-seed") {
+        auto n = ParseUint32(v);
+        if (!n.ok()) return n.status();
+        options.fault_plan.seed = *n;
+      } else if (arg == "--fault-path-substr") {
+        options.fault_plan.path_substring = v;
+      } else if (arg == "--fault-read-error-rate") {
+        SCANRAW_ASSIGN_OR_RETURN(options.fault_plan.read_error_rate, rate());
+      } else if (arg == "--fault-short-read-rate") {
+        SCANRAW_ASSIGN_OR_RETURN(options.fault_plan.short_read_rate, rate());
+      } else if (arg == "--fault-append-error-rate") {
+        SCANRAW_ASSIGN_OR_RETURN(options.fault_plan.append_error_rate,
+                                 rate());
+      } else if (arg == "--fault-sync-error-rate") {
+        SCANRAW_ASSIGN_OR_RETURN(options.fault_plan.sync_error_rate, rate());
+      } else if (arg == "--fault-errno") {
+        if (v == "eio") {
+          options.fault_plan.error_errno = EIO;
+        } else if (v == "enospc") {
+          options.fault_plan.error_errno = ENOSPC;
+        } else {
+          return Status::InvalidArgument("--fault-errno expects eio|enospc");
+        }
+      } else if (arg == "--fault-kill-point") {
+        options.fault_plan.kill_point = v;
+      } else if (arg == "--fault-kill-append-at") {
+        auto n = ParseUint32(v);
+        if (!n.ok() || *n == 0) {
+          return Status::InvalidArgument("bad --fault-kill-append-at");
+        }
+        options.fault_plan.kill_append_at = *n;
+      } else {
+        return Status::InvalidArgument("unknown flag: " + arg);
+      }
     } else if (arg == "--table") {
       std::string v;
       SCANRAW_ASSIGN_OR_RETURN(v, next_value());
@@ -266,6 +333,13 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  // Installed before the manager so the database file itself is subject to
+  // the plan; alive until exit so the catalog save is too.
+  std::optional<ScopedFaultInjection> fault_injection;
+  if (options->fault_enabled) {
+    fault_injection.emplace(options->fault_plan);
+  }
+
   ScanRawManager::Config config;
   config.db_path = options->db_path;
   config.disk_bandwidth = options->bandwidth_mb << 20;
@@ -285,8 +359,19 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "catalog: %s\n", s.ToString().c_str());
       return 1;
     }
+    const ReconcileReport recovery = (*manager)->last_recovery();
     std::printf("recovered catalog from %s\n",
                 options->catalog_path.c_str());
+    if (!recovery.clean()) {
+      std::printf(
+          "recovery: dropped %zu of %zu segment(s), %zu chunk(s) revert "
+          "to raw\n",
+          recovery.segments_dropped, recovery.segments_checked,
+          recovery.chunks_reverted);
+      for (const std::string& detail : recovery.details) {
+        std::printf("recovery:   %s\n", detail.c_str());
+      }
+    }
   }
 
   for (const auto& table : options->tables) {
@@ -388,6 +473,19 @@ int Run(int argc, char** argv) {
     const std::string dump = options->metrics_json ? telemetry->ToJson()
                                                    : telemetry->ToText();
     std::printf("%s\n", dump.c_str());
+    if (fault_injection.has_value()) {
+      const FaultCounters& fc = fault_injection->injector()->counters();
+      std::printf(
+          "fault-injection: read_errors=%llu short_reads=%llu "
+          "read_retries=%llu append_errors=%llu torn_appends=%llu "
+          "sync_errors=%llu\n",
+          static_cast<unsigned long long>(fc.read_errors.load()),
+          static_cast<unsigned long long>(fc.short_reads.load()),
+          static_cast<unsigned long long>(fc.read_retries.load()),
+          static_cast<unsigned long long>(fc.append_errors.load()),
+          static_cast<unsigned long long>(fc.torn_appends.load()),
+          static_cast<unsigned long long>(fc.sync_errors.load()));
+    }
   }
   if (!options->trace_path.empty()) {
     const std::string json = telemetry->tracer().ToChromeTraceJson();

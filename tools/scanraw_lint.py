@@ -23,6 +23,10 @@ byte-loop        Per-byte `for` scans that compare an indexed byte against a
                  the bulk scanners in common/byte_scan.h (FindByte / FindN /
                  FindAll), which dispatch to SIMD, instead of advancing one
                  byte per iteration.
+state-file-write WriteStringToFile in src/ non-test code (outside its
+                 definition in io/file.cc). A crash mid-write leaves a torn
+                 or empty file; state that must survive restart goes through
+                 AtomicWriteFile (temp + fsync + rename).
 
 Suppressions: append `// scanraw-lint: allow(<rule>)` to the offending line
 or place it on the line directly above.
@@ -59,6 +63,11 @@ FUNC_START_RE = re.compile(r"^[\w\}].*\)\s*(const\s*)?(noexcept\s*)?\{?\s*$")
 CONTROL_KEYWORD_RE = re.compile(r"^\s*(if|for|while|switch|catch|else)\b")
 
 MAX_SCOPE_LOOKBACK = 50  # lines; fallback when no function start is found
+
+# state-file-write: the io/ implementation is where the primitive lives (and
+# AtomicWriteFile itself is built on top of the writable-file layer there).
+STATE_WRITE_EXEMPT = ("io/file.cc", "io/file.h")
+STATE_WRITE_RE = re.compile(r"\bWriteStringToFile\s*\(")
 
 # byte-loop: hot-path directories where per-byte scan loops are banned.
 BYTE_LOOP_DIRS = ("src/format/", "src/scanraw/")
@@ -196,6 +205,17 @@ def check_include_guard(rel, lines, findings):
         return
 
 
+def check_state_file_write(rel, lines, findings):
+    if any(rel.replace(os.sep, "/").endswith(e) for e in STATE_WRITE_EXEMPT):
+        return
+    for i, line in enumerate(lines):
+        if STATE_WRITE_RE.search(strip_comments(line)) and \
+                not is_suppressed(lines, i, "state-file-write"):
+            findings.append((rel, i + 1, "state-file-write",
+                             "WriteStringToFile is not crash-safe; use "
+                             "AtomicWriteFile for state files"))
+
+
 def check_byte_loop(rel, lines, findings):
     norm = rel.replace(os.sep, "/")
     if not any(norm.startswith(d) or f"/{d}" in norm for d in BYTE_LOOP_DIRS):
@@ -237,6 +257,7 @@ def lint_file(path, findings):
         check_raw_mutex(rel, lines, findings)
         check_sleep(rel, lines, findings)
         check_byte_loop(rel, lines, findings)
+        check_state_file_write(rel, lines, findings)
     check_unchecked_value(rel, lines, findings)
     if rel.endswith(".h"):
         check_include_guard(rel, lines, findings)
