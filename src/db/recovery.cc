@@ -62,4 +62,11 @@ ReconcileReport ReconcileCatalogWithStorage(Catalog& catalog,
   return report;
 }
 
+uint64_t ReconcileHistoryWithCatalog(obs::WorkloadHistory& history,
+                                     const Catalog& catalog) {
+  std::set<std::string> keep;
+  for (const auto& [name, table] : catalog.Snapshot()) keep.insert(name);
+  return history.DropTablesNotIn(keep);
+}
+
 }  // namespace scanraw

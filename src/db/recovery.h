@@ -15,6 +15,7 @@
 
 #include "db/catalog.h"
 #include "db/storage_manager.h"
+#include "obs/workload_history.h"
 
 namespace scanraw {
 
@@ -35,6 +36,14 @@ struct ReconcileReport {
 ReconcileReport ReconcileCatalogWithStorage(Catalog& catalog,
                                             const StorageManager& storage,
                                             bool verify_checksums);
+
+// Restart reconciliation for the workload-intelligence state: history
+// entries for tables the catalog no longer knows (dropped, or the catalog
+// was rebuilt from scratch) would keep steering the advisor toward data
+// that cannot be loaded, so they are removed. Returns the number of tables
+// dropped from the history.
+uint64_t ReconcileHistoryWithCatalog(obs::WorkloadHistory& history,
+                                     const Catalog& catalog);
 
 }  // namespace scanraw
 

@@ -6,7 +6,21 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace scanraw {
+
+namespace {
+
+// Simulated crash: the flight recorder dumps its rings first, exactly as a
+// real crash handler would, so post-mortem tests can assert on the dump.
+[[noreturn]] void KillNow(uint64_t detail) {
+  obs::FlightRecord(obs::FlightEvent::kKillPoint, detail, 0);
+  obs::FlightRecorder::Global()->DumpOnCrash();
+  ::_exit(kFaultKillExitCode);
+}
+
+}  // namespace
 
 namespace {
 
@@ -79,7 +93,7 @@ class FaultInjectingWritableFile : public WritableFile {
     if (fault.torn_bytes > 0) {
       (void)base_->Append(data, fault.torn_bytes);
     }
-    if (fault.kind == Kind::kKill) ::_exit(kFaultKillExitCode);
+    if (fault.kind == Kind::kKill) KillNow(length);
     return fault.status;
   }
 
@@ -183,12 +197,14 @@ Status FaultInjector::OnSync(const std::string& path) {
 void FaultInjector::MaybeKill(std::string_view point) {
   if (plan_.kill_point.empty() || point != plan_.kill_point) return;
   bool fire = false;
+  uint64_t hits = 0;
   {
     MutexLock lock(mu_);
-    fire = ++kill_hits_ == plan_.kill_point_hit;
+    hits = ++kill_hits_;
+    fire = hits == plan_.kill_point_hit;
   }
   counters_.kill_point_hits.fetch_add(1, std::memory_order_relaxed);
-  if (fire) ::_exit(kFaultKillExitCode);
+  if (fire) KillNow(hits);
 }
 
 FaultInjector* FaultInjector::Global() {

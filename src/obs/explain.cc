@@ -87,6 +87,15 @@ std::string ExplainReport::ToText() const {
          " read-blocked=" + U64(read_blocked_events) +
          " bytes-written=" + U64(bytes_written) + " paid-off=" +
          (speculation_paid_off ? "yes" : "no") + "\n";
+  if (bytes_written > 0 || advisor_used) {
+    out += "  write budget: useful-bytes=" + U64(useful_bytes_written) +
+           " efficiency=" + Fmt("%.1f", 100.0 * WriteEfficiency()) + "%\n";
+  }
+  if (advisor_used) {
+    out += "  " + (advisor_note.empty() ? std::string("advisor: (no note)")
+                                        : advisor_note) +
+           "\n";
+  }
   out += "  chunk cache: hits=" + U64(cache_hits) +
          " misses=" + U64(cache_misses) + " rate=" +
          Fmt("%.1f", 100.0 * HitRate(cache_hits, cache_misses)) + "%\n";
@@ -137,8 +146,13 @@ std::string ExplainReport::ToJson() const {
          ",\"written\":" + U64(chunks_written) + "}";
   out += ",\"speculative\":{\"triggers\":" + U64(speculative_triggers) +
          ",\"read_blocked_events\":" + U64(read_blocked_events) +
-         ",\"bytes_written\":" + U64(bytes_written) + ",\"paid_off\":" +
-         (speculation_paid_off ? "true" : "false") + "}";
+         ",\"bytes_written\":" + U64(bytes_written) +
+         ",\"useful_bytes_written\":" + U64(useful_bytes_written) +
+         ",\"write_efficiency\":" + Fmt("%.9g", WriteEfficiency()) +
+         ",\"paid_off\":" + (speculation_paid_off ? "true" : "false") + "}";
+  out += ",\"advisor\":{\"used\":" +
+         std::string(advisor_used ? "true" : "false") + ",\"note\":\"" +
+         JsonEscape(advisor_note) + "\"}";
   out += ",\"chunk_cache\":{\"hits\":" + U64(cache_hits) +
          ",\"misses\":" + U64(cache_misses) + ",\"hit_rate\":" +
          Fmt("%.9g", HitRate(cache_hits, cache_misses)) + "}";

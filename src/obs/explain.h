@@ -58,6 +58,10 @@ struct ExplainReport {
   uint64_t speculative_triggers = 0;
   uint64_t read_blocked_events = 0;
   uint64_t bytes_written = 0;
+  // Bytes of written segments attributed (proportionally within a segment)
+  // to columns this query's spec required — how much of the speculative
+  // write budget went to data the workload demonstrably wants.
+  uint64_t useful_bytes_written = 0;
   // True when background WRITE made loading progress during this query —
   // i.e. the disk-idle gaps the scheduler detected were converted into
   // loaded chunks.
@@ -72,7 +76,19 @@ struct ExplainReport {
   double loaded_fraction_before = 0;
   double loaded_fraction_after = 0;
 
+  // History-driven loading (ScanRawOptions::advisor): whether the advisor
+  // filtered speculative writes this query, and its reasoning line.
+  bool advisor_used = false;
+  std::string advisor_note;
+
   uint64_t spans_dropped = 0;
+
+  // useful_bytes_written / bytes_written; 1.0 when nothing was written.
+  double WriteEfficiency() const {
+    return bytes_written == 0 ? 1.0
+                              : static_cast<double>(useful_bytes_written) /
+                                    static_cast<double>(bytes_written);
+  }
 
   // Copies the profiler aggregate into the stage table and the critical
   // path / accounting fields (everything else is the caller's).

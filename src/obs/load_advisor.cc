@@ -1,0 +1,77 @@
+#include "obs/load_advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scanraw {
+namespace obs {
+
+AdvisorPlan LoadAdvisor::Plan(const std::string& table) const {
+  AdvisorPlan plan;
+  if (history_ == nullptr) {
+    plan.note = "advisor: no history attached";
+    return plan;
+  }
+  const TableUsage usage = history_->TableSnapshot(table);
+  if (usage.queries == 0 || usage.columns.empty()) {
+    plan.note = "advisor: no history for table " + table;
+    return plan;
+  }
+  plan.has_history = true;
+  const double queries = static_cast<double>(usage.queries);
+  const double max_seq =
+      static_cast<double>(std::max<uint64_t>(usage.last_seq, 1));
+  for (const auto& [id, col] : usage.columns) {
+    ColumnRanking r;
+    r.column = id;
+    r.touches = col.touches;
+    r.predicates = col.predicates;
+    r.frequency = static_cast<double>(col.touches) / queries;
+    // Frequency dominates; predicate use and recency break ties toward
+    // filter columns and the recent working set.
+    r.score = r.frequency +
+              0.3 * (static_cast<double>(col.predicates) / queries) +
+              0.2 * (static_cast<double>(col.last_seq) / max_seq);
+    plan.ranked.push_back(r);
+  }
+  std::sort(plan.ranked.begin(), plan.ranked.end(),
+            [](const ColumnRanking& a, const ColumnRanking& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.column < b.column;
+            });
+  plan.note = "advisor: ";
+  for (const ColumnRanking& r : plan.ranked) {
+    if (r.frequency >= hot_threshold_) plan.hot.push_back(r.column);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%zu/%zu columns hot (freq >= %.2f):",
+                plan.hot.size(), plan.ranked.size(), hot_threshold_);
+  plan.note += buf;
+  size_t shown = 0;
+  for (const ColumnRanking& r : plan.ranked) {
+    if (r.frequency < hot_threshold_ || shown >= 8) break;
+    std::snprintf(buf, sizeof(buf), " %zu(%.2f)", r.column, r.score);
+    plan.note += buf;
+    ++shown;
+  }
+  if (plan.hot.empty()) plan.note += " none";
+  return plan;
+}
+
+std::vector<size_t> LoadAdvisor::FilterColumns(
+    const std::string& table, const std::vector<size_t>& available) const {
+  const AdvisorPlan plan = Plan(table);
+  if (!plan.has_history || plan.hot.empty()) return available;
+  std::vector<size_t> out;
+  out.reserve(plan.hot.size());
+  for (size_t hot : plan.hot) {
+    if (std::find(available.begin(), available.end(), hot) !=
+        available.end()) {
+      out.push_back(hot);
+    }
+  }
+  return out.empty() ? available : out;
+}
+
+}  // namespace obs
+}  // namespace scanraw

@@ -1,0 +1,64 @@
+// LoadAdvisor: turns workload history into a speculative-loading column
+// order. The paper's speculative loader (§4) picks *when* to load; the
+// advisor picks *which columns are worth the write budget* — hot columns
+// (touched by a large fraction of the table's queries, recently, or used in
+// predicates) rank first, cold columns are skipped entirely. Consulted by
+// ScanRaw's WRITE stage behind ScanRawOptions::advisor; with the advisor
+// off, or with no history, behavior is byte-for-byte the status quo.
+#ifndef SCANRAW_OBS_LOAD_ADVISOR_H_
+#define SCANRAW_OBS_LOAD_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/workload_history.h"
+
+namespace scanraw {
+namespace obs {
+
+struct ColumnRanking {
+  size_t column = 0;
+  double score = 0;
+  double frequency = 0;  // fraction of the table's queries touching it
+  uint64_t touches = 0;
+  uint64_t predicates = 0;
+};
+
+struct AdvisorPlan {
+  bool has_history = false;
+  std::vector<ColumnRanking> ranked;  // descending score
+  std::vector<size_t> hot;            // ranked columns above the threshold
+  std::string note;                   // reasoning line for EXPLAIN ANALYZE
+};
+
+class LoadAdvisor {
+ public:
+  // `history` must outlive the advisor. `hot_threshold` is the minimum
+  // access frequency (touches / queries) for a column to be loaded
+  // speculatively.
+  explicit LoadAdvisor(const WorkloadHistory* history,
+                       double hot_threshold = 0.5)
+      : history_(history), hot_threshold_(hot_threshold) {}
+
+  // Full ranking for `table` from the current history snapshot.
+  AdvisorPlan Plan(const std::string& table) const;
+
+  // Hot columns of `table` restricted to `available`, in rank order.
+  // Returns `available` unchanged when history has nothing to say (no
+  // observed queries, or no hot column intersects) so the advisor can
+  // never make speculative loading do *less* than load something.
+  std::vector<size_t> FilterColumns(const std::string& table,
+                                    const std::vector<size_t>& available) const;
+
+  double hot_threshold() const { return hot_threshold_; }
+
+ private:
+  const WorkloadHistory* const history_;
+  const double hot_threshold_;
+};
+
+}  // namespace obs
+}  // namespace scanraw
+
+#endif  // SCANRAW_OBS_LOAD_ADVISOR_H_

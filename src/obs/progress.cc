@@ -74,6 +74,14 @@ QueryProgress ProgressTracker::Snapshot() {
           p.throughput_bps;
     }
   }
+  if (complete_.load(std::memory_order_acquire)) {
+    // Clean finish: report exactly 100% done. Totals may have been
+    // estimates (discovery scans) or skipped chunks may round the byte
+    // fraction short of 1.0; completion is authoritative.
+    p.complete = true;
+    p.fraction = 1.0;
+    p.eta_seconds = 0;
+  }
   return p;
 }
 

@@ -35,6 +35,10 @@ struct QueryProgress {
   // Estimated seconds to completion from the rolling throughput; negative
   // when unknown (no total, or no throughput yet).
   double eta_seconds = -1;
+  // The query finished cleanly: fraction is pinned to 1.0 and the ETA to 0,
+  // regardless of byte-count rounding or unknown totals. Set only on the
+  // reports emitted after ProgressTracker::MarkComplete.
+  bool complete = false;
 
   // "42.3% 12.4 MB/s ETA 3.2s (5/12 chunks)" — the CLI's progress line.
   std::string ToLine() const;
@@ -56,6 +60,13 @@ class ProgressTracker {
   void CountChunk() { chunks_.fetch_add(1, std::memory_order_relaxed); }
   void CountLoaded() { loaded_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Marks the query as cleanly finished: every later Snapshot reports
+  // fraction 1.0, ETA 0, and complete=true. Called once by the pipeline
+  // after a successful drain, before the reporter's final callback, so the
+  // last progress line always reads 100% even when totals were estimates.
+  void MarkComplete() { complete_.store(true, std::memory_order_release); }
+  bool complete() const { return complete_.load(std::memory_order_acquire); }
+
   // Appends a (now, bytes) observation to the rolling window and returns
   // the current estimate. The window keeps ~kWindowSamples recent samples,
   // so the throughput reflects the recent past, not the lifetime average —
@@ -70,6 +81,7 @@ class ProgressTracker {
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> chunks_{0};
   std::atomic<uint64_t> loaded_{0};
+  std::atomic<bool> complete_{false};
   mutable Mutex mu_;
   uint64_t bytes_total_ GUARDED_BY(mu_) = 0;
   uint64_t chunks_total_ GUARDED_BY(mu_) = 0;

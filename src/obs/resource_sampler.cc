@@ -97,17 +97,24 @@ void ResourceSampler::Start() {
 }
 
 void ResourceSampler::Stop() {
+  // The final probe is emitted exactly once per sampler lifetime — even
+  // when the interval never elapsed, and even when Start was never called
+  // (a query can finish before its sampler is started). Short queries thus
+  // always leave at least one sample.
+  bool emit_final = false;
   {
     MutexLock lock(mu_);
-    if (!started_ || stop_) {
-      if (thread_.joinable()) thread_.join();
-      return;
+    if (!final_emitted_) {
+      final_emitted_ = true;
+      emit_final = true;
     }
-    stop_ = true;
-    cv_.NotifyAll();
+    if (started_ && !stop_) {
+      stop_ = true;
+      cv_.NotifyAll();
+    }
   }
   if (thread_.joinable()) thread_.join();
-  log_->Append(probe_());
+  if (emit_final) log_->Append(probe_());
 }
 
 bool ResourceSampler::running() const {

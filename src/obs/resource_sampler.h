@@ -75,8 +75,10 @@ class ResourceSampler {
   ResourceSampler& operator=(const ResourceSampler&) = delete;
 
   void Start() EXCLUDES(mu_);
-  // Joins the thread and records the final sample. Idempotent; the
-  // destructor calls it. The probe must stay valid until Stop returns.
+  // Joins the thread and records the final sample. The final sample is
+  // emitted exactly once per sampler, even when Start was never called or
+  // the sampling interval never elapsed. Idempotent; the destructor calls
+  // it. The probe must stay valid until Stop returns.
   void Stop() EXCLUDES(mu_);
 
   bool running() const EXCLUDES(mu_);
@@ -94,6 +96,7 @@ class ResourceSampler {
   std::thread thread_;
   bool stop_ GUARDED_BY(mu_) = false;
   bool started_ GUARDED_BY(mu_) = false;
+  bool final_emitted_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace obs

@@ -1,0 +1,94 @@
+// Aggregated workload history: per-table / per-column access frequencies,
+// predicate selectivities, and recency, folded from QueryLogEvents. The
+// history is what the LoadAdvisor ranks columns from; it persists via
+// AtomicWriteFile (catalog-style versioned text format) next to the
+// catalog and is reconciled on restart by replaying only the query-log
+// events newer than its recorded high-water seq.
+#ifndef SCANRAW_OBS_WORKLOAD_HISTORY_H_
+#define SCANRAW_OBS_WORKLOAD_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/query_log.h"
+
+namespace scanraw {
+namespace obs {
+
+struct ColumnUsage {
+  uint64_t touches = 0;     // queries whose required set included the column
+  uint64_t predicates = 0;  // queries that filtered on the column
+  uint64_t last_seq = 0;    // newest query seq that touched the column
+};
+
+struct TableUsage {
+  uint64_t queries = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  uint64_t last_seq = 0;
+  std::map<size_t, ColumnUsage> columns;
+
+  // Observed predicate selectivity across the table's logged queries.
+  double Selectivity() const {
+    return rows_scanned == 0 ? 1.0
+                             : static_cast<double>(rows_matched) /
+                                   static_cast<double>(rows_scanned);
+  }
+};
+
+// Thread-safe: Observe is called from the query-log observer while the
+// advisor reads snapshots from the WRITE thread.
+class WorkloadHistory {
+ public:
+  struct LoadStats {
+    int version = 0;
+    uint64_t tables = 0;
+    uint64_t columns = 0;
+    bool torn_tail_dropped = false;
+  };
+
+  // Folds one logged query into the aggregates. Events at or below the
+  // current high-water seq are ignored (idempotent replay); failed queries
+  // count toward recency only.
+  void Observe(const QueryLogEvent& event) EXCLUDES(mu_);
+
+  // Copy of one table's usage; empty-default when unknown.
+  TableUsage TableSnapshot(const std::string& table) const EXCLUDES(mu_);
+  std::vector<std::string> Tables() const EXCLUDES(mu_);
+  // Drops history for tables not in `keep` (restart reconciliation against
+  // the catalog); returns how many were dropped.
+  uint64_t DropTablesNotIn(const std::set<std::string>& keep) EXCLUDES(mu_);
+
+  uint64_t last_seq() const EXCLUDES(mu_);
+  uint64_t events_observed() const EXCLUDES(mu_);
+
+  // Persistence: versioned text format written atomically, torn-tail
+  // tolerant on load like the catalog.
+  Status SaveToFile(const std::string& path) const EXCLUDES(mu_);
+  Status LoadFromFile(const std::string& path, LoadStats* stats = nullptr)
+      EXCLUDES(mu_);
+
+  // Replays the query log at `log_path` (both generations), folding only
+  // events newer than last_seq(). Returns the number of events folded.
+  Result<uint64_t> ReplayLog(const std::string& log_path) EXCLUDES(mu_);
+
+  // Human-readable aggregate, used by the CLI `stats` subcommand.
+  std::string Summary() const EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, TableUsage> tables_ GUARDED_BY(mu_);
+  uint64_t last_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t events_observed_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace scanraw
+
+#endif  // SCANRAW_OBS_WORKLOAD_HISTORY_H_

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 
@@ -14,6 +15,8 @@ namespace scanraw {
 namespace obs {
 class Telemetry;
 struct QueryProgress;
+class QueryLog;
+class LoadAdvisor;
 }
 
 // WRITE scheduling policy (§3.1: "The scheduling policy for WRITE dictates
@@ -147,6 +150,19 @@ struct ScanRawOptions {
   // fired once at query start and once at query end.
   std::function<void(const obs::QueryProgress&)> progress_callback;
   int progress_interval_ms = 200;
+
+  // Persistent query event log: when set, ExecuteQuery appends one event
+  // per query (spec, stage timings, provenance, speculative payoff). The
+  // log outlives the operator; not owned.
+  obs::QueryLog* query_log = nullptr;
+
+  // History-driven speculative loading: when set, the WRITE stage under
+  // kSpeculativeLoading stores only the advisor's hot-column subset of
+  // each chunk, in rank order, instead of every converted column. Query
+  // results are byte-identical either way — columns the advisor skips are
+  // simply re-extracted from the raw side until a later query loads them.
+  // Shared so the advisor (and its history) can outlive operator retirement.
+  std::shared_ptr<const obs::LoadAdvisor> advisor;
 };
 
 }  // namespace scanraw

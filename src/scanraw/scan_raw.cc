@@ -6,6 +6,9 @@
 #include "common/clock.h"
 #include "io/fault_injection.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/load_advisor.h"
+#include "obs/query_log.h"
 #include "columnar/chunk_sort.h"
 #include "db/statistics.h"
 #include "format/parser.h"
@@ -75,6 +78,7 @@ void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
   speculative_metric = registry->GetCounter("scanraw.speculative_triggers");
   write_failures_metric = registry->GetCounter("scanraw.write_failures");
   write_backoff_metric = registry->GetCounter("scanraw.write_backoffs");
+  useful_bytes_metric = registry->GetCounter("scanraw.useful_bytes_written");
 }
 
 void PipelineProfile::Reset() {
@@ -84,7 +88,7 @@ void PipelineProfile::Reset() {
   write_time.Reset();
   chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
   chunks_skipped = read_blocked_events = speculative_triggers = 0;
-  write_failures = write_backoffs = 0;
+  write_failures = write_backoffs = useful_bytes_written = 0;
   // Registry mirrors follow the same single-threaded-reset contract; the
   // histograms are shared objects, so this clears the aggregated view too.
   for (obs::Histogram* h :
@@ -94,7 +98,7 @@ void PipelineProfile::Reset() {
   for (obs::Counter* c :
        {from_cache_metric, from_db_metric, from_raw_metric, written_metric,
         skipped_metric, read_blocked_metric, speculative_metric,
-        write_failures_metric, write_backoff_metric}) {
+        write_failures_metric, write_backoff_metric, useful_bytes_metric}) {
     if (c != nullptr) c->Reset();
   }
 }
@@ -175,7 +179,7 @@ struct ScanRaw::QueryRun::Impl {
 
   void Start() {
     profiler.Begin();  // re-anchor: setup (catalog reads) is not query time
-    parent->RegisterObservers(&profiler, &progress);
+    parent->RegisterObservers(&profiler, &progress, required_columns);
     read_thread = std::thread([this] { ReadLoop(); });
     tokenize_thread = std::thread([this] { TokenizeLoop(); });
     parse_thread = std::thread([this] { ParseLoop(); });
@@ -228,6 +232,8 @@ struct ScanRaw::QueryRun::Impl {
   }
 
   void ReportError(const Status& status) {
+    obs::FlightRecord(obs::FlightEvent::kError,
+                      static_cast<uint64_t>(status.code()), 0);
     {
       MutexLock lock(status_mu);
       if (first_error.ok()) first_error = status;
@@ -301,6 +307,8 @@ struct ScanRaw::QueryRun::Impl {
       cm.raw_offset = chunk->file_offset;
       cm.raw_size = chunk->data.size();
       cm.num_rows = chunk->num_rows();
+      obs::FlightRecord(obs::FlightEvent::kRead, chunk->chunk_index,
+                        chunk->data.size());
       Status s = parent->catalog_->AppendChunk(parent->table_, cm);
       if (!s.ok()) {
         ReportError(s);
@@ -369,6 +377,8 @@ struct ScanRaw::QueryRun::Impl {
         }
         ptr = std::make_shared<const BinaryChunk>(std::move(*chunk));
       }
+      obs::FlightRecord(obs::FlightEvent::kRead, cm->chunk_index,
+                        cm->raw_size);
       parent->profile_.CountFromDb();
       progress.AddBytes(cm->raw_size);
       progress.CountChunk();
@@ -403,6 +413,8 @@ struct ScanRaw::QueryRun::Impl {
         }
         chunk = std::move(*read);
       }
+      obs::FlightRecord(obs::FlightEvent::kRead, cm->chunk_index,
+                        cm->raw_size);
       parent->profile_.CountFromRaw();
       if (!PushText(std::move(chunk))) return;
     }
@@ -459,6 +471,8 @@ struct ScanRaw::QueryRun::Impl {
                      : TokenizeChunk(*text, topts);
         }();
         if (map.ok()) {
+          obs::FlightRecord(obs::FlightEvent::kTokenize, text->chunk_index,
+                            map->num_rows());
           auto shared = std::make_shared<PositionalMap>(std::move(*map));
           if (use_map_cache) {
             parent->positional_maps_.Insert(text->chunk_index, shared);
@@ -516,6 +530,9 @@ struct ScanRaw::QueryRun::Impl {
                             popts);
         }();
         if (parsed.ok()) {
+          obs::FlightRecord(obs::FlightEvent::kParse,
+                            tokenized.text->chunk_index,
+                            parsed->num_rows());
           progress.AddBytes(tokenized.text->data.size());
           progress.CountChunk();
           DeliverConverted(ChunkBufferPool::WrapChunk(std::move(*parsed),
@@ -545,6 +562,7 @@ struct ScanRaw::QueryRun::Impl {
   // the chunk to the execution engine.
   void DeliverConverted(BinaryChunkPtr chunk) {
     const uint64_t index = chunk->chunk_index();
+    obs::FlightRecord(obs::FlightEvent::kDeliver, index, chunk->num_rows());
     // Crash point for the recovery matrix: a chunk has been extracted
     // (tokenized + parsed) but nothing about it has been persisted yet.
     FaultKillPoint("scanraw.extract.converted");
@@ -587,6 +605,10 @@ struct ScanRaw::QueryRun::Impl {
   // Buffered loading: a chunk expelled from a full cache is written to the
   // database ([10]'s flush-on-full behavior).
   void HandleEvictions(std::vector<EvictedChunk> evicted) {
+    for (const EvictedChunk& ev : evicted) {
+      obs::FlightRecord(obs::FlightEvent::kCacheEvict, ev.chunk_index,
+                        ev.was_loaded ? 1 : 0);
+    }
     if (parent->options_.policy != LoadPolicy::kBufferedLoading) return;
     for (EvictedChunk& ev : evicted) {
       if (!ev.was_loaded) {
@@ -602,6 +624,12 @@ struct ScanRaw::QueryRun::Impl {
     if (tokenize_thread.joinable()) tokenize_thread.join();
     if (parse_thread.joinable()) parse_thread.join();
     pool.WaitIdle();
+    // A cleanly drained pipeline pins the tracker to 100% so the reporter's
+    // final callback always reports completion — even when totals were
+    // estimates (discovery scans) or rounding left the fraction short.
+    // Abandoned or failed runs skip the pin: their final callback reports
+    // honest partial progress.
+    if (!abandoned && GetStatus().ok()) progress.MarkComplete();
     // Stop after the pipeline drains so the final sample reflects the
     // settled end state.
     if (sampler != nullptr) sampler->Stop();
@@ -609,6 +637,7 @@ struct ScanRaw::QueryRun::Impl {
   }
 
   void Abandon() {
+    abandoned = true;
     // Unblock producers so JoinAll terminates even with a full pipeline.
     text_q.Close();
     pos_q.Close();
@@ -641,6 +670,7 @@ struct ScanRaw::QueryRun::Impl {
   obs::ProgressTracker progress;
   std::unique_ptr<obs::ProgressReporter> reporter;
   bool joined = false;
+  bool abandoned = false;
 
   Mutex inflight_mu;
   CondVar inflight_cv;
@@ -790,6 +820,8 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
   const uint64_t base_pm_misses = positional_maps_.misses();
   const uint64_t base_bytes = storage_ != nullptr ? storage_->bytes_written()
                                                   : 0;
+  const uint64_t base_useful = profile_.useful_bytes_written.load();
+  const uint64_t base_bytes_read = raw_io_stats_.bytes_read.load();
   const int64_t base_disk_wait =
       arbiter_ != nullptr
           ? arbiter_->reader_wait_nanos() + arbiter_->writer_wait_nanos()
@@ -797,25 +829,80 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
   const uint64_t base_throttle_wait =
       raw_limiter_ != nullptr ? raw_limiter_->total_wait_nanos() : 0;
   const double loaded_before = LoadedFraction();
+  const int64_t query_start_nanos = RealClock::Instance()->NowNanos();
+
+  // On a failed query the full report is unavailable (the profiler may not
+  // have ended cleanly), so the log gets a minimal event: spec, policy, and
+  // the error. Failed queries still advance the history's recency clock.
+  auto log_failure = [&](const Status& failure) {
+    if (options_.query_log == nullptr) return;
+    obs::QueryLogEvent event;
+    event.table = table_;
+    event.policy = std::string(LoadPolicyName(options_.policy));
+    event.status = failure.ToString();
+    event.wall_seconds =
+        static_cast<double>(RealClock::Instance()->NowNanos() -
+                            query_start_nanos) *
+        1e-9;
+    event.columns = spec.RequiredColumns();
+    if (spec.predicate.range.has_value()) {
+      event.predicate_columns.push_back(spec.predicate.range->column);
+    }
+    if (spec.predicate.pattern.has_value()) {
+      event.predicate_columns.push_back(spec.predicate.pattern->column);
+    }
+    event.advisor_used = options_.advisor != nullptr &&
+                         options_.policy == LoadPolicy::kSpeculativeLoading;
+    const Status append = options_.query_log->Append(std::move(event));
+    if (!append.ok()) {
+      std::fprintf(stderr, "scanraw: query log append failed: %s\n",
+                   append.ToString().c_str());
+    }
+    obs::FlightRecord(obs::FlightEvent::kQueryEnd, /*a=*/1, /*b=*/0);
+  };
+
+  obs::FlightRecord(obs::FlightEvent::kQueryBegin,
+                    spec.RequiredColumns().size(),
+                    static_cast<uint64_t>(options_.policy));
 
   std::optional<RangePredicate> skip_filter = spec.predicate.range;
   auto run = StartQuery(spec.RequiredColumns(), skip_filter);
-  if (!run.ok()) return run.status();
+  if (!run.ok()) {
+    log_failure(run.status());
+    return run.status();
+  }
   obs::SpanProfiler& profiler = (*run)->impl_->profiler;
   auto result = RunQuery(spec, run->get(), &profiler);
   (*run)->Finish();
   Status s = (*run)->status();
-  if (!s.ok()) return s;
-  if (!result.ok()) return result.status();
+  if (!s.ok()) {
+    log_failure(s);
+    return s;
+  }
+  if (!result.ok()) {
+    log_failure(result.status());
+    return result.status();
+  }
   if (options_.policy == LoadPolicy::kFullLoad ||
       options_.policy == LoadPolicy::kInvisibleLoading) {
     // Synchronous-loading regimes: loading is part of the query.
     WaitForWrites();
     Status ws = write_status();
-    if (!ws.ok()) return ws;
+    if (!ws.ok()) {
+      log_failure(ws);
+      return ws;
+    }
   }
 
-  if (explain != nullptr) {
+  // The report is filled for an explicit EXPLAIN, and also locally when a
+  // query log is attached: the logged event is the report's counters, so
+  // logging pays the same (cheap) delta reads EXPLAIN does.
+  obs::ExplainReport local_report;
+  obs::ExplainReport* report =
+      explain != nullptr
+          ? explain
+          : (options_.query_log != nullptr ? &local_report : nullptr);
+  if (report != nullptr) {
     // Include the background-write drain (speculative writes, safeguard
     // flush) in the report's window: EXPLAIN ANALYZE answers "what did this
     // query load", and without the drain those writes would land between
@@ -845,31 +932,80 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
       }
     }
     profiler.End();
-    explain->table = table_;
-    explain->policy = std::string(LoadPolicyName(options_.policy));
-    explain->workers = options_.num_workers;
-    explain->FillFromProfile(profiler.Aggregate());
-    explain->chunks_from_cache = profile_.chunks_from_cache.load() - base_cache;
-    explain->chunks_from_db = profile_.chunks_from_db.load() - base_db;
-    explain->chunks_from_raw = profile_.chunks_from_raw.load() - base_raw;
-    explain->chunks_skipped = profile_.chunks_skipped.load() - base_skipped;
-    explain->chunks_written = profile_.chunks_written.load() - base_written;
-    explain->speculative_triggers =
+    report->table = table_;
+    report->policy = std::string(LoadPolicyName(options_.policy));
+    report->workers = options_.num_workers;
+    report->FillFromProfile(profiler.Aggregate());
+    report->chunks_from_cache = profile_.chunks_from_cache.load() - base_cache;
+    report->chunks_from_db = profile_.chunks_from_db.load() - base_db;
+    report->chunks_from_raw = profile_.chunks_from_raw.load() - base_raw;
+    report->chunks_skipped = profile_.chunks_skipped.load() - base_skipped;
+    report->chunks_written = profile_.chunks_written.load() - base_written;
+    report->speculative_triggers =
         profile_.speculative_triggers.load() - base_triggers;
-    explain->read_blocked_events =
+    report->read_blocked_events =
         profile_.read_blocked_events.load() - base_blocked;
-    explain->bytes_written =
+    report->bytes_written =
         (storage_ != nullptr ? storage_->bytes_written() : 0) - base_bytes;
-    explain->cache_hits = cache_.hits() - base_cache_hits;
-    explain->cache_misses = cache_.misses() - base_cache_misses;
-    explain->posmap_hits = positional_maps_.hits() - base_pm_hits;
-    explain->posmap_misses = positional_maps_.misses() - base_pm_misses;
-    explain->loaded_fraction_before = loaded_before;
-    explain->loaded_fraction_after = LoadedFraction();
-    explain->speculation_paid_off =
-        explain->chunks_written > 0 &&
-        explain->loaded_fraction_after > loaded_before;
+    report->useful_bytes_written =
+        profile_.useful_bytes_written.load() - base_useful;
+    report->cache_hits = cache_.hits() - base_cache_hits;
+    report->cache_misses = cache_.misses() - base_cache_misses;
+    report->posmap_hits = positional_maps_.hits() - base_pm_hits;
+    report->posmap_misses = positional_maps_.misses() - base_pm_misses;
+    report->loaded_fraction_before = loaded_before;
+    report->loaded_fraction_after = LoadedFraction();
+    report->speculation_paid_off =
+        report->chunks_written > 0 &&
+        report->loaded_fraction_after > loaded_before;
+    report->advisor_used = options_.advisor != nullptr &&
+                           options_.policy == LoadPolicy::kSpeculativeLoading;
+    if (report->advisor_used) {
+      report->advisor_note = options_.advisor->Plan(table_).note;
+    }
+
+    if (options_.query_log != nullptr) {
+      obs::QueryLogEvent event;
+      event.table = report->table;
+      event.policy = report->policy;
+      event.wall_seconds = report->wall_seconds;
+      event.columns = spec.RequiredColumns();
+      if (spec.predicate.range.has_value()) {
+        event.predicate_columns.push_back(spec.predicate.range->column);
+      }
+      if (spec.predicate.pattern.has_value()) {
+        event.predicate_columns.push_back(spec.predicate.pattern->column);
+      }
+      event.rows_scanned = result->rows_scanned;
+      event.rows_matched = result->rows_matched;
+      for (const obs::ExplainStage& stage : report->stages) {
+        event.stage_busy_seconds.emplace_back(stage.name, stage.busy_seconds);
+      }
+      event.chunks_from_cache = report->chunks_from_cache;
+      event.chunks_from_db = report->chunks_from_db;
+      event.chunks_from_raw = report->chunks_from_raw;
+      event.chunks_skipped = report->chunks_skipped;
+      event.chunks_written = report->chunks_written;
+      event.speculative_triggers = report->speculative_triggers;
+      event.bytes_read = raw_io_stats_.bytes_read.load() - base_bytes_read;
+      event.bytes_written = report->bytes_written;
+      event.useful_bytes_written = report->useful_bytes_written;
+      event.cache_hit_rate =
+          report->HitRate(report->cache_hits, report->cache_misses);
+      event.posmap_hit_rate =
+          report->HitRate(report->posmap_hits, report->posmap_misses);
+      event.speculation_paid_off = report->speculation_paid_off;
+      event.advisor_used = report->advisor_used;
+      const Status append = options_.query_log->Append(std::move(event));
+      if (!append.ok()) {
+        // The log is advisory: a failed append never fails the query.
+        std::fprintf(stderr, "scanraw: query log append failed: %s\n",
+                     append.ToString().c_str());
+      }
+    }
   }
+  obs::FlightRecord(obs::FlightEvent::kQueryEnd, /*a=*/0,
+                    result->rows_matched);
   return result;
 }
 
@@ -990,6 +1126,7 @@ void ScanRaw::MaybeTriggerSpeculativeWrite() {
   const uint64_t victim_index = victim->first;
   if (EnqueueWrite(victim_index, std::move(victim->second))) {
     profile_.CountSpeculativeTrigger();
+    obs::FlightRecord(obs::FlightEvent::kSpeculativeTrigger, victim_index, 0);
     if (obs::ChunkTracer* t = tracer()) {
       t->RecordInstant(obs::TraceStage::kSpeculativeTrigger, victim_index);
     }
@@ -1019,15 +1156,36 @@ void ScanRaw::WriteLoop() {
         to_store = std::make_shared<const BinaryChunk>(std::move(*sorted));
       }
     }
+    // History-driven speculative loading: store only the advisor's
+    // hot-column subset, in rank order, instead of every converted column.
+    // Columns already in the database are dropped either way, so repeated
+    // offers of the same chunk never duplicate segments. Results stay
+    // byte-identical: skipped columns are re-extracted from the raw side.
+    std::vector<size_t> store_columns = to_store->ColumnIds();
+    bool skip_write = false;
+    if (options_.advisor != nullptr &&
+        options_.policy == LoadPolicy::kSpeculativeLoading) {
+      store_columns = options_.advisor->FilterColumns(table_, store_columns);
+      auto meta = catalog_->GetTable(table_);
+      if (meta.ok() && req->chunk_index < meta->chunks.size()) {
+        const std::set<size_t>& loaded =
+            meta->chunks[req->chunk_index].loaded_columns;
+        store_columns.erase(
+            std::remove_if(store_columns.begin(), store_columns.end(),
+                           [&loaded](size_t c) { return loaded.count(c) != 0; }),
+            store_columns.end());
+      }
+      // Every hot column already resident: nothing worth the write budget.
+      skip_write = store_columns.empty();
+    }
     const int64_t write_start = RealClock::Instance()->NowNanos();
-    {
+    if (!skip_write) {
       ScopedDiskAccess disk(arbiter_, DiskUser::kWriter);
       obs::SpanRecorder span(tracer(), profile_.write_latency,
                              obs::TraceStage::kWrite, obs::ChunkSource::kRaw,
                              req->chunk_index);
       ScopedTimer timer(&profile_.write_time);
-      auto segment =
-          storage_->WriteSegment(*to_store, to_store->ColumnIds());
+      auto segment = storage_->WriteSegment(*to_store, store_columns);
       if (!segment.ok()) {
         status = segment.status();
       } else {
@@ -1044,14 +1202,30 @@ void ScanRaw::WriteLoop() {
                                            stats);
           FaultKillPoint("scanraw.write.after_record");
         }
+        if (status.ok()) {
+          // Useful-write attribution: the segment's bytes, scaled by how
+          // many of its columns the active query required (columns in one
+          // chunk are near-equal width, so proportional is a fair split).
+          const size_t overlap = CountRequiredOverlap(store_columns);
+          if (!store_columns.empty()) {
+            profile_.AddUsefulBytes(segment->page.size * overlap /
+                                    store_columns.size());
+          }
+          obs::FlightRecord(obs::FlightEvent::kWrite, req->chunk_index,
+                            segment->page.size);
+        }
       }
     }
-    RecordWriteSpan(write_start,
-                    RealClock::Instance()->NowNanos() - write_start);
+    if (!skip_write) {
+      RecordWriteSpan(write_start,
+                      RealClock::Instance()->NowNanos() - write_start);
+    }
     if (status.ok()) {
       cache_.MarkLoaded(req->chunk_index);
-      profile_.CountWritten();
-      NoteChunkLoaded();
+      if (!skip_write) {
+        profile_.CountWritten();
+        NoteChunkLoaded();
+      }
     } else if (options_.policy == LoadPolicy::kFullLoad ||
                options_.policy == LoadPolicy::kInvisibleLoading) {
       // Loading is part of the query under these policies; surface it.
@@ -1089,10 +1263,13 @@ void ScanRaw::WriteLoop() {
 }
 
 void ScanRaw::RegisterObservers(obs::SpanProfiler* profiler,
-                                obs::ProgressTracker* progress) {
+                                obs::ProgressTracker* progress,
+                                const std::vector<size_t>& required_columns) {
   MutexLock lock(active_mu_);
   active_profiler_ = profiler;
   active_progress_ = progress;
+  active_required_ =
+      std::set<size_t>(required_columns.begin(), required_columns.end());
 }
 
 void ScanRaw::UnregisterObservers(obs::SpanProfiler* profiler,
@@ -1100,7 +1277,20 @@ void ScanRaw::UnregisterObservers(obs::SpanProfiler* profiler,
   MutexLock lock(active_mu_);
   // Identity-checked: a newer query may have registered already.
   if (active_profiler_ == profiler) active_profiler_ = nullptr;
-  if (active_progress_ == progress) active_progress_ = nullptr;
+  if (active_progress_ == progress) {
+    active_progress_ = nullptr;
+    active_required_.clear();
+  }
+}
+
+size_t ScanRaw::CountRequiredOverlap(
+    const std::vector<size_t>& columns) const {
+  MutexLock lock(active_mu_);
+  size_t overlap = 0;
+  for (size_t c : columns) {
+    if (active_required_.count(c) != 0) ++overlap;
+  }
+  return overlap;
 }
 
 void ScanRaw::RecordWriteSpan(int64_t start_nanos, int64_t dur_nanos) {

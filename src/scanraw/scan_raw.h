@@ -63,6 +63,9 @@ struct PipelineProfile {
   // triggers suppressed while backing off after such a failure.
   std::atomic<uint64_t> write_failures{0};
   std::atomic<uint64_t> write_backoffs{0};
+  // Written-segment bytes attributed (proportionally) to columns the
+  // active query required — the "useful" share of the write budget.
+  std::atomic<uint64_t> useful_bytes_written{0};
 
   // Registry mirrors; null until Bind. Stage histograms record nanoseconds
   // per chunk. Operators sharing one registry share these objects, so the
@@ -80,6 +83,7 @@ struct PipelineProfile {
   obs::Counter* speculative_metric = nullptr;
   obs::Counter* write_failures_metric = nullptr;
   obs::Counter* write_backoff_metric = nullptr;
+  obs::Counter* useful_bytes_metric = nullptr;
 
   // Resolves the registry mirrors under the "scanraw." prefix. Call before
   // the pipeline runs.
@@ -96,6 +100,10 @@ struct PipelineProfile {
   }
   void CountWriteFailure() { Bump(write_failures, write_failures_metric); }
   void CountWriteBackoff() { Bump(write_backoffs, write_backoff_metric); }
+  void AddUsefulBytes(uint64_t n) {
+    useful_bytes_written.fetch_add(n, std::memory_order_relaxed);
+    if (useful_bytes_metric != nullptr) useful_bytes_metric->Add(n);
+  }
 
   // Zeroes the stopwatches, the counters, and — when bound — the
   // registry-backed mirrors (histograms included).
@@ -276,15 +284,20 @@ class ScanRaw {
   void WriteLoop();
 
   // The WRITE thread outlives any single query, so per-query observers
-  // (span profiler, progress tracker) register here for the query's
-  // duration; the pointers are cleared before the QueryRun is destroyed.
+  // (span profiler, progress tracker) and the query's required-column set
+  // (for useful-byte attribution of background writes) register here for
+  // the query's duration; cleared before the QueryRun is destroyed.
   void RegisterObservers(obs::SpanProfiler* profiler,
-                         obs::ProgressTracker* progress);
+                         obs::ProgressTracker* progress,
+                         const std::vector<size_t>& required_columns);
   void UnregisterObservers(obs::SpanProfiler* profiler,
                            obs::ProgressTracker* progress);
   // WRITE-thread hooks into the active observers (no-ops when none).
   void RecordWriteSpan(int64_t start_nanos, int64_t dur_nanos);
   void NoteChunkLoaded();
+  // How many of `columns` the active query's spec required.
+  size_t CountRequiredOverlap(const std::vector<size_t>& columns) const
+      EXCLUDES(active_mu_);
 
   // Folds a freshly converted chunk into the sketches exactly once.
   void MaybeUpdateSketches(const BinaryChunk& chunk);
@@ -320,6 +333,7 @@ class ScanRaw {
   mutable Mutex active_mu_;
   obs::SpanProfiler* active_profiler_ GUARDED_BY(active_mu_) = nullptr;
   obs::ProgressTracker* active_progress_ GUARDED_BY(active_mu_) = nullptr;
+  std::set<size_t> active_required_ GUARDED_BY(active_mu_);
 
   // WRITE thread state.
   BoundedQueue<WriteRequest> write_queue_;

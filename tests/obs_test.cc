@@ -12,7 +12,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/resource_sampler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -372,6 +374,138 @@ TEST(TelemetryTest, CombinedJsonExport) {
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
   EXPECT_NE(json.find("\"resource_samples\""), std::string::npos);
   EXPECT_NE(json.find("\"trace_events_recorded\":1"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.50), 0.0);
+  EXPECT_EQ(h.Quantile(0.95), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleEveryQuantile) {
+  Histogram h;
+  h.Record(4096);  // exactly on a power-of-two bucket boundary
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 4096.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, BucketBoundaryValuesStayInRange) {
+  // Powers of two are the log-bucket edges; quantiles must interpolate
+  // within the observed [min, max] and stay monotone across them.
+  Histogram h;
+  for (int p = 0; p <= 20; ++p) h.Record(1ull << p);
+  double prev = 0.0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, static_cast<double>(1ull << 20)) << "q=" << q;
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // p50 of 21 power-of-two samples lands near 2^10, within one bucket.
+  EXPECT_GE(h.Quantile(0.5), 512.0);
+  EXPECT_LE(h.Quantile(0.5), 4096.0);
+}
+
+TEST(HistogramTest, TwoBucketBoundaryNeighbors) {
+  Histogram h;
+  h.Record(1024);  // last value of one bucket's range vs first of the next
+  h.Record(1025);
+  EXPECT_GE(h.Quantile(0.0), 1024.0);
+  EXPECT_LE(h.Quantile(1.0), 1025.0);
+  EXPECT_LE(h.Quantile(0.5), 1025.0);
+}
+
+TEST(ProgressTrackerTest, MarkCompletePinsTo100Percent) {
+  VirtualClock clock;
+  ProgressTracker tracker(/*bytes_total=*/1000, &clock);
+  tracker.AddBytes(700);  // rounding / estimate error: bytes short of total
+  tracker.CountChunk();
+  clock.AdvanceNanos(1000000);
+  QueryProgress before = tracker.Snapshot();
+  EXPECT_FALSE(before.complete);
+  EXPECT_LT(before.fraction, 1.0);
+
+  tracker.MarkComplete();
+  QueryProgress after = tracker.Snapshot();
+  EXPECT_TRUE(after.complete);
+  EXPECT_DOUBLE_EQ(after.fraction, 1.0);
+  EXPECT_DOUBLE_EQ(after.eta_seconds, 0.0);
+}
+
+TEST(ProgressTrackerTest, MarkCompleteCoversUnknownTotals) {
+  // Discovery scans never learn a byte total; completion must still pin the
+  // final report to 100%.
+  VirtualClock clock;
+  ProgressTracker tracker(/*bytes_total=*/0, &clock);
+  tracker.AddBytes(123);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot().fraction, 0.0);
+  tracker.MarkComplete();
+  QueryProgress p = tracker.Snapshot();
+  EXPECT_TRUE(p.complete);
+  EXPECT_DOUBLE_EQ(p.fraction, 1.0);
+}
+
+TEST(ProgressReporterTest, FinalCallbackReportsCompletion) {
+  ProgressTracker tracker(/*bytes_total=*/100);
+  tracker.AddBytes(100);
+  Mutex mu;
+  std::vector<QueryProgress> reports;
+  ProgressReporter reporter(
+      &tracker,
+      [&](const QueryProgress& p) {
+        MutexLock lock(mu);
+        reports.push_back(p);
+      },
+      /*interval_ms=*/1000);
+  reporter.Start();
+  tracker.MarkComplete();  // what the pipeline does after a clean drain
+  reporter.Stop();
+  MutexLock lock(mu);
+  ASSERT_GE(reports.size(), 2u);  // one on Start, one final on Stop
+  EXPECT_TRUE(reports.back().complete);
+  EXPECT_DOUBLE_EQ(reports.back().fraction, 1.0);
+}
+
+TEST(ResourceSamplerTest, StopWithoutStartStillRecordsFinalProbe) {
+  ResourceLog log(16);
+  std::atomic<int> probes{0};
+  ResourceSampler sampler(
+      &log,
+      [&probes] {
+        probes.fetch_add(1);
+        return ResourceSample();
+      },
+      std::chrono::milliseconds(1000));
+  // A query can finish before its sampler is ever started; the series must
+  // still get its one settled-end-state sample.
+  sampler.Stop();
+  EXPECT_EQ(probes.load(), 1);
+  EXPECT_EQ(log.size(), 1u);
+  sampler.Stop();  // the final probe is exactly-once
+  EXPECT_EQ(probes.load(), 1);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(ResourceSamplerTest, FinalProbeIsExactlyOnceAcrossStops) {
+  ResourceLog log(16);
+  std::atomic<int> probes{0};
+  ResourceSampler sampler(
+      &log,
+      [&probes] {
+        probes.fetch_add(1);
+        return ResourceSample();
+      },
+      std::chrono::milliseconds(1000));
+  sampler.Start();
+  sampler.Stop();
+  const int after_first_stop = probes.load();
+  EXPECT_EQ(after_first_stop, 2);  // start sample + final sample
+  sampler.Stop();
+  sampler.Stop();
+  EXPECT_EQ(probes.load(), after_first_stop);
 }
 
 TEST(CurrentThreadIdTest, DistinctPerThreadStableWithin) {

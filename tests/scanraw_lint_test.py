@@ -359,6 +359,95 @@ class LintTest(unittest.TestCase):
         code, out = self.lint("src/db/foo.cc")
         self.assertEqual(code, 0, out)
 
+    # ---- flight-record-path ----
+
+    def record_fn(self, body):
+        return ("void FlightRecorder::Record(FlightEvent e, uint64_t a) {\n"
+                f"  {body}\n"
+                "}\n")
+
+    def test_flight_record_mutex_caught(self):
+        self.write("src/obs/flight_recorder.cc",
+                   self.record_fn("MutexLock lock(mu_);"))
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[flight-record-path]", out)
+        self.assertIn("mutex acquisition", out)
+
+    def test_flight_record_io_caught(self):
+        self.write("src/obs/flight_recorder.cc",
+                   self.record_fn("write(2, buf, n);"))
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("IO call", out)
+
+    def test_flight_record_allocation_caught(self):
+        self.write("src/obs/flight_recorder.cc",
+                   self.record_fn("auto* s = new Slot();"))
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("heap allocation", out)
+
+    def test_flight_record_free_function_caught(self):
+        self.write("src/obs/flight_recorder.h",
+                   "#ifndef SCANRAW_OBS_FLIGHT_RECORDER_H_\n"
+                   "#define SCANRAW_OBS_FLIGHT_RECORDER_H_\n"
+                   "inline void FlightRecord(FlightEvent e) {\n"
+                   "  std::fprintf(stderr, \"x\");\n"
+                   "}\n"
+                   "#endif  // SCANRAW_OBS_FLIGHT_RECORDER_H_\n")
+        code, out = self.lint("src/obs/flight_recorder.h")
+        self.assertEqual(code, 1)
+        self.assertIn("[flight-record-path]", out)
+
+    def test_flight_record_atomic_stores_pass(self):
+        self.write("src/obs/flight_recorder.cc",
+                   self.record_fn("slot.a.store(a, std::memory_order_relaxed);"))
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_flight_record_forbidden_outside_record_passes(self):
+        # Dump paths may do IO; only Record* bodies are constrained.
+        self.write("src/obs/flight_recorder.cc",
+                   "void FlightRecorder::DumpTo(int fd) const {\n"
+                   "  write(fd, buf, n);\n"
+                   "}\n")
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_flight_record_other_files_exempt(self):
+        self.write("src/obs/telemetry.cc",
+                   "void Telemetry::RecordSample() {\n"
+                   "  MutexLock lock(mu_);\n"
+                   "}\n")
+        code, out = self.lint("src/obs/telemetry.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_flight_record_declaration_ignored(self):
+        self.write("src/obs/flight_recorder.cc",
+                   "void Record(FlightEvent e, uint64_t a);\n"
+                   "void F() { write(2, buf, n); }\n")
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_flight_record_suppressed(self):
+        self.write("src/obs/flight_recorder.cc",
+                   "void FlightRecorder::Record(FlightEvent e) {\n"
+                   "  // scanraw-lint: allow(flight-record-path)\n"
+                   "  write(2, buf, n);\n"
+                   "}\n")
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_flight_record_mention_in_comment_passes(self):
+        self.write("src/obs/flight_recorder.cc",
+                   "void FlightRecorder::Record(FlightEvent e) {\n"
+                   "  // never calls write( or malloc( here\n"
+                   "  slot.a.store(1);\n"
+                   "}\n")
+        code, out = self.lint("src/obs/flight_recorder.cc")
+        self.assertEqual(code, 0, out)
+
     # ---- driver behavior ----
 
     def test_directory_walk_and_multiple_findings(self):

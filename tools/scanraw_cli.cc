@@ -29,6 +29,27 @@
 //                         trace_event JSON array (load via chrome://tracing)
 //   --sample-interval-ms N  period of the §3.3 resource-advice sampler
 //                         (default 2 when --metrics/--trace-out is given)
+//   --query-log PATH      append one JSONL event per query (spec, stage
+//                         timings, chunk provenance, speculative payoff) to
+//                         the persistent query log at PATH; on startup any
+//                         persisted workload history (PATH.history, or
+//                         CATALOG.history with --catalog) is loaded and the
+//                         log replayed into it, and the updated history is
+//                         saved on exit
+//   --advisor             history-driven speculative loading: rank columns
+//                         by the workload history and store only the hot
+//                         subset of each chunk (requires --query-log;
+//                         results are byte-identical either way)
+//   --flight-dump[=PATH]  arm the crash-dump path of the always-on flight
+//                         recorder (dump written to PATH, or stderr, when
+//                         the process dies at a kill point) and dump the
+//                         rings at normal exit too
+//
+// Subcommands:
+//   stats --query-log PATH   offline workload report from the query log:
+//                            per-table/per-column access frequencies,
+//                            selectivities, wall-time percentiles, and
+//                            speculative-loading payoff totals
 //
 // Fault injection (testing the crash-safety layer; all deterministic for a
 // given --fault-seed):
@@ -57,13 +78,19 @@
 
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "db/recovery.h"
 #include "format/parser.h"
 #include "genomics/sam.h"
 #include "io/fault_injection.h"
 #include "io/file.h"
 #include "obs/explain.h"
+#include "obs/flight_recorder.h"
+#include "obs/load_advisor.h"
+#include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/query_log.h"
 #include "obs/telemetry.h"
+#include "obs/workload_history.h"
 #include "scanraw/scanraw_manager.h"
 #include "sql/sql_parser.h"
 
@@ -79,6 +106,10 @@ struct CliOptions {
   bool explain = false;
   bool explain_json = false;
   bool progress = false;
+  std::string query_log_path;
+  bool advisor = false;
+  bool flight_dump = false;
+  std::string flight_dump_path;  // empty = stderr
   std::string trace_path;
   int sample_interval_ms = -1;  // -1 = default (2 when telemetry requested)
   bool fault_enabled = false;
@@ -107,7 +138,10 @@ void Usage() {
                "[--fault-*-rate F]\n"
                "                   [--fault-errno eio|enospc] "
                "[--fault-kill-point NAME]\n"
-               "                   [--fault-kill-append-at N] [SQL]...\n");
+               "                   [--query-log PATH] [--advisor] "
+               "[--flight-dump[=PATH]]\n"
+               "                   [--fault-kill-append-at N] [SQL]...\n"
+               "       scanraw_cli stats --query-log PATH\n");
 }
 
 Result<LoadPolicy> ParsePolicy(const std::string& name) {
@@ -205,6 +239,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       }
       options.progress = true;
       options.scan_options.progress_interval_ms = static_cast<int>(*n);
+    } else if (arg == "--query-log") {
+      SCANRAW_ASSIGN_OR_RETURN(options.query_log_path, next_value());
+    } else if (arg == "--advisor") {
+      options.advisor = true;
+    } else if (arg == "--flight-dump") {
+      options.flight_dump = true;
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      options.flight_dump = true;
+      options.flight_dump_path = arg.substr(std::strlen("--flight-dump="));
     } else if (arg == "--trace-out") {
       SCANRAW_ASSIGN_OR_RETURN(options.trace_path, next_value());
     } else if (arg == "--sample-interval-ms") {
@@ -282,6 +325,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (options.db_path.empty()) {
     return Status::InvalidArgument("--db is required");
   }
+  if (options.advisor && options.query_log_path.empty()) {
+    return Status::InvalidArgument(
+        "--advisor requires --query-log (the history is built from it)");
+  }
   const bool telemetry_requested =
       options.metrics || !options.trace_path.empty();
   if (options.sample_interval_ms < 0) {
@@ -324,7 +371,83 @@ void PrintResult(const QueryResult& result, double seconds, bool has_avg) {
               static_cast<unsigned long long>(result.rows_scanned), seconds);
 }
 
+// `scanraw_cli stats --query-log PATH`: offline workload report. Reads the
+// log (both generations), folds it into a history, and prints what the
+// load advisor would see, plus wall-time percentiles and payoff totals.
+int RunStats(int argc, char** argv) {
+  std::string log_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--query-log" && i + 1 < argc) {
+      log_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: scanraw_cli stats --query-log PATH\n");
+      return 2;
+    }
+  }
+  if (log_path.empty()) {
+    std::fprintf(stderr, "usage: scanraw_cli stats --query-log PATH\n");
+    return 2;
+  }
+  obs::QueryLog::LoadStats load_stats;
+  auto events = obs::QueryLog::ReadAll(log_path, &load_stats);
+  if (!events.ok()) {
+    std::fprintf(stderr, "error: %s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "query log %s: v%d, %llu generation(s), %llu event(s), "
+      "%llu torn + %llu corrupt line(s) dropped\n",
+      log_path.c_str(), load_stats.version,
+      static_cast<unsigned long long>(load_stats.generations),
+      static_cast<unsigned long long>(load_stats.events),
+      static_cast<unsigned long long>(load_stats.dropped_torn),
+      static_cast<unsigned long long>(load_stats.dropped_corrupt));
+
+  obs::WorkloadHistory history;
+  obs::Histogram wall_micros;
+  uint64_t failures = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t useful_bytes = 0;
+  uint64_t advisor_queries = 0;
+  uint64_t paid_off = 0;
+  for (const obs::QueryLogEvent& event : *events) {
+    history.Observe(event);
+    wall_micros.Record(static_cast<uint64_t>(event.wall_seconds * 1e6));
+    if (event.status != "ok") ++failures;
+    bytes_read += event.bytes_read;
+    bytes_written += event.bytes_written;
+    useful_bytes += event.useful_bytes_written;
+    if (event.advisor_used) ++advisor_queries;
+    if (event.speculation_paid_off) ++paid_off;
+  }
+  std::printf("%s", history.Summary().c_str());
+  if (wall_micros.count() > 0) {
+    std::printf(
+        "wall time: p50 %.1fms  p95 %.1fms  p99 %.1fms  (mean %.1fms, "
+        "%llu queries, %llu failed)\n",
+        wall_micros.Quantile(0.50) / 1e3, wall_micros.Quantile(0.95) / 1e3,
+        wall_micros.Quantile(0.99) / 1e3, wall_micros.mean() / 1e3,
+        static_cast<unsigned long long>(wall_micros.count()),
+        static_cast<unsigned long long>(failures));
+  }
+  std::printf(
+      "io: %llu bytes read, %llu written (%llu useful to the workload)\n",
+      static_cast<unsigned long long>(bytes_read),
+      static_cast<unsigned long long>(bytes_written),
+      static_cast<unsigned long long>(useful_bytes));
+  std::printf("speculation: paid off in %llu event(s); advisor filtered "
+              "writes in %llu\n",
+              static_cast<unsigned long long>(paid_off),
+              static_cast<unsigned long long>(advisor_queries));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return RunStats(argc, argv);
+  }
   auto options = ParseArgs(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -333,12 +456,25 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  // Armed before fault injection so a kill point's crash dump lands at the
+  // requested path rather than stderr.
+  if (options->flight_dump && !options->flight_dump_path.empty()) {
+    obs::FlightRecorder::Global()->SetCrashDumpPath(
+        options->flight_dump_path.c_str());
+  }
+
   // Installed before the manager so the database file itself is subject to
   // the plan; alive until exit so the catalog save is too.
   std::optional<ScopedFaultInjection> fault_injection;
   if (options->fault_enabled) {
     fault_injection.emplace(options->fault_plan);
   }
+
+  // Declared before the manager: operators (and their advisor) must never
+  // outlive the history they rank from.
+  std::shared_ptr<obs::WorkloadHistory> history;
+  std::unique_ptr<obs::QueryLog> query_log;
+  std::string history_path;
 
   ScanRawManager::Config config;
   config.db_path = options->db_path;
@@ -371,6 +507,56 @@ int Run(int argc, char** argv) {
       for (const std::string& detail : recovery.details) {
         std::printf("recovery:   %s\n", detail.c_str());
       }
+    }
+  }
+
+  if (!options->query_log_path.empty()) {
+    auto log = obs::QueryLog::Open(options->query_log_path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "query log: %s\n",
+                   log.status().ToString().c_str());
+      return 1;
+    }
+    query_log = std::move(*log);
+    options->scan_options.query_log = query_log.get();
+
+    // The workload-intelligence loop: persisted history (next to the
+    // catalog when there is one) + replay of any log events newer than its
+    // high-water seq, reconciled against the recovered catalog, then kept
+    // live by observing every append.
+    history = std::make_shared<obs::WorkloadHistory>();
+    history_path = (options->catalog_path.empty() ? options->query_log_path
+                                                  : options->catalog_path) +
+                   ".history";
+    if (FileExists(history_path)) {
+      Status s = history->LoadFromFile(history_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "history: %s (starting fresh)\n",
+                     s.ToString().c_str());
+      }
+    }
+    auto folded = history->ReplayLog(options->query_log_path);
+    if (folded.ok() && *folded > 0) {
+      std::printf("history: replayed %llu logged quer%s\n",
+                  static_cast<unsigned long long>(*folded),
+                  *folded == 1 ? "y" : "ies");
+    }
+    if (recovering) {
+      const uint64_t dropped =
+          ReconcileHistoryWithCatalog(*history, *(*manager)->catalog());
+      if (dropped > 0) {
+        std::printf("history: dropped %llu table(s) absent from the "
+                    "catalog\n",
+                    static_cast<unsigned long long>(dropped));
+      }
+    }
+    auto observer = history;
+    query_log->SetObserver([observer](const obs::QueryLogEvent& event) {
+      observer->Observe(event);
+    });
+    if (options->advisor) {
+      options->scan_options.advisor =
+          std::make_shared<obs::LoadAdvisor>(history.get());
     }
   }
 
@@ -468,6 +654,25 @@ int Run(int argc, char** argv) {
     std::printf("catalog saved to %s\n", options->catalog_path.c_str());
   }
 
+  if (query_log != nullptr) {
+    std::printf("query log: %llu event(s) appended to %s"
+                " (%llu append failure(s), %llu rotation(s))\n",
+                static_cast<unsigned long long>(query_log->events_appended()),
+                options->query_log_path.c_str(),
+                static_cast<unsigned long long>(query_log->append_failures()),
+                static_cast<unsigned long long>(query_log->rotations()));
+    Status s = query_log->Close();
+    if (!s.ok()) {
+      std::fprintf(stderr, "query log close: %s\n", s.ToString().c_str());
+    }
+    s = history->SaveToFile(history_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "history save: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("history saved to %s\n", history_path.c_str());
+    }
+  }
+
   obs::Telemetry* telemetry = (*manager)->telemetry();
   if (options->metrics) {
     const std::string dump = options->metrics_json ? telemetry->ToJson()
@@ -501,6 +706,18 @@ int Run(int argc, char** argv) {
                 options->trace_path.c_str(),
                 static_cast<unsigned long long>(telemetry->tracer().recorded()),
                 static_cast<unsigned long long>(telemetry->tracer().dropped()));
+  }
+  if (options->flight_dump) {
+    if (options->flight_dump_path.empty()) {
+      obs::FlightRecorder::Global()->DumpTo(2);
+    } else if (obs::FlightRecorder::Global()->DumpToFile(
+                   options->flight_dump_path.c_str())) {
+      std::printf("flight recorder dumped to %s\n",
+                  options->flight_dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "flight dump: cannot open %s\n",
+                   options->flight_dump_path.c_str());
+    }
   }
   return failures == 0 ? 0 : 1;
 }

@@ -27,6 +27,13 @@ state-file-write WriteStringToFile in src/ non-test code (outside its
                  definition in io/file.cc). A crash mid-write leaves a torn
                  or empty file; state that must survive restart goes through
                  AtomicWriteFile (temp + fsync + rename).
+flight-record-path
+                 Mutex acquisition, IO calls, or heap allocation inside the
+                 flight recorder's record-path functions (Record* and
+                 FlightRecord, in files named *flight_recorder*). The record
+                 path must be callable from any pipeline thread and from the
+                 crash path: relaxed atomic stores only — no locks, no
+                 open/write/fprintf, no new/malloc.
 
 Suppressions: append `// scanraw-lint: allow(<rule>)` to the offending line
 or place it on the line directly above.
@@ -68,6 +75,23 @@ MAX_SCOPE_LOOKBACK = 50  # lines; fallback when no function start is found
 # AtomicWriteFile itself is built on top of the writable-file layer there).
 STATE_WRITE_EXEMPT = ("io/file.cc", "io/file.h")
 STATE_WRITE_RE = re.compile(r"\bWriteStringToFile\s*\(")
+
+# flight-record-path: files and function names forming the record path.
+FLIGHT_FILE_MARKER = "flight_recorder"
+# A definition-looking line whose function name is Record* or FlightRecord
+# (optionally class-qualified). Declarations (ending in `;` before any `{`)
+# are skipped by the body scan.
+FLIGHT_FUNC_RE = re.compile(
+    r"^[\w][\w:\s<>*&]*\b(?:\w+::)?(Record\w*|FlightRecord)\s*\(")
+FLIGHT_FORBIDDEN = (
+    ("mutex acquisition",
+     re.compile(r"\bMutexLock\b|\bCondVar\b|\.\s*[Ll]ock\s*\(")),
+    ("IO call",
+     re.compile(r"\b(fopen|fclose|fwrite|fread|fprintf|fputs|fflush|fsync|"
+                r"fdatasync|open|write|read|pread|pwrite)\s*\(")),
+    ("heap allocation",
+     re.compile(r"\bnew\b|\b(malloc|calloc|realloc)\s*\(")),
+)
 
 # byte-loop: hot-path directories where per-byte scan loops are banned.
 BYTE_LOOP_DIRS = ("src/format/", "src/scanraw/")
@@ -239,6 +263,46 @@ def check_byte_loop(rel, lines, findings):
                          "common/byte_scan.h"))
 
 
+def check_flight_record_path(rel, lines, findings):
+    if FLIGHT_FILE_MARKER not in os.path.basename(rel):
+        return
+    i, n = 0, len(lines)
+    while i < n:
+        if not FLIGHT_FUNC_RE.match(strip_comments(lines[i])):
+            i += 1
+            continue
+        # Find the body's opening brace; a `;` first means a declaration.
+        j, opened = i, False
+        while j < n:
+            code = strip_comments(lines[j])
+            brace, semi = code.find("{"), code.find(";")
+            if brace != -1 and (semi == -1 or brace < semi):
+                opened = True
+                break
+            if semi != -1:
+                break
+            j += 1
+        if not opened:
+            i = j + 1
+            continue
+        # Scan the body, tracking brace depth until it closes.
+        depth, k = 0, j
+        while k < n:
+            code = strip_comments(lines[k])
+            depth += code.count("{") - code.count("}")
+            for what, pat in FLIGHT_FORBIDDEN:
+                if pat.search(code) and \
+                        not is_suppressed(lines, k, "flight-record-path"):
+                    findings.append((rel, k + 1, "flight-record-path",
+                                     f"{what} in a flight-recorder record "
+                                     f"path; Record* must stay lock-free, "
+                                     f"IO-free, and allocation-free"))
+            if depth <= 0:
+                break
+            k += 1
+        i = k + 1
+
+
 def is_test_file(rel):
     base = os.path.basename(rel)
     return ("test" in base) or ("/tests/" in rel.replace(os.sep, "/"))
@@ -258,6 +322,7 @@ def lint_file(path, findings):
         check_sleep(rel, lines, findings)
         check_byte_loop(rel, lines, findings)
         check_state_file_write(rel, lines, findings)
+        check_flight_record_path(rel, lines, findings)
     check_unchecked_value(rel, lines, findings)
     if rel.endswith(".h"):
         check_include_guard(rel, lines, findings)
