@@ -4,6 +4,12 @@ namespace scanraw {
 
 void DiskArbiter::Acquire(DiskUser user) {
   const int64_t wait_start = clock_->NowNanos();
+  // Heartbeat scope covers the blocking wait: a thread wedged here shows as
+  // ARBITER active with a frozen beat count, which is exactly the signature
+  // the stall watchdog looks for.
+  obs::StageHeartbeats::Scope heartbeat(
+      heartbeats_.load(std::memory_order_relaxed),
+      obs::HeartbeatStage::kArbiter);
   MutexLock lock(mu_);
   while (user_ != DiskUser::kNone) cv_.Wait(lock);
   user_ = user;
@@ -46,6 +52,8 @@ void DiskArbiter::Release(DiskUser user) {
   }
   user_ = DiskUser::kNone;
   cv_.NotifyAll();
+  obs::StageHeartbeats* hb = heartbeats_.load(std::memory_order_relaxed);
+  if (hb != nullptr) hb->Beat(obs::HeartbeatStage::kArbiter);
 }
 
 void DiskArbiter::BindMetrics(obs::Histogram* reader_wait,
@@ -57,6 +65,10 @@ void DiskArbiter::BindMetrics(obs::Histogram* reader_wait,
   writer_wait_hist_ = writer_wait;
   reader_hold_hist_ = reader_hold;
   writer_hold_hist_ = writer_hold;
+}
+
+void DiskArbiter::BindHeartbeats(obs::StageHeartbeats* heartbeats) {
+  heartbeats_.store(heartbeats, std::memory_order_relaxed);
 }
 
 DiskUser DiskArbiter::current_user() const {

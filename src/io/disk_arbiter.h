@@ -12,6 +12,7 @@
 
 #include "common/clock.h"
 #include "common/thread_annotations.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 
 namespace scanraw {
@@ -53,8 +54,17 @@ class DiskArbiter {
                    obs::Histogram* reader_hold, obs::Histogram* writer_hold)
       EXCLUDES(mu_);
 
+  // Wires the watchdog's ARBITER stage: threads are marked active while
+  // blocked in Acquire and every grant/release beats, so a deadlocked
+  // READ/WRITE handoff shows up as a stalled ARBITER stage. Call before the
+  // arbiter is shared across threads; pass nullptr to detach.
+  void BindHeartbeats(obs::StageHeartbeats* heartbeats) EXCLUDES(mu_);
+
  private:
   const Clock* clock_;
+  // Written once before threads share the arbiter (BindHeartbeats), then
+  // only read; relaxed atomic keeps late binding defined.
+  std::atomic<obs::StageHeartbeats*> heartbeats_{nullptr};
   mutable Mutex mu_;
   CondVar cv_;
   DiskUser user_ GUARDED_BY(mu_) = DiskUser::kNone;

@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "obs/flight_recorder.h"
@@ -55,6 +57,13 @@ class FaultInjectingRandomAccessFile : public RandomAccessFile {
   Result<size_t> ReadAt(uint64_t offset, size_t length,
                         char* scratch) const override {
     if (FaultInjector* injector = ActiveInjector(base_->path())) {
+      if (injector->plan().read_delay_ms > 0) {
+        // Deliberate stall, emulating a hung device under the READ loop so
+        // the watchdog tests have a real no-progress window to detect.
+        // scanraw-lint: allow(sleep-in-src)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(injector->plan().read_delay_ms));
+      }
       auto fault = injector->OnRead(base_->path(), length);
       using Kind = FaultInjector::ReadFault::Kind;
       switch (fault.kind) {

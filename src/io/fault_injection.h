@@ -41,6 +41,9 @@ struct FaultPlan {
   double read_error_rate = 0.0;   // ReadAt fails with `error_errno`
   double short_read_rate = 0.0;   // ReadAt returns fewer bytes than asked
   double read_eintr_rate = 0.0;   // simulated EINTR: counted retry, then OK
+  int read_delay_ms = 0;          // every matching ReadAt sleeps this long
+                                  // (models a hung device; used by the
+                                  // watchdog stall tests)
 
   // Writes.
   double append_error_rate = 0.0;  // Append fails with `error_errno` after

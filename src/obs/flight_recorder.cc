@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/trace.h"
@@ -71,8 +72,15 @@ thread_local FlightRecorderTlsHandle tls_handle;
 
 FlightRecorder* FlightRecorder::Global() {
   // Leaked singleton: rings must outlive every recording thread, including
-  // detached ones running through static destruction.
-  static FlightRecorder* recorder = new FlightRecorder();
+  // detached ones running through static destruction. SCANRAW_FLIGHT_DUMP
+  // seeds the crash-dump destination; an explicit SetCrashDumpPath (the
+  // --flight-dump-on-crash CLI flag) still overrides it later.
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    const char* env = std::getenv("SCANRAW_FLIGHT_DUMP");
+    if (env != nullptr && env[0] != '\0') r->SetCrashDumpPath(env);
+    return r;
+  }();
   return recorder;
 }
 
@@ -210,6 +218,10 @@ size_t FlightRecorder::rings_used() const {
 void FlightRecorder::ResetForTest() {
   for (Ring& ring : rings_) {
     ring.next.store(0, std::memory_order_relaxed);
+    // Rings released by exited threads stop counting as used; rings still
+    // claimed by live threads (their TLS handles point here) stay sticky.
+    ring.ever_claimed.store(ring.in_use.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
     for (Slot& slot : ring.slots) {
       slot.ts_nanos.store(0, std::memory_order_relaxed);
       slot.packed.store(0, std::memory_order_relaxed);

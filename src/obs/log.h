@@ -1,0 +1,147 @@
+// Structured leveled logging for src/: LOG_DEBUG/INFO/WARN/ERROR macros
+// with per-call-site token-bucket rate limiting, a severity threshold
+// settable by flag or the SCANRAW_LOG_LEVEL env var, and an optional JSONL
+// sink that writes through the io layer (so the fault-injection decorators
+// see log IO like any other write). Direct fprintf(stderr, ...) in src/ is
+// banned by tools/scanraw_lint.py outside obs/log.cc — every diagnostic
+// goes through here so a resident server has one leveled, rate-limited,
+// machine-parseable stream instead of interleaved ad-hoc prints.
+//
+// Hot-path discipline: a suppressed-by-level log is one relaxed atomic
+// load; the rate-limit bucket and sink are only touched once a line passes
+// the threshold.
+#ifndef SCANRAW_OBS_LOG_H_
+#define SCANRAW_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace scanraw {
+
+class WritableFile;
+
+namespace obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // threshold only; not a valid line level
+};
+
+std::string_view LogLevelName(LogLevel level);
+// Accepts "debug", "info", "warn", "warning", "error", "off" (any case).
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+// Per-call-site state for the token bucket, declared `static` inside the
+// macro so each LOG_* line gets its own bucket. Members are atomics but the
+// bucket arithmetic runs under the Logger's mutex; atomics keep concurrent
+// first-use races defined.
+struct LogSite {
+  const char* file;
+  int line;
+  std::atomic<int64_t> tokens_micros{-1};      // -1 = bucket not yet filled
+  std::atomic<int64_t> last_refill_nanos{0};
+  std::atomic<uint64_t> suppressed{0};         // dropped by this site's bucket
+};
+
+class Logger {
+ public:
+  // Process-wide logger. First use reads SCANRAW_LOG_LEVEL (if set) for the
+  // initial threshold; default is kInfo.
+  static Logger* Global();
+
+  Logger();
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void SetThreshold(LogLevel level) {
+    threshold_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel threshold() const {
+    return static_cast<LogLevel>(
+        threshold_.load(std::memory_order_relaxed));
+  }
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<int>(level) >=
+           threshold_.load(std::memory_order_relaxed);
+  }
+
+  // Token bucket applied per call site: each site may emit `burst` lines
+  // instantly and refills at `per_second` lines/sec. kError lines bypass
+  // the bucket (errors must never be silently dropped). per_second <= 0
+  // disables rate limiting.
+  void SetRateLimit(double per_second, double burst) EXCLUDES(mu_);
+
+  // Mirror the structured lines into a JSONL file opened through the io
+  // layer (fault-injection decorators included). Replaces any open sink.
+  Status OpenJsonlSink(const std::string& path) EXCLUDES(mu_);
+  void CloseJsonlSink() EXCLUDES(mu_);
+
+  // Emit one line (printf-style). Called via the macros below, which check
+  // ShouldLog first; calling directly also works.
+  void Log(LogSite* site, LogLevel level, const char* format, ...)
+      EXCLUDES(mu_) __attribute__((format(printf, 4, 5)));
+
+  // Also mirror formatted lines to stderr (default on). Tests turn it off
+  // to keep their output clean while asserting on the JSONL sink.
+  void SetStderrEnabled(bool enabled) {
+    stderr_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  uint64_t lines_emitted() const {
+    return lines_emitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t lines_suppressed() const {
+    return lines_suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool Admit(LogSite* site, LogLevel level, int64_t now_nanos,
+             uint64_t* newly_suppressed) REQUIRES(mu_);
+
+  std::atomic<int> threshold_;
+  std::atomic<bool> stderr_enabled_{true};
+  std::atomic<uint64_t> lines_emitted_{0};
+  std::atomic<uint64_t> lines_suppressed_{0};
+
+  mutable Mutex mu_;
+  double rate_per_second_ GUARDED_BY(mu_) = 10.0;
+  double burst_ GUARDED_BY(mu_) = 20.0;
+  std::unique_ptr<WritableFile> sink_ GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace scanraw
+
+// The level check is inline (one relaxed load) so disabled levels cost
+// nothing; the static LogSite gives each call site its own rate bucket.
+#define SCANRAW_LOG_IMPL(lvl, ...)                                       \
+  do {                                                                   \
+    ::scanraw::obs::Logger* scanraw_logger_ =                            \
+        ::scanraw::obs::Logger::Global();                                \
+    if (scanraw_logger_->ShouldLog(lvl)) {                               \
+      static ::scanraw::obs::LogSite scanraw_log_site_{__FILE__,         \
+                                                       __LINE__};        \
+      scanraw_logger_->Log(&scanraw_log_site_, lvl, __VA_ARGS__);        \
+    }                                                                    \
+  } while (0)
+
+#define LOG_DEBUG(...) \
+  SCANRAW_LOG_IMPL(::scanraw::obs::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) \
+  SCANRAW_LOG_IMPL(::scanraw::obs::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) \
+  SCANRAW_LOG_IMPL(::scanraw::obs::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) \
+  SCANRAW_LOG_IMPL(::scanraw::obs::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SCANRAW_OBS_LOG_H_

@@ -120,6 +120,33 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.min = h->min();
+    row.max = h->max();
+    row.p50 = h->Quantile(0.50);
+    row.p95 = h->Quantile(0.95);
+    row.p99 = h->Quantile(0.99);
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
 void MetricsRegistry::Reset() {
   MutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->Reset();

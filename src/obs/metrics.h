@@ -14,6 +14,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/thread_annotations.h"
 
@@ -81,6 +83,24 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+// Point-in-time copy of every registered metric, for exporters that render
+// outside the registry lock (the /metrics endpoint, the CLI snapshots).
+struct MetricsSnapshot {
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
 // Named metric store. Get* registers on first use and returns a stable
 // pointer; names are hierarchical dot-separated strings
 // ("scanraw.stage.read_nanos"). Thread-safe; the mutex guards only the name
@@ -90,6 +110,9 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name) EXCLUDES(mu_);
   Gauge* GetGauge(std::string_view name) EXCLUDES(mu_);
   Histogram* GetHistogram(std::string_view name) EXCLUDES(mu_);
+
+  // Sorted (std::map order) copy of every metric's current value.
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   // Zeroes every registered metric (registration survives). Callers must
   // ensure no concurrent Reset of the same metric elsewhere; concurrent

@@ -8,8 +8,10 @@
 
 #include <string>
 
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace scanraw {
@@ -21,17 +23,23 @@ struct TelemetryOptions {
   size_t trace_capacity = 1 << 14;
   // Bound on the resource time-series.
   size_t resource_log_capacity = 4096;
+  // Points retained per metric time-series ring (see obs/timeseries.h).
+  size_t timeseries_ring_capacity = 512;
 };
 
 class Telemetry {
  public:
   explicit Telemetry(TelemetryOptions options = TelemetryOptions())
       : tracer_(options.trace_capacity),
-        resources_(options.resource_log_capacity) {}
+        resources_(options.resource_log_capacity),
+        timeseries_(TimeSeriesOptions{options.timeseries_ring_capacity,
+                                      TimeSeriesOptions().interval_nanos}) {}
 
   MetricsRegistry& metrics() { return metrics_; }
   ChunkTracer& tracer() { return tracer_; }
   ResourceLog& resources() { return resources_; }
+  TimeSeries& timeseries() { return timeseries_; }
+  StageHeartbeats& heartbeats() { return heartbeats_; }
 
   // Combined export: {"metrics": <registry>, "resource_samples": [...],
   // "trace_events_recorded": N, "trace_events_dropped": N}.
@@ -44,6 +52,8 @@ class Telemetry {
   MetricsRegistry metrics_;
   ChunkTracer tracer_;
   ResourceLog resources_;
+  TimeSeries timeseries_;
+  StageHeartbeats heartbeats_;
 };
 
 }  // namespace obs

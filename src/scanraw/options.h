@@ -144,6 +144,13 @@ struct ScanRawOptions {
   // queries still leave a series.
   int resource_sample_interval_ms = 0;
 
+  // Cadence of the telemetry time-series rings feeding the /metrics rate
+  // gauges (rows/s, bytes/s, cache hit rate). Sampling piggybacks on
+  // existing periodic threads (resource sampler, watchdog, stats scrapes) —
+  // there is no dedicated sampler thread. 0 leaves the telemetry sink's
+  // default (1 s); negative disables sampling. Requires `telemetry`.
+  int timeseries_interval_ms = 0;
+
   // Live progress: when set, each query runs a reporter thread that invokes
   // this callback every `progress_interval_ms` with bytes processed vs.
   // total, chunks delivered/loaded, rolling throughput, and an ETA. Also

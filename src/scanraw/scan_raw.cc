@@ -7,6 +7,7 @@
 #include "io/fault_injection.h"
 #include "common/string_util.h"
 #include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/load_advisor.h"
 #include "obs/query_log.h"
 #include "columnar/chunk_sort.h"
@@ -79,6 +80,8 @@ void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
   write_failures_metric = registry->GetCounter("scanraw.write_failures");
   write_backoff_metric = registry->GetCounter("scanraw.write_backoffs");
   useful_bytes_metric = registry->GetCounter("scanraw.useful_bytes_written");
+  rows_delivered_metric = registry->GetCounter("scanraw.rows_delivered");
+  bytes_converted_metric = registry->GetCounter("scanraw.bytes_converted");
 }
 
 void PipelineProfile::Reset() {
@@ -89,6 +92,7 @@ void PipelineProfile::Reset() {
   chunks_from_cache = chunks_from_db = chunks_from_raw = chunks_written = 0;
   chunks_skipped = read_blocked_events = speculative_triggers = 0;
   write_failures = write_backoffs = useful_bytes_written = 0;
+  rows_delivered = bytes_converted = 0;
   // Registry mirrors follow the same single-threaded-reset contract; the
   // histograms are shared objects, so this clears the aggregated view too.
   for (obs::Histogram* h :
@@ -98,7 +102,8 @@ void PipelineProfile::Reset() {
   for (obs::Counter* c :
        {from_cache_metric, from_db_metric, from_raw_metric, written_metric,
         skipped_metric, read_blocked_metric, speculative_metric,
-        write_failures_metric, write_backoff_metric, useful_bytes_metric}) {
+        write_failures_metric, write_backoff_metric, useful_bytes_metric,
+        rows_delivered_metric, bytes_converted_metric}) {
     if (c != nullptr) c->Reset();
   }
 }
@@ -210,6 +215,11 @@ struct ScanRaw::QueryRun::Impl {
     const ResourceSnapshot snap = SnapshotResources();
     obs::ResourceSample sample;
     sample.ts_nanos = RealClock::Instance()->NowNanos();
+    // Piggyback the time-series rings on the probe cadence: while a query
+    // runs, this thread is the sampler; between queries, scrapes are.
+    if (parent->options_.telemetry != nullptr) {
+      parent->options_.telemetry->timeseries().MaybeSample(sample.ts_nanos);
+    }
     sample.advice = std::string(AdviceName(snap.advice));
     sample.text_buffer_size = snap.text_buffer_size;
     sample.text_buffer_capacity = snap.text_buffer_capacity;
@@ -262,12 +272,22 @@ struct ScanRaw::QueryRun::Impl {
   }
 
   void ReadLoop() {
+    // Active for the whole loop: READ blocked on the arbiter or a full text
+    // buffer is still "in" the stage, and a wedge there is exactly what the
+    // watchdog must see as active-with-frozen-beats.
+    obs::StageHeartbeats::Scope heartbeat(parent->heartbeats_,
+                                          obs::HeartbeatStage::kRead);
     if (!meta.layout_known) {
       DiscoveryScan();
     } else {
       KnownLayoutScan();
     }
     text_q.Close();
+  }
+
+  // Progress pulse for the stage watchdog; no-op when telemetry is unset.
+  void BeatStage(obs::HeartbeatStage stage) const {
+    if (parent->heartbeats_ != nullptr) parent->heartbeats_->Beat(stage);
   }
 
   // First access to the file: sequential scan, chunk layout recorded into
@@ -301,6 +321,7 @@ struct ScanRaw::QueryRun::Impl {
           span.Cancel();  // EOF probe, not a chunk read
         }
       }
+      BeatStage(obs::HeartbeatStage::kRead);
       if (!chunk.has_value()) break;
       ChunkMetadata cm;
       cm.chunk_index = chunk->chunk_index;
@@ -356,6 +377,7 @@ struct ScanRaw::QueryRun::Impl {
         progress.AddBytes(meta.chunks[index].raw_size);
       }
       progress.CountChunk();
+      BeatStage(obs::HeartbeatStage::kRead);
       if (!out_q.Push(std::move(chunk))) return;
     }
 
@@ -382,6 +404,7 @@ struct ScanRaw::QueryRun::Impl {
       parent->profile_.CountFromDb();
       progress.AddBytes(cm->raw_size);
       progress.CountChunk();
+      BeatStage(obs::HeartbeatStage::kRead);
       // Database chunks are cached too (pre-fetching works for both sources,
       // §3.1) and arrive already loaded.
       HandleEvictions(
@@ -416,6 +439,7 @@ struct ScanRaw::QueryRun::Impl {
       obs::FlightRecord(obs::FlightEvent::kRead, cm->chunk_index,
                         cm->raw_size);
       parent->profile_.CountFromRaw();
+      BeatStage(obs::HeartbeatStage::kRead);
       if (!PushText(std::move(chunk))) return;
     }
   }
@@ -456,6 +480,8 @@ struct ScanRaw::QueryRun::Impl {
         ++tokenize_inflight;
       }
       pool.Submit([this, text, topts, cached, use_map_cache, json] {
+        obs::StageHeartbeats::Scope heartbeat(parent->heartbeats_,
+                                              obs::HeartbeatStage::kTokenize);
         auto map = [&]() -> Result<PositionalMap> {
           obs::SpanProfiler::Scope pspan(&profiler,
                                          obs::QueryStage::kTokenize);
@@ -518,6 +544,8 @@ struct ScanRaw::QueryRun::Impl {
       }
       Tokenized tokenized = std::move(*item);
       pool.Submit([this, tokenized, popts] {
+        obs::StageHeartbeats::Scope heartbeat(parent->heartbeats_,
+                                              obs::HeartbeatStage::kParse);
         auto parsed = [&] {
           obs::SpanProfiler::Scope pspan(&profiler, obs::QueryStage::kParse);
           obs::SpanRecorder span(parent->tracer(),
@@ -535,6 +563,8 @@ struct ScanRaw::QueryRun::Impl {
                             parsed->num_rows());
           progress.AddBytes(tokenized.text->data.size());
           progress.CountChunk();
+          parent->profile_.AddRowsDelivered(parsed->num_rows());
+          parent->profile_.AddBytesConverted(tokenized.text->data.size());
           DeliverConverted(ChunkBufferPool::WrapChunk(std::move(*parsed),
                                                       parent->buffer_pool_));
         } else {
@@ -755,6 +785,16 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
         registry.GetCounter("scanraw.advice.engine_bound");
     advice_counters_[static_cast<size_t>(ResourceSnapshot::Advice::kBalanced)] =
         registry.GetCounter("scanraw.advice.balanced");
+    heartbeats_ = &options_.telemetry->heartbeats();
+    if (arbiter_ != nullptr) arbiter_->BindHeartbeats(heartbeats_);
+    options_.telemetry->timeseries().TrackPipelineDefaults(&registry);
+    if (options_.timeseries_interval_ms != 0) {
+      options_.telemetry->timeseries().set_interval_nanos(
+          options_.timeseries_interval_ms > 0
+              ? static_cast<int64_t>(options_.timeseries_interval_ms) *
+                    1'000'000
+              : 0);
+    }
   }
   write_thread_ = std::thread([this] { WriteLoop(); });
 }
@@ -855,8 +895,8 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
                          options_.policy == LoadPolicy::kSpeculativeLoading;
     const Status append = options_.query_log->Append(std::move(event));
     if (!append.ok()) {
-      std::fprintf(stderr, "scanraw: query log append failed: %s\n",
-                   append.ToString().c_str());
+      LOG_WARN("scanraw: query log append failed: %s",
+               append.ToString().c_str());
     }
     obs::FlightRecord(obs::FlightEvent::kQueryEnd, /*a=*/1, /*b=*/0);
   };
@@ -999,8 +1039,8 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
       const Status append = options_.query_log->Append(std::move(event));
       if (!append.ok()) {
         // The log is advisory: a failed append never fails the query.
-        std::fprintf(stderr, "scanraw: query log append failed: %s\n",
-                     append.ToString().c_str());
+        LOG_WARN("scanraw: query log append failed: %s",
+                 append.ToString().c_str());
       }
     }
   }
@@ -1144,6 +1184,10 @@ void ScanRaw::SafeguardFlush() {
 
 void ScanRaw::WriteLoop() {
   while (auto req = write_queue_.Pop()) {
+    // Active only while a request is being stored: the idle Pop wait is the
+    // normal state for WRITE and must not look like a stall.
+    obs::StageHeartbeats::Scope heartbeat(heartbeats_,
+                                          obs::HeartbeatStage::kWrite);
     Status status;
     // Optional pre-load clustering (§3.3): sort the chunk's rows on the
     // configured column before it is stored.
@@ -1238,12 +1282,11 @@ void ScanRaw::WriteLoop() {
       // sick disk is not hammered. Retried naturally once the backoff
       // expires.
       profile_.CountWriteFailure();
-      std::fprintf(stderr,
-                   "scanraw: background write of %s chunk %llu failed, "
-                   "falling back to raw-side processing: %s\n",
-                   table_.c_str(),
-                   static_cast<unsigned long long>(req->chunk_index),
-                   std::string(status.message()).c_str());
+      LOG_WARN(
+          "scanraw: background write of %s chunk %llu failed, "
+          "falling back to raw-side processing: %s",
+          table_.c_str(), static_cast<unsigned long long>(req->chunk_index),
+          std::string(status.message()).c_str());
       if (options_.write_failure_backoff_ms > 0) {
         write_backoff_until_nanos_.store(
             RealClock::Instance()->NowNanos() +
@@ -1323,6 +1366,52 @@ void ScanRaw::WaitForWrites() {
 Status ScanRaw::write_status() const {
   MutexLock lock(write_mu_);
   return write_status_;
+}
+
+std::string ScanRaw::StatuszSection() const {
+  std::string out;
+  out += StringPrintf("  table: %s\n", table_.c_str());
+  out += StringPrintf("  policy: %s\n",
+                      std::string(LoadPolicyName(options_.policy)).c_str());
+  out += StringPrintf("  loaded_fraction: %.3f\n", LoadedFraction());
+  out += StringPrintf("  cache: %zu/%zu chunks\n", cache_.size(),
+                      cache_.capacity());
+  out += StringPrintf("  writes_outstanding: %zu\n", [this] {
+    MutexLock lock(write_mu_);
+    return writes_outstanding_;
+  }());
+  if (heartbeats_ != nullptr) {
+    for (size_t i = 0; i < obs::kNumHeartbeatStages; ++i) {
+      const auto stage = static_cast<obs::HeartbeatStage>(i);
+      out += StringPrintf(
+          "  stage %s: active=%lld beats=%llu\n",
+          std::string(obs::HeartbeatStageName(stage)).c_str(),
+          static_cast<long long>(heartbeats_->active(stage)),
+          static_cast<unsigned long long>(heartbeats_->beats(stage)));
+    }
+  }
+  MutexLock lock(active_mu_);
+  if (active_profiler_ == nullptr) {
+    out += "  query: idle\n";
+    return out;
+  }
+  out += "  query: running\n";
+  const obs::SpanProfiler::Report report = active_profiler_->Aggregate();
+  for (size_t i = 0; i < obs::kNumQueryStages; ++i) {
+    const auto stage = static_cast<obs::QueryStage>(i);
+    const obs::SpanProfiler::StageStats& stats = report.stages[i];
+    if (stats.spans == 0) continue;
+    out += StringPrintf(
+        "  span %s: spans=%llu busy=%.3fs threads=%zu\n",
+        std::string(obs::QueryStageName(stage)).c_str(),
+        static_cast<unsigned long long>(stats.spans),
+        static_cast<double>(stats.busy_nanos) * 1e-9, stats.threads);
+  }
+  out += StringPrintf(
+      "  critical_stage: %s (%.0f%% of wall)\n",
+      std::string(obs::QueryStageName(report.critical_stage)).c_str(),
+      report.critical_fraction * 100.0);
+  return out;
 }
 
 double ScanRaw::LoadedFraction() const {

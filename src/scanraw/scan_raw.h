@@ -66,6 +66,10 @@ struct PipelineProfile {
   // Written-segment bytes attributed (proportionally) to columns the
   // active query required — the "useful" share of the write budget.
   std::atomic<uint64_t> useful_bytes_written{0};
+  // Throughput feed for the live-rate rings (rows/s, bytes/s on /metrics):
+  // rows delivered to the engine and raw bytes converted by PARSE.
+  std::atomic<uint64_t> rows_delivered{0};
+  std::atomic<uint64_t> bytes_converted{0};
 
   // Registry mirrors; null until Bind. Stage histograms record nanoseconds
   // per chunk. Operators sharing one registry share these objects, so the
@@ -84,6 +88,8 @@ struct PipelineProfile {
   obs::Counter* write_failures_metric = nullptr;
   obs::Counter* write_backoff_metric = nullptr;
   obs::Counter* useful_bytes_metric = nullptr;
+  obs::Counter* rows_delivered_metric = nullptr;
+  obs::Counter* bytes_converted_metric = nullptr;
 
   // Resolves the registry mirrors under the "scanraw." prefix. Call before
   // the pipeline runs.
@@ -103,6 +109,14 @@ struct PipelineProfile {
   void AddUsefulBytes(uint64_t n) {
     useful_bytes_written.fetch_add(n, std::memory_order_relaxed);
     if (useful_bytes_metric != nullptr) useful_bytes_metric->Add(n);
+  }
+  void AddRowsDelivered(uint64_t n) {
+    rows_delivered.fetch_add(n, std::memory_order_relaxed);
+    if (rows_delivered_metric != nullptr) rows_delivered_metric->Add(n);
+  }
+  void AddBytesConverted(uint64_t n) {
+    bytes_converted.fetch_add(n, std::memory_order_relaxed);
+    if (bytes_converted_metric != nullptr) bytes_converted_metric->Add(n);
   }
 
   // Zeroes the stopwatches, the counters, and — when bound — the
@@ -257,6 +271,11 @@ class ScanRaw {
   // when options.collect_sketches is set.
   const TableSketches& sketches() const { return sketches_; }
 
+  // /statusz section for this operator: load progress, cache occupancy,
+  // and — when a query is running — its per-stage span state from the
+  // active SpanProfiler. One line per fact, two-space indented.
+  std::string StatuszSection() const EXCLUDES(active_mu_);
+
   // Loading progress, from the catalog.
   double LoadedFraction() const;
   // True once every chunk/column is in the database — the operator can be
@@ -323,6 +342,9 @@ class ScanRaw {
   // Advice-state occurrence counters, indexed by ResourceSnapshot::Advice
   // (null when telemetry is unset); bumped by the per-query sampler.
   obs::Counter* advice_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  // Watchdog heartbeat board from the telemetry sink (null when telemetry
+  // is unset); stages beat through this on every chunk boundary.
+  obs::StageHeartbeats* heartbeats_ = nullptr;
   IoStats raw_io_stats_;
 
   // Chunks with a write queued or in flight, to keep loading exactly-once.

@@ -1,5 +1,6 @@
 #include "scanraw/scanraw_manager.h"
 
+#include "common/string_util.h"
 #include "io/fault_injection.h"
 
 namespace scanraw {
@@ -51,6 +52,19 @@ Result<std::unique_ptr<ScanRawManager>> ScanRawManager::Create(
     manager->limiter_->BindMetrics(
         registry.GetHistogram("disk.limiter_wait_nanos"),
         registry.GetCounter("disk.limiter_throttle_events"));
+  }
+  // The arbiter beats into the manager-wide board so blocked disk waits are
+  // watchdog-visible even before any operator exists. (Operators carrying
+  // their own telemetry sink rebind it to theirs.)
+  manager->arbiter_.BindHeartbeats(&manager->telemetry_.heartbeats());
+  if (config.watchdog_ms > 0) {
+    obs::WatchdogOptions wd;
+    wd.window_ms = config.watchdog_ms;
+    wd.abort_on_stall = config.watchdog_abort;
+    wd.flight_dump_path = config.watchdog_dump_path;
+    manager->watchdog_ = std::make_unique<obs::Watchdog>(
+        &manager->telemetry_.heartbeats(), wd);
+    manager->watchdog_->Start();
   }
   return manager;
 }
@@ -116,6 +130,35 @@ Status ScanRawManager::LoadCatalog(const std::string& path) {
   MutexLock lock(mu_);
   last_recovery_ = std::move(report);
   return Status::OK();
+}
+
+std::string ScanRawManager::Statusz() const {
+  std::string out;
+  for (const std::string& table : catalog_.TableNames()) {
+    auto meta = catalog_.GetTable(table);
+    if (!meta.ok()) continue;
+    out += "table " + table + ":\n";
+    ScanRaw* op = nullptr;
+    {
+      MutexLock lock(mu_);
+      auto it = operators_.find(table);
+      if (it != operators_.end()) op = it->second.get();
+    }
+    if (op != nullptr) {
+      out += op->StatuszSection();
+    } else {
+      out += StringPrintf("  loaded_fraction: %.3f\n", meta->LoadedFraction());
+      out += meta->FullyLoaded() ? "  operator: retired (heap scan)\n"
+                                 : "  operator: not yet created\n";
+    }
+  }
+  if (watchdog_ != nullptr) {
+    out += StringPrintf("watchdog: window=%lldms stalls=%llu\n",
+                        static_cast<long long>(watchdog_->window_ms()),
+                        static_cast<unsigned long long>(
+                            watchdog_->stalls_detected()));
+  }
+  return out;
 }
 
 ReconcileReport ScanRawManager::last_recovery() const {

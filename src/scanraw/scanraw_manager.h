@@ -21,6 +21,7 @@
 #include "io/disk_arbiter.h"
 #include "io/rate_limiter.h"
 #include "obs/telemetry.h"
+#include "obs/watchdog.h"
 #include "scanraw/scan_raw.h"
 
 namespace scanraw {
@@ -60,6 +61,16 @@ class ScanRawManager {
     // LoadCatalog (drops torn segments instead of serving Corruption
     // later). The EOF bound is always enforced.
     bool verify_segments_on_load = true;
+    // Stall watchdog over the shared heartbeat board: a pipeline stage that
+    // is active but makes no progress for this long produces a structured
+    // report and a flight-recorder dump. 0 disables the watchdog thread.
+    int64_t watchdog_ms = 0;
+    // Abort the process after reporting a stall (CI wants the core; a
+    // resident server wants the report only).
+    bool watchdog_abort = false;
+    // Flight-recorder dump destination on stall. Empty = the
+    // SCANRAW_FLIGHT_DUMP env var, then stderr.
+    std::string watchdog_dump_path;
   };
 
   static Result<std::unique_ptr<ScanRawManager>> Create(const Config& config);
@@ -114,6 +125,13 @@ class ScanRawManager {
   // bound at Create; operators created by Query record here too unless the
   // registered ScanRawOptions carry their own sink.
   obs::Telemetry* telemetry() { return &telemetry_; }
+  // The stall watchdog, or nullptr when Config::watchdog_ms was 0.
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
+  // Human-readable status page body: catalog tables with load state, cache
+  // occupancy per live operator, and — when a query is running — its
+  // per-stage span state. Served by the stats server's /statusz.
+  std::string Statusz() const EXCLUDES(mu_);
 
  private:
   explicit ScanRawManager(const Config& config);
@@ -125,6 +143,9 @@ class ScanRawManager {
   DiskArbiter arbiter_;
   IoStats io_stats_;
   std::unique_ptr<StorageManager> storage_;
+  // Owns the stall-detector thread; started at Create, stopped on destroy.
+  // Declared after telemetry_ (it watches telemetry_'s heartbeat board).
+  std::unique_ptr<obs::Watchdog> watchdog_;
 
   mutable Mutex mu_;
   std::map<std::string, ScanRawOptions> options_ GUARDED_BY(mu_);

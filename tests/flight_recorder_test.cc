@@ -79,6 +79,10 @@ TEST_F(FlightRecorderTest, EachThreadGetsItsOwnRing) {
   // them hold their ring claims at the same time: each live thread must
   // get a distinct ring.
   constexpr size_t kThreads = 8;
+  // When the whole binary runs in one process (the sanitizer shard), the
+  // main thread still holds the ring it claimed in an earlier test; count
+  // relative to that baseline.
+  const size_t base_rings = FlightRecorder::Global()->rings_used();
   std::atomic<size_t> recorded{0};
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
@@ -96,7 +100,7 @@ TEST_F(FlightRecorderTest, EachThreadGetsItsOwnRing) {
   EXPECT_EQ(FlightRecorder::Global()->events_dropped(), 0u);
   // Every thread held a claim concurrently, so each claimed its own ring,
   // and the sticky ever_claimed flag keeps them all dumpable.
-  EXPECT_EQ(FlightRecorder::Global()->rings_used(), kThreads);
+  EXPECT_EQ(FlightRecorder::Global()->rings_used(), base_rings + kThreads);
 
   const std::string dump = DumpToString();
   std::set<std::string> tids;
@@ -106,7 +110,8 @@ TEST_F(FlightRecorderTest, EachThreadGetsItsOwnRing) {
     tids.insert(dump.substr(pos, end - pos));
     pos = end;
   }
-  EXPECT_EQ(tids.size(), kThreads);
+  EXPECT_GE(tids.size(), kThreads);
+  EXPECT_LE(tids.size(), kThreads + base_rings);
 }
 
 TEST_F(FlightRecorderTest, DropsInsteadOfBlockingWhenAllRingsClaimed) {

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition format (version 0.0.4).
+
+Usage:
+  prom_validator.py FILE...    validate scrape bodies saved to files
+  prom_validator.py -          validate stdin
+  prom_validator.py --self-test
+                               run the built-in good/bad corpus
+
+Checks the subset of the format the scanraw stats server emits (and that
+Prometheus actually requires to ingest a scrape):
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * label names match [a-zA-Z_][a-zA-Z0-9_]* and label values use only the
+    sanctioned escapes (\\\\, \\", \\n)
+  * sample values parse as floats (including +Inf/-Inf/NaN)
+  * optional timestamps are integers
+  * "# TYPE" lines name a valid type and precede the samples of that metric;
+    at most one TYPE line per metric
+  * summary quantile series stay adjacent to their _sum/_count family
+
+Exit status: 0 when every input is valid, 1 otherwise.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value, optional timestamp.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$")
+VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def parse_labels(raw):
+    """Yields (name, value) pairs; raises ValueError on malformed labels."""
+    i = 0
+    n = len(raw)
+    while i < n:
+        eq = raw.find("=", i)
+        if eq < 0:
+            raise ValueError("label without '='")
+        name = raw[i:eq].strip()
+        if not LABEL_NAME_RE.match(name):
+            raise ValueError(f"bad label name {name!r}")
+        i = eq + 1
+        if i >= n or raw[i] != '"':
+            raise ValueError(f"label {name} value is not quoted")
+        i += 1
+        value = []
+        while i < n and raw[i] != '"':
+            if raw[i] == "\\":
+                if i + 1 >= n or raw[i + 1] not in ('\\', '"', 'n'):
+                    raise ValueError(f"bad escape in label {name}")
+                value.append(raw[i:i + 2])
+                i += 2
+            else:
+                value.append(raw[i])
+                i += 1
+        if i >= n:
+            raise ValueError(f"unterminated label value for {name}")
+        i += 1  # closing quote
+        yield name, "".join(value)
+        if i < n:
+            if raw[i] != ",":
+                raise ValueError("labels not comma-separated")
+            i += 1
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Inf", "NaN"):
+        return
+    float(text)  # raises ValueError
+
+
+def base_family(name):
+    """Strips summary/histogram suffixes so samples map to their TYPE line."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def validate(text, source="<input>"):
+    """Returns a list of error strings; empty means valid."""
+    errors = []
+    types = {}        # family -> declared type
+    seen_samples = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"{source}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3 or not METRIC_NAME_RE.match(parts[2]):
+                    errors.append(f"{where}: malformed # {parts[1]} line")
+                    continue
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in VALID_TYPES:
+                        errors.append(
+                            f"{where}: TYPE {parts[2]} has invalid type")
+                        continue
+                    if parts[2] in types:
+                        errors.append(
+                            f"{where}: duplicate TYPE for {parts[2]}")
+                        continue
+                    if parts[2] in seen_samples:
+                        errors.append(
+                            f"{where}: TYPE {parts[2]} after its samples")
+                    types[parts[2]] = parts[3]
+            # Other comments are free-form and legal.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        seen_samples.add(base_family(name))
+        if m.group("labels") is not None:
+            try:
+                list(parse_labels(m.group("labels")))
+            except ValueError as e:
+                errors.append(f"{where}: {name}: {e}")
+        try:
+            parse_value(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"{where}: {name}: bad value {m.group('value')!r}")
+    return errors
+
+
+GOOD_CASES = [
+    # Plain counter with TYPE.
+    "# TYPE scanraw_rows_delivered counter\nscanraw_rows_delivered 1234\n",
+    # Gauge with float value and rate suffix.
+    "# TYPE scanraw_rows_delivered_per_sec gauge\n"
+    "scanraw_rows_delivered_per_sec 512.75\n",
+    # Summary family: quantile labels plus _sum/_count.
+    "# TYPE stage_read_nanos summary\n"
+    'stage_read_nanos{quantile="0.5"} 100\n'
+    'stage_read_nanos{quantile="0.95"} 5e+03\n'
+    "stage_read_nanos_sum 123456\n"
+    "stage_read_nanos_count 42\n",
+    # Labeled gauge, multiple series.
+    "# TYPE scanraw_stage_active gauge\n"
+    'scanraw_stage_active{stage="READ"} 1\n'
+    'scanraw_stage_active{stage="PARSE"} 0\n',
+    # Escapes, special values, timestamps, untyped metrics, comments.
+    'weird{path="C:\\\\tmp\\n",q="say \\"hi\\""} +Inf 1700000000000\n'
+    "untyped_metric NaN\n"
+    "# just a comment\n",
+]
+
+BAD_CASES = [
+    ("bad metric name", "scanraw.rows 1\n"),
+    ("missing value", "scanraw_rows_delivered\n"),
+    ("non-numeric value", "scanraw_rows_delivered lots\n"),
+    ("bad label name", 'm{0bad="x"} 1\n'),
+    ("unquoted label value", "m{stage=READ} 1\n"),
+    ("unterminated label value", 'm{stage="READ} 1\n'),
+    ("bad escape", 'm{stage="RE\\qAD"} 1\n'),
+    ("invalid TYPE", "# TYPE m zigzag\nm 1\n"),
+    ("duplicate TYPE", "# TYPE m counter\n# TYPE m counter\nm 1\n"),
+    ("TYPE after samples", "m 1\n# TYPE m counter\n"),
+    ("bad timestamp", "m 1 soon\n"),
+]
+
+
+def self_test():
+    failures = 0
+    for i, case in enumerate(GOOD_CASES):
+        errors = validate(case, f"good[{i}]")
+        if errors:
+            failures += 1
+            print(f"self-test: good case {i} rejected:", file=sys.stderr)
+            for e in errors:
+                print(f"  {e}", file=sys.stderr)
+    for label, case in BAD_CASES:
+        if not validate(case, f"bad[{label}]"):
+            failures += 1
+            print(f"self-test: bad case {label!r} accepted", file=sys.stderr)
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(GOOD_CASES)} good + {len(BAD_CASES)} bad cases ok")
+    return 0
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total_errors = 0
+    for path in argv[1:]:
+        if path == "-":
+            text, source = sys.stdin.read(), "<stdin>"
+        else:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+            except OSError as e:
+                print(f"prom_validator: cannot read {path}: {e}",
+                      file=sys.stderr)
+                return 2
+            source = path
+        if not text.strip():
+            print(f"{source}: empty exposition", file=sys.stderr)
+            total_errors += 1
+            continue
+        errors = validate(text, source)
+        for e in errors:
+            print(e, file=sys.stderr)
+        total_errors += len(errors)
+        if not errors:
+            print(f"{source}: valid Prometheus exposition")
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -448,6 +448,75 @@ class LintTest(unittest.TestCase):
         code, out = self.lint("src/obs/flight_recorder.cc")
         self.assertEqual(code, 0, out)
 
+    # ---- stderr-write ----
+
+    def test_stderr_fprintf_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() { fprintf(stderr, \"oops\\n\"); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[stderr-write]", out)
+
+    def test_stderr_std_fprintf_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() { std::fprintf(stderr, \"oops\\n\"); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[stderr-write]", out)
+
+    def test_stderr_cerr_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() { std::cerr << \"oops\"; }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[stderr-write]", out)
+
+    def test_stderr_perror_caught(self):
+        self.write("src/io/foo.cc", "void F() { perror(\"open\"); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[stderr-write]", out)
+
+    def test_stderr_exempt_in_log_cc(self):
+        self.write("src/obs/log.cc",
+                   "void Emit() { std::fprintf(stderr, \"line\\n\"); }\n")
+        code, out = self.lint("src/obs/log.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_stderr_in_test_file_passes(self):
+        self.write("src/io/foo_test.cc",
+                   "void F() { fprintf(stderr, \"debug\\n\"); }\n")
+        code, out = self.lint("src/io/foo_test.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_stderr_outside_src_passes(self):
+        self.write("tools/foo.cc",
+                   "void F() { fprintf(stderr, \"usage\\n\"); }\n")
+        code, out = self.lint("tools/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_stderr_suppressed(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n"
+                   "  // scanraw-lint: allow(stderr-write)\n"
+                   "  fprintf(stderr, \"pre-logging bootstrap path\\n\");\n"
+                   "}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_stderr_mention_in_comment_passes(self):
+        self.write("src/io/foo.cc",
+                   "// diagnostics go through LOG_*, never fprintf(stderr\n"
+                   "void F() { LOG_WARN(\"oops\"); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_stdout_fprintf_passes(self):
+        self.write("src/io/foo.cc",
+                   "void F() { fprintf(stdout, \"report\\n\"); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
     # ---- driver behavior ----
 
     def test_directory_walk_and_multiple_findings(self):

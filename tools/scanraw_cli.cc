@@ -40,6 +40,20 @@
 //                         by the workload history and store only the hot
 //                         subset of each chunk (requires --query-log;
 //                         results are byte-identical either way)
+//   --stats-port N        serve /metrics (Prometheus text), /statusz and
+//                         /healthz over HTTP on 127.0.0.1:N for the process
+//                         lifetime; 0 picks an ephemeral port (printed)
+//   --log-level L         debug|info|warn|error|off threshold for the
+//                         structured logger (overrides SCANRAW_LOG_LEVEL)
+//   --watchdog-ms N       stall watchdog: a pipeline stage active but
+//                         making no progress for N ms produces a structured
+//                         report and a flight-recorder dump
+//   --watchdog-abort      abort the process after a stall report
+//   --timeseries-interval-ms N  cadence of the rate rings behind /metrics
+//                         (default 1000; 0 disables sampling)
+//   --metrics-interval-ms N  print a delta-aware throughput snapshot
+//                         (rows/s, bytes/s, cache hit rate) every N ms
+//                         while statements run
 //   --flight-dump[=PATH]  arm the crash-dump path of the always-on flight
 //                         recorder (dump written to PATH, or stderr, when
 //                         the process dies at a kill point) and dump the
@@ -62,18 +76,23 @@
 //   --fault-errno eio|enospc    errno carried by injected errors
 //   --fault-kill-point NAME     _exit(42) at the named protocol point
 //   --fault-kill-append-at N    _exit(42) mid-append on the Nth append
+//   --fault-read-delay-ms N     every matching read sleeps N ms (a hung
+//                               device; pairs with --watchdog-ms)
 //
 // Remaining arguments are SQL statements, executed in order; with none,
 // statements are read from stdin (one per line).
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -86,7 +105,9 @@
 #include "obs/explain.h"
 #include "obs/flight_recorder.h"
 #include "obs/load_advisor.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/stats_server.h"
 #include "obs/progress.h"
 #include "obs/query_log.h"
 #include "obs/telemetry.h"
@@ -112,6 +133,11 @@ struct CliOptions {
   std::string flight_dump_path;  // empty = stderr
   std::string trace_path;
   int sample_interval_ms = -1;  // -1 = default (2 when telemetry requested)
+  int stats_port = -1;          // -1 = no stats server; 0 = ephemeral
+  std::string log_level;
+  int64_t watchdog_ms = 0;
+  bool watchdog_abort = false;
+  int metrics_interval_ms = 0;  // 0 = no periodic snapshot printer
   bool fault_enabled = false;
   FaultPlan fault_plan;
   ScanRawOptions scan_options;
@@ -140,7 +166,12 @@ void Usage() {
                "[--fault-kill-point NAME]\n"
                "                   [--query-log PATH] [--advisor] "
                "[--flight-dump[=PATH]]\n"
-               "                   [--fault-kill-append-at N] [SQL]...\n"
+               "                   [--stats-port N] [--log-level L] "
+               "[--watchdog-ms N] [--watchdog-abort]\n"
+               "                   [--timeseries-interval-ms N] "
+               "[--metrics-interval-ms N]\n"
+               "                   [--fault-kill-append-at N] "
+               "[--fault-read-delay-ms N] [SQL]...\n"
                "       scanraw_cli stats --query-log PATH\n");
 }
 
@@ -256,6 +287,47 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       auto n = ParseUint32(v);
       if (!n.ok()) return n.status();
       options.sample_interval_ms = static_cast<int>(*n);
+    } else if (arg == "--stats-port") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok() || *n > 65535) {
+        return Status::InvalidArgument("bad --stats-port");
+      }
+      options.stats_port = static_cast<int>(*n);
+    } else if (arg == "--log-level") {
+      SCANRAW_ASSIGN_OR_RETURN(options.log_level, next_value());
+      obs::LogLevel parsed;
+      if (!obs::ParseLogLevel(options.log_level, &parsed)) {
+        return Status::InvalidArgument(
+            "--log-level expects debug|info|warn|error|off");
+      }
+    } else if (arg == "--watchdog-ms") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok() || *n == 0) {
+        return Status::InvalidArgument("bad --watchdog-ms");
+      }
+      options.watchdog_ms = *n;
+    } else if (arg == "--watchdog-abort") {
+      options.watchdog_abort = true;
+    } else if (arg == "--timeseries-interval-ms") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok()) return n.status();
+      // 0 disables sampling (the option encodes that as negative).
+      options.scan_options.timeseries_interval_ms =
+          *n == 0 ? -1 : static_cast<int>(*n);
+    } else if (arg == "--metrics-interval-ms") {
+      std::string v;
+      SCANRAW_ASSIGN_OR_RETURN(v, next_value());
+      auto n = ParseUint32(v);
+      if (!n.ok() || *n == 0) {
+        return Status::InvalidArgument("bad --metrics-interval-ms");
+      }
+      options.metrics_interval_ms = static_cast<int>(*n);
     } else if (arg.rfind("--fault-", 0) == 0) {
       std::string v;
       SCANRAW_ASSIGN_OR_RETURN(v, next_value());
@@ -299,6 +371,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
           return Status::InvalidArgument("bad --fault-kill-append-at");
         }
         options.fault_plan.kill_append_at = *n;
+      } else if (arg == "--fault-read-delay-ms") {
+        auto n = ParseUint32(v);
+        if (!n.ok()) return n.status();
+        options.fault_plan.read_delay_ms = static_cast<int>(*n);
       } else {
         return Status::InvalidArgument("unknown flag: " + arg);
       }
@@ -346,6 +422,64 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   return options;
 }
+
+// --metrics-interval-ms: a printer thread sampling the telemetry rate rings
+// and emitting one delta-aware throughput line (rows/s, bytes/s, cache hit
+// rate over the trailing window) per interval while statements run.
+class MetricsPrinter {
+ public:
+  MetricsPrinter(obs::Telemetry* telemetry, int interval_ms)
+      : telemetry_(telemetry), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~MetricsPrinter() {
+    {
+      MutexLock lock(mu_);
+      stop_ = true;
+      cv_.NotifyAll();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+  MetricsPrinter(const MetricsPrinter&) = delete;
+  MetricsPrinter& operator=(const MetricsPrinter&) = delete;
+
+ private:
+  void Loop() {
+    // The window spans a few intervals so one slow sample does not zero the
+    // rates; deltas are computed inside the rings, not against a baseline.
+    const int64_t window_nanos =
+        static_cast<int64_t>(interval_ms_) * 4 * 1'000'000;
+    while (true) {
+      {
+        MutexLock lock(mu_);
+        if (stop_) return;
+        cv_.WaitFor(lock, std::chrono::milliseconds(interval_ms_));
+        if (stop_) return;
+      }
+      telemetry_->timeseries().SampleNow(RealClock::Instance()->NowNanos());
+      std::string line = "rates:";
+      for (const obs::TimeSeries::RateRow& row :
+           telemetry_->timeseries().Rates(window_nanos)) {
+        if (row.kind != obs::TimeSeries::Kind::kCounter) continue;
+        line += StringPrintf(" %s=%.1f/s", row.name.c_str(),
+                             row.rate_defined ? row.rate_per_sec : 0.0);
+      }
+      double hit_rate = 0.0;
+      if (telemetry_->timeseries().CacheHitRate(window_nanos, &hit_rate)) {
+        line += StringPrintf(" cache_hit_rate=%.2f", hit_rate);
+      }
+      // stderr, like the progress line, so stdout stays query results only.
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+
+  obs::Telemetry* const telemetry_;
+  const int interval_ms_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
 
 void PrintResult(const QueryResult& result, double seconds, bool has_avg) {
   if (!result.groups.empty()) {
@@ -456,6 +590,12 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  if (!options->log_level.empty()) {
+    obs::LogLevel level = obs::LogLevel::kInfo;
+    obs::ParseLogLevel(options->log_level, &level);  // validated in ParseArgs
+    obs::Logger::Global()->SetThreshold(level);
+  }
+
   // Armed before fault injection so a kill point's crash dump lands at the
   // requested path rather than stderr.
   if (options->flight_dump && !options->flight_dump_path.empty()) {
@@ -479,6 +619,11 @@ int Run(int argc, char** argv) {
   ScanRawManager::Config config;
   config.db_path = options->db_path;
   config.disk_bandwidth = options->bandwidth_mb << 20;
+  config.watchdog_ms = options->watchdog_ms;
+  config.watchdog_abort = options->watchdog_abort;
+  // --flight-dump=PATH doubles as the watchdog's dump destination; without
+  // it the watchdog falls back to SCANRAW_FLIGHT_DUMP, then stderr.
+  config.watchdog_dump_path = options->flight_dump_path;
   const bool recovering = !options->catalog_path.empty() &&
                           FileExists(options->catalog_path) &&
                           FileExists(options->db_path);
@@ -578,6 +723,34 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
+  }
+
+  // Live introspection plane: HTTP /metrics, /statusz, /healthz. Declared
+  // after the manager so the server (which reads its telemetry and statusz)
+  // stops before the manager is destroyed.
+  std::unique_ptr<obs::StatsServer> stats_server;
+  if (options->stats_port >= 0) {
+    obs::StatsServerOptions server_options;
+    server_options.port = options->stats_port;
+    server_options.telemetry = (*manager)->telemetry();
+    server_options.watchdog = (*manager)->watchdog();
+    ScanRawManager* mgr = manager->get();
+    server_options.statusz_section = [mgr] { return mgr->Statusz(); };
+    server_options.build_info = "scanraw_cli";
+    stats_server = std::make_unique<obs::StatsServer>(server_options);
+    Status s = stats_server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "stats server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("stats server listening on http://127.0.0.1:%d\n",
+                stats_server->port());
+    std::fflush(stdout);
+  }
+  std::unique_ptr<MetricsPrinter> metrics_printer;
+  if (options->metrics_interval_ms > 0) {
+    metrics_printer = std::make_unique<MetricsPrinter>(
+        (*manager)->telemetry(), options->metrics_interval_ms);
   }
 
   auto execute = [&](const std::string& sql) -> bool {

@@ -34,6 +34,12 @@ flight-record-path
                  path must be callable from any pipeline thread and from the
                  crash path: relaxed atomic stores only — no locks, no
                  open/write/fprintf, no new/malloc.
+stderr-write     Direct stderr writes (fprintf(stderr, ...), fputs(...,
+                 stderr), std::cerr, perror) in src/ non-test code outside
+                 obs/log.cc. Diagnostics go through the leveled LOG_* macros
+                 in obs/log.h so a resident server gets one rate-limited,
+                 machine-parseable stream; obs/log.cc is the logger's
+                 terminal sink and the only sanctioned writer.
 
 Suppressions: append `// scanraw-lint: allow(<rule>)` to the offending line
 or place it on the line directly above.
@@ -92,6 +98,12 @@ FLIGHT_FORBIDDEN = (
     ("heap allocation",
      re.compile(r"\bnew\b|\b(malloc|calloc|realloc)\s*\(")),
 )
+
+# stderr-write: the logger's terminal sink is the one sanctioned writer.
+STDERR_EXEMPT = ("obs/log.cc",)
+STDERR_WRITE_RE = re.compile(
+    r"\bfprintf\s*\(\s*stderr\b|\bfputs\s*\([^)]*,\s*stderr\s*\)|"
+    r"\bfputc\s*\([^)]*,\s*stderr\s*\)|\bstd::cerr\b|\bperror\s*\(")
 
 # byte-loop: hot-path directories where per-byte scan loops are banned.
 BYTE_LOOP_DIRS = ("src/format/", "src/scanraw/")
@@ -240,6 +252,18 @@ def check_state_file_write(rel, lines, findings):
                              "AtomicWriteFile for state files"))
 
 
+def check_stderr_write(rel, lines, findings):
+    if any(rel.replace(os.sep, "/").endswith(e) for e in STDERR_EXEMPT):
+        return
+    for i, line in enumerate(lines):
+        if STDERR_WRITE_RE.search(strip_comments(line)) and \
+                not is_suppressed(lines, i, "stderr-write"):
+            findings.append((rel, i + 1, "stderr-write",
+                             "direct stderr write in src/; use the LOG_* "
+                             "macros from obs/log.h (obs/log.cc is the only "
+                             "sanctioned writer)"))
+
+
 def check_byte_loop(rel, lines, findings):
     norm = rel.replace(os.sep, "/")
     if not any(norm.startswith(d) or f"/{d}" in norm for d in BYTE_LOOP_DIRS):
@@ -320,6 +344,7 @@ def lint_file(path, findings):
     if in_src and not is_test_file(rel):
         check_raw_mutex(rel, lines, findings)
         check_sleep(rel, lines, findings)
+        check_stderr_write(rel, lines, findings)
         check_byte_loop(rel, lines, findings)
         check_state_file_write(rel, lines, findings)
         check_flight_record_path(rel, lines, findings)
