@@ -1,0 +1,259 @@
+#include "common/lock_debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <mutex>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>  // backtrace / backtrace_symbols_fd
+#include <unistd.h>
+#define SCANRAW_LOCK_DEBUG_HAVE_BACKTRACE 1
+#endif
+
+// Implementation of the per-thread held-lock stacks. Compiled into
+// scanraw_common unconditionally (see lock_debug.h for why); the per-lock
+// hooks are only CALLED from TUs built with SCANRAW_LOCK_DEBUG, while the
+// AssertSafeToBlock checks at I/O sites run in every build and see empty
+// stacks when no debug TU is registering locks.
+//
+// This file uses raw std::mutex deliberately: the registry lock guards the
+// machinery that scanraw::Mutex's own hooks run through, so using
+// scanraw::Mutex here would recurse into OnAcquire.
+
+namespace scanraw {
+namespace lockdebug {
+namespace {
+
+constexpr int kMaxBacktraceFrames = 24;
+
+struct HeldLock {
+  const void* mu = nullptr;
+  int rank = 0;
+  const char* name = "";
+  int frame_count = 0;
+  void* frames[kMaxBacktraceFrames];
+};
+
+// One per thread, owned by a thread_local unique_ptr and registered
+// globally so SnapshotAllThreads can walk every live thread's stack. The
+// per-state mutex makes cross-thread snapshot reads race-free (TSan-clean):
+// the owning thread takes it for the few instructions of a push/pop, the
+// snapshotter takes it while copying.
+struct ThreadState {
+  std::mutex mu;  // scanraw-lint: allow(raw-mutex) sentinel internals
+  std::vector<HeldLock> held;  // outermost first
+  unsigned long tid = 0;
+  bool live = true;
+};
+
+struct Registry {
+  std::mutex mu;  // scanraw-lint: allow(raw-mutex) sentinel internals
+  std::vector<ThreadState*> threads;
+};
+
+// Leaked on purpose: thread_local destructors can run after static
+// destructors during shutdown, so the registry must outlive everything.
+Registry* GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return registry;
+}
+
+unsigned long CurrentTid() {
+#if defined(__GLIBC__)
+  return static_cast<unsigned long>(gettid());
+#else
+  return 0;
+#endif
+}
+
+struct ThreadStateHandle {
+  ThreadState* state;
+
+  ThreadStateHandle() : state(new ThreadState()) {
+    state->tid = CurrentTid();
+    Registry* registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry->mu);
+    registry->threads.push_back(state);
+  }
+
+  // The state itself is deliberately leaked (a dead thread's entry just
+  // reads as empty); mark it dead so snapshots skip it.
+  ~ThreadStateHandle() {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->held.clear();
+    state->live = false;
+  }
+};
+
+ThreadState& LocalState() {
+  thread_local ThreadStateHandle handle;
+  return *handle.state;
+}
+
+void CaptureBacktrace(HeldLock* entry) {
+#if defined(SCANRAW_LOCK_DEBUG_HAVE_BACKTRACE)
+  entry->frame_count = backtrace(entry->frames, kMaxBacktraceFrames);
+#else
+  entry->frame_count = 0;
+#endif
+}
+
+void DumpBacktrace(const HeldLock& entry) {
+#if defined(SCANRAW_LOCK_DEBUG_HAVE_BACKTRACE)
+  if (entry.frame_count > 0) {
+    backtrace_symbols_fd(entry.frames, entry.frame_count, STDERR_FILENO);
+  }
+#else
+  (void)entry;
+#endif
+}
+
+const char* DisplayName(const char* name) {
+  return (name != nullptr && name[0] != '\0') ? name : "<unnamed>";
+}
+
+void DumpHeldStack(const ThreadState& state) {
+  // scanraw-lint: allow(stderr-write) abort diagnostics
+  std::fprintf(stderr, "  held locks (outermost first):\n");
+  for (const HeldLock& held : state.held) {
+    // scanraw-lint: allow(stderr-write) abort diagnostics
+    std::fprintf(stderr, "    rank %4d  %-32s  (%p)\n", held.rank,
+                 DisplayName(held.name), held.mu);
+  }
+}
+
+[[noreturn]] void LockDisciplineAbort(const ThreadState& state,
+                                      const char* kind,
+                                      const HeldLock* blocking_entry,
+                                      const HeldLock* new_entry,
+                                      const char* what) {
+  // scanraw-lint: allow(stderr-write) abort diagnostics
+  std::fprintf(stderr,
+               "\n=== scanraw lock discipline violation: %s (tid %lu) ===\n",
+               kind, state.tid);
+  if (new_entry != nullptr) {
+    // scanraw-lint: allow(stderr-write) abort diagnostics
+    std::fprintf(stderr, "  acquiring: rank %d  %s  (%p)\n", new_entry->rank,
+                 DisplayName(new_entry->name), new_entry->mu);
+  }
+  if (what != nullptr) {
+    // scanraw-lint: allow(stderr-write) abort diagnostics
+    std::fprintf(stderr, "  blocking call: %s\n", what);
+  }
+  if (blocking_entry != nullptr) {
+    // scanraw-lint: allow(stderr-write) abort diagnostics
+    std::fprintf(stderr, "  while holding: rank %d  %s  (%p), acquired at:\n",
+                 blocking_entry->rank, DisplayName(blocking_entry->name),
+                 blocking_entry->mu);
+    DumpBacktrace(*blocking_entry);
+  }
+  DumpHeldStack(state);
+  // scanraw-lint: allow(stderr-write) abort diagnostics
+  std::fprintf(stderr, "  current stack:\n");
+#if defined(SCANRAW_LOCK_DEBUG_HAVE_BACKTRACE)
+  {
+    void* frames[kMaxBacktraceFrames];
+    int n = backtrace(frames, kMaxBacktraceFrames);
+    if (n > 0) backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  }
+#endif
+  // scanraw-lint: allow(stderr-write) abort diagnostics
+  std::fprintf(stderr, "  (see DESIGN.md \"Lock hierarchy\")\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Push(ThreadState& state, const void* mu, int rank, const char* name) {
+  HeldLock entry;
+  entry.mu = mu;
+  entry.rank = rank;
+  entry.name = name;
+  CaptureBacktrace(&entry);
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.held.push_back(entry);
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, int rank, const char* name) {
+  ThreadState& state = LocalState();
+  if (rank > kUnrankedRank) {
+    // Snapshot-free check: only this thread mutates its own stack, so
+    // reading it without state.mu here is fine (the lock exists for
+    // cross-thread snapshot readers).
+    for (const HeldLock& held : state.held) {
+      // Strictly decreasing: equal ranks (including self-reacquisition,
+      // which would self-deadlock on std::mutex) are violations too.
+      if (held.rank > kUnrankedRank && held.rank <= rank) {
+        HeldLock entry;
+        entry.mu = mu;
+        entry.rank = rank;
+        entry.name = name;
+        LockDisciplineAbort(state, "rank order violation", &held, &entry,
+                            nullptr);
+      }
+    }
+  }
+  Push(state, mu, rank, name);
+}
+
+void OnTryAcquire(const void* mu, int rank, const char* name) {
+  Push(LocalState(), mu, rank, name);
+}
+
+void OnRelease(const void* mu) {
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto it = state.held.rbegin(); it != state.held.rend(); ++it) {
+    if (it->mu == mu) {
+      state.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void AssertSafeToBlockExcept(const void* released, const char* what) {
+  ThreadState& state = LocalState();
+  for (const HeldLock& held : state.held) {
+    if (held.mu == released) continue;
+    if (held.rank > kUnrankedRank && held.rank < kIoBoundaryRank) {
+      LockDisciplineAbort(state, "blocking call below the I/O boundary",
+                          &held, nullptr, what);
+    }
+  }
+}
+
+void AssertSafeToBlock(const char* what) {
+  AssertSafeToBlockExcept(nullptr, what);
+}
+
+size_t HeldCount() {
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.held.size();
+}
+
+std::string SnapshotAllThreads() {
+  std::string out;
+  Registry* registry = GlobalRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry->mu);
+  for (ThreadState* state : registry->threads) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    if (!state->live || state->held.empty()) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line), "tid %lu holds:", state->tid);
+    out += line;
+    for (const HeldLock& held : state->held) {
+      std::snprintf(line, sizeof(line), " [%d] %s", held.rank,
+                    DisplayName(held.name));
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lockdebug
+}  // namespace scanraw

@@ -1,0 +1,81 @@
+// Runtime half of the lock-discipline subsystem (see DESIGN.md "Lock
+// hierarchy"). Every Mutex declares a LockRank; in debug/sanitizer builds
+// (SCANRAW_LOCK_DEBUG) the annotated Mutex/MutexLock/CondVar wrappers call
+// the hooks below to maintain a per-thread held-lock stack and enforce two
+// invariants that Clang's capability analysis cannot see:
+//
+//  1. Rank monotonicity: a thread may only acquire a mutex whose rank is
+//     strictly below every rank it already holds. Any ABBA deadlock between
+//     ranked mutexes implies one thread acquired upward, so enforcing the
+//     order on every acquire makes cross-class deadlock impossible on any
+//     schedule — not just the interleavings TSan happened to observe.
+//  2. The I/O boundary: a thread holding any lock ranked below
+//     LockRank::kIoBoundary must never block (file I/O, CondVar waits on
+//     other locks). Low-ranked locks are leaf locks on hot paths; blocking
+//     under one stalls every thread that touches that structure.
+//
+// The hooks are free functions (not Mutex methods) so the call sites in
+// thread_annotations.h can be compiled out per-TU while the implementation
+// stays in the always-built scanraw_common library: blocking sites such as
+// io/file.cc call AssertSafeToBlock unconditionally — with no debug TU
+// registering locks the held stacks stay empty and the check is a
+// thread-local read plus a predictable branch, far below measurement noise
+// on a syscall path (the introspection_overhead gate enforces this).
+//
+// A violation prints both lock names, both acquisition backtraces, and the
+// full held-lock stack to stderr, then aborts — the report is the artifact,
+// the abort makes CI red.
+#ifndef SCANRAW_COMMON_LOCK_DEBUG_H_
+#define SCANRAW_COMMON_LOCK_DEBUG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace scanraw {
+namespace lockdebug {
+
+// Numeric value of LockRank::kIoBoundary; static_assert-matched in
+// thread_annotations.h so the two definitions cannot drift.
+inline constexpr int kIoBoundaryRank = 500;
+
+// Ranks <= kUnrankedRank are exempt from ordering checks (rank not
+// declared; the mutex-rank lint rule keeps these out of src/).
+inline constexpr int kUnrankedRank = 0;
+
+// Called by Mutex::Lock BEFORE blocking on the underlying mutex: asserts
+// rank monotonicity against the calling thread's held stack (aborting with
+// a full report on violation), then pushes the entry. Checking before the
+// blocking lock() means a would-be ABBA reports instead of deadlocking.
+void OnAcquire(const void* mu, int rank, const char* name);
+
+// Called by Mutex::TryLock after a successful try_lock. A try-acquire
+// cannot deadlock, so the rank check is skipped; the entry is still pushed
+// so blocking-call detection sees it.
+void OnTryAcquire(const void* mu, int rank, const char* name);
+
+// Called by Mutex::Unlock / ~MutexLock: pops the entry (searched from the
+// top, so out-of-order manual unlock still balances).
+void OnRelease(const void* mu);
+
+// Blocking-call detection: aborts if the calling thread holds any lock
+// with 0 < rank < kIoBoundaryRank. Call at every site that can block on
+// the outside world (file read/write/sync, socket waits).
+void AssertSafeToBlock(const char* what);
+
+// Same, but exempts `released` — the mutex a CondVar wait atomically
+// releases is not held for the duration of the block.
+void AssertSafeToBlockExcept(const void* released, const char* what);
+
+// Number of locks the calling thread currently holds (test hook).
+size_t HeldCount();
+
+// Human-readable snapshot of every registered thread's held-lock stack,
+// outermost first; empty string when no thread holds a ranked lock. The
+// watchdog feeds this into its stall report so a post-mortem shows who
+// held what when a stage froze.
+std::string SnapshotAllThreads();
+
+}  // namespace lockdebug
+}  // namespace scanraw
+
+#endif  // SCANRAW_COMMON_LOCK_DEBUG_H_

@@ -148,7 +148,7 @@ class Catalog {
   void Restore(std::map<std::string, TableMetadata> tables);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kCatalog, "Catalog.mu"};
   std::map<std::string, TableMetadata> tables_ GUARDED_BY(mu_);
 };
 

@@ -89,7 +89,7 @@ class TableSketches {
  private:
   const size_t kmv_k_;
   const size_t sample_capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kSketches, "TableSketches.mu"};
   std::map<size_t, ColumnSketch> columns_ GUARDED_BY(mu_);
   uint64_t chunks_added_ GUARDED_BY(mu_) = 0;
 };

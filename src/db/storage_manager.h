@@ -87,14 +87,14 @@ class StorageManager {
 
   std::atomic<bool> compress_{false};
 
-  mutable Mutex write_mu_;
+  mutable Mutex write_mu_{LockRank::kStorageWrite, "StorageManager.write_mu"};
   std::unique_ptr<WritableFile> writer_ GUARDED_BY(write_mu_);
   uint64_t next_offset_ GUARDED_BY(write_mu_) = 0;
   obs::Counter* segments_metric_ GUARDED_BY(write_mu_) = nullptr;
   obs::Counter* bytes_metric_ GUARDED_BY(write_mu_) = nullptr;
   obs::Histogram* write_nanos_metric_ GUARDED_BY(write_mu_) = nullptr;
 
-  mutable Mutex reader_mu_;
+  mutable Mutex reader_mu_{LockRank::kStorageRead, "StorageManager.reader_mu"};
   // Lazily opened.
   mutable std::unique_ptr<RandomAccessFile> reader_ GUARDED_BY(reader_mu_);
 };

@@ -65,7 +65,7 @@ class DiskArbiter {
   // Written once before threads share the arbiter (BindHeartbeats), then
   // only read; relaxed atomic keeps late binding defined.
   std::atomic<obs::StageHeartbeats*> heartbeats_{nullptr};
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDiskArbiter, "DiskArbiter.mu"};
   CondVar cv_;
   DiskUser user_ GUARDED_BY(mu_) = DiskUser::kNone;
   int64_t acquired_at_nanos_ GUARDED_BY(mu_) = 0;

@@ -120,7 +120,7 @@ class FaultInjector {
 
   const FaultPlan plan_;
   FaultCounters counters_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kFaultInjection, "FaultInjector.mu"};
   Random rng_ GUARDED_BY(mu_);
   uint64_t appends_seen_ GUARDED_BY(mu_) = 0;
   uint64_t kill_hits_ GUARDED_BY(mu_) = 0;

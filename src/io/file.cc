@@ -8,8 +8,16 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/lock_debug.h"
 #include "io/fault_injection.h"
 #include "io/rate_limiter.h"
+
+// Lock discipline: every syscall path below calls
+// lockdebug::AssertSafeToBlock unconditionally — a thread holding any lock
+// ranked below LockRank::kIoBoundary must never reach a blocking file
+// operation. In builds without SCANRAW_LOCK_DEBUG the held-lock stacks are
+// empty and the check is a thread-local read (covered by the
+// introspection_overhead gate).
 
 namespace scanraw {
 
@@ -40,6 +48,7 @@ class PosixRandomAccessFile : public RandomAccessFile {
 
   Result<size_t> ReadAt(uint64_t offset, size_t length,
                         char* scratch) const override {
+    lockdebug::AssertSafeToBlock("RandomAccessFile::ReadAt");
     size_t done = 0;
     while (done < length) {
       ssize_t n = ::pread(fd_, scratch + done, length - done,
@@ -87,6 +96,7 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Append(const char* data, size_t length) override {
+    lockdebug::AssertSafeToBlock("WritableFile::Append");
     if (fd_ < 0) return Status::IoError("write to closed file " + path_);
     size_t done = 0;
     while (done < length) {
@@ -113,6 +123,7 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Sync() override {
+    lockdebug::AssertSafeToBlock("WritableFile::Sync");
     if (fd_ < 0) return Status::IoError("sync of closed file " + path_);
     if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
     return Status::OK();
@@ -141,6 +152,7 @@ class PosixWritableFile : public WritableFile {
 
 Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  lockdebug::AssertSafeToBlock("RandomAccessFile::Open");
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return ErrnoStatus("open " + path);
   struct stat st;
@@ -156,6 +168,7 @@ Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
 
 Result<std::unique_ptr<WritableFile>> WritableFile::Create(
     const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  lockdebug::AssertSafeToBlock("WritableFile::Create");
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("open " + path);
   return MaybeWrapWithFaultInjection(std::unique_ptr<WritableFile>(
@@ -164,6 +177,7 @@ Result<std::unique_ptr<WritableFile>> WritableFile::Create(
 
 Result<std::unique_ptr<WritableFile>> WritableFile::OpenForAppend(
     const std::string& path, RateLimiter* limiter, IoStats* stats) {
+  lockdebug::AssertSafeToBlock("WritableFile::OpenForAppend");
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) return ErrnoStatus("open " + path);
   struct stat st;
@@ -216,6 +230,7 @@ Status RemoveFileIfExists(const std::string& path) {
 }
 
 Status SyncDir(const std::string& dir) {
+  lockdebug::AssertSafeToBlock("SyncDir");
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return ErrnoStatus("open dir " + dir);
   int rc = ::fsync(fd);

@@ -43,7 +43,7 @@ class RateLimiter {
  private:
   const uint64_t bytes_per_second_;
   const Clock* clock_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRateLimiter, "RateLimiter.mu"};
   // Timed-wait channel for throttled Acquires. Nothing signals it during
   // normal operation — the refill is time-driven — but waiting on it keeps
   // the bucket state consistent without a bare sleep.

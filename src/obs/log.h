@@ -113,7 +113,7 @@ class Logger {
   std::atomic<uint64_t> lines_emitted_{0};
   std::atomic<uint64_t> lines_suppressed_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLogger, "Logger.mu"};
   double rate_per_second_ GUARDED_BY(mu_) = 10.0;
   double burst_ GUARDED_BY(mu_) = 20.0;
   std::unique_ptr<WritableFile> sink_ GUARDED_BY(mu_);

@@ -82,7 +82,7 @@ class ProgressTracker {
   std::atomic<uint64_t> chunks_{0};
   std::atomic<uint64_t> loaded_{0};
   std::atomic<bool> complete_{false};
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kProgressTracker, "ProgressTracker.mu"};
   uint64_t bytes_total_ GUARDED_BY(mu_) = 0;
   uint64_t chunks_total_ GUARDED_BY(mu_) = 0;
   int64_t start_nanos_ GUARDED_BY(mu_) = 0;
@@ -114,7 +114,7 @@ class ProgressReporter {
   ProgressTracker* const tracker_;
   const ProgressCallback callback_;
   const int interval_ms_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kProgressReporter, "ProgressReporter.mu"};
   CondVar cv_;
   // Started under mu_ in Start, joined lock-free in Stop after stop_ flips.
   std::thread thread_;

@@ -142,7 +142,7 @@ class QueryLog {
   const std::string path_;
   const QueryLogOptions options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kQueryLog, "QueryLog.mu"};
   std::unique_ptr<WritableFile> file_ GUARDED_BY(mu_);
   std::function<void(const QueryLogEvent&)> observer_ GUARDED_BY(mu_);
   uint64_t next_seq_ GUARDED_BY(mu_) = 1;

@@ -56,7 +56,7 @@ class ResourceLog {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kResourceLog, "ResourceLog.mu"};
   std::vector<ResourceSample> ring_ GUARDED_BY(mu_);
   uint64_t next_ GUARDED_BY(mu_) = 0;
 };
@@ -90,7 +90,7 @@ class ResourceSampler {
   const Probe probe_;
   const std::chrono::milliseconds interval_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kResourceSampler, "ResourceSampler.mu"};
   CondVar cv_;
   // Started under mu_ in Start, joined lock-free in Stop after stop_ flips.
   std::thread thread_;

@@ -122,7 +122,7 @@ class SpanProfiler {
  private:
   const Clock* const clock_;
   const size_t max_spans_per_stage_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kSpanProfiler, "SpanProfiler.mu"};
   int64_t begin_nanos_ GUARDED_BY(mu_) = 0;
   int64_t end_nanos_ GUARDED_BY(mu_) = 0;  // 0 = not ended
   std::array<std::vector<Span>, kNumQueryStages> spans_ GUARDED_BY(mu_);

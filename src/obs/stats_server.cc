@@ -331,6 +331,15 @@ std::string StatsServer::RenderStatusz() const {
              std::string(HeartbeatStageName(report.stage)) +
              " stalled_ms=" + std::to_string(report.stalled_ms) +
              " active=" + std::to_string(report.active) + "\n";
+      if (!report.held_locks.empty()) {
+        out += "  stall held locks:\n";
+        for (size_t pos = 0; pos < report.held_locks.size();) {
+          size_t eol = report.held_locks.find('\n', pos);
+          if (eol == std::string::npos) eol = report.held_locks.size();
+          out += "    " + report.held_locks.substr(pos, eol - pos) + "\n";
+          pos = eol + 1;
+        }
+      }
     }
   }
 

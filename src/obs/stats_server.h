@@ -87,7 +87,7 @@ class StatsServer {
   std::atomic<int> port_{0};
   std::atomic<uint64_t> requests_served_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStatsServer, "StatsServer.mu"};
   std::thread thread_;
   bool running_ GUARDED_BY(mu_) = false;
   int listen_fd_ GUARDED_BY(mu_) = -1;

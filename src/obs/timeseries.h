@@ -56,7 +56,7 @@ class TimeSeriesRing {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTimeSeriesRing, "TimeSeriesRing.mu"};
   std::vector<Point> ring_ GUARDED_BY(mu_);
   uint64_t next_ GUARDED_BY(mu_) = 0;
 };
@@ -153,7 +153,7 @@ class TimeSeries {
   std::atomic<int64_t> interval_nanos_;
   std::atomic<int64_t> last_sample_nanos_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTimeSeries, "TimeSeries.mu"};
   std::vector<std::unique_ptr<Series>> series_ GUARDED_BY(mu_);
 };
 

@@ -87,7 +87,7 @@ class ChunkTracer {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kChunkTracer, "ChunkTracer.mu"};
   std::string label_ GUARDED_BY(mu_);
   std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
   // Total recorded; ring slot is next_ % capacity_.

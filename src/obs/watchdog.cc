@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/lock_debug.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 
@@ -85,6 +86,7 @@ void Watchdog::CheckNow() {
     report.stalled_ms = stalled / 1'000'000;
     report.beats = beats;
     report.active = active;
+    report.held_locks = lockdebug::SnapshotAllThreads();
     ReportStall(report);
   }
 }
@@ -101,6 +103,10 @@ void Watchdog::ReportStall(const StallReport& report) {
       static_cast<unsigned long long>(report.beats),
       static_cast<long long>(report.active),
       options_.abort_on_stall ? " and aborting" : "");
+  if (!report.held_locks.empty()) {
+    LOG_ERROR("watchdog: held locks at stall:\n%s",
+              report.held_locks.c_str());
+  }
 
   // Dump destination: explicit option > SCANRAW_FLIGHT_DUMP env > stderr.
   FlightRecorder* recorder = FlightRecorder::Global();

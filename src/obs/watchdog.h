@@ -46,6 +46,10 @@ class Watchdog {
     int64_t stalled_ms = 0;   // how long the stage had made no progress
     uint64_t beats = 0;       // beat count frozen at this value
     int64_t active = 0;       // threads stuck inside the stage
+    // Per-thread held-lock stacks at report time (lockdebug snapshot);
+    // empty outside SCANRAW_LOCK_DEBUG builds. A stall is usually a thread
+    // wedged under a lock — this names the lock without a debugger.
+    std::string held_locks;
   };
 
   Watchdog(StageHeartbeats* heartbeats, WatchdogOptions options);
@@ -77,7 +81,7 @@ class Watchdog {
 
   std::atomic<uint64_t> stalls_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kWatchdog, "Watchdog.mu"};
   CondVar cv_;
   std::thread thread_;
   bool running_ GUARDED_BY(mu_) = false;

@@ -82,7 +82,7 @@ class WorkloadHistory {
   std::string Summary() const EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kWorkloadHistory, "WorkloadHistory.mu"};
   std::map<std::string, TableUsage> tables_ GUARDED_BY(mu_);
   uint64_t last_seq_ GUARDED_BY(mu_) = 0;
   uint64_t events_observed_ GUARDED_BY(mu_) = 0;

@@ -83,7 +83,7 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kBoundedQueue, "BoundedQueue.mu"};
   CondVar not_full_;
   CondVar not_empty_;
   std::deque<T> items_ GUARDED_BY(mu_);

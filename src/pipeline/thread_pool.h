@@ -50,7 +50,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kThreadPool, "ThreadPool.mu"};
   CondVar work_available_;
   CondVar all_idle_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

@@ -81,7 +81,7 @@ class ChunkBufferPool : public ColumnBufferSource {
   obs::Counter* misses_ = nullptr;
   obs::Gauge* idle_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kChunkBufferPool, "ChunkBufferPool.mu"};
   std::vector<std::vector<uint8_t>> fixed_ GUARDED_BY(mu_);
   std::vector<std::string> strings_ GUARDED_BY(mu_);
   std::vector<std::vector<uint32_t>> offsets_ GUARDED_BY(mu_);

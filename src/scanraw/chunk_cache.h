@@ -90,7 +90,7 @@ class ChunkCache {
 
   const size_t capacity_;
   const bool bias_evict_loaded_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kChunkCache, "ChunkCache.mu"};
   std::map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
   std::list<uint64_t> lru_ GUARDED_BY(mu_);  // front = most recently used
   uint64_t next_seq_ GUARDED_BY(mu_) = 0;

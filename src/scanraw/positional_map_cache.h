@@ -88,7 +88,7 @@ class PositionalMapCache {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPositionalMapCache, "PositionalMapCache.mu"};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   obs::Counter* hit_counter_ GUARDED_BY(mu_) = nullptr;

@@ -702,14 +702,14 @@ struct ScanRaw::QueryRun::Impl {
   bool joined = false;
   bool abandoned = false;
 
-  Mutex inflight_mu;
+  Mutex inflight_mu{LockRank::kScanInflight, "ScanRaw.inflight_mu"};
   CondVar inflight_cv;
   size_t tokenize_inflight GUARDED_BY(inflight_mu) = 0;
   size_t parse_inflight GUARDED_BY(inflight_mu) = 0;
 
   std::atomic<int64_t> invisible_budget;
 
-  mutable Mutex status_mu;
+  mutable Mutex status_mu{LockRank::kScanStatus, "ScanRaw.status_mu"};
   Status first_error GUARDED_BY(status_mu);
 };
 

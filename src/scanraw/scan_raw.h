@@ -336,7 +336,7 @@ class ScanRaw {
   TableSketches sketches_;
   // Chunks already folded into the sketches, so re-scans do not bias the
   // reservoir sample (the KMV sketch is naturally idempotent).
-  Mutex sketched_mu_;
+  Mutex sketched_mu_{LockRank::kScanSketched, "ScanRaw.sketched_mu"};
   std::set<uint64_t> sketched_chunks_ GUARDED_BY(sketched_mu_);
   PipelineProfile profile_;
   // Advice-state occurrence counters, indexed by ResourceSnapshot::Advice
@@ -348,11 +348,11 @@ class ScanRaw {
   IoStats raw_io_stats_;
 
   // Chunks with a write queued or in flight, to keep loading exactly-once.
-  Mutex pending_mu_;
+  Mutex pending_mu_{LockRank::kScanPending, "ScanRaw.pending_mu"};
   std::set<uint64_t> pending_writes_ GUARDED_BY(pending_mu_);
 
   // Per-query observers of the shared WRITE thread (see RegisterObservers).
-  mutable Mutex active_mu_;
+  mutable Mutex active_mu_{LockRank::kScanActive, "ScanRaw.active_mu"};
   obs::SpanProfiler* active_profiler_ GUARDED_BY(active_mu_) = nullptr;
   obs::ProgressTracker* active_progress_ GUARDED_BY(active_mu_) = nullptr;
   std::set<size_t> active_required_ GUARDED_BY(active_mu_);
@@ -360,7 +360,7 @@ class ScanRaw {
   // WRITE thread state.
   BoundedQueue<WriteRequest> write_queue_;
   std::thread write_thread_;
-  mutable Mutex write_mu_;
+  mutable Mutex write_mu_{LockRank::kScanWrite, "ScanRaw.write_mu"};
   CondVar write_cv_;
   size_t writes_outstanding_ GUARDED_BY(write_mu_) = 0;  // queued + in flight
   Status write_status_ GUARDED_BY(write_mu_);

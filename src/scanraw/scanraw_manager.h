@@ -147,7 +147,7 @@ class ScanRawManager {
   // Declared after telemetry_ (it watches telemetry_'s heartbeat board).
   std::unique_ptr<obs::Watchdog> watchdog_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kScanRawManager, "ScanRawManager.mu"};
   std::map<std::string, ScanRawOptions> options_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ScanRaw>> operators_ GUARDED_BY(mu_);
   ReconcileReport last_recovery_ GUARDED_BY(mu_);

@@ -1,0 +1,211 @@
+// Death tests for the runtime lock-discipline sentinel (SCANRAW_LOCK_DEBUG,
+// common/lock_debug.h). This TU is compiled with SCANRAW_LOCK_DEBUG=1
+// regardless of build type (see tests/CMakeLists.txt), so the Mutex /
+// MutexLock / CondVar hooks in thread_annotations.h are live here even when
+// the linked libraries were built without them — the wrappers keep an
+// identical layout in both modes, and the sentinel implementation in
+// scanraw_common is always compiled.
+//
+// The blocking-I/O tests work end to end because io/file.cc calls
+// lockdebug::AssertSafeToBlock unconditionally: this TU's hooks populate
+// the per-thread held stack, and the library-side check reads it.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/lock_debug.h"
+#include "common/thread_annotations.h"
+#include "gtest/gtest.h"
+#include "io/file.h"
+
+namespace scanraw {
+namespace {
+
+#if !defined(SCANRAW_LOCK_DEBUG)
+#error "lock_discipline_test must be compiled with SCANRAW_LOCK_DEBUG"
+#endif
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(LockDisciplineTest, CleanNestedAcquisitionPasses) {
+  Mutex outer(LockRank::kScanRawManager, "test.outer");
+  Mutex inner(LockRank::kChunkCache, "test.inner");
+  EXPECT_EQ(lockdebug::HeldCount(), 0u);
+  {
+    MutexLock lock_outer(outer);
+    EXPECT_EQ(lockdebug::HeldCount(), 1u);
+    {
+      MutexLock lock_inner(inner);  // 1000 -> 370: strictly decreasing
+      EXPECT_EQ(lockdebug::HeldCount(), 2u);
+    }
+    EXPECT_EQ(lockdebug::HeldCount(), 1u);
+  }
+  EXPECT_EQ(lockdebug::HeldCount(), 0u);
+}
+
+TEST(LockDisciplineDeathTest, RankInversionAborts) {
+  Mutex low(LockRank::kMetrics, "test.low");
+  Mutex high(LockRank::kWatchdog, "test.high");
+  EXPECT_DEATH(
+      {
+        MutexLock lock_low(low);
+        MutexLock lock_high(high);  // 120 held, acquiring 850: inversion
+      },
+      "rank order violation");
+}
+
+TEST(LockDisciplineDeathTest, EqualRankAborts) {
+  Mutex a(LockRank::kCatalog, "test.a");
+  Mutex b(LockRank::kCatalog, "test.b");
+  EXPECT_DEATH(
+      {
+        MutexLock lock_a(a);
+        MutexLock lock_b(b);  // equal ranks: still a violation
+      },
+      "rank order violation");
+}
+
+TEST(LockDisciplineDeathTest, AbbaCycleCaught) {
+  // The classic ABBA pair: thread 1 takes A then B, thread 2 takes B then
+  // A. Under declared ranks (A=420 outranks B=370) thread 1's order is
+  // legal and thread 2's B-then-A is an upward acquisition — the sentinel
+  // aborts thread 2 deterministically on its second acquire, on EVERY
+  // schedule, without needing the two threads to actually interleave into
+  // the deadlock.
+  Mutex a(LockRank::kScanInflight, "test.abba.a");
+  Mutex b(LockRank::kChunkCache, "test.abba.b");
+  {
+    MutexLock lock_a(a);  // thread 1's legal order
+    MutexLock lock_b(b);
+  }
+  EXPECT_DEATH(
+      {
+        MutexLock lock_b(b);
+        MutexLock lock_a(a);  // thread 2's side of the ABBA
+      },
+      "rank order violation");
+}
+
+TEST(LockDisciplineDeathTest, ViolationReportNamesBothLocks) {
+  // gtest's fallback regex engine has no multi-line classes, so assert the
+  // two names with separate (cheap, forked) death checks.
+  Mutex low(LockRank::kMetrics, "test.report.low");
+  Mutex high(LockRank::kQueryLog, "test.report.high");
+  EXPECT_DEATH(
+      {
+        MutexLock lock_low(low);
+        MutexLock lock_high(high);
+      },
+      "acquiring: rank 950  test\\.report\\.high");
+  EXPECT_DEATH(
+      {
+        MutexLock lock_low(low);
+        MutexLock lock_high(high);
+      },
+      "while holding: rank 120  test\\.report\\.low");
+}
+
+TEST(LockDisciplineDeathTest, BlockingIoUnderLowRankLockAborts) {
+  Mutex leaf(LockRank::kChunkCache, "test.io.leaf");
+  const std::string path = TempPath("lock_discipline_io.txt");
+  EXPECT_DEATH(
+      {
+        MutexLock lock(leaf);  // rank 370 < kIoBoundary
+        (void)WriteStringToFile(path, "boom");
+      },
+      "blocking call below the I/O boundary");
+}
+
+TEST(LockDisciplineTest, BlockingIoAboveBoundaryPasses) {
+  Mutex coarse(LockRank::kStorageWrite, "test.io.coarse");
+  const std::string path = TempPath("lock_discipline_io_ok.txt");
+  MutexLock lock(coarse);  // rank 800: explicitly allowed to do I/O
+  ASSERT_TRUE(WriteStringToFile(path, "fine").ok());
+  (void)RemoveFileIfExists(path);
+}
+
+TEST(LockDisciplineDeathTest, CondVarWaitUnderOtherLowRankLockAborts) {
+  Mutex held(LockRank::kThreadPool, "test.wait.held");
+  Mutex waited(LockRank::kBoundedQueue, "test.wait.waited");
+  CondVar cv;
+  EXPECT_DEATH(
+      {
+        MutexLock lock_held(held);      // 400
+        MutexLock lock_waited(waited);  // 390: legal order
+        // The wait releases `waited` but blocks while `held` (< boundary)
+        // stays held.
+        cv.WaitFor(lock_waited, std::chrono::milliseconds(1));
+      },
+      "blocking call below the I/O boundary");
+}
+
+TEST(LockDisciplineTest, CondVarWaitOwnLockIsExempt) {
+  Mutex mu(LockRank::kBoundedQueue, "test.wait.own");
+  CondVar cv;
+  MutexLock lock(mu);
+  // The lock the wait itself releases is exempt from the boundary check.
+  EXPECT_EQ(cv.WaitFor(lock, std::chrono::milliseconds(1)),
+            std::cv_status::timeout);
+}
+
+TEST(LockDisciplineTest, TryLockTracksHeldStack) {
+  Mutex mu(LockRank::kMetrics, "test.trylock");
+  ASSERT_TRUE(mu.TryLock());
+  EXPECT_EQ(lockdebug::HeldCount(), 1u);
+  mu.Unlock();
+  EXPECT_EQ(lockdebug::HeldCount(), 0u);
+}
+
+TEST(LockDisciplineTest, SnapshotNamesHeldLocks) {
+  Mutex mu(LockRank::kCatalog, "test.snapshot.mu");
+  MutexLock lock(mu);
+  const std::string snap = lockdebug::SnapshotAllThreads();
+  EXPECT_NE(snap.find("test.snapshot.mu"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("300"), std::string::npos) << snap;
+}
+
+TEST(LockDisciplineTest, SnapshotSeesOtherThreads) {
+  // The holder parks on a CondVar while keeping `mu` held, so `mu` must sit
+  // above the I/O boundary — blocking with a sub-boundary lock held is
+  // itself a violation (see CondVarWaitUnderOtherLowRankLockAborts).
+  Mutex mu(LockRank::kStorageWrite, "test.snapshot.other");
+  Mutex sync(LockRank::kLeaf, "test.snapshot.sync");
+  CondVar cv;
+  bool seen = false;
+  bool release = false;
+  std::thread holder([&] {
+    MutexLock lock_mu(mu);
+    MutexLock lock(sync);
+    seen = true;
+    cv.NotifyAll();
+    while (!release) cv.Wait(lock);
+  });
+  std::string snap;
+  {
+    MutexLock lock(sync);
+    while (!seen) cv.Wait(lock);
+    snap = lockdebug::SnapshotAllThreads();
+    release = true;
+    cv.NotifyAll();
+  }
+  holder.join();
+  EXPECT_NE(snap.find("test.snapshot.other"), std::string::npos) << snap;
+}
+
+TEST(LockDisciplineTest, UnrankedLocksAreExemptFromOrdering) {
+  // Tests and scratch code may use the default constructor; acquisition
+  // order among unranked locks is not checked (the lint rule keeps them
+  // out of src/).
+  Mutex a;
+  Mutex b;
+  MutexLock lock_a(a);
+  MutexLock lock_b(b);
+  EXPECT_EQ(lockdebug::HeldCount(), 2u);
+}
+
+}  // namespace
+}  // namespace scanraw

@@ -1,0 +1,15 @@
+#include "abba.h"
+
+void A::Foo() {
+  MutexLock lock(mu_);
+  b_->Bar();  // holds A.mu, acquires B.mu
+}
+
+void A::Qux() { MutexLock lock(mu_); }
+
+void B::Bar() { MutexLock lock(mu_); }
+
+void B::Baz() {
+  MutexLock lock(mu_);
+  a_->Qux();  // holds B.mu, acquires A.mu -> ABBA with A::Foo
+}

@@ -1,0 +1,40 @@
+// Fixture: a seeded ABBA deadlock between two unranked mutexes. Thread 1
+// runs A::Foo (A.mu then B.mu via Bar), thread 2 runs B::Baz (B.mu then
+// A.mu via Qux) — a cycle in the may-hold-while-acquiring graph.
+// tools/lock_graph.py must exit nonzero and name the cycle.
+#ifndef FIXTURE_ABBA_H_
+#define FIXTURE_ABBA_H_
+
+class Mutex {
+ public:
+  Mutex() = default;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class B;
+
+class A {
+ public:
+  void Foo();
+  void Qux();
+
+ private:
+  B* b_ = nullptr;
+  Mutex mu_;
+};
+
+class B {
+ public:
+  void Bar();
+  void Baz();
+
+ private:
+  A* a_ = nullptr;
+  Mutex mu_;
+};
+
+#endif  // FIXTURE_ABBA_H_

@@ -1,0 +1,13 @@
+#include "clean.h"
+
+void Low::Poke() { MutexLock lock(mu_); }
+
+void Mid::Touch() {
+  MutexLock lock(mu_);
+  low_->Poke();  // kMid(300) -> kLow(100): decreasing, fine
+}
+
+void High::Sweep() {
+  MutexLock lock(mu_);
+  mid_->Touch();  // kHigh(900) -> kMid(300) -> kLow(100): fine
+}

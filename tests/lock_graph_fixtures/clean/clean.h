@@ -1,0 +1,54 @@
+// Fixture: a well-ordered three-level lock hierarchy. Every acquisition
+// strictly decreases rank, so tools/lock_graph.py must exit 0.
+#ifndef FIXTURE_CLEAN_H_
+#define FIXTURE_CLEAN_H_
+
+enum class LockRank : int {
+  kUnranked = 0,
+  kLow = 100,
+  kMid = 300,
+  kIoBoundary = 500,
+  kHigh = 900,
+};
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(LockRank rank, const char* name);
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class Low {
+ public:
+  void Poke();
+
+ private:
+  // Digit-separator regression guard: 1'000'000 must not derail the
+  // fallback parser's literal stripping.
+  long budget_ = 1'000'000;
+  Mutex mu_{LockRank::kLow, "Low.mu"};
+};
+
+class Mid {
+ public:
+  void Touch();
+
+ private:
+  Low* low_ = nullptr;
+  Mutex mu_{LockRank::kMid, "Mid.mu"};
+};
+
+class High {
+ public:
+  void Sweep();
+
+ private:
+  Mid* mid_ = nullptr;
+  Mutex mu_{LockRank::kHigh, "High.mu"};
+};
+
+#endif  // FIXTURE_CLEAN_H_

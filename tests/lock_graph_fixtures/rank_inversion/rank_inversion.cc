@@ -1,0 +1,8 @@
+#include "rank_inversion.h"
+
+void High::Touch() { MutexLock lock(mu_); }
+
+void Low::Grab() {
+  MutexLock lock(mu_);
+  high_->Touch();  // kLow(100) held while acquiring kHigh(900): inversion
+}

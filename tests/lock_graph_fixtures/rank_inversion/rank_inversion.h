@@ -1,0 +1,43 @@
+// Fixture: a seeded rank inversion — a low-ranked lock is held while
+// acquiring a high-ranked one. No cycle exists, but the acquisition order
+// contradicts the declared hierarchy; tools/lock_graph.py must exit
+// nonzero and report the inversion.
+#ifndef FIXTURE_RANK_INVERSION_H_
+#define FIXTURE_RANK_INVERSION_H_
+
+enum class LockRank : int {
+  kUnranked = 0,
+  kLow = 100,
+  kIoBoundary = 500,
+  kHigh = 900,
+};
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(LockRank rank, const char* name);
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class High {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_{LockRank::kHigh, "High.mu"};
+};
+
+class Low {
+ public:
+  void Grab();
+
+ private:
+  High* high_ = nullptr;
+  Mutex mu_{LockRank::kLow, "Low.mu"};
+};
+
+#endif  // FIXTURE_RANK_INVERSION_H_

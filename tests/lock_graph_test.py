@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lock_graph.py over the seeded fixtures.
+
+Pins the analyzer's contract: exit 0 on a well-ordered hierarchy, exit
+nonzero naming the defect on a seeded ABBA cycle and on a seeded rank
+inversion, and a DOT artifact that reflects the graph.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.environ.get(
+    "SCANRAW_LOCK_GRAPH_ROOT",
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+TOOL = os.path.join(REPO_ROOT, "tools", "lock_graph.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lock_graph_fixtures")
+
+
+def run_tool(*extra_args):
+    proc = subprocess.run(
+        [sys.executable, TOOL, "--engine=fallback"] + list(extra_args),
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class LockGraphFixtureTest(unittest.TestCase):
+
+    def test_clean_hierarchy_passes(self):
+        rc, out = run_tool("--src", os.path.join(FIXTURES, "clean"))
+        self.assertEqual(rc, 0, out)
+        self.assertIn("lock order OK", out)
+
+    def test_abba_cycle_fails(self):
+        rc, out = run_tool("--src", os.path.join(FIXTURES, "abba"))
+        self.assertEqual(rc, 1, out)
+        self.assertIn("cycle", out)
+        self.assertIn("A.mu_", out)
+        self.assertIn("B.mu_", out)
+
+    def test_rank_inversion_fails(self):
+        rc, out = run_tool("--src",
+                           os.path.join(FIXTURES, "rank_inversion"))
+        self.assertEqual(rc, 1, out)
+        self.assertIn("rank violation", out)
+        self.assertIn("kHigh", out)
+        self.assertIn("kLow", out)
+
+    def test_rank_inversion_names_the_acquisition_site(self):
+        rc, out = run_tool("--src",
+                           os.path.join(FIXTURES, "rank_inversion"))
+        self.assertEqual(rc, 1, out)
+        self.assertIn("rank_inversion.cc", out)
+
+    def test_dot_artifact_reflects_edges(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dot = os.path.join(tmp, "graph.dot")
+            rc, out = run_tool("--src", os.path.join(FIXTURES, "clean"),
+                               "--dot", dot)
+            self.assertEqual(rc, 0, out)
+            with open(dot) as fh:
+                body = fh.read()
+            self.assertIn("digraph lock_order", body)
+            self.assertIn('"High.mu_" -> "Mid.mu_"', body)
+            self.assertIn('"Mid.mu_" -> "Low.mu_"', body)
+
+    def test_dot_marks_inversions_red(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dot = os.path.join(tmp, "graph.dot")
+            rc, _ = run_tool("--src",
+                             os.path.join(FIXTURES, "rank_inversion"),
+                             "--dot", dot)
+            self.assertEqual(rc, 1)
+            with open(dot) as fh:
+                body = fh.read()
+            self.assertIn("color=red", body)
+
+    def test_real_tree_is_clean(self):
+        rc, out = run_tool("--src", os.path.join(REPO_ROOT, "src"))
+        self.assertEqual(rc, 0, out)
+        self.assertIn("lock order OK", out)
+
+    def test_digit_separators_do_not_break_parsing(self):
+        # clean.h embeds 1'000'000; if the literal stripper mispaired the
+        # quotes the class extents would collapse and the lock count drop.
+        rc, out = run_tool("--src", os.path.join(FIXTURES, "clean"),
+                           "--verbose")
+        self.assertEqual(rc, 0, out)
+        self.assertIn("3 locks (3 ranked)", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -59,7 +59,7 @@ class LintTest(unittest.TestCase):
 
     def test_wrapper_types_pass(self):
         self.write("src/io/foo.cc",
-                   "Mutex mu_;\nCondVar cv_;\n"
+                   'Mutex mu_{LockRank::kLeaf, "Foo.mu"};\nCondVar cv_;\n'
                    "void F() { MutexLock lock(mu_); }\n")
         code, out = self.lint("src/io/foo.cc")
         self.assertEqual(code, 0, out)
@@ -81,7 +81,8 @@ class LintTest(unittest.TestCase):
 
     def test_raw_mutex_in_comment_passes(self):
         self.write("src/io/foo.cc",
-                   "// wraps std::mutex under the hood\nMutex mu_;\n")
+                   "// wraps std::mutex under the hood\n"
+                   'Mutex mu_{LockRank::kLeaf, "Foo.mu"};\n')
         code, out = self.lint("src/io/foo.cc")
         self.assertEqual(code, 0, out)
 
@@ -526,8 +527,126 @@ class LintTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertEqual(out.count("[raw-mutex]"), 2, out)
 
+    # ---- mutex-rank ----
+
+    def test_unranked_mutex_member_caught(self):
+        self.write("src/io/foo.cc", "class Foo {\n  Mutex mu_;\n};\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[mutex-rank]", out)
+
+    def test_unranked_mutable_mutex_member_caught(self):
+        self.write("src/io/foo.cc",
+                   "class Foo {\n  mutable Mutex mu_;\n};\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[mutex-rank]", out)
+
+    def test_ranked_mutex_member_passes(self):
+        self.write("src/io/foo.cc",
+                   "class Foo {\n"
+                   '  mutable Mutex mu_{LockRank::kLeaf, "Foo.mu"};\n'
+                   "};\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_ranked_mutex_continuation_line_passes(self):
+        self.write("src/io/foo.cc",
+                   "class Foo {\n  mutable Mutex mu_{\n"
+                   '      LockRank::kLeaf, "Foo.mu"};\n'
+                   "};\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_mutex_pointer_and_mutexlock_pass(self):
+        self.write("src/io/foo.cc",
+                   "Mutex* borrowed;\nMutex& ref = other;\n"
+                   "void F() { MutexLock lock(*borrowed); }\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_mutex_rank_suppressed(self):
+        self.write("src/io/foo.cc",
+                   "class Foo {\n"
+                   "  Mutex mu_;  // scanraw-lint: allow(mutex-rank)\n"
+                   "};\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_mutex_rank_not_enforced_in_tests(self):
+        self.write("tests/foo_test.cc", "Mutex mu_;\n")
+        code, out = self.lint("tests/foo_test.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_wrapper_header_exempt_from_mutex_rank(self):
+        self.write("src/common/thread_annotations.h",
+                   "#ifndef SCANRAW_COMMON_THREAD_ANNOTATIONS_H_\n"
+                   "#define SCANRAW_COMMON_THREAD_ANNOTATIONS_H_\n"
+                   "class Mutex {};\n"
+                   "#endif  // SCANRAW_COMMON_THREAD_ANNOTATIONS_H_\n")
+        code, out = self.lint("src/common/thread_annotations.h")
+        self.assertEqual(code, 0, out)
+
+    # ---- condvar-wait-loop ----
+
+    def test_wait_under_if_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n  MutexLock lock(mu_);\n"
+                   "  if (!ready_) {\n    cv_.Wait(lock);\n  }\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[condvar-wait-loop]", out)
+
+    def test_bare_wait_caught(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n  MutexLock lock(mu_);\n"
+                   "  cv_.WaitFor(lock, timeout);\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 1)
+        self.assertIn("[condvar-wait-loop]", out)
+
+    def test_wait_in_while_loop_passes(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n  MutexLock lock(mu_);\n"
+                   "  while (!ready_) {\n    cv_.Wait(lock);\n  }\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_wait_same_line_while_passes(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n  MutexLock lock(mu_);\n"
+                   "  while (!ready_) cv_.Wait(lock);\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_wait_under_if_inside_outer_loop_passes(self):
+        # The watchdog pattern: the predicate re-check sits one block out.
+        self.write("src/io/foo.cc",
+                   "void F() {\n  for (;;) {\n    {\n"
+                   "      MutexLock lock(mu_);\n"
+                   "      if (!stop_) {\n"
+                   "        cv_.WaitFor(lock, interval);\n      }\n"
+                   "      if (stop_) return;\n    }\n    Tick();\n  }\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_wait_for_writes_name_passes(self):
+        # Longer method names (WaitForWrites) are not CondVar waits.
+        self.write("src/io/foo.cc",
+                   "void F() {\n  op->WaitForWrites();\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_condvar_wait_loop_suppressed(self):
+        self.write("src/io/foo.cc",
+                   "void F() {\n"
+                   "  // scanraw-lint: allow(condvar-wait-loop)\n"
+                   "  cv_.Wait(lock);\n}\n")
+        code, out = self.lint("src/io/foo.cc")
+        self.assertEqual(code, 0, out)
+
     def test_clean_tree_exits_zero(self):
-        self.write("src/io/a.cc", "Mutex a;\n")
+        self.write("src/io/a.cc", 'Mutex a{LockRank::kLeaf, "a"};\n')
         self.write("src/io/foo.h", self.good_header())
         code, out = self.lint("src")
         self.assertEqual(code, 0, out)

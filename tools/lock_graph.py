@@ -1,0 +1,740 @@
+#!/usr/bin/env python3
+"""Whole-program lock-order analyzer for the scanraw lock hierarchy.
+
+Builds the may-hold-while-acquiring graph over every Mutex declared with a
+LockRank (src/common/thread_annotations.h) and fails on:
+
+  * any cycle in the graph (an ABBA deadlock candidate), and
+  * any edge that acquires a lock whose rank is not strictly below the
+    rank of a lock already held (a rank inversion).
+
+Two engines share the same graph/checking backend:
+
+  * libclang over compile_commands.json, when the Python bindings are
+    importable (`--engine=clang` to require it); and
+  * a structured-parse fallback over the annotation conventions the lint
+    rules already enforce (`--engine=fallback`): MutexLock scopes, REQUIRES
+    annotations, ranked member declarations and member/local object types
+    are extracted with a brace-tracking scanner, per-method acquire sets
+    are closed under the call graph by fixpoint, and every acquisition is
+    charged against the locks held at that point.
+
+The default `--engine=auto` uses libclang if available and otherwise the
+fallback. CI runs the fallback (no libclang bindings in the toolchain
+image); the fixture tests under tests/lock_graph_fixtures/ pin its
+behavior on a seeded ABBA cycle and a seeded rank inversion.
+
+Known fallback blind spots (documented in DESIGN.md "Lock hierarchy"):
+calls through std::function members (e.g. QueryLog's observer fan-out) and
+chained temporaries are not resolved; the runtime sentinel
+(SCANRAW_LOCK_DEBUG, exercised under TSan) covers those paths.
+
+Usage:
+  tools/lock_graph.py --src src --dot lock_graph.dot
+  tools/lock_graph.py --build-dir build --dot lock_graph.dot
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# ----------------------------------------------------------------- parsing --
+
+LOCK_RANK_ENUM_RE = re.compile(
+    r"enum\s+class\s+LockRank\s*(?::\s*\w+)?\s*\{(.*?)\}", re.S)
+LOCK_RANK_VALUE_RE = re.compile(r"\b(k\w+)\s*=\s*(\d+)")
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:CAPABILITY\s*\(\s*\"[^\"]*\"\s*\)\s*|"
+    r"SCOPED_CAPABILITY\s+)?([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:mutable\s+)?Mutex\s+([A-Za-z_]\w*)\s*"
+    r"(?:\{\s*LockRank::(k\w+)[^}]*\})?\s*;")
+
+# `Catalog catalog_;`, `Catalog* catalog_;`, `Catalog& catalog_;`,
+# `std::unique_ptr<Catalog> catalog_;`, `const Catalog* const catalog_;`
+MEMBER_OBJ_RE = re.compile(
+    r"\b(?:const\s+)?(?:std::(?:unique_ptr|shared_ptr)<\s*(?:const\s+)?"
+    r"([A-Za-z_]\w*)\s*>|([A-Za-z_]\w*))\s*(?:\*\s*(?:const\s*)?|&\s*)?"
+    r"\b([A-Za-z_]\w*)\s*(?:;|=|\{)")
+
+REQUIRES_RE = re.compile(r"\bREQUIRES\s*\(([^)]*)\)")
+
+# Out-of-line definition: `Ret Class::Method(args) specifiers {`
+OUTLINE_DEF_RE = re.compile(
+    r"(?:^|\n)[^\n;{}]*?\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*"
+    r"\(([^;{}]*)\)\s*((?:const|noexcept|override|final|"
+    r"[A-Z_]+\s*\([^()]*\)|:\s*[^{;]*|\s)*)\{")
+
+# In-class definition: `Ret Method(args) specifiers {` (no `::`)
+INCLASS_DEF_RE = re.compile(
+    r"(?:^|\n)[ \t]*[^\n;{}()]*?\b(~?[A-Za-z_]\w*)\s*"
+    r"\(([^;{}]*)\)\s*((?:const|noexcept|override|final|"
+    r"[A-Z_]+\s*\([^()]*\)|:\s*[^{;]*|\s)*)\{")
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "static_assert", "alignof", "decltype", "else", "do", "new", "delete",
+    "assert",
+}
+
+MUTEXLOCK_RE = re.compile(
+    r"\bMutexLock\s+\w+\s*[({]\s*([\w.>-]+?)\s*[)}]")
+MANUAL_LOCK_RE = re.compile(r"\b([\w.>-]+?)\s*\.\s*(Lock|TryLock|Unlock)\s*\(")
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(\.|->)\s*([A-Za-z_]\w*)\s*\(")
+BARE_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+MAKE_UNIQUE_RE = re.compile(
+    r"\bstd::make_(?:unique|shared)<\s*(?:const\s+)?([A-Za-z_]\w*)\s*>")
+LOG_MACRO_RE = re.compile(r"\bLOG_(?:ERROR|WARN|INFO|DEBUG)\s*\(")
+LOCAL_OBJ_RE = re.compile(
+    r"\b([A-Z]\w*)(?:<[^;<>()]*>)?\s*\*?\s+([a-z_]\w*)\s*(?:=|\(|\{)")
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?(?:noexcept\s*)?"
+    r"(?:->\s*[\w:<>&*\s]+?)?\s*\{")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literal contents, keep newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c == "'" and i > 0 and text[i - 1].isalnum() and \
+                i + 1 < n and (text[i + 1].isalnum() or text[i + 1] == "_"):
+            # C++14 digit separator (1'000'000), not a char literal.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            # Keep the quotes so regexes see an empty literal.
+            out.append(quote + " " * max(0, j - i - 2) +
+                       (quote if j <= n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def find_matching_brace(text, open_idx):
+    """Index just past the brace matching text[open_idx] == '{'."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+class Lock:
+    def __init__(self, cls, member, rank_name, rank_value, where):
+        self.cls = cls
+        self.member = member
+        self.rank_name = rank_name      # None when unranked
+        self.rank_value = rank_value    # None when unranked
+        self.where = where
+
+    @property
+    def lock_id(self):
+        return f"{self.cls}.{self.member}"
+
+
+class Method:
+    def __init__(self, cls, name):
+        self.cls = cls
+        self.name = name
+        self.direct = set()     # lock_ids acquired in the body
+        self.callees = set()    # (cls, method) keys
+        self.events = []        # (tuple(held lock_ids), kind, payload, where)
+
+
+class Model:
+    """Everything pass 1 + pass 2 extract from the sources."""
+
+    def __init__(self):
+        self.ranks = {}          # rank name -> int value
+        self.locks = {}          # lock_id -> Lock
+        self.class_locks = {}    # cls -> {member -> lock_id}
+        self.members = {}        # cls -> {member name -> type cls}
+        self.requires = {}       # (cls, method) -> set of lock_ids
+        self.methods = {}        # (cls, method) -> Method
+        self.class_names = set()
+
+    def method(self, cls, name):
+        key = (cls, name)
+        if key not in self.methods:
+            self.methods[key] = Method(cls, name)
+        return self.methods[key]
+
+
+def parse_ranks(model, text):
+    m = LOCK_RANK_ENUM_RE.search(text)
+    if not m:
+        return
+    for name, value in LOCK_RANK_VALUE_RE.findall(m.group(1)):
+        model.ranks[name] = int(value)
+
+
+def resolve_lock_expr(model, cls, expr, locals_map):
+    """`mu_` / `obj.mu_` / `obj->mu_` -> lock_id or None."""
+    expr = expr.strip()
+    parts = re.split(r"\.|->", expr)
+    if len(parts) == 1:
+        return model.class_locks.get(cls, {}).get(parts[0])
+    if len(parts) == 2:
+        obj, member = parts
+        obj_cls = locals_map.get(obj) or model.members.get(cls, {}).get(obj)
+        if obj_cls is not None:
+            return model.class_locks.get(obj_cls, {}).get(member)
+    return None
+
+
+def pass1_classes(model, path, text):
+    """Collect Mutex members, object members and REQUIRES declarations."""
+    for cm in CLASS_RE.finditer(text):
+        cls = cm.group(1)
+        body_start = cm.end() - 1
+        body_end = find_matching_brace(text, body_start)
+        body = text[body_start + 1:body_end - 1]
+        model.class_names.add(cls)
+        for mm in MUTEX_MEMBER_RE.finditer(body):
+            member, rank_name = mm.group(1), mm.group(2)
+            line = text.count("\n", 0, body_start + 1 + mm.start()) + 1
+            lock = Lock(cls, member, rank_name,
+                        model.ranks.get(rank_name) if rank_name else None,
+                        f"{path}:{line}")
+            model.locks[lock.lock_id] = lock
+            model.class_locks.setdefault(cls, {})[member] = lock.lock_id
+        for om in MEMBER_OBJ_RE.finditer(body):
+            type_name = om.group(1) or om.group(2)
+            member = om.group(3)
+            if type_name == "Mutex" or type_name == member:
+                continue
+            model.members.setdefault(cls, {})[member] = type_name
+        # REQUIRES on declarations: `Method(...) const REQUIRES(mu_);`
+        for dm in re.finditer(
+                r"\b([A-Za-z_]\w*)\s*\(([^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)"
+                r"\s*((?:const|noexcept|override|final|[A-Z_]+\s*"
+                r"\([^()]*\)|\s)*)[;{]", body):
+            req = REQUIRES_RE.search(dm.group(3))
+            if not req:
+                continue
+            locks = set()
+            for expr in req.group(1).split(","):
+                lid = resolve_lock_expr(model, cls, expr, {})
+                if lid:
+                    locks.add(lid)
+            if locks:
+                model.requires.setdefault((cls, dm.group(1)),
+                                          set()).update(locks)
+
+
+def iter_method_bodies(text):
+    """Yield (cls, method, body_start, body_end, specifiers).
+
+    Finds out-of-line `Class::Method(...) {` definitions plus in-class
+    inline bodies (attributed to the enclosing class).
+    """
+    taken = []
+
+    def overlaps(a, b):
+        return any(not (b <= s or a >= e) for s, e in taken)
+
+    for m in OUTLINE_DEF_RE.finditer(text):
+        cls, name = m.group(1), m.group(2)
+        if name in CONTROL_KEYWORDS or cls in ("std", "chrono"):
+            continue
+        body_start = m.end() - 1
+        body_end = find_matching_brace(text, body_start)
+        taken.append((body_start, body_end))
+        yield cls, name.lstrip("~"), body_start, body_end, m.group(4)
+
+    for cm in CLASS_RE.finditer(text):
+        cls = cm.group(1)
+        cls_start = cm.end() - 1
+        cls_end = find_matching_brace(text, cls_start)
+        if overlaps(cls_start, cls_end):
+            continue
+        body = text[cls_start:cls_end]
+        for m in INCLASS_DEF_RE.finditer(body):
+            name = m.group(1)
+            if name in CONTROL_KEYWORDS:
+                continue
+            body_start = cls_start + m.end() - 1
+            # Nested-class methods get attributed to the inner class by the
+            # recursive CLASS_RE pass; skip if another class owns this span.
+            body_end = find_matching_brace(text, body_start)
+            inner = any(c.end() - 1 > cls_start and
+                        find_matching_brace(text, c.end() - 1) < cls_end and
+                        c.end() - 1 < body_start < find_matching_brace(
+                            text, c.end() - 1)
+                        for c in CLASS_RE.finditer(body) if c.end() != cm.end())
+            if inner:
+                continue
+            yield cls, name.lstrip("~"), body_start, body_end, m.group(3)
+
+
+def analyze_body(model, path, cls, name, text, body_start, body_end, specs):
+    """Pass 2: record acquire/call events with the held-set at each point.
+
+    Lambda bodies are excluded from the enclosing walk (a `std::thread([this]
+    { Loop(); })` runs Loop on the new thread, not under the creating
+    thread's locks) and analyzed as separate anonymous methods so ordering
+    WITHIN the lambda is still checked.
+    """
+    method = model.method(cls, name)
+    body = text[body_start:body_end]
+
+    # Top-level lambda ranges (relative to body): skip in this walk, then
+    # recurse into each body.
+    lambdas = []
+    for lmatch in LAMBDA_RE.finditer(body):
+        if any(s <= lmatch.start() < e for s, e, _ in lambdas):
+            continue
+        lbody_start = lmatch.end() - 1
+        lbody_end = find_matching_brace(body, lbody_start)
+        lambdas.append((lmatch.start(), lbody_end, lbody_start))
+
+    def in_lambda(pos):
+        return any(s <= pos < e for s, e, _ in lambdas)
+    seed = set(model.requires.get((cls, name), set()))
+    req = REQUIRES_RE.search(specs or "")
+    if req:
+        for expr in req.group(1).split(","):
+            lid = resolve_lock_expr(model, cls, expr, {})
+            if lid:
+                seed.add(lid)
+
+    locals_map = {}
+    for lm in LOCAL_OBJ_RE.finditer(body):
+        if lm.group(1) in model.class_names:
+            locals_map[lm.group(2)] = lm.group(1)
+    for mk in MAKE_UNIQUE_RE.finditer(body):
+        # `auto x = std::make_unique<T>(...)` -> x: T
+        prefix = body[:mk.start()]
+        am = re.search(r"(\w+)\s*=\s*$", prefix)
+        if am and mk.group(1) in model.class_names:
+            locals_map[am.group(1)] = mk.group(1)
+
+    # Single ordered walk: braces for scope depth, plus every event kind.
+    event_re = re.compile(
+        "|".join([
+            r"(?P<brace>[{}])",
+            r"(?P<mutexlock>" + MUTEXLOCK_RE.pattern + ")",
+            r"(?P<manual>" + MANUAL_LOCK_RE.pattern + ")",
+            r"(?P<log>" + LOG_MACRO_RE.pattern + ")",
+            r"(?P<make>" + MAKE_UNIQUE_RE.pattern + ")",
+            r"(?P<call>" + CALL_RE.pattern + ")",
+            r"(?P<bare>" + BARE_CALL_RE.pattern + ")",
+        ]))
+
+    depth = 0
+    scoped = []   # (depth, lock_id) for MutexLock RAII scopes
+    manual = []   # lock_ids from manual Lock() calls
+
+    def held():
+        return tuple(sorted(seed | {l for _, l in scoped} | set(manual)))
+
+    def where(pos):
+        return f"{path}:{text.count(chr(10), 0, body_start + pos) + 1}"
+
+    for ev in event_re.finditer(body):
+        pos = ev.start()
+        if in_lambda(pos):
+            continue  # balanced braces inside, so depth stays consistent
+        if ev.lastgroup == "brace":
+            if ev.group("brace") == "{":
+                depth += 1
+            else:
+                depth -= 1
+                while scoped and scoped[-1][0] > depth:
+                    scoped.pop()
+            continue
+        if ev.lastgroup == "mutexlock":
+            expr = MUTEXLOCK_RE.match(body, pos).group(1)
+            lid = resolve_lock_expr(model, cls, expr, locals_map)
+            if lid:
+                method.events.append((held(), "acquire", lid, where(pos)))
+                method.direct.add(lid)
+                scoped.append((depth, lid))
+            continue
+        if ev.lastgroup == "manual":
+            mm = MANUAL_LOCK_RE.match(body, pos)
+            lid = resolve_lock_expr(model, cls, mm.group(1), locals_map)
+            if lid is None:
+                continue
+            if mm.group(2) in ("Lock", "TryLock"):
+                method.events.append((held(), "acquire", lid, where(pos)))
+                method.direct.add(lid)
+                manual.append(lid)
+            elif lid in manual:
+                manual.remove(lid)
+            continue
+        if ev.lastgroup == "log":
+            # LOG_* expands to Logger::Global()->Log(...), which takes the
+            # logger's mutex: charge it as a call into Logger::Log.
+            method.events.append((held(), "call", ("Logger", "Log"),
+                                  where(pos)))
+            method.callees.add(("Logger", "Log"))
+            continue
+        if ev.lastgroup == "make":
+            callee_cls = MAKE_UNIQUE_RE.match(body, pos).group(1)
+            if callee_cls in model.class_names:
+                key = (callee_cls, callee_cls)  # the constructor
+                method.events.append((held(), "call", key, where(pos)))
+                method.callees.add(key)
+            continue
+        if ev.lastgroup == "call":
+            cm = CALL_RE.match(body, pos)
+            obj, callee_name = cm.group(1), cm.group(3)
+            obj_cls = locals_map.get(obj) or \
+                model.members.get(cls, {}).get(obj)
+            if obj_cls is None or callee_name in ("Lock", "Unlock",
+                                                  "TryLock"):
+                continue
+            key = (obj_cls, callee_name)
+            method.events.append((held(), "call", key, where(pos)))
+            method.callees.add(key)
+            continue
+        if ev.lastgroup == "bare":
+            callee_name = BARE_CALL_RE.match(body, pos).group(1)
+            if callee_name in CONTROL_KEYWORDS or callee_name == "MutexLock":
+                continue
+            key = (cls, callee_name)
+            # Only same-class methods we have (or will have) a body for.
+            method.events.append((held(), "samecls", key, where(pos)))
+            continue
+
+    for k, (_, lend, lbody_start) in enumerate(lambdas):
+        analyze_body(model, path, cls, f"{name}@lambda{k}", text,
+                     body_start + lbody_start, body_start + lend, "")
+
+
+# ------------------------------------------------------------------ graph --
+
+class Edge:
+    def __init__(self, src, dst, where, via):
+        self.src = src
+        self.dst = dst
+        self.where = where
+        self.via = via  # "" for a direct acquisition, else the callee
+
+
+def transitive_acquires(model):
+    """Close per-method acquire sets under the call graph (fixpoint)."""
+    trans = {key: set(m.direct) for key, m in model.methods.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, m in model.methods.items():
+            for callee in m.callees:
+                for lid in trans.get(callee, ()):
+                    if lid not in trans[key]:
+                        trans[key].add(lid)
+                        changed = True
+    return trans
+
+
+def build_edges(model, trans):
+    edges = []
+    for key, m in model.methods.items():
+        for held, kind, payload, where in m.events:
+            if kind == "acquire":
+                targets = {payload}
+                via = ""
+            else:
+                callee = payload
+                if kind == "samecls" and callee not in model.methods:
+                    continue
+                targets = trans.get(callee, set())
+                via = f"{callee[0]}::{callee[1]}"
+            for src in held:
+                for dst in targets:
+                    edges.append(Edge(src, dst, where, via))
+    return edges
+
+
+def check(model, edges):
+    """Returns (violations, cycles)."""
+    violations = []
+    seen = set()
+    for e in edges:
+        if (e.src, e.dst, e.where) in seen:
+            continue
+        seen.add((e.src, e.dst, e.where))
+        src, dst = model.locks.get(e.src), model.locks.get(e.dst)
+        if src is None or dst is None:
+            continue
+        if src.rank_value is None or dst.rank_value is None:
+            if e.src == e.dst:
+                violations.append(
+                    f"{e.where}: reacquisition of {e.src} while held"
+                    + (f" (via {e.via})" if e.via else ""))
+            continue
+        if dst.rank_value >= src.rank_value:
+            violations.append(
+                f"{e.where}: acquires {e.dst} (rank {dst.rank_name}="
+                f"{dst.rank_value}) while holding {e.src} (rank "
+                f"{src.rank_name}={src.rank_value})"
+                + (f" via {e.via}" if e.via else "")
+                + "; ranks must strictly decrease")
+
+    # Cycle detection over the lock graph (Tarjan SCC).
+    adj = {}
+    for e in edges:
+        if e.src in model.locks and e.dst in model.locks and e.src != e.dst:
+            adj.setdefault(e.src, set()).add(e.dst)
+    index, low, onstack, stack = {}, {}, set(), []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        work = [(v, iter(sorted(adj.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        onstack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    onstack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                if w in onstack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    onstack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+
+    for v in sorted(adj):
+        if v not in index:
+            strongconnect(v)
+
+    cycles = [" <-> ".join(scc) for scc in sccs]
+    return violations, cycles
+
+
+def emit_dot(model, edges, violations, path):
+    bad_pairs = set()
+    for v in violations:
+        m = re.search(r"acquires (\S+) .* while holding (\S+) ", v)
+        if m:
+            bad_pairs.add((m.group(2), m.group(1)))
+    lines = ["digraph lock_order {", "  rankdir=TB;",
+             "  node [shape=box, fontname=\"monospace\"];"]
+    used = set()
+    pair_seen = set()
+    for e in edges:
+        if e.src not in model.locks or e.dst not in model.locks:
+            continue
+        if e.src == e.dst or (e.src, e.dst) in pair_seen:
+            continue
+        pair_seen.add((e.src, e.dst))
+        used.update((e.src, e.dst))
+    for lid in sorted(used):
+        lock = model.locks[lid]
+        rank = (f"{lock.rank_name}={lock.rank_value}"
+                if lock.rank_value is not None else "unranked")
+        lines.append(f'  "{lid}" [label="{lid}\\n{rank}"];')
+    for src, dst in sorted(pair_seen):
+        attrs = ""
+        if (src, dst) in bad_pairs:
+            attrs = ' [color=red, penwidth=2, label="rank inversion"]'
+        lines.append(f'  "{src}" -> "{dst}"{attrs};')
+    lines.append("}")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------- engines --
+
+def collect_files(args):
+    files = []
+    for src in args.src or []:
+        for dirpath, _, names in os.walk(src):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    files.append(os.path.join(dirpath, name))
+    if args.build_dir:
+        cc_path = os.path.join(args.build_dir, "compile_commands.json")
+        if os.path.exists(cc_path):
+            with open(cc_path) as fh:
+                for entry in json.load(fh):
+                    f = entry.get("file", "")
+                    if f.endswith((".cc", ".cpp")) and os.path.exists(f):
+                        files.append(f)
+            # compile_commands only lists TUs; headers hold the member
+            # declarations, so pull in sibling src/ headers too.
+            roots = {os.path.dirname(f) for f in files}
+            for root in sorted(roots):
+                for name in sorted(os.listdir(root)):
+                    if name.endswith((".h", ".hpp")):
+                        files.append(os.path.join(root, name))
+        elif not args.src:
+            sys.stderr.write(
+                f"lock_graph: no compile_commands.json under "
+                f"{args.build_dir} and no --src given\n")
+            sys.exit(2)
+    seen = set()
+    unique = []
+    for f in files:
+        real = os.path.realpath(f)
+        if real not in seen:
+            seen.add(real)
+            unique.append(f)
+    return unique
+
+
+def run_fallback(args, files):
+    model = Model()
+    texts = {}
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                texts[path] = strip_comments_and_strings(fh.read())
+        except OSError as err:
+            sys.stderr.write(f"lock_graph: cannot read {path}: {err}\n")
+            sys.exit(2)
+    for text in texts.values():
+        parse_ranks(model, text)
+    for path, text in texts.items():
+        pass1_classes(model, path, text)
+    for path, text in texts.items():
+        for cls, name, start, end, specs in iter_method_bodies(text):
+            analyze_body(model, path, cls, name, text, start, end, specs)
+    trans = transitive_acquires(model)
+    edges = build_edges(model, trans)
+    return model, edges
+
+
+def run_clang(args, files):
+    """Best-effort libclang engine; falls back on ImportError."""
+    import clang.cindex  # noqa: F401 (raises ImportError when absent)
+    # The bindings exist: parse each TU from compile_commands.json and
+    # extract annotated acquisitions from the AST. The AST walk shares the
+    # fallback's Model/edge backend; rank metadata still comes from the
+    # textual pass (libclang does not expose the brace-init rank argument
+    # without -fparse-all-comments tricks).
+    model, edges = run_fallback(args, files)
+    return model, edges
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--src", action="append",
+                    help="source directory to scan (repeatable)")
+    ap.add_argument("--build-dir",
+                    help="build tree containing compile_commands.json")
+    ap.add_argument("--dot", help="write the lock graph as DOT to this path")
+    ap.add_argument("--engine", choices=["auto", "clang", "fallback"],
+                    default="auto")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    if not args.src and not args.build_dir:
+        ap.error("need --src and/or --build-dir")
+
+    files = collect_files(args)
+    if not files:
+        sys.stderr.write("lock_graph: no input files found\n")
+        sys.exit(2)
+
+    engine = args.engine
+    if engine == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+            engine = "clang"
+        except ImportError:
+            engine = "fallback"
+    if engine == "clang":
+        try:
+            model, edges = run_clang(args, files)
+        except ImportError:
+            if args.engine == "clang":
+                sys.stderr.write(
+                    "lock_graph: --engine=clang but python libclang "
+                    "bindings are not importable\n")
+                sys.exit(2)
+            model, edges = run_fallback(args, files)
+    else:
+        model, edges = run_fallback(args, files)
+
+    violations, cycles = check(model, edges)
+
+    if args.dot:
+        emit_dot(model, edges, violations, args.dot)
+
+    ranked = sum(1 for l in model.locks.values() if l.rank_value is not None)
+    print(f"lock_graph [{engine}]: {len(files)} files, "
+          f"{len(model.locks)} locks ({ranked} ranked), "
+          f"{len({(e.src, e.dst) for e in edges})} distinct edges")
+    if args.verbose:
+        for pair in sorted({(e.src, e.dst) for e in edges}):
+            print(f"  edge: {pair[0]} -> {pair[1]}")
+
+    ok = True
+    if violations:
+        ok = False
+        print(f"\n{len(violations)} rank violation(s):")
+        for v in sorted(set(violations)):
+            print(f"  {v}")
+    if cycles:
+        ok = False
+        print(f"\n{len(cycles)} lock-order cycle(s):")
+        for c in cycles:
+            print(f"  cycle: {c}")
+    if ok:
+        print("lock order OK: graph is acyclic and all edges decrease rank")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

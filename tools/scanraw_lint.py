@@ -40,6 +40,17 @@ stderr-write     Direct stderr writes (fprintf(stderr, ...), fputs(...,
                  in obs/log.h so a resident server gets one rate-limited,
                  machine-parseable stream; obs/log.cc is the logger's
                  terminal sink and the only sanctioned writer.
+mutex-rank       Every Mutex member declaration in src/ must name a
+                 LockRank (`Mutex mu_{LockRank::kX, "Class.mu"};`) so the
+                 lock participates in the whole-program acquisition order
+                 checked by tools/lock_graph.py and the runtime sentinel
+                 (see DESIGN.md "Lock hierarchy").
+condvar-wait-loop
+                 CondVar Wait/WaitFor calls must sit inside a predicate
+                 loop (`while`/`for`/`do`, not a bare `if`): condition
+                 variables wake spuriously, and an `if` turns a spurious
+                 wakeup into a missed-predicate bug that only TSan-sized
+                 schedules expose.
 
 Suppressions: append `// scanraw-lint: allow(<rule>)` to the offending line
 or place it on the line directly above.
@@ -58,8 +69,10 @@ REPO_ROOT = os.environ.get(
     "SCANRAW_LINT_ROOT",
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-# The annotated wrapper header is the one place raw primitives may live.
-RAW_MUTEX_EXEMPT = ("common/thread_annotations.h",)
+# The annotated wrapper header is the one place raw primitives may live —
+# plus the lock-discipline sentinel beneath it, whose registry cannot use
+# scanraw::Mutex without recursing into its own hooks.
+RAW_MUTEX_EXEMPT = ("common/thread_annotations.h", "common/lock_debug.cc")
 
 RAW_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
@@ -104,6 +117,17 @@ STDERR_EXEMPT = ("obs/log.cc",)
 STDERR_WRITE_RE = re.compile(
     r"\bfprintf\s*\(\s*stderr\b|\bfputs\s*\([^)]*,\s*stderr\s*\)|"
     r"\bfputc\s*\([^)]*,\s*stderr\s*\)|\bstd::cerr\b|\bperror\s*\(")
+
+# mutex-rank: a Mutex member declaration; `MutexLock`, `Mutex*` and
+# `Mutex&` deliberately do not match. The wrapper header itself is exempt
+# (it defines the type and documents the unranked constructor).
+MUTEX_RANK_EXEMPT = ("common/thread_annotations.h",)
+MUTEX_MEMBER_DECL_RE = re.compile(r"\b(?:mutable\s+)?Mutex\s+\w+\s*[;{]")
+
+# condvar-wait-loop: a CondVar wait call; `WaitForWrites()` and other
+# longer names do not match (the `(` must directly follow Wait/WaitFor).
+WAIT_CALL_RE = re.compile(r"\b\w+\s*(?:\.|->)\s*Wait(?:For)?\s*\(")
+LOOP_KEYWORD_RE = re.compile(r"\b(while|for|do)\b")
 
 # byte-loop: hot-path directories where per-byte scan loops are banned.
 BYTE_LOOP_DIRS = ("src/format/", "src/scanraw/")
@@ -327,6 +351,67 @@ def check_flight_record_path(rel, lines, findings):
         i = k + 1
 
 
+def check_mutex_rank(rel, lines, findings):
+    if any(rel.replace(os.sep, "/").endswith(e) for e in MUTEX_RANK_EXEMPT):
+        return
+    for i, line in enumerate(lines):
+        code = strip_comments(line)
+        m = MUTEX_MEMBER_DECL_RE.search(code)
+        if not m:
+            continue
+        # Tolerate the rank on a continuation line of a `{`-initializer.
+        probe = code
+        if m.group(0).endswith("{") and i + 1 < len(lines):
+            probe += strip_comments(lines[i + 1])
+        if "LockRank::" in probe:
+            continue
+        if is_suppressed(lines, i, "mutex-rank"):
+            continue
+        findings.append((rel, i + 1, "mutex-rank",
+                         "Mutex member must declare a LockRank "
+                         "(`Mutex mu_{LockRank::kX, \"Class.mu\"};`); see "
+                         "DESIGN.md \"Lock hierarchy\""))
+
+
+def check_condvar_wait_loop(rel, lines, findings):
+    for i, line in enumerate(lines):
+        code = strip_comments(line)
+        if not WAIT_CALL_RE.search(code):
+            continue
+        if LOOP_KEYWORD_RE.search(code):
+            continue  # same-line `while (!ready) cv.Wait(lock);`
+        if is_suppressed(lines, i, "condvar-wait-loop"):
+            continue
+        # Walk outwards: the wait passes if ANY enclosing block within the
+        # function is a loop (the predicate re-check may sit one level out,
+        # e.g. `for (;;) { { lock; if (!stop_) cv.WaitFor(...); } ... }`).
+        wrapped = False
+        depth = 0
+        min_depth = 0
+        lo = max(0, i - MAX_SCOPE_LOOKBACK)
+        for j in range(i - 1, lo - 1, -1):
+            cj = strip_comments(lines[j])
+            depth += cj.count("}") - cj.count("{")
+            if depth >= min_depth:
+                continue
+            min_depth = depth
+            if LOOP_KEYWORD_RE.search(cj):
+                wrapped = True
+                break
+            # A bare `{` opener: the loop header may sit on the line above.
+            if cj.strip() == "{" and j > 0 and \
+                    LOOP_KEYWORD_RE.search(strip_comments(lines[j - 1])):
+                wrapped = True
+                break
+            if FUNC_START_RE.match(cj) and not CONTROL_KEYWORD_RE.match(cj):
+                break  # reached the function definition: no loop found
+        if not wrapped:
+            findings.append((rel, i + 1, "condvar-wait-loop",
+                             "CondVar wait not wrapped in a predicate loop; "
+                             "use `while (!cond) cv.Wait(lock);` (condition "
+                             "variables wake spuriously)"))
+
+
 def is_test_file(rel):
     base = os.path.basename(rel)
     return ("test" in base) or ("/tests/" in rel.replace(os.sep, "/"))
@@ -348,6 +433,8 @@ def lint_file(path, findings):
         check_byte_loop(rel, lines, findings)
         check_state_file_write(rel, lines, findings)
         check_flight_record_path(rel, lines, findings)
+        check_mutex_rank(rel, lines, findings)
+        check_condvar_wait_loop(rel, lines, findings)
     check_unchecked_value(rel, lines, findings)
     if rel.endswith(".h"):
         check_include_guard(rel, lines, findings)
