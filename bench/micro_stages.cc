@@ -25,9 +25,11 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "format/parallel_chunker.h"
 #include "format/parser.h"
 #include "format/tokenizer.h"
 #include "genomics/bam_like.h"
+#include "pipeline/thread_pool.h"
 
 namespace scanraw {
 namespace {
@@ -143,9 +145,38 @@ int RunGolden() {
         }};
   };
 
+  // Third tier: the speculative parallel tokenizer vs. the sequential SIMD
+  // path it must beat on multi-core hosts (bench/parallel_tokenize has the
+  // full thread-scaling sweep; this single case keeps the tier under the
+  // same regression gate as the rest of the hot path).
+  static ThreadPool pool(3);
+  auto parallel_case = [](const TextChunk& chunk, size_t columns,
+                          const char* key) {
+    TokenizeOptions opts;
+    opts.schema_fields = columns;
+    return GoldenCase{
+        key,
+        [&chunk, opts] {
+          ParallelTokenizeOptions ptopts;
+          ptopts.pool = &pool;
+          ptopts.num_ranges = 4;
+          ptopts.min_range_bytes = 1;
+          SpeculationStats stats;
+          auto map = ParallelTokenizeChunk(chunk, opts, ptopts, &stats);
+          bench::CheckOk(map.status(), "parallel tokenize");
+          benchmark::DoNotOptimize(map);
+        },
+        [&chunk, opts] {
+          auto map = TokenizeChunk(chunk, opts);
+          bench::CheckOk(map.status(), "tokenize");
+          benchmark::DoNotOptimize(map);
+        }};
+  };
+
   std::vector<GoldenCase> cases;
   cases.push_back(tokenize_case(u32_16, 16, "tokenize/16"));
   cases.push_back(tokenize_case(u32_64, 64, "tokenize/64"));
+  cases.push_back(parallel_case(u32_64, 64, "tokenize_par/64"));
   cases.push_back(parse_case(u32_16, Schema::AllUint32(16), "parse_u32/16"));
   cases.push_back(parse_case(u32_64, Schema::AllUint32(64), "parse_u32/64"));
   cases.push_back(parse_case(dbl_16, AllDoubleSchema(16), "parse_dbl/16"));

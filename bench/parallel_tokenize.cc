@@ -1,0 +1,219 @@
+// Scaling benchmark for the speculative intra-file parallel TOKENIZE
+// (format/parallel_chunker). Times three things over a fig5-style wide
+// chunk (64 uint32 columns x 4096 rows) and a quoted variant of it:
+//
+//  * the frozen sequential SIMD tokenizer (the baseline tier),
+//  * ParallelTokenizeChunk at 1/2/4/8 total threads (pool workers + the
+//    participating caller),
+//  * the quote-aware record scan, sequential FSM vs. speculative ranges.
+//
+// The main table (gated by tools/bench_compare against
+// bench/golden/BENCH_parallel_tokenize.json in CI) holds ms-per-chunk;
+// throughput and speedup-vs-sequential ride along as extras. On a
+// single-core host the parallel rows degenerate to the sequential time plus
+// fan-out overhead — the golden values are whatever the reference machine
+// measured, so the gate still catches regressions in either tier.
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "format/parallel_chunker.h"
+#include "format/tokenizer.h"
+#include "pipeline/thread_pool.h"
+
+namespace scanraw {
+namespace {
+
+constexpr size_t kColumns = 64;
+constexpr size_t kRows = 4096;
+
+TextChunk MakeUnquotedChunk() {
+  Random rng(42);
+  std::string data;
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t c = 0; c < kColumns; ++c) {
+      if (c > 0) data.push_back(',');
+      AppendUint64(&data, rng.NextUint32() & 0x7FFFFFFFu);
+    }
+    data.push_back('\n');
+  }
+  return MakeTextChunk(std::move(data));
+}
+
+// Same shape, but every eighth column is a quoted string with embedded
+// delimiters and doubled quotes (quoted newlines excluded here so the row
+// count stays comparable; the record-scan cases cover those).
+TextChunk MakeQuotedChunk() {
+  Random rng(43);
+  std::string data;
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t c = 0; c < kColumns; ++c) {
+      if (c > 0) data.push_back(',');
+      if (c % 8 == 7) {
+        data.push_back('"');
+        data.push_back('v');
+        AppendUint64(&data, rng.NextUint32() & 0xFFFFu);
+        if (rng.OneIn(2)) data.push_back(',');
+        if (rng.OneIn(3)) data += "\"\"";
+        data.push_back('"');
+      } else {
+        AppendUint64(&data, rng.NextUint32() & 0x7FFFFFFFu);
+      }
+    }
+    data.push_back('\n');
+  }
+  return MakeTextChunk(std::move(data));
+}
+
+// Seconds per call, min over repetitions of a calibrated batch (same
+// estimator as micro_stages).
+double TimeIt(const std::function<void()>& fn) {
+  constexpr int64_t kTargetBatchNanos = 50'000'000;  // 50 ms
+  constexpr int kReps = 5;
+  RealClock* clock = RealClock::Instance();
+  fn();  // warm-up
+  int64_t t0 = clock->NowNanos();
+  fn();
+  const int64_t once = std::max<int64_t>(clock->NowNanos() - t0, 1);
+  const int64_t iters = std::max<int64_t>(kTargetBatchNanos / once, 1);
+  double best = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    t0 = clock->NowNanos();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double per_call = static_cast<double>(clock->NowNanos() - t0) /
+                            static_cast<double>(iters) * 1e-9;
+    best = std::min(best, per_call);
+  }
+  return best;
+}
+
+}  // namespace
+
+int Run() {
+  const TextChunk unquoted = MakeUnquotedChunk();
+  const TextChunk quoted = MakeQuotedChunk();
+
+  TokenizeOptions topts;
+  topts.schema_fields = kColumns;
+  TokenizeOptions qopts = topts;
+  qopts.quoted = true;
+
+  // One pool per thread count, workers = threads - 1 (the caller is the
+  // remaining thread).
+  const size_t kThreads[] = {1, 2, 4, 8};
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  for (size_t t : kThreads) pools.push_back(std::make_unique<ThreadPool>(t - 1));
+
+  struct Row {
+    std::string key;
+    double seconds = 0;
+    size_t bytes = 0;
+    double speedup = 0;  // vs. the matching sequential row; 0 = baseline
+  };
+  std::vector<Row> rows;
+
+  auto parallel_tokenize = [&](const TextChunk& chunk,
+                               const TokenizeOptions& opts, ThreadPool* pool,
+                               size_t threads) {
+    ParallelTokenizeOptions ptopts;
+    ptopts.pool = pool;
+    ptopts.num_ranges = threads;
+    ptopts.min_range_bytes = 1;
+    SpeculationStats stats;
+    auto map = ParallelTokenizeChunk(chunk, opts, ptopts, &stats);
+    bench::CheckOk(map.status(), "parallel tokenize");
+  };
+
+  // -- TOKENIZE, unquoted then quoted ------------------------------------
+  for (const bool q : {false, true}) {
+    const TextChunk& chunk = q ? quoted : unquoted;
+    const TokenizeOptions& opts = q ? qopts : topts;
+    const std::string tag = q ? "quoted" : "u32";
+    const double seq = TimeIt([&] {
+      auto map = TokenizeChunk(chunk, opts);
+      bench::CheckOk(map.status(), "tokenize");
+    });
+    rows.push_back({"tokenize_seq/" + tag, seq, chunk.data.size(), 0});
+    for (size_t i = 0; i < 4; ++i) {
+      const double par = TimeIt([&] {
+        parallel_tokenize(chunk, opts, pools[i].get(), kThreads[i]);
+      });
+      rows.push_back({"tokenize_par/" + tag + "/t" +
+                          std::to_string(kThreads[i]),
+                      par, chunk.data.size(), seq / par});
+    }
+  }
+
+  // -- quote-aware record scan: sequential FSM vs. speculative ranges ----
+  {
+    const RecordDialect dialect{true, '"'};
+    const double seq = TimeIt([&] {
+      std::vector<uint32_t> newlines;
+      FindRecordNewlines(quoted.data.data(), 0, quoted.data.size(), dialect,
+                         false, &newlines);
+    });
+    rows.push_back({"recscan_seq/quoted", seq, quoted.data.size(), 0});
+    for (size_t i = 0; i < 4; ++i) {
+      RecordScanOptions sopts;
+      sopts.dialect = dialect;
+      sopts.pool = pools[i].get();
+      sopts.num_ranges = kThreads[i];
+      sopts.min_range_bytes = 1;
+      const double par = TimeIt([&] {
+        SpeculationStats stats;
+        std::vector<uint32_t> newlines;
+        ParallelFindRecordNewlines(quoted.data.data(), 0, quoted.data.size(),
+                                   false, sopts, &stats, &newlines);
+      });
+      rows.push_back({"recscan_par/quoted/t" + std::to_string(kThreads[i]),
+                      par, quoted.data.size(), seq / par});
+    }
+  }
+
+  bench::TablePrinter table({"stage", "ms_per_chunk"});
+  std::string speedups = "{";
+  std::string throughput = "{";
+  bool first = true;
+  for (const Row& row : rows) {
+    table.AddRow({row.key, bench::Fmt("%.4f", row.seconds * 1e3)});
+    const double mbps =
+        static_cast<double>(row.bytes) / row.seconds / (1024.0 * 1024.0);
+    if (!first) {
+      speedups += ",";
+      throughput += ",";
+    }
+    first = false;
+    speedups += "\"" + row.key + "\":" + bench::Fmt("%.2f", row.speedup);
+    throughput += "\"" + row.key + "\":" + bench::Fmt("%.1f", mbps);
+    std::printf("%-26s %9.4f ms  %8.1f MB/s  %s\n", row.key.c_str(),
+                row.seconds * 1e3, mbps,
+                row.speedup > 0
+                    ? (bench::Fmt("%.2f", row.speedup) + "x vs seq").c_str()
+                    : "baseline");
+  }
+  speedups += "}";
+  throughput += "}";
+
+  std::printf("\n");
+  table.Print();
+  bench::BenchJsonWriter writer("parallel_tokenize");
+  writer.AddExtra("rows_per_chunk", std::to_string(kRows));
+  writer.AddExtra("columns", std::to_string(kColumns));
+  writer.AddExtra("host_threads",
+                  std::to_string(std::thread::hardware_concurrency()));
+  writer.AddExtra("speedup_vs_seq", speedups);
+  writer.AddExtra("throughput_mb_s", throughput);
+  return writer.Write(table) ? 0 : 1;
+}
+
+}  // namespace scanraw
+
+int main() { return scanraw::Run(); }

@@ -104,6 +104,7 @@ enum class LockRank : int {
 
   // --- leaf tier: held only across in-memory state mutation ------------
   kLeaf = 100,             // misc leaf locks with no outgoing edges
+  kParallelChunker = 110,  // ParallelFor join state (format/parallel_chunker)
   kMetrics = 120,          // obs::MetricsRegistry map
   kTimeSeriesRing = 140,   // obs::TimeSeriesRing buffer
   kTimeSeries = 160,       // obs::TimeSeries registry (holds ring locks)

@@ -14,6 +14,9 @@ Result<CsvFileInfo> GenerateCsvFile(const std::string& path,
   if (spec.max_value == 0) {
     return Status::InvalidArgument("max_value must be > 0");
   }
+  if (spec.quoted_columns > spec.num_columns) {
+    return Status::InvalidArgument("quoted_columns must be <= num_columns");
+  }
   auto file = WritableFile::Create(path);
   if (!file.ok()) return file.status();
 
@@ -23,16 +26,37 @@ Result<CsvFileInfo> GenerateCsvFile(const std::string& path,
   info.num_columns = spec.num_columns;
   info.column_sums.assign(spec.num_columns, 0);
 
+  const size_t numeric_columns = spec.num_columns - spec.quoted_columns;
   std::string buffer;
   buffer.reserve(1 << 20);
   for (uint64_t r = 0; r < spec.num_rows; ++r) {
     for (size_t c = 0; c < spec.num_columns; ++c) {
       if (c > 0) buffer.push_back(spec.delimiter);
-      const uint32_t v =
-          static_cast<uint32_t>(rng.NextUint32() % spec.max_value);
-      info.total_sum += v;
-      info.column_sums[c] += v;
-      AppendUint64(&buffer, v);
+      if (c < numeric_columns) {
+        const uint32_t v =
+            static_cast<uint32_t>(rng.NextUint32() % spec.max_value);
+        info.total_sum += v;
+        info.column_sums[c] += v;
+        AppendUint64(&buffer, v);
+        continue;
+      }
+      // Quoted string field: always enclosed, with the adversarial bytes a
+      // quote-blind scanner would trip over sprinkled in at random.
+      buffer.push_back('"');
+      buffer.push_back('v');
+      AppendUint64(&buffer, rng.Uniform(spec.max_value));
+      if (rng.OneIn(3)) buffer.push_back(spec.delimiter);
+      if (rng.OneIn(4)) {
+        buffer.push_back('"');  // doubled-quote escape
+        buffer.push_back('"');
+      }
+      if (spec.quoted_newline_one_in > 0 &&
+          rng.OneIn(spec.quoted_newline_one_in)) {
+        buffer.push_back('\n');
+        ++info.quoted_newlines;
+      }
+      buffer.push_back('x');
+      buffer.push_back('"');
     }
     buffer.push_back('\n');
     if (buffer.size() >= (1 << 20) - 4096) {
@@ -49,7 +73,19 @@ Result<CsvFileInfo> GenerateCsvFile(const std::string& path,
 }
 
 Schema CsvSchema(const CsvSpec& spec) {
-  return Schema::AllUint32(spec.num_columns, spec.delimiter);
+  if (spec.quoted_columns == 0) {
+    return Schema::AllUint32(spec.num_columns, spec.delimiter);
+  }
+  std::vector<ColumnDef> columns;
+  columns.reserve(spec.num_columns);
+  const size_t numeric_columns = spec.num_columns - spec.quoted_columns;
+  for (size_t c = 0; c < spec.num_columns; ++c) {
+    ColumnDef def;
+    def.name = "C" + std::to_string(c);
+    def.type = c < numeric_columns ? FieldType::kUint32 : FieldType::kString;
+    columns.push_back(std::move(def));
+  }
+  return Schema(std::move(columns), spec.delimiter);
 }
 
 }  // namespace scanraw

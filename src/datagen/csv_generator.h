@@ -18,6 +18,13 @@ struct CsvSpec {
   uint64_t seed = 1;
   // Values are uniform in [0, max_value).
   uint32_t max_value = 1u << 31;
+  // RFC-4180 dialect: the last `quoted_columns` columns are emitted as
+  // quoted string fields exercising embedded delimiters, doubled-quote
+  // escapes, and (one row in `quoted_newline_one_in`) quoted newlines.
+  // The remaining leading columns stay uint32, so numeric ground truth
+  // (total_sum / column_sums) is still exact.
+  size_t quoted_columns = 0;
+  uint64_t quoted_newline_one_in = 8;
 };
 
 struct CsvFileInfo {
@@ -27,8 +34,13 @@ struct CsvFileInfo {
   // Sum over every value in the file (mod 2^64) — ground truth for the
   // micro-benchmark query.
   uint64_t total_sum = 0;
-  // Per-column sums, same ground-truth role for projections.
+  // Per-column sums, same ground-truth role for projections. Quoted string
+  // columns contribute 0.
   std::vector<uint64_t> column_sums;
+  // Newlines embedded inside quoted fields — records crossing these would
+  // be mis-split by a quote-blind scanner, which is exactly what the
+  // speculative record scan's tests count on.
+  uint64_t quoted_newlines = 0;
 };
 
 // Writes the file and returns ground-truth aggregates for validation.

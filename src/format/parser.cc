@@ -177,7 +177,8 @@ Status FieldError(const TextChunk& chunk, size_t r, size_t c,
 // output lands in a single bulk-resized block.
 template <typename SpanFn>
 Status ParseBlockTyped(const TextChunk& chunk, size_t c, FieldType type,
-                       size_t bn, ColumnVector* out, SpanFn span) {
+                       size_t bn, const ParseOptions& options,
+                       ColumnVector* out, SpanFn span) {
   const std::string_view data(chunk.data);
   const char* base = data.data();
   size_t r = 0;
@@ -215,9 +216,28 @@ Status ParseBlockTyped(const TextChunk& chunk, size_t c, FieldType type,
       return Status::OK();
     }
     case FieldType::kString: {
+      const char quote = options.quote;
+      std::string collapsed;
       for (size_t i = 0; i < bn; ++i) {
         span(i, &r, &s, &e);
-        out->AppendString(data.substr(s, e - s));
+        const std::string_view field = data.substr(s, e - s);
+        if (!options.unescape_quotes ||
+            field.find(quote) == std::string_view::npos) {
+          out->AppendString(field);
+          continue;
+        }
+        // Quoted-dialect escape: a doubled quote inside the field is one
+        // literal quote character; a lone quote passes through unchanged.
+        collapsed.clear();
+        collapsed.reserve(field.size());
+        for (size_t p = 0; p < field.size(); ++p) {
+          collapsed.push_back(field[p]);
+          if (field[p] == quote && p + 1 < field.size() &&
+              field[p + 1] == quote) {
+            ++p;
+          }
+        }
+        out->AppendString(collapsed);
       }
       return Status::OK();
     }
@@ -229,7 +249,8 @@ Status ParseBlockTyped(const TextChunk& chunk, size_t c, FieldType type,
 // all rows); `b0` is the block's first selection index.
 Status ParseColumnBlock(const TextChunk& chunk, const PositionalMap& map,
                         size_t c, FieldType type, const uint32_t* sel,
-                        size_t b0, size_t bn, ColumnVector* out) {
+                        size_t b0, size_t bn, const ParseOptions& options,
+                        ColumnVector* out) {
   if (!map.explicit_ends() && sel == nullptr) {
     // Compact unfiltered fast path: rows are consecutive, so the slot
     // pointer advances by a fixed stride, and whether the field end needs
@@ -238,7 +259,7 @@ Status ParseColumnBlock(const TextChunk& chunk, const PositionalMap& map,
     const uint32_t* slot = map.RowData(b0) + c;
     const uint32_t adj = (c + 1 == map.fields_per_row()) ? 0 : 1;
     return ParseBlockTyped(
-        chunk, c, type, bn, out,
+        chunk, c, type, bn, options, out,
         [=](size_t i, size_t* r, uint32_t* s, uint32_t* e) {
           *r = b0 + i;
           const uint32_t* p = slot + i * stride;
@@ -246,7 +267,7 @@ Status ParseColumnBlock(const TextChunk& chunk, const PositionalMap& map,
           *e = p[1] - adj;
         });
   }
-  return ParseBlockTyped(chunk, c, type, bn, out,
+  return ParseBlockTyped(chunk, c, type, bn, options, out,
                          [&map, sel, c, b0](size_t i, size_t* r, uint32_t* s,
                                             uint32_t* e) {
                            *r = sel != nullptr ? sel[b0 + i] : b0 + i;
@@ -353,7 +374,8 @@ Result<BinaryChunk> ParseChunk(const TextChunk& chunk,
     for (size_t j = 0; j < cols.size(); ++j) {
       SCANRAW_RETURN_IF_ERROR(ParseColumnBlock(chunk, map, cols[j],
                                                schema.column(cols[j]).type,
-                                               sel, b0, bn, &vectors[j]));
+                                               sel, b0, bn, options,
+                                               &vectors[j]));
     }
   }
 

@@ -33,6 +33,11 @@ struct ParseOptions {
   // When set, output columns draw their backing buffers from here instead
   // of allocating fresh ones (see ChunkBufferPool). May be null.
   ColumnBufferSource* recycler = nullptr;
+  // RFC-4180 quoted dialect, PARSE half: collapse doubled quote characters
+  // ("" -> ") in string fields. The tokenizer's spans already exclude the
+  // enclosing quotes, so numeric columns parse unchanged either way.
+  bool unescape_quotes = false;
+  char quote = '"';
 };
 
 // Parses the projected columns of `chunk` into a BinaryChunk. When a

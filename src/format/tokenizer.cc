@@ -20,25 +20,93 @@ uint32_t LineEnd(const TextChunk& chunk, size_t r) {
   return end;
 }
 
+// One RFC-4180 row: fields split at delimiters found at outside-quote
+// parity — the exact FSM the record scanner (format/parallel_chunker) runs,
+// so READ and TOKENIZE agree on every byte of every input, well-formed or
+// not. Spans of fully-quoted fields exclude the enclosing quotes; doubled
+// quotes inside stay for PARSE to collapse.
+Status TokenizeRowQuoted(const TextChunk& chunk,
+                         const TokenizeOptions& options, size_t fields,
+                         size_t r, PositionalMap* map) {
+  const char delim = options.delimiter;
+  const char quote = options.quote;
+  const char* data = chunk.data.data();
+  const uint32_t end = LineEnd(chunk, r);
+  size_t pos = chunk.line_starts[r];
+  size_t f = 0;
+  while (true) {
+    const size_t field_start = pos;
+    // Hop to the next delimiter at outside-quote parity (or line end).
+    size_t sep = bytescan::kNpos;
+    size_t p = pos;
+    bool inside = false;
+    while (p < end) {
+      if (inside) {
+        const size_t q = bytescan::FindByte(data, p, end, quote);
+        if (q == bytescan::kNpos) {
+          p = end;
+          break;
+        }
+        inside = false;
+        p = q + 1;
+      } else {
+        const size_t q = bytescan::FindEither(data, p, end, quote, delim);
+        if (q == bytescan::kNpos) break;
+        if (data[q] == quote) {
+          inside = true;
+          p = q + 1;
+        } else {
+          sep = q;
+          break;
+        }
+      }
+    }
+    size_t fs = field_start;
+    size_t fe = sep == bytescan::kNpos ? end : sep;
+    if (fe - fs >= 2 && data[fs] == quote && data[fe - 1] == quote) {
+      ++fs;
+      --fe;
+    }
+    map->SetSpan(r, f, static_cast<uint32_t>(fs), static_cast<uint32_t>(fe));
+    ++f;
+    if (f == fields) {
+      if (sep != bytescan::kNpos && fields == options.schema_fields) {
+        return Status::Corruption(StringPrintf(
+            "chunk %llu row %zu: more fields than the %zu in the schema",
+            static_cast<unsigned long long>(chunk.chunk_index), r, fields));
+      }
+      return Status::OK();
+    }
+    if (sep == bytescan::kNpos) {
+      return Status::Corruption(StringPrintf(
+          "chunk %llu row %zu: expected %zu fields, found %zu",
+          static_cast<unsigned long long>(chunk.chunk_index), r, fields, f));
+    }
+    pos = sep + 1;
+  }
+}
+
 }  // namespace
 
-Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
-                                    const TokenizeOptions& options) {
-  if (options.schema_fields == 0) {
-    return Status::InvalidArgument("schema_fields must be > 0");
-  }
+Status TokenizeRows(const TextChunk& chunk, const TokenizeOptions& options,
+                    size_t row_begin, size_t row_end, PositionalMap* map) {
   const size_t fields = options.EffectiveFields();
+  if (options.quoted) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      SCANRAW_RETURN_IF_ERROR(TokenizeRowQuoted(chunk, options, fields, r,
+                                                map));
+    }
+    return Status::OK();
+  }
   const char delim = options.delimiter;
   const char* data = chunk.data.data();
-  PositionalMap map(chunk.num_rows(), fields);
-
-  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+  for (size_t r = row_begin; r < row_end; ++r) {
     const uint32_t start = chunk.line_starts[r];
     const uint32_t end = LineEnd(chunk, r);
     // One bulk scan per row: every delimiter hit writes the next field's
     // start (bias 1) straight into the row's slot array, and the overflow
     // match doubles as the end-of-last-field / extra-field probe.
-    uint32_t* slots = map.MutableRow(r);
+    uint32_t* slots = map->MutableRow(r);
     slots[0] = start;
     size_t next = bytescan::kNpos;
     const size_t found = bytescan::FindN(data, start, end, delim, slots + 1,
@@ -59,6 +127,18 @@ Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
                         ? static_cast<uint32_t>(next)
                         : end;
   }
+  return Status::OK();
+}
+
+Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
+                                    const TokenizeOptions& options) {
+  if (options.schema_fields == 0) {
+    return Status::InvalidArgument("schema_fields must be > 0");
+  }
+  PositionalMap map(chunk.num_rows(), options.EffectiveFields(),
+                    /*explicit_ends=*/options.quoted);
+  Status status = TokenizeRows(chunk, options, 0, chunk.num_rows(), &map);
+  if (!status.ok()) return status;
   return map;
 }
 

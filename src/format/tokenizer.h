@@ -20,6 +20,14 @@ struct TokenizeOptions {
   // Tokenize only the first `max_fields` attributes of each row (selective
   // tokenizing). Clamped to schema_fields; 0 means "all".
   size_t max_fields = 0;
+  // RFC-4180 quoted dialect: fields may be enclosed in `quote`; embedded
+  // delimiters and newlines stay literal inside quotes and a doubled quote
+  // escapes one quote character. Quoted tokenizing emits an explicit-ends
+  // map (a quoted field does not end one byte before the next field's
+  // start) whose spans exclude the enclosing quotes; doubled quotes inside
+  // the span are collapsed by PARSE (ParseOptions::unescape_quotes).
+  bool quoted = false;
+  char quote = '"';
 
   size_t EffectiveFields() const {
     if (max_fields == 0 || max_fields > schema_fields) return schema_fields;
@@ -32,6 +40,14 @@ struct TokenizeOptions {
 // Returns Corruption if a row has fewer delimiters than requested.
 Result<PositionalMap> TokenizeChunk(const TextChunk& chunk,
                                     const TokenizeOptions& options);
+
+// Tokenizes rows [row_begin, row_end) of `chunk` into `*map`, which must
+// cover the chunk's rows in the layout TokenizeChunk would build for these
+// options (explicit-ends when quoted, compact otherwise). Exposed so the
+// parallel chunker can fan disjoint row ranges of one shared map across
+// workers; TokenizeChunk itself is this over [0, num_rows).
+Status TokenizeRows(const TextChunk& chunk, const TokenizeOptions& options,
+                    size_t row_begin, size_t row_end, PositionalMap* map);
 
 // Incremental tokenizing with a cached partial map (§2: "a partial map can
 // provide significant reductions even for the attributes whose positions

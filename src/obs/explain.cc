@@ -91,6 +91,9 @@ std::string ExplainReport::ToText() const {
     out += "  write budget: useful-bytes=" + U64(useful_bytes_written) +
            " efficiency=" + Fmt("%.1f", 100.0 * WriteEfficiency()) + "%\n";
   }
+  out += "  tokenize: ranges=" + U64(tokenize_ranges) +
+         " misspeculations=" + U64(tokenize_misspeculations) +
+         " repair-bytes=" + U64(tokenize_repair_bytes) + "\n";
   if (advisor_used) {
     out += "  " + (advisor_note.empty() ? std::string("advisor: (no note)")
                                         : advisor_note) +
@@ -150,6 +153,9 @@ std::string ExplainReport::ToJson() const {
          ",\"useful_bytes_written\":" + U64(useful_bytes_written) +
          ",\"write_efficiency\":" + Fmt("%.9g", WriteEfficiency()) +
          ",\"paid_off\":" + (speculation_paid_off ? "true" : "false") + "}";
+  out += ",\"tokenize\":{\"ranges\":" + U64(tokenize_ranges) +
+         ",\"misspeculations\":" + U64(tokenize_misspeculations) +
+         ",\"repair_bytes\":" + U64(tokenize_repair_bytes) + "}";
   out += ",\"advisor\":{\"used\":" +
          std::string(advisor_used ? "true" : "false") + ",\"note\":\"" +
          JsonEscape(advisor_note) + "\"}";

@@ -67,6 +67,13 @@ struct ExplainReport {
   // loaded chunks.
   bool speculation_paid_off = false;
 
+  // Speculative parallel TOKENIZE / record discovery
+  // (format/parallel_chunker): ranges fanned out, ranges whose speculated
+  // start quote-parity proved wrong, and bytes re-scanned to repair them.
+  uint64_t tokenize_ranges = 0;
+  uint64_t tokenize_misspeculations = 0;
+  uint64_t tokenize_repair_bytes = 0;
+
   // Cache behavior across the query.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;

@@ -61,6 +61,20 @@ struct ScanRawOptions {
   // fully sequential conversion (Figure 4's leftmost configuration).
   size_t num_workers = 8;
 
+  // Speculative intra-file parallel TOKENIZE (format/parallel_chunker):
+  // split each chunk into byte ranges, speculate record boundary and quote
+  // parity at each range start, tokenize the ranges concurrently on the
+  // worker pool, and repair only misspeculated ranges. Off = the frozen
+  // sequential SIMD path, kept as the reference tier for equivalence tests
+  // and benches. Ignored for JSON (its tokenizer is per-line already).
+  bool parallel_tokenize = true;
+
+  // RFC-4180 quoted-field dialect for delimited text: fields may be quoted,
+  // with embedded delimiters, doubled-quote escapes, and quoted newlines.
+  // Record discovery and TOKENIZE share one quote-parity FSM; PARSE
+  // collapses doubled quotes in string fields.
+  bool quoted_fields = false;
+
   // Pipeline buffer capacities, in chunks.
   size_t text_buffer_capacity = 8;
   size_t position_buffer_capacity = 8;

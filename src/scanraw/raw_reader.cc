@@ -14,20 +14,27 @@ constexpr size_t kReadBlockBytes = 1 << 20;  // 1 MB sequential read unit
 
 Result<std::unique_ptr<SequentialChunker>> SequentialChunker::Open(
     const std::string& path, uint64_t chunk_rows, RateLimiter* limiter,
-    IoStats* stats, ChunkBufferPool* pool) {
+    IoStats* stats, ChunkBufferPool* pool, RecordDialect dialect,
+    ThreadPool* scan_pool) {
   if (chunk_rows == 0) {
     return Status::InvalidArgument("chunk_rows must be > 0");
   }
   auto file = RandomAccessFile::Open(path, limiter, stats);
   if (!file.ok()) return file.status();
-  return std::unique_ptr<SequentialChunker>(
-      new SequentialChunker(std::move(*file), chunk_rows, pool));
+  return std::unique_ptr<SequentialChunker>(new SequentialChunker(
+      std::move(*file), chunk_rows, pool, dialect, scan_pool));
 }
 
 SequentialChunker::SequentialChunker(std::unique_ptr<RandomAccessFile> file,
                                      uint64_t chunk_rows,
-                                     ChunkBufferPool* pool)
-    : file_(std::move(file)), chunk_rows_(chunk_rows), pool_(pool) {}
+                                     ChunkBufferPool* pool,
+                                     RecordDialect dialect,
+                                     ThreadPool* scan_pool)
+    : file_(std::move(file)),
+      chunk_rows_(chunk_rows),
+      pool_(pool),
+      dialect_(dialect),
+      scan_pool_(scan_pool) {}
 
 Result<std::optional<TextChunk>> SequentialChunker::Next() {
   std::string data;
@@ -41,23 +48,58 @@ Result<std::optional<TextChunk>> SequentialChunker::Next() {
   carry_.clear();
   newline_scratch_.clear();
 
-  // One bulk scan per byte range: newline positions land in the scratch
-  // vector, which both sizes the chunk and becomes its line starts below.
-  uint64_t lines = bytescan::FindAll(data.data(), 0, data.size(), '\n',
-                                     chunk_rows_, 0, &newline_scratch_);
-  while (lines < chunk_rows_ && !eof_) {
-    const size_t old = data.size();
-    data.resize(old + kReadBlockBytes);
-    auto n = file_->ReadAt(file_pos_, kReadBlockBytes, data.data() + old);
-    if (!n.ok()) return n.status();
-    data.resize(old + *n);
-    file_pos_ += *n;
-    if (*n == 0) {
-      eof_ = true;
-      break;
+  uint64_t lines = 0;
+  if (!dialect_.quoted) {
+    // Unquoted fast path (frozen from before the quoted dialect existed):
+    // one bulk scan per byte range, budgeted to chunk_rows hits. Newline
+    // positions land in the scratch vector, which both sizes the chunk and
+    // becomes its line starts below.
+    lines = bytescan::FindAll(data.data(), 0, data.size(), '\n', chunk_rows_,
+                              0, &newline_scratch_);
+    while (lines < chunk_rows_ && !eof_) {
+      const size_t old = data.size();
+      data.resize(old + kReadBlockBytes);
+      auto n = file_->ReadAt(file_pos_, kReadBlockBytes, data.data() + old);
+      if (!n.ok()) return n.status();
+      data.resize(old + *n);
+      file_pos_ += *n;
+      if (*n == 0) {
+        eof_ = true;
+        break;
+      }
+      lines += bytescan::FindAll(data.data(), old, data.size(), '\n',
+                                 chunk_rows_ - lines, 0, &newline_scratch_);
     }
-    lines += bytescan::FindAll(data.data(), old, data.size(), '\n',
-                               chunk_rows_ - lines, 0, &newline_scratch_);
+  } else {
+    // Quote-aware record discovery. The carry always begins at a record
+    // boundary (it is the tail after the previous chunk's cut), so every
+    // Next() starts at outside-quote parity; `inside` threads the parity
+    // across the incremental block reads. With a scan pool this is the
+    // speculative parallel range scan; otherwise the sequential FSM.
+    RecordScanOptions sopts;
+    sopts.dialect = dialect_;
+    sopts.pool = scan_pool_;
+    bool inside =
+        ParallelFindRecordNewlines(data.data(), 0, data.size(),
+                                   /*start_inside=*/false, sopts,
+                                   &spec_stats_, &newline_scratch_);
+    lines = newline_scratch_.size();
+    while (lines < chunk_rows_ && !eof_) {
+      const size_t old = data.size();
+      data.resize(old + kReadBlockBytes);
+      auto n = file_->ReadAt(file_pos_, kReadBlockBytes, data.data() + old);
+      if (!n.ok()) return n.status();
+      data.resize(old + *n);
+      file_pos_ += *n;
+      if (*n == 0) {
+        eof_ = true;
+        break;
+      }
+      inside = ParallelFindRecordNewlines(data.data(), old, data.size(),
+                                          inside, sopts, &spec_stats_,
+                                          &newline_scratch_);
+      lines = newline_scratch_.size();
+    }
   }
 
   size_t cut = data.size();
@@ -94,7 +136,9 @@ Result<std::optional<TextChunk>> SequentialChunker::Next() {
 
 Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
                               const ChunkMetadata& meta,
-                              ChunkBufferPool* pool) {
+                              ChunkBufferPool* pool, RecordDialect dialect,
+                              ThreadPool* scan_pool,
+                              SpeculationStats* spec_stats) {
   std::string data;
   if (pool != nullptr) data = pool->AcquireText();
   data.resize(meta.raw_size);
@@ -108,7 +152,29 @@ Result<TextChunk> ReadChunkAt(const RandomAccessFile& file,
   }
   std::vector<uint32_t> starts;
   if (pool != nullptr) starts = pool->AcquireLineStarts();
-  FindLineStarts(data, &starts);
+  if (!dialect.quoted) {
+    FindLineStarts(data, &starts);
+  } else {
+    // Chunk extents were cut at record boundaries during discovery, so the
+    // buffer starts at outside-quote parity; record starts follow every
+    // record-terminating newline (except a final-byte terminator).
+    RecordScanOptions sopts;
+    sopts.dialect = dialect;
+    sopts.pool = scan_pool;
+    std::vector<uint32_t> record_newlines;
+    ParallelFindRecordNewlines(data.data(), 0, data.size(),
+                               /*start_inside=*/false, sopts, spec_stats,
+                               &record_newlines);
+    starts.clear();
+    if (!data.empty()) {
+      starts.push_back(0);
+      for (const uint32_t nl : record_newlines) {
+        const size_t next_record = static_cast<size_t>(nl) + 1;
+        if (next_record >= data.size()) break;
+        starts.push_back(static_cast<uint32_t>(next_record));
+      }
+    }
+  }
   TextChunk chunk = MakeTextChunk(std::move(data), std::move(starts),
                                   meta.chunk_index, meta.raw_offset);
   if (chunk.num_rows() != meta.num_rows) {

@@ -12,6 +12,7 @@
 #include "obs/query_log.h"
 #include "columnar/chunk_sort.h"
 #include "db/statistics.h"
+#include "format/parallel_chunker.h"
 #include "format/parser.h"
 #include "format/json_tokenizer.h"
 #include "format/tokenizer.h"
@@ -82,6 +83,11 @@ void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
   useful_bytes_metric = registry->GetCounter("scanraw.useful_bytes_written");
   rows_delivered_metric = registry->GetCounter("scanraw.rows_delivered");
   bytes_converted_metric = registry->GetCounter("scanraw.bytes_converted");
+  tokenize_ranges_metric = registry->GetCounter("scanraw.tokenize.ranges");
+  tokenize_misspec_metric =
+      registry->GetCounter("scanraw.tokenize.misspeculations");
+  tokenize_repair_metric =
+      registry->GetCounter("scanraw.tokenize.repair_bytes");
 }
 
 void PipelineProfile::Reset() {
@@ -93,6 +99,7 @@ void PipelineProfile::Reset() {
   chunks_skipped = read_blocked_events = speculative_triggers = 0;
   write_failures = write_backoffs = useful_bytes_written = 0;
   rows_delivered = bytes_converted = 0;
+  tokenize_ranges = tokenize_misspeculations = tokenize_repair_bytes = 0;
   // Registry mirrors follow the same single-threaded-reset contract; the
   // histograms are shared objects, so this clears the aggregated view too.
   for (obs::Histogram* h :
@@ -103,7 +110,8 @@ void PipelineProfile::Reset() {
        {from_cache_metric, from_db_metric, from_raw_metric, written_metric,
         skipped_metric, read_blocked_metric, speculative_metric,
         write_failures_metric, write_backoff_metric, useful_bytes_metric,
-        rows_delivered_metric, bytes_converted_metric}) {
+        rows_delivered_metric, bytes_converted_metric, tokenize_ranges_metric,
+        tokenize_misspec_metric, tokenize_repair_metric}) {
     if (c != nullptr) c->Reset();
   }
 }
@@ -290,16 +298,45 @@ struct ScanRaw::QueryRun::Impl {
     if (parent->heartbeats_ != nullptr) parent->heartbeats_->Beat(stage);
   }
 
+  // Text dialect for record discovery and TOKENIZE, from the options.
+  RecordDialect Dialect() const {
+    RecordDialect dialect;
+    dialect.quoted = parent->options_.quoted_fields &&
+                     parent->options_.raw_format == RawFormat::kDelimitedText;
+    return dialect;
+  }
+
+  // Worker pool for the speculative parallel range scans; null keeps the
+  // frozen sequential reference path.
+  ThreadPool* ScanPool() {
+    return parent->options_.parallel_tokenize && pool.num_workers() > 0
+               ? &pool
+               : nullptr;
+  }
+
+  // Folds newly accrued speculation outcomes into the profile counters
+  // (live — per chunk, not per scan).
+  void AddSpeculation(const SpeculationStats& cur, SpeculationStats* prev) {
+    parent->profile_.AddTokenizeRanges(cur.ranges - prev->ranges);
+    parent->profile_.AddTokenizeMisspeculations(cur.misspeculations -
+                                                prev->misspeculations);
+    parent->profile_.AddTokenizeRepairBytes(cur.repair_bytes -
+                                            prev->repair_bytes);
+    *prev = cur;
+  }
+
   // First access to the file: sequential scan, chunk layout recorded into
   // the catalog as chunks are produced.
   void DiscoveryScan() {
     auto chunker = SequentialChunker::Open(
         meta.raw_path, parent->options_.chunk_rows, parent->raw_limiter_,
-        &parent->raw_io_stats_, parent->buffer_pool_.get());
+        &parent->raw_io_stats_, parent->buffer_pool_.get(), Dialect(),
+        ScanPool());
     if (!chunker.ok()) {
       ReportError(chunker.status());
       return;
     }
+    SpeculationStats spec_seen;
     while (true) {
       std::optional<TextChunk> chunk;
       {
@@ -321,6 +358,7 @@ struct ScanRaw::QueryRun::Impl {
           span.Cancel();  // EOF probe, not a chunk read
         }
       }
+      AddSpeculation((*chunker)->speculation(), &spec_seen);
       BeatStage(obs::HeartbeatStage::kRead);
       if (!chunk.has_value()) break;
       ChunkMetadata cm;
@@ -429,7 +467,12 @@ struct ScanRaw::QueryRun::Impl {
                                obs::TraceStage::kRead, obs::ChunkSource::kRaw,
                                cm->chunk_index);
         ScopedTimer timer(&parent->profile_.read_time);
-        auto read = ReadChunkAt(**file, *cm, parent->buffer_pool_.get());
+        SpeculationStats spec;
+        auto read = ReadChunkAt(**file, *cm, parent->buffer_pool_.get(),
+                                Dialect(), ScanPool(), &spec);
+        parent->profile_.AddTokenizeRanges(spec.ranges);
+        parent->profile_.AddTokenizeMisspeculations(spec.misspeculations);
+        parent->profile_.AddTokenizeRepairBytes(spec.repair_bytes);
         if (!read.ok()) {
           ReportError(read.status());
           return;
@@ -444,6 +487,48 @@ struct ScanRaw::QueryRun::Impl {
     }
   }
 
+  // Speculative parallel TOKENIZE for one chunk: runs inline on the
+  // TOKENIZE consumer thread — the byte ranges fan out to the worker pool
+  // and the caller participates in claiming them, so a saturated pool
+  // degrades to the caller tokenizing everything rather than deadlocking
+  // behind its own queue. Busy time reaches the span profiler as one span
+  // per range from whichever thread ran it (no outer kTokenize scope, or
+  // the ranges would be double-counted).
+  void TokenizeParallel(const std::shared_ptr<TextChunk>& text,
+                        const TokenizeOptions& topts, bool use_map_cache) {
+    obs::StageHeartbeats::Scope heartbeat(parent->heartbeats_,
+                                          obs::HeartbeatStage::kTokenize);
+    SpeculationStats spec;
+    auto map = [&]() -> Result<PositionalMap> {
+      obs::SpanRecorder span(parent->tracer(),
+                             parent->profile_.tokenize_latency,
+                             obs::TraceStage::kTokenize,
+                             obs::ChunkSource::kRaw, text->chunk_index);
+      ScopedTimer timer(&parent->profile_.tokenize_time);
+      ParallelTokenizeOptions ptopts;
+      ptopts.pool = &pool;
+      ptopts.range_span = [this](size_t, int64_t start, int64_t dur) {
+        profiler.RecordSpan(obs::QueryStage::kTokenize,
+                            obs::CurrentThreadId(), start, dur);
+      };
+      return ParallelTokenizeChunk(*text, topts, ptopts, &spec);
+    }();
+    parent->profile_.AddTokenizeRanges(spec.ranges);
+    parent->profile_.AddTokenizeMisspeculations(spec.misspeculations);
+    parent->profile_.AddTokenizeRepairBytes(spec.repair_bytes);
+    if (map.ok()) {
+      obs::FlightRecord(obs::FlightEvent::kTokenize, text->chunk_index,
+                        map->num_rows());
+      auto shared = std::make_shared<PositionalMap>(std::move(*map));
+      if (use_map_cache) {
+        parent->positional_maps_.Insert(text->chunk_index, shared);
+      }
+      pos_q.Push(Tokenized{text, std::move(shared)});
+    } else {
+      ReportError(map.status());
+    }
+  }
+
   void TokenizeLoop() {
     TokenizeOptions topts;
     topts.delimiter = meta.schema.delimiter();
@@ -455,6 +540,7 @@ struct ScanRaw::QueryRun::Impl {
     size_t max_needed = 0;
     for (size_t c : required_columns) max_needed = std::max(max_needed, c + 1);
     topts.max_fields = json ? 0 : max_needed;
+    topts.quoted = Dialect().quoted;
 
     const bool use_map_cache = parent->options_.cache_positional_maps;
     while (auto item = text_q.Pop()) {
@@ -474,6 +560,18 @@ struct ScanRaw::QueryRun::Impl {
           pos_q.Push(Tokenized{text, cached});
           continue;
         }
+      }
+      // Speculative parallel tier (on by default). Chunks with a cached
+      // partial map stay on the sequential extend path — the cached offsets
+      // already skip most of the scan. Chunks too small to split across two
+      // ranges (ParallelTokenizeOptions::min_range_bytes) also stay on the
+      // submit path: tokenizing them inline would stall this consumer for
+      // no fan-out, while a pool task overlaps with the next Pop.
+      constexpr size_t kMinParallelBytes = 2 * (size_t{1} << 16);
+      if (!json && cached == nullptr && ScanPool() != nullptr &&
+          text->data.size() >= kMinParallelBytes) {
+        TokenizeParallel(text, topts, use_map_cache);
+        continue;
       }
       {
         MutexLock lock(inflight_mu);
@@ -532,6 +630,7 @@ struct ScanRaw::QueryRun::Impl {
     ParseOptions popts;
     popts.projected_columns = required_columns;
     popts.recycler = parent->buffer_pool_.get();
+    popts.unescape_quotes = Dialect().quoted;
     if (PushdownActive()) {
       popts.pushdown = PushdownFilter{skip_filter->column, skip_filter->lo,
                                       skip_filter->hi};
@@ -854,6 +953,9 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
   const uint64_t base_skipped = profile_.chunks_skipped.load();
   const uint64_t base_triggers = profile_.speculative_triggers.load();
   const uint64_t base_blocked = profile_.read_blocked_events.load();
+  const uint64_t base_tok_ranges = profile_.tokenize_ranges.load();
+  const uint64_t base_tok_misspec = profile_.tokenize_misspeculations.load();
+  const uint64_t base_tok_repair = profile_.tokenize_repair_bytes.load();
   const uint64_t base_cache_hits = cache_.hits();
   const uint64_t base_cache_misses = cache_.misses();
   const uint64_t base_pm_hits = positional_maps_.hits();
@@ -983,6 +1085,11 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
     report->chunks_written = profile_.chunks_written.load() - base_written;
     report->speculative_triggers =
         profile_.speculative_triggers.load() - base_triggers;
+    report->tokenize_ranges = profile_.tokenize_ranges.load() - base_tok_ranges;
+    report->tokenize_misspeculations =
+        profile_.tokenize_misspeculations.load() - base_tok_misspec;
+    report->tokenize_repair_bytes =
+        profile_.tokenize_repair_bytes.load() - base_tok_repair;
     report->read_blocked_events =
         profile_.read_blocked_events.load() - base_blocked;
     report->bytes_written =
@@ -1380,6 +1487,12 @@ std::string ScanRaw::StatuszSection() const {
     MutexLock lock(write_mu_);
     return writes_outstanding_;
   }());
+  out += StringPrintf(
+      "  tokenize: ranges=%llu misspeculations=%llu repair_bytes=%llu\n",
+      static_cast<unsigned long long>(profile_.tokenize_ranges.load()),
+      static_cast<unsigned long long>(
+          profile_.tokenize_misspeculations.load()),
+      static_cast<unsigned long long>(profile_.tokenize_repair_bytes.load()));
   if (heartbeats_ != nullptr) {
     for (size_t i = 0; i < obs::kNumHeartbeatStages; ++i) {
       const auto stage = static_cast<obs::HeartbeatStage>(i);

@@ -70,6 +70,13 @@ struct PipelineProfile {
   // rows delivered to the engine and raw bytes converted by PARSE.
   std::atomic<uint64_t> rows_delivered{0};
   std::atomic<uint64_t> bytes_converted{0};
+  // Speculative parallel TOKENIZE (format/parallel_chunker): byte ranges
+  // fanned out across record scans and chunk tokenizes, boundary
+  // misspeculations caught at stitch points, and bytes re-scanned by the
+  // repair path.
+  std::atomic<uint64_t> tokenize_ranges{0};
+  std::atomic<uint64_t> tokenize_misspeculations{0};
+  std::atomic<uint64_t> tokenize_repair_bytes{0};
 
   // Registry mirrors; null until Bind. Stage histograms record nanoseconds
   // per chunk. Operators sharing one registry share these objects, so the
@@ -90,6 +97,9 @@ struct PipelineProfile {
   obs::Counter* useful_bytes_metric = nullptr;
   obs::Counter* rows_delivered_metric = nullptr;
   obs::Counter* bytes_converted_metric = nullptr;
+  obs::Counter* tokenize_ranges_metric = nullptr;
+  obs::Counter* tokenize_misspec_metric = nullptr;
+  obs::Counter* tokenize_repair_metric = nullptr;
 
   // Resolves the registry mirrors under the "scanraw." prefix. Call before
   // the pipeline runs.
@@ -117,6 +127,21 @@ struct PipelineProfile {
   void AddBytesConverted(uint64_t n) {
     bytes_converted.fetch_add(n, std::memory_order_relaxed);
     if (bytes_converted_metric != nullptr) bytes_converted_metric->Add(n);
+  }
+  void AddTokenizeRanges(uint64_t n) {
+    if (n == 0) return;
+    tokenize_ranges.fetch_add(n, std::memory_order_relaxed);
+    if (tokenize_ranges_metric != nullptr) tokenize_ranges_metric->Add(n);
+  }
+  void AddTokenizeMisspeculations(uint64_t n) {
+    if (n == 0) return;
+    tokenize_misspeculations.fetch_add(n, std::memory_order_relaxed);
+    if (tokenize_misspec_metric != nullptr) tokenize_misspec_metric->Add(n);
+  }
+  void AddTokenizeRepairBytes(uint64_t n) {
+    if (n == 0) return;
+    tokenize_repair_bytes.fetch_add(n, std::memory_order_relaxed);
+    if (tokenize_repair_metric != nullptr) tokenize_repair_metric->Add(n);
   }
 
   // Zeroes the stopwatches, the counters, and — when bound — the

@@ -1,9 +1,12 @@
-// Equivalence tests for the vectorized hot path: the SIMD tokenizer and the
-// column-at-a-time parser must produce byte-identical PositionalMaps and
-// BinaryChunks to the frozen scalar reference (bench/reference_scalar.h)
-// over randomized schemas, delimiters, and edge-case layouts — CRLF line
-// endings, empty fields, unterminated last lines, projections, selective
-// tokenizing, and push-down filters (including filters that drop every row).
+// Equivalence tests for the hot path's three tiers: the scalar reference
+// (bench/reference_scalar.h, frozen), the sequential SIMD tokenizer, and the
+// speculative parallel tokenizer (format/parallel_chunker) must produce
+// byte-identical PositionalMaps — and the column-at-a-time parser identical
+// BinaryChunks — over randomized schemas, delimiters, and edge-case
+// layouts: CRLF line endings, empty fields, unterminated last lines,
+// projections, selective tokenizing, push-down filters (including filters
+// that drop every row), and RFC-4180 quoted fields with range boundaries
+// forced into adversarial spots.
 
 #include <string>
 #include <string_view>
@@ -13,10 +16,12 @@
 
 #include "bench/reference_scalar.h"
 #include "common/random.h"
+#include "format/parallel_chunker.h"
 #include "format/parser.h"
 #include "format/schema.h"
 #include "format/text_chunk.h"
 #include "format/tokenizer.h"
+#include "pipeline/thread_pool.h"
 #include "scanraw/chunk_buffer_pool.h"
 
 namespace scanraw {
@@ -144,6 +149,7 @@ TokenizeOptions TokOpts(const Schema& schema, size_t max_fields = 0) {
 
 TEST(HotpathEquivalenceTest, RandomizedTokenizeAndParse) {
   Random rng(20240817);
+  ThreadPool pool(3);
   for (int iter = 0; iter < 60; ++iter) {
     RandomCsv csv = MakeRandomCsv(&rng, iter);
     const std::string context = "iter " + std::to_string(iter);
@@ -154,6 +160,18 @@ TEST(HotpathEquivalenceTest, RandomizedTokenizeAndParse) {
     ASSERT_TRUE(ref_map.ok()) << context << ": " << ref_map.status().ToString();
     ASSERT_TRUE(map.ok()) << context << ": " << map.status().ToString();
     ExpectMapsEqual(*map, *ref_map, context);
+
+    // Third tier: the speculative parallel tokenizer, with range boundaries
+    // forced even on tiny chunks, must match the frozen reference too.
+    ParallelTokenizeOptions ptopts;
+    ptopts.pool = &pool;
+    ptopts.num_ranges = 1 + rng.Uniform(6);
+    ptopts.min_range_bytes = 1;
+    SpeculationStats stats;
+    auto par_map = ParallelTokenizeChunk(csv.chunk, topts, ptopts, &stats);
+    ASSERT_TRUE(par_map.ok()) << context << ": "
+                              << par_map.status().ToString();
+    ExpectMapsEqual(*par_map, *ref_map, context + " (parallel)");
 
     auto ref_parsed =
         reference::RefParseChunk(csv.chunk, *ref_map, csv.schema, {});
@@ -338,6 +356,75 @@ TEST(HotpathEquivalenceTest, SingleParseErrorMatchesReference) {
     ASSERT_FALSE(parsed.ok()) << data;
     EXPECT_EQ(parsed.status().ToString(), ref_parsed.status().ToString())
         << data;
+  }
+}
+
+TEST(HotpathEquivalenceTest, QuotedParallelMatchesSequential) {
+  // The scalar reference predates quoting, so the quoted dialect's two live
+  // tiers (sequential FSM, speculative parallel) are compared against each
+  // other — including quotes straddling the forced range boundaries.
+  Random rng(31337);
+  ThreadPool pool(3);
+  const RecordDialect dialect{true, '"'};
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t columns = 1 + rng.Uniform(5);
+    const size_t rows = 1 + rng.Uniform(60);
+    std::string data;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < columns; ++c) {
+        if (c > 0) data.push_back(',');
+        data.push_back('"');
+        const size_t len = rng.Uniform(8);
+        for (size_t i = 0; i < len; ++i) {
+          switch (rng.Uniform(5)) {
+            case 0: data += "\"\""; break;
+            case 1: data.push_back('\n'); break;
+            case 2: data.push_back(','); break;
+            default: data.push_back(static_cast<char>('a' + rng.Uniform(26)));
+          }
+        }
+        data.push_back('"');
+      }
+      data.push_back('\n');
+    }
+    std::vector<uint32_t> newlines;
+    FindRecordNewlines(data.data(), 0, data.size(), dialect, false, &newlines);
+    std::vector<uint32_t> starts{0};
+    for (uint32_t nl : newlines) {
+      if (nl + 1 < data.size()) starts.push_back(nl + 1);
+    }
+    TextChunk chunk = MakeTextChunk(std::move(data), std::move(starts), iter);
+    ASSERT_EQ(chunk.num_rows(), rows);
+
+    std::vector<ColumnDef> defs(columns);
+    for (size_t c = 0; c < columns; ++c) {
+      defs[c] = {"s" + std::to_string(c), FieldType::kString};
+    }
+    const Schema schema(defs);
+    TokenizeOptions topts = TokOpts(schema);
+    topts.quoted = true;
+
+    const std::string context = "iter " + std::to_string(iter);
+    auto want = TokenizeChunk(chunk, topts);
+    ASSERT_TRUE(want.ok()) << context << ": " << want.status().ToString();
+
+    ParallelTokenizeOptions ptopts;
+    ptopts.pool = &pool;
+    ptopts.num_ranges = 2 + rng.Uniform(6);
+    ptopts.min_range_bytes = 1;
+    SpeculationStats stats;
+    auto got = ParallelTokenizeChunk(chunk, topts, ptopts, &stats);
+    ASSERT_TRUE(got.ok()) << context << ": " << got.status().ToString();
+    ExpectMapsEqual(*got, *want, context);
+
+    // And the parsed chunks (doubled quotes collapsed) stay identical.
+    ParseOptions popts;
+    popts.unescape_quotes = true;
+    auto want_parsed = ParseChunk(chunk, *want, schema, popts);
+    auto got_parsed = ParseChunk(chunk, *got, schema, popts);
+    ASSERT_TRUE(want_parsed.ok()) << context;
+    ASSERT_TRUE(got_parsed.ok()) << context;
+    ExpectChunksEqual(*got_parsed, *want_parsed, context);
   }
 }
 

@@ -49,7 +49,7 @@ if [ "${#TESTS[@]}" -eq 0 ] && [ "${SAN}" = "tsan" ]; then
          obs_test explain_test telemetry_test chunk_cache_test
          query_log_test flight_recorder_test workload_test
          timeseries_test log_test watchdog_test stats_server_test
-         lock_discipline_test)
+         lock_discipline_test parallel_chunker_test hotpath_equivalence_test)
 fi
 
 if [ "${#TESTS[@]}" -eq 0 ]; then
