@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "io/file.h"
 
 namespace scanraw {
 
@@ -67,6 +68,62 @@ uint64_t ReconcileHistoryWithCatalog(obs::WorkloadHistory& history,
   std::set<std::string> keep;
   for (const auto& [name, table] : catalog.Snapshot()) keep.insert(name);
   return history.DropTablesNotIn(keep);
+}
+
+std::string PosmapSidecarPath(const std::string& catalog_path,
+                              const std::string& table) {
+  return catalog_path + ".posmap." + table;
+}
+
+Result<PosmapSidecar> LoadPosmapSidecar(const std::string& path,
+                                        const TableMetadata& table) {
+  if (!FileExists(path)) {
+    return Status::NotFound("no posmap sidecar at " + path);
+  }
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+
+  PosmapSidecarHeader header;
+  auto decoded = DecodePosmapSidecar(*data, &header);
+  if (!decoded.ok()) return decoded.status();
+  if (header.table != table.name) {
+    return Status::Corruption(StringPrintf(
+        "posmap sidecar records table '%s', expected '%s'",
+        header.table.c_str(), table.name.c_str()));
+  }
+
+  // Exact-stat check: a positional map indexes byte offsets into the raw
+  // file, so any change to the file (size or mtime) invalidates the whole
+  // sidecar. This mirrors vroom's reopen rule: match exactly or re-index.
+  auto stat = StatFile(table.raw_path);
+  if (!stat.ok()) return stat.status();
+  if (stat->size != header.raw_size ||
+      stat->mtime_nanos != header.raw_mtime_nanos) {
+    return Status::Corruption(StringPrintf(
+        "posmap sidecar stale: raw file is %llu bytes mtime %lld, "
+        "sidecar recorded %llu bytes mtime %lld",
+        static_cast<unsigned long long>(stat->size),
+        static_cast<long long>(stat->mtime_nanos),
+        static_cast<unsigned long long>(header.raw_size),
+        static_cast<long long>(header.raw_mtime_nanos)));
+  }
+
+  PosmapSidecar sidecar;
+  sidecar.dialect = header.dialect;
+  sidecar.entries.reserve(decoded->size());
+  for (auto& entry : *decoded) {
+    // Cross-check against the catalog layout when known; a map for a chunk
+    // the catalog does not have (or with a different row count) is skipped
+    // individually — the rest of the sidecar is still good.
+    if (table.layout_known) {
+      if (entry.chunk_index >= table.chunks.size()) continue;
+      if (entry.map->num_rows() != table.chunks[entry.chunk_index].num_rows) {
+        continue;
+      }
+    }
+    sidecar.entries.emplace_back(entry.chunk_index, std::move(entry.map));
+  }
+  return sidecar;
 }
 
 }  // namespace scanraw

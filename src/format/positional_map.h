@@ -78,6 +78,20 @@ class PositionalMap {
 
   size_t MemoryBytes() const { return offsets_.size() * sizeof(uint32_t); }
 
+  // Serialization access: the raw slot array, layout-agnostic.
+  const std::vector<uint32_t>& raw_offsets() const { return offsets_; }
+
+  // Rebuilds a map from persisted parts. `offsets.size()` must be a whole
+  // multiple of the layout's slots-per-row; callers validate before calling.
+  static PositionalMap FromOffsets(size_t fields_per_row, bool explicit_ends,
+                                   std::vector<uint32_t> offsets) {
+    PositionalMap map;
+    map.fields_per_row_ = fields_per_row;
+    map.explicit_ends_ = explicit_ends;
+    map.offsets_ = std::move(offsets);
+    return map;
+  }
+
  private:
   size_t SlotsPerRow() const {
     return explicit_ends_ ? 2 * fields_per_row_ : fields_per_row_ + 1;

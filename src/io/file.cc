@@ -222,6 +222,16 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+Result<FileStatInfo> StatFile(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+  FileStatInfo info;
+  info.size = static_cast<uint64_t>(st.st_size);
+  info.mtime_nanos = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                     static_cast<int64_t>(st.st_mtim.tv_nsec);
+  return info;
+}
+
 Status RemoveFileIfExists(const std::string& path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return ErrnoStatus("unlink " + path);

@@ -102,6 +102,15 @@ Status WriteStringToFile(const std::string& path, std::string_view contents);
 Result<std::string> ReadFileToString(const std::string& path);
 Result<uint64_t> GetFileSize(const std::string& path);
 bool FileExists(const std::string& path);
+
+// Exact stat of a file, for change detection: byte size plus mtime at
+// nanosecond precision. Persisted indexes (e.g. the posmap sidecar) record
+// this and are dropped when the live file no longer matches exactly.
+struct FileStatInfo {
+  uint64_t size = 0;
+  int64_t mtime_nanos = 0;
+};
+Result<FileStatInfo> StatFile(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
 
 // Atomically replaces the file at `path` with `contents`: writes

@@ -93,7 +93,8 @@ std::string ExplainReport::ToText() const {
   }
   out += "  tokenize: ranges=" + U64(tokenize_ranges) +
          " misspeculations=" + U64(tokenize_misspeculations) +
-         " repair-bytes=" + U64(tokenize_repair_bytes) + "\n";
+         " repair-bytes=" + U64(tokenize_repair_bytes) +
+         " bytes=" + U64(bytes_tokenized) + "\n";
   if (advisor_used) {
     out += "  " + (advisor_note.empty() ? std::string("advisor: (no note)")
                                         : advisor_note) +
@@ -103,7 +104,8 @@ std::string ExplainReport::ToText() const {
          " misses=" + U64(cache_misses) + " rate=" +
          Fmt("%.1f", 100.0 * HitRate(cache_hits, cache_misses)) + "%\n";
   out += "  positional map: hits=" + U64(posmap_hits) +
-         " misses=" + U64(posmap_misses) + " rate=" +
+         " misses=" + U64(posmap_misses) +
+         " posmap-disk=" + U64(posmap_disk_hits) + " rate=" +
          Fmt("%.1f", 100.0 * HitRate(posmap_hits, posmap_misses)) + "%\n";
   out += "  loaded: " + Fmt("%.1f", 100.0 * loaded_fraction_before) +
          "% -> " + Fmt("%.1f", 100.0 * loaded_fraction_after) + "%\n";
@@ -155,7 +157,8 @@ std::string ExplainReport::ToJson() const {
          ",\"paid_off\":" + (speculation_paid_off ? "true" : "false") + "}";
   out += ",\"tokenize\":{\"ranges\":" + U64(tokenize_ranges) +
          ",\"misspeculations\":" + U64(tokenize_misspeculations) +
-         ",\"repair_bytes\":" + U64(tokenize_repair_bytes) + "}";
+         ",\"repair_bytes\":" + U64(tokenize_repair_bytes) +
+         ",\"bytes\":" + U64(bytes_tokenized) + "}";
   out += ",\"advisor\":{\"used\":" +
          std::string(advisor_used ? "true" : "false") + ",\"note\":\"" +
          JsonEscape(advisor_note) + "\"}";
@@ -163,7 +166,8 @@ std::string ExplainReport::ToJson() const {
          ",\"misses\":" + U64(cache_misses) + ",\"hit_rate\":" +
          Fmt("%.9g", HitRate(cache_hits, cache_misses)) + "}";
   out += ",\"positional_map\":{\"hits\":" + U64(posmap_hits) +
-         ",\"misses\":" + U64(posmap_misses) + ",\"hit_rate\":" +
+         ",\"misses\":" + U64(posmap_misses) +
+         ",\"disk_hits\":" + U64(posmap_disk_hits) + ",\"hit_rate\":" +
          Fmt("%.9g", HitRate(posmap_hits, posmap_misses)) + "}";
   out += ",\"loaded_fraction_before\":" + Fmt("%.9g", loaded_fraction_before);
   out += ",\"loaded_fraction_after\":" + Fmt("%.9g", loaded_fraction_after);

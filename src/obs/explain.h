@@ -74,11 +74,19 @@ struct ExplainReport {
   uint64_t tokenize_misspeculations = 0;
   uint64_t tokenize_repair_bytes = 0;
 
-  // Cache behavior across the query.
+  // Cache behavior across the query. Positional-map numbers are
+  // query-scoped (counted at the lookup sites, not deltas of shared
+  // counters); posmap_disk_hits is the `posmap-disk` provenance — chunks
+  // whose map came from the persisted sidecar rather than this process's
+  // own TOKENIZE work.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t posmap_hits = 0;
   uint64_t posmap_misses = 0;
+  uint64_t posmap_disk_hits = 0;
+  // Chunk bytes put through TOKENIZE this query; 0 on a warm-restart scan
+  // fully covered by persisted maps.
+  uint64_t bytes_tokenized = 0;
 
   double loaded_fraction_before = 0;
   double loaded_fraction_after = 0;

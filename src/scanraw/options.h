@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace scanraw {
@@ -122,6 +123,23 @@ struct ScanRawOptions {
   // argument that binary-chunk caching dominates it).
   bool cache_positional_maps = false;
   size_t positional_map_cache_chunks = 64;
+  // Byte bound for the positional-map cache, enforced alongside the chunk
+  // count; 0 disables the byte bound. A wide-schema table can hit this long
+  // before the chunk bound.
+  size_t positional_map_cache_bytes = 64u << 20;
+
+  // Persist the positional-map cache to a sidecar file next to the catalog
+  // (`<catalog>.posmap.<table>`) so a restarted process skips TOKENIZE for
+  // chunks it mapped before. Sidecars are written through AtomicWriteFile
+  // after cold scans and on catalog saves, and validated (exact raw-file
+  // stat + tokenize dialect) before reuse. Implies nothing unless
+  // cache_positional_maps is also on.
+  bool persist_positional_maps = false;
+  // Where this operator saves its sidecar after cold scans. Normally set by
+  // ScanRawManager from the catalog path; explicit for tests. Empty
+  // disables the after-cold-scan save hook (manager-driven saves on
+  // SaveCatalog still happen).
+  std::string posmap_sidecar_path;
 
   // Push-down selection (§2): evaluate the query's range predicate during
   // PARSE and drop failing rows before they reach the engine. Only honored

@@ -88,6 +88,8 @@ void PipelineProfile::Bind(obs::MetricsRegistry* registry) {
       registry->GetCounter("scanraw.tokenize.misspeculations");
   tokenize_repair_metric =
       registry->GetCounter("scanraw.tokenize.repair_bytes");
+  bytes_tokenized_metric = registry->GetCounter("scanraw.tokenize.bytes");
+  posmap_disk_metric = registry->GetCounter("scanraw.posmap.disk_chunks");
 }
 
 void PipelineProfile::Reset() {
@@ -100,6 +102,7 @@ void PipelineProfile::Reset() {
   write_failures = write_backoffs = useful_bytes_written = 0;
   rows_delivered = bytes_converted = 0;
   tokenize_ranges = tokenize_misspeculations = tokenize_repair_bytes = 0;
+  bytes_tokenized = posmap_disk_chunks = 0;
   // Registry mirrors follow the same single-threaded-reset contract; the
   // histograms are shared objects, so this clears the aggregated view too.
   for (obs::Histogram* h :
@@ -111,7 +114,8 @@ void PipelineProfile::Reset() {
         skipped_metric, read_blocked_metric, speculative_metric,
         write_failures_metric, write_backoff_metric, useful_bytes_metric,
         rows_delivered_metric, bytes_converted_metric, tokenize_ranges_metric,
-        tokenize_misspec_metric, tokenize_repair_metric}) {
+        tokenize_misspec_metric, tokenize_repair_metric,
+        bytes_tokenized_metric, posmap_disk_metric}) {
     if (c != nullptr) c->Reset();
   }
 }
@@ -495,7 +499,8 @@ struct ScanRaw::QueryRun::Impl {
   // per range from whichever thread ran it (no outer kTokenize scope, or
   // the ranges would be double-counted).
   void TokenizeParallel(const std::shared_ptr<TextChunk>& text,
-                        const TokenizeOptions& topts, bool use_map_cache) {
+                        const TokenizeOptions& topts,
+                        const PosmapDialect& dialect, bool use_map_cache) {
     obs::StageHeartbeats::Scope heartbeat(parent->heartbeats_,
                                           obs::HeartbeatStage::kTokenize);
     SpeculationStats spec;
@@ -516,12 +521,13 @@ struct ScanRaw::QueryRun::Impl {
     parent->profile_.AddTokenizeRanges(spec.ranges);
     parent->profile_.AddTokenizeMisspeculations(spec.misspeculations);
     parent->profile_.AddTokenizeRepairBytes(spec.repair_bytes);
+    parent->profile_.AddBytesTokenized(text->data.size());
     if (map.ok()) {
       obs::FlightRecord(obs::FlightEvent::kTokenize, text->chunk_index,
                         map->num_rows());
       auto shared = std::make_shared<PositionalMap>(std::move(*map));
       if (use_map_cache) {
-        parent->positional_maps_.Insert(text->chunk_index, shared);
+        parent->positional_maps_.Insert(text->chunk_index, shared, dialect);
       }
       pos_q.Push(Tokenized{text, std::move(shared)});
     } else {
@@ -543,6 +549,9 @@ struct ScanRaw::QueryRun::Impl {
     topts.quoted = Dialect().quoted;
 
     const bool use_map_cache = parent->options_.cache_positional_maps;
+    // Must match TokenizeDialectFor: the dialect tag under which maps are
+    // cached, persisted, and validated.
+    const PosmapDialect dialect{topts.delimiter, topts.quoted, topts.quote};
     while (auto item = text_q.Pop()) {
       // The chunk is shared by the TOKENIZE and PARSE tasks; wrapping it
       // through the pool returns its text buffer for reuse only when the
@@ -551,10 +560,22 @@ struct ScanRaw::QueryRun::Impl {
           ChunkBufferPool::WrapText(std::move(*item), parent->buffer_pool_);
       // Positional map cache (§2): a cached map that already covers the
       // needed fields skips TOKENIZE outright; a partial one is extended
-      // from its last mapped attribute.
+      // from its last mapped attribute. A map cached under a different
+      // dialect is dropped by the cache and counts as a miss.
       std::shared_ptr<const PositionalMap> cached;
       if (use_map_cache) {
-        cached = parent->positional_maps_.Lookup(text->chunk_index);
+        PosmapOrigin origin = PosmapOrigin::kBuilt;
+        cached = parent->positional_maps_.Lookup(text->chunk_index, dialect,
+                                                 &origin);
+        if (cached != nullptr) {
+          posmap_hits.fetch_add(1, std::memory_order_relaxed);
+          if (origin == PosmapOrigin::kDisk) {
+            posmap_disk_hits.fetch_add(1, std::memory_order_relaxed);
+            parent->profile_.CountPosmapDiskChunk();
+          }
+        } else {
+          posmap_misses.fetch_add(1, std::memory_order_relaxed);
+        }
         if (cached != nullptr &&
             cached->fields_per_row() >= topts.EffectiveFields()) {
           pos_q.Push(Tokenized{text, cached});
@@ -570,14 +591,14 @@ struct ScanRaw::QueryRun::Impl {
       constexpr size_t kMinParallelBytes = 2 * (size_t{1} << 16);
       if (!json && cached == nullptr && ScanPool() != nullptr &&
           text->data.size() >= kMinParallelBytes) {
-        TokenizeParallel(text, topts, use_map_cache);
+        TokenizeParallel(text, topts, dialect, use_map_cache);
         continue;
       }
       {
         MutexLock lock(inflight_mu);
         ++tokenize_inflight;
       }
-      pool.Submit([this, text, topts, cached, use_map_cache, json] {
+      pool.Submit([this, text, topts, dialect, cached, use_map_cache, json] {
         obs::StageHeartbeats::Scope heartbeat(parent->heartbeats_,
                                               obs::HeartbeatStage::kTokenize);
         auto map = [&]() -> Result<PositionalMap> {
@@ -594,12 +615,17 @@ struct ScanRaw::QueryRun::Impl {
                      ? ExtendTokenizeMap(*text, *cached, topts)
                      : TokenizeChunk(*text, topts);
         }();
+        // The extend path scans only the unmapped suffix, but the whole
+        // chunk was subjected to TOKENIZE-stage work; count it all — the
+        // fully-mapped skip path above is the only zero-byte outcome.
+        parent->profile_.AddBytesTokenized(text->data.size());
         if (map.ok()) {
           obs::FlightRecord(obs::FlightEvent::kTokenize, text->chunk_index,
                             map->num_rows());
           auto shared = std::make_shared<PositionalMap>(std::move(*map));
           if (use_map_cache) {
-            parent->positional_maps_.Insert(text->chunk_index, shared);
+            parent->positional_maps_.Insert(text->chunk_index, shared,
+                                            dialect);
           }
           pos_q.Push(Tokenized{text, std::move(shared)});
         } else {
@@ -806,6 +832,14 @@ struct ScanRaw::QueryRun::Impl {
   size_t tokenize_inflight GUARDED_BY(inflight_mu) = 0;
   size_t parse_inflight GUARDED_BY(inflight_mu) = 0;
 
+  // Query-scoped positional-map accounting, counted at the TOKENIZE lookup
+  // sites. EXPLAIN reads these instead of deltas over the cache's lifetime
+  // counters, so concurrent queries on the same operator cannot pollute
+  // each other's numbers.
+  std::atomic<uint64_t> posmap_hits{0};
+  std::atomic<uint64_t> posmap_misses{0};
+  std::atomic<uint64_t> posmap_disk_hits{0};
+
   std::atomic<int64_t> invisible_budget;
 
   mutable Mutex status_mu{LockRank::kScanStatus, "ScanRaw.status_mu"};
@@ -851,6 +885,9 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
       cache_(options.cache_capacity_chunks, options.bias_evict_loaded),
       positional_maps_(options.cache_positional_maps
                            ? options.positional_map_cache_chunks
+                           : 0,
+                       options.cache_positional_maps
+                           ? options.positional_map_cache_bytes
                            : 0),
       write_queue_(1 << 20) {
   if (options_.reuse_buffers) {
@@ -861,8 +898,11 @@ ScanRaw::ScanRaw(std::string table, Catalog* catalog, StorageManager* storage,
     // pipeline) starts, so the hot paths read the pointers race-free.
     obs::MetricsRegistry& registry = options_.telemetry->metrics();
     profile_.Bind(&registry);
-    positional_maps_.BindMetrics(registry.GetCounter("scanraw.posmap.hits"),
-                                 registry.GetCounter("scanraw.posmap.misses"));
+    positional_maps_.BindMetrics(
+        registry.GetCounter("scanraw.posmap.hits"),
+        registry.GetCounter("scanraw.posmap.misses"),
+        registry.GetCounter("scanraw.posmap.disk_hits"),
+        registry.GetCounter("scanraw.posmap.dialect_drops"));
     options_.telemetry->tracer().SetLabel("scanraw:" + table_);
     if (buffer_pool_ != nullptr) {
       buffer_pool_->BindMetrics(
@@ -958,8 +998,7 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
   const uint64_t base_tok_repair = profile_.tokenize_repair_bytes.load();
   const uint64_t base_cache_hits = cache_.hits();
   const uint64_t base_cache_misses = cache_.misses();
-  const uint64_t base_pm_hits = positional_maps_.hits();
-  const uint64_t base_pm_misses = positional_maps_.misses();
+  const uint64_t base_tok_bytes = profile_.bytes_tokenized.load();
   const uint64_t base_bytes = storage_ != nullptr ? storage_->bytes_written()
                                                   : 0;
   const uint64_t base_useful = profile_.useful_bytes_written.load();
@@ -1098,8 +1137,13 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
         profile_.useful_bytes_written.load() - base_useful;
     report->cache_hits = cache_.hits() - base_cache_hits;
     report->cache_misses = cache_.misses() - base_cache_misses;
-    report->posmap_hits = positional_maps_.hits() - base_pm_hits;
-    report->posmap_misses = positional_maps_.misses() - base_pm_misses;
+    // Positional-map numbers are query-scoped — counted at the TOKENIZE
+    // lookup sites of this run, not as deltas over the cache's lifetime
+    // counters — so concurrent queries cannot pollute them.
+    report->posmap_hits = (*run)->impl_->posmap_hits.load();
+    report->posmap_misses = (*run)->impl_->posmap_misses.load();
+    report->posmap_disk_hits = (*run)->impl_->posmap_disk_hits.load();
+    report->bytes_tokenized = profile_.bytes_tokenized.load() - base_tok_bytes;
     report->loaded_fraction_before = loaded_before;
     report->loaded_fraction_after = LoadedFraction();
     report->speculation_paid_off =
@@ -1149,6 +1193,22 @@ Result<QueryResult> ScanRaw::ExecuteQuery(const QuerySpec& spec,
         LOG_WARN("scanraw: query log append failed: %s",
                  append.ToString().c_str());
       }
+    }
+  }
+  // After-cold-scan persistence hook: a query that tokenized raw bytes
+  // just built (or widened) positional maps; save them now so a crash or
+  // restart before the next catalog save still finds a warm index. A scan
+  // answered entirely from cached or persisted maps skips the save — the
+  // sidecar on disk already covers it, and rewriting would put two fsyncs
+  // on the warm-restart fast path. The sidecar is advisory — a failed
+  // save never fails the query.
+  if (options_.persist_positional_maps &&
+      !options_.posmap_sidecar_path.empty() &&
+      profile_.bytes_tokenized.load() - base_tok_bytes > 0) {
+    const Status saved = SavePositionalMaps(options_.posmap_sidecar_path);
+    if (!saved.ok()) {
+      LOG_WARN("scanraw: posmap sidecar save failed: %s",
+               saved.ToString().c_str());
     }
   }
   obs::FlightRecord(obs::FlightEvent::kQueryEnd, /*a=*/0,
@@ -1208,6 +1268,72 @@ Result<std::vector<QueryResult>> ScanRaw::ExecuteQueries(
     results.push_back(executor.Finish());
   }
   return results;
+}
+
+PosmapDialect TokenizeDialectFor(const Schema& schema,
+                                 const ScanRawOptions& options) {
+  // Mirrors the TokenizeOptions built in TokenizeLoop: the schema's
+  // delimiter, RecordDialect's quoting rule (quoting applies to delimited
+  // text only), and the tokenizer's fixed quote character.
+  PosmapDialect dialect;
+  dialect.delimiter = schema.delimiter();
+  dialect.quoted = options.quoted_fields &&
+                   options.raw_format == RawFormat::kDelimitedText;
+  dialect.quote = TokenizeOptions{}.quote;
+  return dialect;
+}
+
+Status ScanRaw::SavePositionalMaps(const std::string& path) {
+  if (!options_.persist_positional_maps || !options_.cache_positional_maps ||
+      path.empty()) {
+    return Status::OK();
+  }
+  auto meta = catalog_->GetTable(table_);
+  if (!meta.ok()) return meta.status();
+  const PosmapDialect dialect = TokenizeDialectFor(meta->schema, options_);
+  auto snapshot = positional_maps_.Snapshot(dialect);
+  // Nothing cached under the current dialect: leave any existing sidecar
+  // alone rather than clobbering a warm index with an empty one (e.g. a
+  // restart whose queries were all answered from the database).
+  if (snapshot.empty()) return Status::OK();
+
+  auto stat = StatFile(meta->raw_path);
+  if (!stat.ok()) return stat.status();
+  PosmapSidecarHeader header;
+  header.table = table_;
+  header.raw_size = stat->size;
+  header.raw_mtime_nanos = stat->mtime_nanos;
+  header.dialect = dialect;
+  std::vector<PosmapSidecarEntry> entries;
+  entries.reserve(snapshot.size());
+  for (auto& [chunk_index, map] : snapshot) {
+    entries.push_back(PosmapSidecarEntry{chunk_index, std::move(map)});
+  }
+  FaultKillPoint("scanraw.posmap.before_save");
+  Status saved = AtomicWriteFile(path, EncodePosmapSidecar(header, entries));
+  FaultKillPoint("scanraw.posmap.after_save");
+  return saved;
+}
+
+size_t ScanRaw::PrepopulatePositionalMaps(
+    const PosmapDialect& dialect,
+    std::vector<std::pair<uint64_t, std::shared_ptr<const PositionalMap>>>
+        entries) {
+  if (!options_.cache_positional_maps) return 0;
+  auto meta = catalog_->GetTable(table_);
+  if (!meta.ok()) return 0;
+  // Dialect gate: a sidecar written under different delimiter/quote rules
+  // (e.g. --quoted-csv toggled between runs) is useless here — refuse it
+  // wholesale and let the table re-tokenize.
+  if (dialect != TokenizeDialectFor(meta->schema, options_)) return 0;
+  size_t inserted = 0;
+  for (auto& [chunk_index, map] : entries) {
+    if (map == nullptr) continue;
+    positional_maps_.Insert(chunk_index, std::move(map), dialect,
+                            PosmapOrigin::kDisk);
+    ++inserted;
+  }
+  return inserted;
 }
 
 bool ScanRaw::EnqueueWrite(uint64_t chunk_index, BinaryChunkPtr chunk) {
@@ -1493,6 +1619,12 @@ std::string ScanRaw::StatuszSection() const {
       static_cast<unsigned long long>(
           profile_.tokenize_misspeculations.load()),
       static_cast<unsigned long long>(profile_.tokenize_repair_bytes.load()));
+  if (options_.cache_positional_maps) {
+    out += StringPrintf(
+        "  posmap cache: %zu maps, %zu bytes, disk_chunks=%llu\n",
+        positional_maps_.size(), positional_maps_.MemoryBytes(),
+        static_cast<unsigned long long>(profile_.posmap_disk_chunks.load()));
+  }
   if (heartbeats_ != nullptr) {
     for (size_t i = 0; i < obs::kNumHeartbeatStages; ++i) {
       const auto stage = static_cast<obs::HeartbeatStage>(i);

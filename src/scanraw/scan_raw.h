@@ -77,6 +77,13 @@ struct PipelineProfile {
   std::atomic<uint64_t> tokenize_ranges{0};
   std::atomic<uint64_t> tokenize_misspeculations{0};
   std::atomic<uint64_t> tokenize_repair_bytes{0};
+  // Chunk bytes put through TOKENIZE (full, extend, or parallel path). A
+  // warm restart with a persisted posmap answers mapped queries with this
+  // staying 0 — the restart_warm bench gates on exactly that.
+  std::atomic<uint64_t> bytes_tokenized{0};
+  // Chunks whose positional map came from a persisted sidecar
+  // (`posmap-disk` provenance).
+  std::atomic<uint64_t> posmap_disk_chunks{0};
 
   // Registry mirrors; null until Bind. Stage histograms record nanoseconds
   // per chunk. Operators sharing one registry share these objects, so the
@@ -100,6 +107,8 @@ struct PipelineProfile {
   obs::Counter* tokenize_ranges_metric = nullptr;
   obs::Counter* tokenize_misspec_metric = nullptr;
   obs::Counter* tokenize_repair_metric = nullptr;
+  obs::Counter* bytes_tokenized_metric = nullptr;
+  obs::Counter* posmap_disk_metric = nullptr;
 
   // Resolves the registry mirrors under the "scanraw." prefix. Call before
   // the pipeline runs.
@@ -143,6 +152,12 @@ struct PipelineProfile {
     tokenize_repair_bytes.fetch_add(n, std::memory_order_relaxed);
     if (tokenize_repair_metric != nullptr) tokenize_repair_metric->Add(n);
   }
+  void AddBytesTokenized(uint64_t n) {
+    if (n == 0) return;
+    bytes_tokenized.fetch_add(n, std::memory_order_relaxed);
+    if (bytes_tokenized_metric != nullptr) bytes_tokenized_metric->Add(n);
+  }
+  void CountPosmapDiskChunk() { Bump(posmap_disk_chunks, posmap_disk_metric); }
 
   // Zeroes the stopwatches, the counters, and — when bound — the
   // registry-backed mirrors (histograms included).
@@ -197,6 +212,13 @@ struct ResourceSnapshot {
 
 // Stable lowercase-hyphen name for an advice state ("need-more-cpu", ...).
 std::string_view AdviceName(ResourceSnapshot::Advice advice);
+
+// The tokenize dialect a ScanRaw with `options` uses for `schema` — the
+// single source of truth shared by the TOKENIZE stage, the posmap cache,
+// and the sidecar load/save paths, so a persisted map can never be matched
+// against rules it was not built under.
+PosmapDialect TokenizeDialectFor(const Schema& schema,
+                                 const ScanRawOptions& options);
 
 class ScanRaw {
  public:
@@ -274,6 +296,26 @@ class ScanRaw {
   // order. Loading policies apply to the single shared scan.
   Result<std::vector<QueryResult>> ExecuteQueries(
       const std::vector<QuerySpec>& specs);
+
+  // Persists the positional-map cache to the sidecar at `path` through
+  // AtomicWriteFile, recording the raw file's exact stat and the operator's
+  // tokenize dialect in the header. No-op (returning OK) when persistence
+  // is not enabled, the cache is off, or there is nothing to save — an
+  // existing sidecar is never clobbered with an empty one. Called after
+  // cold scans (when posmap_sidecar_path is set) and by the manager before
+  // each catalog save, so the sidecar (data) is durable before the catalog
+  // (metadata) that a restart trusts.
+  Status SavePositionalMaps(const std::string& path);
+
+  // Pre-populates the cache from a loaded sidecar with `posmap-disk`
+  // provenance. Refuses (returning 0) when the sidecar's dialect does not
+  // match this operator's tokenize dialect — a map built under different
+  // delimiter/quote rules must be rebuilt, not reused. Returns the number
+  // of maps inserted.
+  size_t PrepopulatePositionalMaps(
+      const PosmapDialect& dialect,
+      std::vector<std::pair<uint64_t, std::shared_ptr<const PositionalMap>>>
+          entries);
 
   // Blocks until the WRITE queue is empty and no write is in flight.
   void WaitForWrites() EXCLUDES(write_mu_);

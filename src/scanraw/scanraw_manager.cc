@@ -2,6 +2,8 @@
 
 #include "common/string_util.h"
 #include "io/fault_injection.h"
+#include "io/file.h"
+#include "obs/log.h"
 
 namespace scanraw {
 
@@ -98,6 +100,23 @@ Status ScanRawManager::SaveCatalog(const std::string& path) const {
   // the catalog that references it. The write path also syncs per segment;
   // this is the catch-all for anything buffered since.
   SCANRAW_RETURN_IF_ERROR(storage_->Sync());
+  // Posmap sidecars follow the same data-before-metadata rule: each one is
+  // written (atomically) before the catalog whose restart path will trust
+  // it. The sidecars are advisory — a failed save degrades the next restart
+  // to re-tokenizing, so it is logged but never fails the catalog save.
+  {
+    MutexLock lock(mu_);
+    posmap_base_path_ = path;
+    for (const auto& [name, op] : operators_) {
+      if (!op->options().persist_positional_maps) continue;
+      const Status saved =
+          op->SavePositionalMaps(PosmapSidecarPath(path, name));
+      if (!saved.ok()) {
+        LOG_WARN("scanraw: posmap sidecar save failed for %s: %s",
+                 name.c_str(), saved.ToString().c_str());
+      }
+    }
+  }
   FaultKillPoint("manager.save_catalog.before");
   Status s = catalog_.SaveToFile(path);
   FaultKillPoint("manager.save_catalog.after");
@@ -127,7 +146,29 @@ Status ScanRawManager::LoadCatalog(const std::string& path) {
     report.details.push_back("catalog: dropped torn trailing line: " +
                              load_stats.torn_tail);
   }
+  // Posmap reconciliation: stage each table's sidecar for the operator that
+  // will be created on first query. A torn, corrupt, or stale sidecar is
+  // dropped here — the maps are derived data, so the only consequence is
+  // that the table re-tokenizes on its next scan.
+  std::map<std::string, PosmapSidecar> staged;
+  for (const auto& [name, table] : catalog_.Snapshot()) {
+    const std::string sidecar_path = PosmapSidecarPath(path, name);
+    if (!FileExists(sidecar_path)) continue;
+    auto sidecar = LoadPosmapSidecar(sidecar_path, table);
+    if (!sidecar.ok()) {
+      ++report.posmaps_dropped;
+      registry.GetCounter("recovery.posmap_dropped")->Add(1);
+      report.details.push_back("posmap " + name + ": dropped sidecar: " +
+                               sidecar.status().ToString());
+      continue;
+    }
+    registry.GetCounter("recovery.posmap_chunks_loaded")
+        ->Add(sidecar->entries.size());
+    staged.emplace(name, std::move(*sidecar));
+  }
   MutexLock lock(mu_);
+  posmap_base_path_ = path;
+  pending_posmaps_ = std::move(staged);
   last_recovery_ = std::move(report);
   return Status::OK();
 }
@@ -223,10 +264,40 @@ Result<QueryResult> ScanRawManager::Query(const std::string& table,
       if (op_options.telemetry == nullptr) {
         op_options.telemetry = &telemetry_;
       }
+      // Derive the sidecar path from the last catalog save/load so the
+      // after-cold-scan hook can persist without waiting for SaveCatalog.
+      if (op_options.persist_positional_maps &&
+          op_options.posmap_sidecar_path.empty() &&
+          !posmap_base_path_.empty()) {
+        op_options.posmap_sidecar_path =
+            PosmapSidecarPath(posmap_base_path_, table);
+      }
       auto created = std::make_unique<ScanRaw>(
           table, &catalog_, storage_.get(), &arbiter_, limiter_.get(),
           op_options);
       op = created.get();
+      // Consume the sidecar staged by LoadCatalog (if any). Prepopulate
+      // validates the dialect against the operator's live TokenizeOptions
+      // and refuses a mismatched sidecar wholesale — those maps were built
+      // under different delimiter/quote rules and must be rebuilt.
+      auto pending = pending_posmaps_.find(table);
+      if (pending != pending_posmaps_.end()) {
+        const size_t staged_count = pending->second.entries.size();
+        const size_t inserted = op->PrepopulatePositionalMaps(
+            pending->second.dialect, std::move(pending->second.entries));
+        pending_posmaps_.erase(pending);
+        obs::MetricsRegistry& registry = telemetry_.metrics();
+        if (inserted > 0) {
+          registry.GetCounter("scanraw.posmap.loaded_from_disk")
+              ->Add(inserted);
+        } else if (staged_count > 0) {
+          ++last_recovery_.posmaps_dropped;
+          registry.GetCounter("recovery.posmap_dropped")->Add(1);
+          last_recovery_.details.push_back(
+              "posmap " + table +
+              ": dropped sidecar: dialect mismatch with attached options");
+        }
+      }
       operators_.emplace(table, std::move(created));
     }
   }

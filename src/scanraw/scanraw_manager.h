@@ -105,6 +105,15 @@ class ScanRawManager {
   // db/recovery.h); what was dropped is available via last_recovery() and
   // the recovery.* telemetry counters. Register the same raw files with
   // AttachOptions after LoadCatalog to re-attach operators.
+  //
+  // Tables whose options set persist_positional_maps also get a posmap
+  // sidecar (`<catalog>.posmap.<table>`): SaveCatalog writes the sidecars
+  // before the catalog (data-before-metadata), and LoadCatalog stages valid
+  // sidecars so the first query on each table starts with its positional
+  // maps pre-populated (`posmap-disk` provenance in EXPLAIN). Torn, stale,
+  // or dialect-mismatched sidecars are dropped — counted in
+  // last_recovery().posmaps_dropped and recovery.posmap_dropped — and the
+  // table simply re-tokenizes.
   Status SaveCatalog(const std::string& path) const;
   Status LoadCatalog(const std::string& path);
 
@@ -151,6 +160,14 @@ class ScanRawManager {
   std::map<std::string, ScanRawOptions> options_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ScanRaw>> operators_ GUARDED_BY(mu_);
   ReconcileReport last_recovery_ GUARDED_BY(mu_);
+  // Catalog path of the last SaveCatalog/LoadCatalog — the base the posmap
+  // sidecar paths derive from. Mutable: SaveCatalog (const) records it so
+  // operators created later know where their sidecar lives.
+  mutable std::string posmap_base_path_ GUARDED_BY(mu_);
+  // Posmap sidecars staged by LoadCatalog, consumed (and dialect-checked)
+  // when each table's operator is first created — options attach after the
+  // catalog loads, so dialect validation cannot happen any earlier.
+  std::map<std::string, PosmapSidecar> pending_posmaps_ GUARDED_BY(mu_);
 };
 
 }  // namespace scanraw

@@ -1,0 +1,225 @@
+// PositionalMapCache unit tests: FIFO eviction order, the widen path's
+// FIFO refresh, O(1) byte accounting against the running total, byte-bound
+// eviction, dialect-mismatch drops, disk-origin reporting, Snapshot
+// filtering, and a concurrent Lookup/Insert hammer for TSan.
+#include "scanraw/positional_map_cache.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "format/positional_map.h"
+
+namespace scanraw {
+namespace {
+
+std::shared_ptr<const PositionalMap> MakeMap(size_t rows, size_t fields) {
+  return std::make_shared<PositionalMap>(rows, fields);
+}
+
+PosmapDialect QuotedDialect() {
+  PosmapDialect d;
+  d.quoted = true;
+  return d;
+}
+
+TEST(PositionalMapCacheTest, EvictsInFifoOrder) {
+  const PosmapDialect dialect;
+  PositionalMapCache cache(3);
+  cache.Insert(10, MakeMap(4, 3), dialect);
+  cache.Insert(11, MakeMap(4, 3), dialect);
+  cache.Insert(12, MakeMap(4, 3), dialect);
+  // A lookup must not promote: FIFO, not LRU.
+  EXPECT_NE(cache.Lookup(10, dialect), nullptr);
+  cache.Insert(13, MakeMap(4, 3), dialect);  // evicts 10, the oldest
+  EXPECT_EQ(cache.Lookup(10, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(11, dialect), nullptr);
+  cache.Insert(14, MakeMap(4, 3), dialect);  // evicts 11
+  EXPECT_EQ(cache.Lookup(11, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(12, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(13, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(14, dialect), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PositionalMapCacheTest, WidenRefreshesFifoPosition) {
+  const PosmapDialect dialect;
+  PositionalMapCache cache(3);
+  cache.Insert(1, MakeMap(4, 2), dialect);
+  cache.Insert(2, MakeMap(4, 3), dialect);
+  cache.Insert(3, MakeMap(4, 3), dialect);
+  // Widening chunk 1 moves it to the FIFO tail: it now survives the next
+  // two evictions while 2 and 3 go first.
+  cache.Insert(1, MakeMap(4, 4), dialect);
+  cache.Insert(4, MakeMap(4, 3), dialect);  // evicts 2
+  cache.Insert(5, MakeMap(4, 3), dialect);  // evicts 3
+  EXPECT_EQ(cache.Lookup(2, dialect), nullptr);
+  EXPECT_EQ(cache.Lookup(3, dialect), nullptr);
+  auto widened = cache.Lookup(1, dialect);
+  ASSERT_NE(widened, nullptr);
+  EXPECT_EQ(widened->fields_per_row(), 4u);
+}
+
+TEST(PositionalMapCacheTest, ByteAccountingMatchesEntries) {
+  const PosmapDialect dialect;
+  PositionalMapCache cache(8);
+  auto a = MakeMap(10, 3);  // 10 rows x 4 slots
+  auto b = MakeMap(20, 5);  // 20 rows x 6 slots
+  cache.Insert(1, a, dialect);
+  cache.Insert(2, b, dialect);
+  EXPECT_EQ(cache.MemoryBytes(), a->MemoryBytes() + b->MemoryBytes());
+  // Widening replaces a's bytes with the wider map's bytes.
+  auto a_wide = MakeMap(10, 6);
+  cache.Insert(1, a_wide, dialect);
+  EXPECT_EQ(cache.MemoryBytes(), a_wide->MemoryBytes() + b->MemoryBytes());
+  // A narrower same-dialect map is ignored; bytes unchanged.
+  cache.Insert(1, MakeMap(10, 2), dialect);
+  EXPECT_EQ(cache.MemoryBytes(), a_wide->MemoryBytes() + b->MemoryBytes());
+  // Dropping an entry (dialect mismatch) releases its bytes.
+  EXPECT_EQ(cache.Lookup(2, QuotedDialect()), nullptr);
+  EXPECT_EQ(cache.MemoryBytes(), a_wide->MemoryBytes());
+}
+
+TEST(PositionalMapCacheTest, ByteBoundEvicts) {
+  const PosmapDialect dialect;
+  const size_t map_bytes = MakeMap(16, 3)->MemoryBytes();
+  // Room for two maps by bytes, many by count.
+  PositionalMapCache cache(100, 2 * map_bytes);
+  cache.Insert(1, MakeMap(16, 3), dialect);
+  cache.Insert(2, MakeMap(16, 3), dialect);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert(3, MakeMap(16, 3), dialect);  // byte bound evicts 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(1, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(2, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(3, dialect), nullptr);
+  EXPECT_LE(cache.MemoryBytes(), 2 * map_bytes);
+}
+
+TEST(PositionalMapCacheTest, WidenPastByteBoundEvictsOthersNotSelf) {
+  const PosmapDialect dialect;
+  const size_t small_bytes = MakeMap(16, 3)->MemoryBytes();
+  PositionalMapCache cache(100, 3 * small_bytes);
+  cache.Insert(1, MakeMap(16, 3), dialect);
+  cache.Insert(2, MakeMap(16, 3), dialect);
+  cache.Insert(3, MakeMap(16, 3), dialect);
+  // Widening chunk 1 to 3x its slot width blows the byte bound; the cache
+  // must evict the older entries 2 and 3, never the just-widened entry.
+  cache.Insert(1, MakeMap(16, 11), dialect);
+  EXPECT_EQ(cache.Lookup(2, dialect), nullptr);
+  EXPECT_EQ(cache.Lookup(3, dialect), nullptr);
+  auto survivor = cache.Lookup(1, dialect);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->fields_per_row(), 11u);
+  EXPECT_EQ(cache.MemoryBytes(), survivor->MemoryBytes());
+}
+
+TEST(PositionalMapCacheTest, DialectMismatchDropsEntry) {
+  const PosmapDialect comma;
+  PosmapDialect tab;
+  tab.delimiter = '\t';
+  PositionalMapCache cache(4);
+  cache.Insert(1, MakeMap(4, 3), comma);
+  EXPECT_EQ(cache.dialect_drops(), 0u);
+  // Lookup under the wrong dialect drops the entry and misses.
+  EXPECT_EQ(cache.Lookup(1, tab), nullptr);
+  EXPECT_EQ(cache.dialect_drops(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  // The original dialect misses too now — the entry is gone, not hidden.
+  EXPECT_EQ(cache.Lookup(1, comma), nullptr);
+  EXPECT_EQ(cache.dialect_drops(), 1u);
+}
+
+TEST(PositionalMapCacheTest, DialectChangeReplacesOutright) {
+  const PosmapDialect comma;
+  PositionalMapCache cache(4);
+  cache.Insert(1, MakeMap(4, 6), comma);
+  // A narrower map under a different dialect still replaces: the old map is
+  // useless under the new rules, width comparison does not apply.
+  cache.Insert(1, MakeMap(4, 2), QuotedDialect());
+  auto map = cache.Lookup(1, QuotedDialect());
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->fields_per_row(), 2u);
+}
+
+TEST(PositionalMapCacheTest, ReportsDiskOrigin) {
+  const PosmapDialect dialect;
+  PositionalMapCache cache(4);
+  cache.Insert(1, MakeMap(4, 3), dialect, PosmapOrigin::kDisk);
+  cache.Insert(2, MakeMap(4, 3), dialect);  // defaults to kBuilt
+  PosmapOrigin origin = PosmapOrigin::kBuilt;
+  ASSERT_NE(cache.Lookup(1, dialect, &origin), nullptr);
+  EXPECT_EQ(origin, PosmapOrigin::kDisk);
+  ASSERT_NE(cache.Lookup(2, dialect, &origin), nullptr);
+  EXPECT_EQ(origin, PosmapOrigin::kBuilt);
+  // Widening a disk entry with freshly built work flips its provenance.
+  cache.Insert(1, MakeMap(4, 5), dialect);
+  ASSERT_NE(cache.Lookup(1, dialect, &origin), nullptr);
+  EXPECT_EQ(origin, PosmapOrigin::kBuilt);
+}
+
+TEST(PositionalMapCacheTest, SnapshotFiltersByDialect) {
+  const PosmapDialect comma;
+  PositionalMapCache cache(8);
+  cache.Insert(3, MakeMap(4, 3), comma);
+  cache.Insert(1, MakeMap(4, 3), comma);
+  cache.Insert(2, MakeMap(4, 3), QuotedDialect());
+  auto snap = cache.Snapshot(comma);
+  ASSERT_EQ(snap.size(), 2u);
+  // Chunk order, regardless of insertion order.
+  EXPECT_EQ(snap[0].first, 1u);
+  EXPECT_EQ(snap[1].first, 3u);
+  EXPECT_EQ(cache.Snapshot(QuotedDialect()).size(), 1u);
+}
+
+TEST(PositionalMapCacheTest, ZeroCapacityDisablesCache) {
+  const PosmapDialect dialect;
+  PositionalMapCache cache(0);
+  cache.Insert(1, MakeMap(4, 3), dialect);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1, dialect), nullptr);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+}
+
+TEST(PositionalMapCacheTest, ConcurrentLookupInsert) {
+  const PosmapDialect comma;
+  PosmapDialect tab;
+  tab.delimiter = '\t';
+  PositionalMapCache cache(16, 1 << 16);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &comma, &tab, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t chunk = static_cast<uint64_t>((t * 7 + i) % 32);
+        const PosmapDialect& dialect = (i % 5 == 0) ? tab : comma;
+        if (i % 3 == 0) {
+          cache.Insert(chunk, MakeMap(8, 1 + (i % 6)), dialect,
+                       (i % 2 == 0) ? PosmapOrigin::kBuilt
+                                    : PosmapOrigin::kDisk);
+        } else {
+          PosmapOrigin origin;
+          auto map = cache.Lookup(chunk, dialect, &origin);
+          if (map != nullptr) EXPECT_GT(map->fields_per_row(), 0u);
+        }
+        if (i % 101 == 0) {
+          (void)cache.Snapshot(dialect);
+          (void)cache.MemoryBytes();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_LE(cache.MemoryBytes(), static_cast<size_t>(1) << 16);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * ((kOpsPerThread * 2) / 3));
+}
+
+}  // namespace
+}  // namespace scanraw

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "datagen/csv_generator.h"
+#include "db/recovery.h"
 #include "io/fault_injection.h"
 #include "io/file.h"
+#include "obs/explain.h"
 #include "scanraw/scan_raw.h"
 #include "scanraw/scanraw_manager.h"
 
@@ -373,6 +375,292 @@ TEST_F(RecoveryTest, SpeculativeEnospcFallsBackToRawSide) {
   auto again = (*manager)->Query("t", SumAllQuery());
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(again->total_sum, info_.total_sum);
+}
+
+// ------------------------------------------------- posmap sidecar recovery
+//
+// The persisted positional-map index (`<catalog>.posmap.<table>`): a warm
+// restart must answer a previously-mapped query with zero TOKENIZE bytes
+// and byte-identical results, while a torn, stale, or dialect-mismatched
+// sidecar degrades to full re-tokenization — never wrong results.
+class PosmapRecoveryTest : public RecoveryTest {
+ protected:
+  // External-tables policy: chunks are never loaded into the database, so
+  // every query re-reads the raw file and the positional maps are the only
+  // thing standing between a warm restart and a full re-tokenize.
+  ScanRawOptions PosmapOptions() const {
+    ScanRawOptions options;
+    options.policy = LoadPolicy::kExternalTables;
+    options.num_workers = 2;
+    options.chunk_rows = kChunkRows;
+    options.cache_capacity_chunks = 0;  // no binary cache: always raw
+    options.cache_positional_maps = true;
+    options.positional_map_cache_chunks = 16;
+    options.persist_positional_maps = true;
+    return options;
+  }
+
+  std::string SidecarPath() const {
+    return PosmapSidecarPath(catalog_path_, "t");
+  }
+
+  // Cold scan + catalog save; leaves a sidecar with all 8 chunk maps.
+  void ColdScanAndSave() const {
+    ScanRawManager::Config config;
+    config.db_path = db_path_;
+    auto manager = ScanRawManager::Create(config);
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE(
+        (*manager)
+            ->RegisterRawFile("t", csv_path_, schema_, PosmapOptions())
+            .ok());
+    obs::ExplainReport cold;
+    auto result = (*manager)->Query("t", SumAllQuery(), &cold);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->total_sum, info_.total_sum);
+    ASSERT_GT(cold.bytes_tokenized, 0u);  // the cold scan really tokenized
+    ASSERT_TRUE((*manager)->SaveCatalog(catalog_path_).ok());
+    ASSERT_TRUE(FileExists(SidecarPath()));
+  }
+
+  // Restarts against whatever is on disk and runs the all-columns query
+  // with EXPLAIN. `attach` defaults to the same options the sidecar was
+  // saved under.
+  void RestartAndQuery(const ScanRawOptions& attach,
+                       obs::ExplainReport* explain) const {
+    ScanRawManager::Config config;
+    config.db_path = db_path_;
+    config.reuse_existing_db = true;
+    auto manager = ScanRawManager::Create(config);
+    ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+    ASSERT_TRUE((*manager)->LoadCatalog(catalog_path_).ok());
+    ASSERT_TRUE((*manager)->AttachOptions("t", attach).ok());
+    auto result = (*manager)->Query("t", SumAllQuery(), explain);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->total_sum, info_.total_sum);
+    EXPECT_EQ(result->rows_scanned, kRows);
+    last_posmaps_dropped_ = (*manager)->last_recovery().posmaps_dropped;
+  }
+
+  // Child for the fork-based crash tests: cold scan, save, scan again,
+  // save again. Kill-points aimed at the second save crash the child with
+  // a complete first-save catalog + sidecar already durable.
+  void PosmapChildWorkload() const {
+    ScanRawManager::Config config;
+    config.db_path = db_path_;
+    auto manager = ScanRawManager::Create(config);
+    if (!manager.ok()) ::_exit(kChildErrorExitCode);
+    if (!(*manager)
+             ->RegisterRawFile("t", csv_path_, schema_, PosmapOptions())
+             .ok()) {
+      ::_exit(kChildErrorExitCode);
+    }
+    if (!(*manager)->Query("t", SumAllQuery()).ok()) {
+      ::_exit(kChildErrorExitCode);
+    }
+    if (!(*manager)->SaveCatalog(catalog_path_).ok()) {
+      ::_exit(kChildErrorExitCode);
+    }
+    if (!(*manager)->Query("t", SumQuery({0, 1})).ok()) {
+      ::_exit(kChildErrorExitCode);
+    }
+    if (!(*manager)->SaveCatalog(catalog_path_).ok()) {
+      ::_exit(kChildErrorExitCode);
+    }
+    ::_exit(kChildDoneExitCode);
+  }
+
+  int RunCrashingPosmapChild(const FaultPlan& plan) const {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      ScopedFaultInjection fault(plan);
+      PosmapChildWorkload();  // never returns
+    }
+    EXPECT_GT(pid, 0);
+    int wstatus = 0;
+    EXPECT_EQ(waitpid(pid, &wstatus, 0), pid);
+    EXPECT_TRUE(WIFEXITED(wstatus)) << "child did not exit cleanly";
+    return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+
+  mutable size_t last_posmaps_dropped_ = 0;
+};
+
+TEST_F(PosmapRecoveryTest, SidecarRoundTripSkipsTokenize) {
+  ColdScanAndSave();
+
+  ScanRawManager::Config config;
+  config.db_path = db_path_;
+  config.reuse_existing_db = true;
+  auto manager = ScanRawManager::Create(config);
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->LoadCatalog(catalog_path_).ok());
+  EXPECT_EQ((*manager)->last_recovery().posmaps_dropped, 0u);
+  EXPECT_EQ((*manager)
+                ->telemetry()
+                ->metrics()
+                .GetCounter("recovery.posmap_chunks_loaded")
+                ->value(),
+            8u);
+  ASSERT_TRUE((*manager)->AttachOptions("t", PosmapOptions()).ok());
+
+  obs::ExplainReport warm;
+  auto result = (*manager)->Query("t", SumAllQuery(), &warm);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_sum, info_.total_sum);
+  EXPECT_EQ(result->rows_scanned, kRows);
+  // The warm restart tokenized nothing: all 8 chunks were answered from
+  // the persisted maps, reported as posmap-disk provenance.
+  EXPECT_EQ(warm.bytes_tokenized, 0u);
+  EXPECT_EQ(warm.posmap_hits, 8u);
+  EXPECT_EQ(warm.posmap_misses, 0u);
+  EXPECT_EQ(warm.posmap_disk_hits, 8u);
+  EXPECT_EQ((*manager)
+                ->telemetry()
+                ->metrics()
+                .GetCounter("scanraw.posmap.loaded_from_disk")
+                ->value(),
+            8u);
+  // A narrower follow-up query also rides the persisted maps.
+  obs::ExplainReport narrow;
+  auto one = (*manager)->Query("t", SumQuery({2}), &narrow);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->total_sum, info_.column_sums[2]);
+  EXPECT_EQ(narrow.bytes_tokenized, 0u);
+}
+
+// The acceptance scenario: the child crashes mid-way through its second
+// catalog save (the seed-deterministic fault injector fires inside
+// AtomicWriteFile or around the sidecar write); the parent restarts from
+// the durable first save and must answer the previously-mapped query with
+// zero TOKENIZE bytes and byte-identical sums.
+struct PosmapKillCase {
+  const char* point;
+  uint64_t hit;
+};
+
+void PrintTo(const PosmapKillCase& c, std::ostream* os) {
+  *os << c.point << "@" << c.hit;
+}
+
+class PosmapKillMatrixTest
+    : public PosmapRecoveryTest,
+      public testing::WithParamInterface<PosmapKillCase> {};
+
+TEST_P(PosmapKillMatrixTest, WarmRestartAfterCrashSkipsTokenize) {
+  FaultPlan plan;
+  plan.kill_point = GetParam().point;
+  plan.kill_point_hit = GetParam().hit;
+  const int code = RunCrashingPosmapChild(plan);
+  ASSERT_EQ(code, kFaultKillExitCode)
+      << "kill-point " << GetParam().point << " hit " << GetParam().hit
+      << " was not reached (exit " << code << ")";
+  ASSERT_TRUE(FileExists(catalog_path_));  // first save was durable
+  ASSERT_TRUE(FileExists(SidecarPath()));
+
+  obs::ExplainReport warm;
+  RestartAndQuery(PosmapOptions(), &warm);
+  EXPECT_EQ(last_posmaps_dropped_, 0u);
+  EXPECT_EQ(warm.bytes_tokenized, 0u);
+  EXPECT_EQ(warm.posmap_disk_hits, 8u);
+}
+
+// Sidecar AtomicWriteFile ordinals in the child: save 1 writes sidecar
+// then catalog (atomic writes 1, 2), save 2 writes sidecar then catalog
+// (atomic writes 3, 4). Killing around write 3 leaves the first save's
+// sidecar + catalog pair; killing after write 3's rename leaves the second
+// (byte-identical) sidecar with the first catalog. Both must warm-restart.
+INSTANTIATE_TEST_SUITE_P(
+    SecondSave, PosmapKillMatrixTest,
+    testing::Values(PosmapKillCase{"scanraw.posmap.before_save", 2},
+                    PosmapKillCase{"scanraw.posmap.after_save", 2},
+                    PosmapKillCase{"atomic_write.after_append", 3},
+                    PosmapKillCase{"atomic_write.after_sync", 3},
+                    PosmapKillCase{"atomic_write.after_rename", 3},
+                    PosmapKillCase{"manager.save_catalog.before", 2}),
+    [](const testing::TestParamInfo<PosmapKillCase>& info) {
+      std::string name = info.param.point;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name + "_hit" + std::to_string(info.param.hit);
+    });
+
+// A torn sidecar (truncated mid-entry) fails its checksum and is dropped
+// at LoadCatalog; the scan degrades to a full re-tokenize with exact
+// results.
+TEST_F(PosmapRecoveryTest, TornSidecarDegradesToRetokenize) {
+  ColdScanAndSave();
+  auto size = GetFileSize(SidecarPath());
+  ASSERT_TRUE(size.ok());
+  ASSERT_EQ(truncate(SidecarPath().c_str(), static_cast<off_t>(*size / 2)),
+            0);
+
+  ScanRawManager::Config config;
+  config.db_path = db_path_;
+  config.reuse_existing_db = true;
+  auto manager = ScanRawManager::Create(config);
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->LoadCatalog(catalog_path_).ok());
+  EXPECT_EQ((*manager)->last_recovery().posmaps_dropped, 1u);
+  EXPECT_EQ((*manager)
+                ->telemetry()
+                ->metrics()
+                .GetCounter("recovery.posmap_dropped")
+                ->value(),
+            1u);
+  ASSERT_TRUE((*manager)->AttachOptions("t", PosmapOptions()).ok());
+  obs::ExplainReport explain;
+  auto result = (*manager)->Query("t", SumAllQuery(), &explain);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_sum, info_.total_sum);
+  EXPECT_GT(explain.bytes_tokenized, 0u);  // re-tokenized, not served stale
+  EXPECT_EQ(explain.posmap_disk_hits, 0u);
+}
+
+// A sidecar saved under one tokenize dialect must not serve a restart that
+// attaches different dialect options (--quoted-csv toggled between runs):
+// the maps are dropped at operator creation and the scan re-tokenizes.
+TEST_F(PosmapRecoveryTest, DialectMismatchedSidecarDropped) {
+  ColdScanAndSave();  // saved with quoted_fields = false
+
+  ScanRawOptions quoted = PosmapOptions();
+  quoted.quoted_fields = true;
+  obs::ExplainReport explain;
+  RestartAndQuery(quoted, &explain);
+  EXPECT_EQ(last_posmaps_dropped_, 1u);
+  EXPECT_GT(explain.bytes_tokenized, 0u);
+  EXPECT_EQ(explain.posmap_disk_hits, 0u);
+}
+
+// A sidecar whose recorded raw-file stat no longer matches (the CSV was
+// rewritten, even with identical bytes) is stale and must be dropped: the
+// offsets could silently mis-tokenize a changed file.
+TEST_F(PosmapRecoveryTest, StaleSidecarDropped) {
+  ColdScanAndSave();
+  // Rewrite the raw file with identical content; mtime changes.
+  usleep(20 * 1000);
+  CsvSpec spec;
+  spec.num_rows = kRows;
+  spec.num_columns = kCols;
+  spec.seed = 42;
+  auto info = GenerateCsvFile(csv_path_, spec);
+  ASSERT_TRUE(info.ok());
+
+  ScanRawManager::Config config;
+  config.db_path = db_path_;
+  config.reuse_existing_db = true;
+  auto manager = ScanRawManager::Create(config);
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->LoadCatalog(catalog_path_).ok());
+  EXPECT_EQ((*manager)->last_recovery().posmaps_dropped, 1u);
+  ASSERT_TRUE((*manager)->AttachOptions("t", PosmapOptions()).ok());
+  obs::ExplainReport explain;
+  auto result = (*manager)->Query("t", SumAllQuery(), &explain);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_sum, info_.total_sum);
+  EXPECT_GT(explain.bytes_tokenized, 0u);
+  EXPECT_EQ(explain.posmap_disk_hits, 0u);
 }
 
 // Under synchronous-loading policies a failed write is part of the query

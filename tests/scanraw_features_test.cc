@@ -180,24 +180,26 @@ TEST(PositionalMapCacheTest, PartialMapsExtended) {
 }
 
 TEST(PositionalMapCacheTest, CapacityBounded) {
+  const PosmapDialect dialect;
   PositionalMapCache cache(2);
   auto map = std::make_shared<PositionalMap>(4, 3);
-  cache.Insert(1, map);
-  cache.Insert(2, map);
-  cache.Insert(3, map);  // evicts chunk 1 (FIFO)
+  cache.Insert(1, map, dialect);
+  cache.Insert(2, map, dialect);
+  cache.Insert(3, map, dialect);  // evicts chunk 1 (FIFO)
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.Lookup(1), nullptr);
-  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.Lookup(1, dialect), nullptr);
+  EXPECT_NE(cache.Lookup(3, dialect), nullptr);
   EXPECT_GT(cache.MemoryBytes(), 0u);
 }
 
 TEST(PositionalMapCacheTest, NarrowerMapNeverReplacesWider) {
+  const PosmapDialect dialect;
   PositionalMapCache cache(4);
-  cache.Insert(1, std::make_shared<PositionalMap>(4, 6));
-  cache.Insert(1, std::make_shared<PositionalMap>(4, 2));
-  EXPECT_EQ(cache.Lookup(1)->fields_per_row(), 6u);
-  cache.Insert(1, std::make_shared<PositionalMap>(4, 8));
-  EXPECT_EQ(cache.Lookup(1)->fields_per_row(), 8u);
+  cache.Insert(1, std::make_shared<PositionalMap>(4, 6), dialect);
+  cache.Insert(1, std::make_shared<PositionalMap>(4, 2), dialect);
+  EXPECT_EQ(cache.Lookup(1, dialect)->fields_per_row(), 6u);
+  cache.Insert(1, std::make_shared<PositionalMap>(4, 8), dialect);
+  EXPECT_EQ(cache.Lookup(1, dialect)->fields_per_row(), 8u);
 }
 
 // --------------------------------------------------------------- sketches

@@ -15,6 +15,12 @@
 //   --chunk-rows N        rows per chunk (default 65536)
 //   --no-parallel-tokenize  frozen sequential TOKENIZE (parallel is default)
 //   --quoted-csv          RFC-4180 quoted fields for delimited-text tables
+//   --persist-posmap      persist each table's positional maps to a
+//                         checksummed sidecar (CATALOG.posmap.TABLE, saved
+//                         with the catalog and after cold scans) so a warm
+//                         restart skips TOKENIZE for already-mapped chunks;
+//                         implies the positional-map cache; requires
+//                         --catalog to survive a restart
 //   --metrics[=json|text] after the statements, dump the telemetry registry
 //                         (stage latency histograms with p50/p95/p99, cache
 //                         and disk-arbiter counters, resource-advice series);
@@ -158,7 +164,8 @@ void Usage() {
                "[--catalog PATH]\n"
                "                   [--bandwidth-mb N] [--policy P] "
                "[--workers N] [--chunk-rows N]\n"
-               "                   [--no-parallel-tokenize] [--quoted-csv]\n"
+               "                   [--no-parallel-tokenize] [--quoted-csv] "
+               "[--persist-posmap]\n"
                "                   [--metrics[=json|text]] "
                "[--explain[=json|text]] [--progress]\n"
                "                   [--progress-interval-ms N] "
@@ -256,6 +263,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.scan_options.parallel_tokenize = false;
     } else if (arg == "--quoted-csv") {
       options.scan_options.quoted_fields = true;
+    } else if (arg == "--persist-posmap") {
+      options.scan_options.persist_positional_maps = true;
+      options.scan_options.cache_positional_maps = true;
     } else if (arg == "--metrics" || arg == "--metrics=text") {
       options.metrics = true;
       options.metrics_json = false;
@@ -652,16 +662,22 @@ int Run(int argc, char** argv) {
     const ReconcileReport recovery = (*manager)->last_recovery();
     std::printf("recovered catalog from %s\n",
                 options->catalog_path.c_str());
-    if (!recovery.clean()) {
+    if (!recovery.clean() || recovery.posmaps_dropped > 0) {
       std::printf(
           "recovery: dropped %zu of %zu segment(s), %zu chunk(s) revert "
-          "to raw\n",
+          "to raw, %zu posmap sidecar(s) dropped\n",
           recovery.segments_dropped, recovery.segments_checked,
-          recovery.chunks_reverted);
+          recovery.chunks_reverted, recovery.posmaps_dropped);
       for (const std::string& detail : recovery.details) {
         std::printf("recovery:   %s\n", detail.c_str());
       }
     }
+  }
+  if (options->scan_options.persist_positional_maps &&
+      options->catalog_path.empty()) {
+    std::fprintf(stderr,
+                 "warning: --persist-posmap has no effect without --catalog "
+                 "(the sidecar lives next to the catalog)\n");
   }
 
   if (!options->query_log_path.empty()) {
